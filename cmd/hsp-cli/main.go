@@ -1,0 +1,157 @@
+// Command hsp-cli loads or generates an RDF dataset and runs a SPARQL
+// join query against it with a chosen planner and execution engine.
+//
+// Usage:
+//
+//	hsp-cli -data file.nt        -query 'SELECT ...'
+//	hsp-cli -gen sp2bench:100000 -queryfile q.sparql -planner cdp -engine rdf3x -explain
+//
+// The -planner flag selects hsp (the paper's heuristic planner, the
+// default), cdp (the RDF-3X-style cost-based baseline), sql (the
+// left-deep MonetDB/SQL-style baseline) or hybrid (HSP structure with
+// statistics-based ordering, the paper's Section 7 proposal). The -engine flag selects monet
+// (uncompressed sorted orderings) or rdf3x (compressed indexes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "N-Triples file to load")
+		snapshot  = flag.String("snapshot", "", "binary snapshot file to load (see -writesnapshot)")
+		writeSnap = flag.String("writesnapshot", "", "write the loaded dataset to a snapshot file and exit")
+		gen       = flag.String("gen", "", "generate a dataset instead: sp2bench:N or yago:N")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		query     = flag.String("query", "", "SPARQL query text")
+		queryFile = flag.String("queryfile", "", "file holding the SPARQL query")
+		planner   = flag.String("planner", "hsp", "planner: hsp, cdp, sql or hybrid")
+		engine    = flag.String("engine", "monet", "engine: monet or rdf3x")
+		explain   = flag.Bool("explain", false, "print the plan with observed cardinalities instead of rows")
+		plan      = flag.Bool("plan", false, "print the plan without executing")
+		maxRows   = flag.Int("maxrows", 20, "result rows to print (0 = all)")
+	)
+	flag.Parse()
+
+	db, err := openDB(*data, *snapshot, *gen, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset: %d triples\n", db.NumTriples())
+
+	if *writeSnap != "" {
+		if err := db.SaveFile(*writeSnap); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *writeSnap)
+		return
+	}
+
+	text := *query
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fail(err)
+		}
+		text = string(b)
+	}
+	if text == "" {
+		fail(fmt.Errorf("no query given (use -query or -queryfile)"))
+	}
+
+	start := time.Now()
+	p, err := db.Plan(text, hsp.Planner(*planner))
+	if err != nil {
+		fail(err)
+	}
+	planTime := time.Since(start)
+	fmt.Fprintf(os.Stderr, "planner=%s engine=%s: %d merge joins, %d hash joins, %s plan, planned in %v\n",
+		p.Planner(), *engine, p.MergeJoins(), p.HashJoins(), p.Shape(), planTime)
+
+	if *plan {
+		fmt.Print(p.String())
+		return
+	}
+	if *explain {
+		out, err := db.Explain(p, hsp.Engine(*engine))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	start = time.Now()
+	res, err := db.Execute(p, hsp.Engine(*engine))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "executed in %v, %d rows\n", time.Since(start), res.Len())
+
+	fmt.Println(strings.Join(res.Vars(), "\t"))
+	n := res.Len()
+	if *maxRows > 0 && n > *maxRows {
+		n = *maxRows
+	}
+	for i := 0; i < n; i++ {
+		row := res.Row(i)
+		var cells []string
+		for _, v := range res.Vars() {
+			cells = append(cells, row[v].String())
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	if n < res.Len() {
+		fmt.Printf("... (%d more rows)\n", res.Len()-n)
+	}
+}
+
+func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
+	n := 0
+	for _, s := range []string{data, snapshot, gen} {
+		if s != "" {
+			n++
+		}
+	}
+	if n > 1 {
+		return nil, fmt.Errorf("use only one of -data, -snapshot or -gen")
+	}
+	switch {
+	case data != "":
+		return hsp.OpenNTriplesFile(data)
+	case snapshot != "":
+		return hsp.OpenSnapshotFile(snapshot)
+	case gen != "":
+		name, scaleStr, ok := strings.Cut(gen, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -gen %q (want sp2bench:N or yago:N)", gen)
+		}
+		scale, err := strconv.Atoi(scaleStr)
+		if err != nil || scale <= 0 {
+			return nil, fmt.Errorf("bad -gen scale %q", scaleStr)
+		}
+		switch name {
+		case "sp2bench":
+			return hsp.GenerateSP2Bench(scale, seed), nil
+		case "yago":
+			return hsp.GenerateYAGO(scale, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown generator %q", name)
+		}
+	default:
+		return nil, fmt.Errorf("no dataset given (use -data or -gen)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hsp-cli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenDBGenerate(t *testing.T) {
+	db, err := openDB("", "", "sp2bench:1000", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTriples() == 0 {
+		t.Error("generated empty dataset")
+	}
+	db, err = openDB("", "", "yago:1000", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTriples() == 0 {
+		t.Error("generated empty dataset")
+	}
+}
+
+func TestOpenDBFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(path, []byte("<http://s> <http://p> <http://o> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := openDB(path, "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTriples() != 1 {
+		t.Errorf("NumTriples = %d", db.NumTriples())
+	}
+}
+
+func TestOpenDBErrors(t *testing.T) {
+	cases := []struct {
+		data, snap, gen string
+	}{
+		{"", "", ""},                 // nothing given
+		{"x.nt", "", "yago:10"},      // two sources
+		{"x.nt", "y.snap", ""},       // two sources
+		{"", "", "nonsense"},         // missing colon
+		{"", "", "unknown:10"},       // unknown generator
+		{"", "", "sp2bench:zero"},    // bad number
+		{"", "", "sp2bench:-5"},      // negative
+		{"/no/such/file.nt", "", ""}, // missing file
+		{"", "/no/such.snap", ""},    // missing snapshot
+	}
+	for _, c := range cases {
+		if _, err := openDB(c.data, c.snap, c.gen, 1); err == nil {
+			t.Errorf("openDB(%q, %q, %q) succeeded, want error", c.data, c.snap, c.gen)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package hsp_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+const exampleData = `
+<http://ex/Journal1/1940> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://bench/Journal> .
+<http://ex/Journal1/1940> <http://purl.org/dc/elements/1.1/title> "Journal 1 (1940)" .
+<http://ex/Journal1/1940> <http://purl.org/dc/terms/issued> "1940" .
+<http://ex/Journal1/1941> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://bench/Journal> .
+<http://ex/Journal1/1941> <http://purl.org/dc/elements/1.1/title> "Journal 1 (1941)" .
+<http://ex/Journal1/1941> <http://purl.org/dc/terms/issued> "1941" .
+`
+
+// The paper's Section 3 example: which year was "Journal 1 (1940)" issued?
+func ExampleDB_Query() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`
+		PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?yr
+		WHERE { ?jrnl rdf:type <http://bench/Journal> .
+		        ?jrnl dc:title "Journal 1 (1940)" .
+		        ?jrnl dcterms:issued ?yr . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Row(0)["yr"].Value)
+	// Output: 1940
+}
+
+// Plans expose the Table 4 metrics: merge joins, hash joins and shape.
+func ExampleDB_Plan() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Plan(`
+		PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?yr
+		WHERE { ?jrnl rdf:type <http://bench/Journal> .
+		        ?jrnl dc:title "Journal 1 (1940)" .
+		        ?jrnl dcterms:issued ?yr . }`, hsp.PlannerHSP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d merge joins, %d hash joins, %s\n",
+		plan.MergeJoins(), plan.HashJoins(), plan.Shape())
+	fmt.Printf("merge variables: %v\n", plan.MergeVariables())
+	// Output:
+	// 2 merge joins, 0 hash joins, LD
+	// merge variables: [[jrnl]]
+}
+
+// The same plan can run on either substrate.
+func ExampleDB_Execute() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Plan(`
+		SELECT ?t WHERE { ?j <http://purl.org/dc/elements/1.1/title> ?t } ORDER BY ?t`, hsp.PlannerCDP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, engine := range []hsp.Engine{hsp.EngineMonet, hsp.EngineRDF3X} {
+		res, err := db.Execute(plan, engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d rows, first %s\n", engine, res.Len(), res.Row(0)["t"].Value)
+	}
+	// Output:
+	// monet: 2 rows, first Journal 1 (1940)
+	// rdf3x: 2 rows, first Journal 1 (1940)
+}

@@ -1,0 +1,522 @@
+// Package hsp is a from-scratch Go implementation of "Heuristics-based
+// Query Optimisation for SPARQL" (Tsialiamanis et al., EDBT 2012): an
+// in-memory RDF store with all six sorted triple orderings, the
+// Heuristic SPARQL Planner (HSP) the paper contributes, and the two
+// baselines it evaluates against — RDF-3X's cost-based dynamic
+// programming planner (CDP) over delta-compressed clustered indexes,
+// and a left-deep MonetDB/SQL-style planner.
+//
+// Quick start:
+//
+//	db, err := hsp.OpenNTriples(strings.NewReader(data))
+//	res, err := db.Query(`SELECT ?yr WHERE { ?j <dc:title> "Journal 1 (1940)" . ?j <dcterms:issued> ?yr }`)
+//	for i := 0; i < res.Len(); i++ { fmt.Println(res.Row(i)) }
+//
+// Planner and engine can be chosen independently:
+//
+//	plan, _ := db.Plan(query, hsp.PlannerHSP)   // or PlannerCDP, PlannerSQL, PlannerHybrid
+//	res, _ := db.Execute(plan, hsp.EngineRDF3X) // or EngineMonet
+package hsp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/cdp"
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/rdf3x"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/sqlopt"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+	"github.com/sparql-hsp/hsp/internal/yago"
+)
+
+// Planner selects the query optimizer.
+type Planner string
+
+// The three planners of the paper's evaluation, plus the hybrid
+// strategy its conclusion proposes.
+const (
+	// PlannerHSP is the paper's contribution: the heuristic planner
+	// (no statistics, maximal merge joins via the variable graph).
+	PlannerHSP Planner = "hsp"
+	// PlannerCDP is RDF-3X's cost-based dynamic-programming baseline.
+	PlannerCDP Planner = "cdp"
+	// PlannerSQL is the left-deep MonetDB/SQL-style baseline.
+	PlannerSQL Planner = "sql"
+	// PlannerHybrid combines HSP's structural decisions (what to
+	// merge-join) with exact selection statistics for ordering, the
+	// "hybrid optimization strategy" of the paper's Section 7.
+	PlannerHybrid Planner = "hybrid"
+)
+
+// Engine selects the storage substrate executing a plan.
+type Engine string
+
+// The two execution substrates.
+const (
+	// EngineMonet executes over the six uncompressed sorted orderings
+	// (binary-search selections), the MonetDB-style column substrate.
+	EngineMonet Engine = "monet"
+	// EngineRDF3X executes over delta-compressed clustered B+-tree
+	// indexes with aggregated pair indexes, the RDF-3X substrate.
+	EngineRDF3X Engine = "rdf3x"
+)
+
+// Term is an RDF term of the public API.
+type Term struct {
+	// Kind is "iri", "literal" or "blank".
+	Kind string
+	// Value is the IRI, literal text, or blank node label.
+	Value string
+}
+
+// IRI constructs an IRI term.
+func IRI(v string) Term { return Term{Kind: "iri", Value: v} }
+
+// Literal constructs a literal term.
+func Literal(v string) Term { return Term{Kind: "literal", Value: v} }
+
+// Blank constructs a blank-node term.
+func Blank(v string) Term { return Term{Kind: "blank", Value: v} }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string { return t.internal().String() }
+
+func (t Term) internal() rdf.Term {
+	switch t.Kind {
+	case "literal":
+		return rdf.NewLiteral(t.Value)
+	case "blank":
+		return rdf.NewBlank(t.Value)
+	default:
+		return rdf.NewIRI(t.Value)
+	}
+}
+
+func externTerm(t rdf.Term) Term {
+	switch t.Kind {
+	case rdf.Literal:
+		return Literal(t.Value)
+	case rdf.Blank:
+		return Blank(t.Value)
+	default:
+		return IRI(t.Value)
+	}
+}
+
+// Triple is an RDF statement of the public API.
+type Triple struct{ S, P, O Term }
+
+// DB is an immutable, queryable RDF dataset. All methods are safe for
+// concurrent use.
+type DB struct {
+	col    *store.Store
+	rxOnce sync.Once
+	rx     *rdf3x.Store
+	rxErr  error
+}
+
+// DatasetBuilder accumulates triples for a DB.
+type DatasetBuilder struct {
+	b *store.Builder
+}
+
+// NewDataset returns an empty dataset builder.
+func NewDataset() *DatasetBuilder {
+	return &DatasetBuilder{b: store.NewBuilder(nil)}
+}
+
+// Add appends one triple. It returns an error for triples violating the
+// RDF data model (literal subjects, non-IRI predicates, zero terms).
+func (d *DatasetBuilder) Add(t Triple) error {
+	tr := rdf.Triple{S: t.S.internal(), P: t.P.internal(), O: t.O.internal()}
+	if !tr.Valid() {
+		return fmt.Errorf("hsp: invalid triple %s", tr)
+	}
+	d.b.Add(tr)
+	return nil
+}
+
+// LoadNTriples parses and adds every statement from r.
+func (d *DatasetBuilder) LoadNTriples(r io.Reader) error {
+	ts, err := rdf.NewReader(r).ReadAll()
+	if err != nil {
+		return err
+	}
+	for _, t := range ts {
+		d.b.Add(t)
+	}
+	return nil
+}
+
+// Build finalises the dataset: the six orderings are sorted and
+// duplicates removed.
+func (d *DatasetBuilder) Build() *DB {
+	return &DB{col: d.b.Build()}
+}
+
+// OpenNTriples builds a DB from an N-Triples stream.
+func OpenNTriples(r io.Reader) (*DB, error) {
+	d := NewDataset()
+	if err := d.LoadNTriples(r); err != nil {
+		return nil, err
+	}
+	return d.Build(), nil
+}
+
+// OpenNTriplesFile builds a DB from an N-Triples file.
+func OpenNTriplesFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenNTriples(f)
+}
+
+// Save writes a compact, checksummed binary snapshot of the dataset.
+// Snapshots load much faster than re-parsing N-Triples (only the
+// dictionary and one sorted relation are stored; the other orderings
+// are rebuilt).
+func (db *DB) Save(w io.Writer) error { return db.col.Save(w) }
+
+// SaveFile writes a snapshot to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenSnapshot rebuilds a DB from a snapshot written by Save.
+func OpenSnapshot(r io.Reader) (*DB, error) {
+	st, err := store.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{col: st}, nil
+}
+
+// OpenSnapshotFile rebuilds a DB from a snapshot file.
+func OpenSnapshotFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenSnapshot(f)
+}
+
+// GenerateSP2Bench builds a DB with approximately scale triples of
+// SP²Bench-shaped synthetic data (the paper's synthetic workload).
+func GenerateSP2Bench(scale int, seed int64) *DB {
+	return &DB{col: sp2bench.Generate(scale, seed)}
+}
+
+// GenerateYAGO builds a DB with approximately scale triples of
+// YAGO-shaped synthetic data (the paper's real-world workload shape).
+func GenerateYAGO(scale int, seed int64) *DB {
+	return &DB{col: yago.Generate(scale, seed)}
+}
+
+// NumTriples returns the number of distinct triples.
+func (db *DB) NumTriples() int { return db.col.NumTriples() }
+
+// rdf3xStore builds the compressed index set on first use.
+func (db *DB) rdf3xStore() (*rdf3x.Store, error) {
+	db.rxOnce.Do(func() {
+		db.rx, db.rxErr = rdf3x.Build(db.col)
+	})
+	return db.rx, db.rxErr
+}
+
+// Plan parses and optimises a SPARQL join query with the chosen
+// planner. UNION queries yield one sub-plan per branch.
+func (db *DB) Plan(query string, p Planner) (*Plan, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.planParsed(q, p)
+}
+
+func (db *DB) planParsed(q *sparql.Query, p Planner) (*Plan, error) {
+	out := &Plan{db: db, head: q}
+	for _, branch := range q.Branches() {
+		switch p {
+		case PlannerHSP, "":
+			res, err := core.NewPlanner().PlanDetailed(branch)
+			if err != nil {
+				return nil, err
+			}
+			if out.hsp == nil {
+				out.hsp = res
+			}
+			out.plans = append(out.plans, res.Plan)
+		case PlannerHybrid:
+			res, err := core.NewPlannerWith(core.Options{Stats: stats.New(db.col)}).PlanDetailed(branch)
+			if err != nil {
+				return nil, err
+			}
+			if out.hsp == nil {
+				out.hsp = res
+			}
+			out.plans = append(out.plans, res.Plan)
+		case PlannerCDP:
+			pl, err := cdp.New(stats.New(db.col), cdp.Options{UseAggregatedIndexes: true}).Plan(branch)
+			if err != nil {
+				return nil, err
+			}
+			out.plans = append(out.plans, pl)
+		case PlannerSQL:
+			pl, err := sqlopt.New(stats.New(db.col)).Plan(branch)
+			if err != nil {
+				return nil, err
+			}
+			out.plans = append(out.plans, pl)
+		default:
+			return nil, fmt.Errorf("hsp: unknown planner %q", p)
+		}
+	}
+	return out, nil
+}
+
+// Plan is an optimised, executable query plan: one operator tree per
+// UNION branch (a single tree for queries without UNION).
+type Plan struct {
+	db    *DB
+	head  *sparql.Query   // the full parsed query, carrying the modifiers
+	plans []*algebra.Plan // one per UNION branch
+	hsp   *core.Result    // first branch detail, HSP/hybrid plans only
+}
+
+// Planner returns which planner produced the plan.
+func (p *Plan) Planner() string { return p.plans[0].Planner }
+
+// Branches returns the number of UNION branches (1 without UNION).
+func (p *Plan) Branches() int { return len(p.plans) }
+
+// MergeJoins returns the number of merge joins across branches (Table 4).
+func (p *Plan) MergeJoins() int {
+	n := 0
+	for _, pl := range p.plans {
+		m, _ := algebra.CountJoins(pl.Root)
+		n += m
+	}
+	return n
+}
+
+// HashJoins returns the number of hash joins across branches,
+// Cartesian products included (Table 4).
+func (p *Plan) HashJoins() int {
+	n := 0
+	for _, pl := range p.plans {
+		_, h := algebra.CountJoins(pl.Root)
+		n += h
+	}
+	return n
+}
+
+// Shape returns "LD" (left-deep) or "B" (bushy), as in Table 4; a
+// union is bushy if any branch is.
+func (p *Plan) Shape() string {
+	for _, pl := range p.plans {
+		if algebra.PlanShape(pl.Root) == algebra.Bushy {
+			return algebra.Bushy.String()
+		}
+	}
+	return algebra.LeftDeep.String()
+}
+
+// HasCartesianProduct reports whether any branch contains a cross join.
+func (p *Plan) HasCartesianProduct() bool {
+	for _, pl := range p.plans {
+		for _, j := range algebra.Joins(pl.Root) {
+			if j.Method == algebra.CrossJoin {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the operator tree(s).
+func (p *Plan) String() string {
+	if len(p.plans) == 1 {
+		return algebra.Explain(p.plans[0].Root, nil)
+	}
+	var b strings.Builder
+	for i, pl := range p.plans {
+		fmt.Fprintf(&b, "UNION branch %d:\n%s", i, algebra.Explain(pl.Root, nil))
+	}
+	return b.String()
+}
+
+// VariableGraph returns the rendered variable graph of each Algorithm 1
+// round (HSP plans only; empty otherwise) — the structure of Figure 1.
+func (p *Plan) VariableGraph() []string {
+	if p.hsp == nil {
+		return nil
+	}
+	return append([]string(nil), p.hsp.Graphs...)
+}
+
+// MergeVariables returns the independent set chosen in each round of
+// Algorithm 1 (HSP plans only).
+func (p *Plan) MergeVariables() [][]string {
+	if p.hsp == nil {
+		return nil
+	}
+	var out [][]string
+	for _, round := range p.hsp.Rounds {
+		var vs []string
+		for _, v := range round {
+			vs = append(vs, string(v))
+		}
+		out = append(out, vs)
+	}
+	return out
+}
+
+// engineFor resolves the execution source.
+func (db *DB) engineFor(e Engine) (*exec.Engine, error) {
+	switch e {
+	case EngineMonet, "":
+		return exec.New(exec.ColumnSource{St: db.col}), nil
+	case EngineRDF3X:
+		rx, err := db.rdf3xStore()
+		if err != nil {
+			return nil, err
+		}
+		return exec.New(exec.RDF3XSource{St: rx}), nil
+	default:
+		return nil, fmt.Errorf("hsp: unknown engine %q", e)
+	}
+}
+
+// Execute runs a plan on the chosen engine and materialises the
+// result: UNION branches are concatenated, then DISTINCT, ORDER BY,
+// OFFSET and LIMIT are applied.
+func (db *DB) Execute(p *Plan, e Engine) (*Result, error) {
+	eng, err := db.engineFor(e)
+	if err != nil {
+		return nil, err
+	}
+	var acc *exec.Result
+	for _, pl := range p.plans {
+		res, err := eng.Execute(pl)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = res
+			continue
+		}
+		if err := acc.Append(res); err != nil {
+			return nil, err
+		}
+	}
+	if p.head.Distinct && len(p.plans) > 1 {
+		acc.Dedup()
+	}
+	if len(p.head.OrderBy) > 0 {
+		if err := acc.SortBy(p.head.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if p.head.Offset > 0 || p.head.Limit >= 0 {
+		acc.Slice(p.head.Offset, p.head.Limit)
+	}
+	return &Result{res: acc}, nil
+}
+
+// Explain executes the plan and renders its operator tree(s) annotated
+// with observed per-operator cardinalities, the format of the paper's
+// plan figures.
+func (db *DB) Explain(p *Plan, e Engine) (string, error) {
+	eng, err := db.engineFor(e)
+	if err != nil {
+		return "", err
+	}
+	if len(p.plans) == 1 {
+		return eng.Explain(p.plans[0])
+	}
+	var b strings.Builder
+	for i, pl := range p.plans {
+		tree, err := eng.Explain(pl)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "UNION branch %d:\n%s", i, tree)
+	}
+	return b.String(), nil
+}
+
+// Query is the convenience path: HSP planning on the column substrate.
+func (db *DB) Query(query string) (*Result, error) {
+	p, err := db.Plan(query, PlannerHSP)
+	if err != nil {
+		return nil, err
+	}
+	return db.Execute(p, EngineMonet)
+}
+
+// Ask evaluates an ASK query: whether at least one solution exists. The
+// executor stops at the first solution found.
+func (db *DB) Ask(query string) (bool, error) {
+	p, err := db.Plan(query, PlannerHSP)
+	if err != nil {
+		return false, err
+	}
+	if !p.head.Ask {
+		return false, fmt.Errorf("hsp: Ask called with a non-ASK query")
+	}
+	res, err := db.Execute(p, EngineMonet)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// Result is a materialised query answer (a multiset of mappings).
+type Result struct {
+	res *exec.Result
+}
+
+// Vars returns the projected variable names, without '?'.
+func (r *Result) Vars() []string {
+	var out []string
+	for _, v := range r.res.Vars {
+		out = append(out, string(v))
+	}
+	return out
+}
+
+// Len returns the number of result mappings.
+func (r *Result) Len() int { return r.res.Len() }
+
+// Row returns result mapping i as variable→term.
+func (r *Result) Row(i int) map[string]Term {
+	out := map[string]Term{}
+	for v, t := range r.res.Terms(i) {
+		out[string(v)] = externTerm(t)
+	}
+	return out
+}
+
+// String renders the result as a sorted tab-separated table.
+func (r *Result) String() string { return r.res.String() }

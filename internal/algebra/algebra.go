@@ -1,0 +1,516 @@
+// Package algebra defines the logical query plans produced by the HSP,
+// CDP and SQL planners and consumed by the executor: index scans over
+// one of the six ordered triple relations, merge and hash joins, filters
+// and projections. It also computes the plan properties reported in
+// Table 4 of the paper (join counts and left-deep vs bushy shape) and
+// renders plans as the operator trees shown in Figures 2 and 3.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// JoinMethod distinguishes the physical join algorithms of Section 5:
+// merge joins over sorted access paths and hash joins for everything
+// else (including, in the worst case, Cartesian products).
+type JoinMethod uint8
+
+// Join methods.
+const (
+	MergeJoin JoinMethod = iota
+	HashJoin
+	CrossJoin // a hash join with no shared variables: a Cartesian product
+)
+
+// String returns "merge", "hash" or "cross".
+func (m JoinMethod) String() string {
+	switch m {
+	case MergeJoin:
+		return "merge"
+	case HashJoin:
+		return "hash"
+	default:
+		return "cross"
+	}
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	// Vars returns the variables bound by the subtree, sorted.
+	Vars() []sparql.Var
+	// SortedVar returns the variable the operator's output is sorted on,
+	// or "" when the output order carries no usable sortedness.
+	SortedVar() sparql.Var
+	// Children returns the operator's inputs.
+	Children() []Node
+	// Label returns a single-line description used in explain trees.
+	Label() string
+}
+
+// Scan evaluates one triple pattern on an ordered relation (access
+// path). The constants of the pattern must occupy a prefix of the
+// ordering, so the scan is a binary-searched range; the remaining
+// positions are emitted sorted, making the first variable position the
+// scan's sorted variable.
+type Scan struct {
+	TP       sparql.TriplePattern
+	Ordering store.Ordering
+	// Aggregated marks RDF-3X's use of the two-column aggregated index
+	// when the pattern's third position holds an unused variable.
+	Aggregated bool
+}
+
+// NewScan builds a Scan and validates that the ordering puts every
+// constant of the pattern before every variable.
+func NewScan(tp sparql.TriplePattern, o store.Ordering) (*Scan, error) {
+	seenVar := false
+	for _, pos := range o.Perm() {
+		if tp.Slot(pos).IsVar() {
+			seenVar = true
+		} else if seenVar {
+			return nil, fmt.Errorf("algebra: ordering %v does not put constants of %q first", o, tp.String())
+		}
+	}
+	return &Scan{TP: tp, Ordering: o}, nil
+}
+
+// Prefix returns the constant terms in ordering sequence (the binary
+// search key of the access path).
+func (s *Scan) Prefix() []sparql.Node {
+	var out []sparql.Node
+	for _, pos := range s.Ordering.Perm() {
+		n := s.TP.Slot(pos)
+		if n.IsVar() {
+			break
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Vars implements Node.
+func (s *Scan) Vars() []sparql.Var { return sortedVars(s.TP.Vars()) }
+
+// SortedVar implements Node: the first variable in ordering sequence.
+func (s *Scan) SortedVar() sparql.Var {
+	for _, pos := range s.Ordering.Perm() {
+		if n := s.TP.Slot(pos); n.IsVar() {
+			return n.Var
+		}
+	}
+	return ""
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	kind := "scan"
+	if len(s.Prefix()) > 0 {
+		kind = "σ"
+	}
+	name := s.Ordering.String()
+	if s.Aggregated {
+		name = name[:2] + "*" // aggregated two-column index
+	}
+	return fmt.Sprintf("%s(%s) [tp%d] %s", kind, name, s.TP.ID, s.TP.String())
+}
+
+// Join combines two inputs on their shared variables.
+type Join struct {
+	L, R   Node
+	Method JoinMethod
+	// On holds the join variables. For merge joins it has exactly one
+	// entry and both inputs must be sorted on it.
+	On []sparql.Var
+}
+
+// NewJoin builds a join node, computing the shared variables and
+// validating merge-join sortedness.
+func NewJoin(method JoinMethod, l, r Node, on []sparql.Var) (*Join, error) {
+	shared := SharedVars(l, r)
+	if on == nil {
+		on = shared
+	}
+	switch method {
+	case MergeJoin:
+		if len(on) != 1 {
+			return nil, fmt.Errorf("algebra: merge join needs exactly one variable, got %v", on)
+		}
+		if l.SortedVar() != on[0] || r.SortedVar() != on[0] {
+			return nil, fmt.Errorf("algebra: merge join on ?%s over inputs sorted on %q/%q",
+				on[0], l.SortedVar(), r.SortedVar())
+		}
+	case CrossJoin:
+		if len(shared) > 0 {
+			return nil, fmt.Errorf("algebra: cross join of inputs sharing %v", shared)
+		}
+	case HashJoin:
+		if len(on) == 0 {
+			return nil, fmt.Errorf("algebra: hash join with no shared variables (use CrossJoin)")
+		}
+	}
+	return &Join{L: l, R: r, Method: method, On: on}, nil
+}
+
+// Vars implements Node.
+func (j *Join) Vars() []sparql.Var {
+	return sortedVars(append(j.L.Vars(), j.R.Vars()...))
+}
+
+// SortedVar implements Node. A merge join preserves the join variable's
+// order; a hash join streams its right (probe) input and therefore
+// preserves its order.
+func (j *Join) SortedVar() sparql.Var {
+	if j.Method == MergeJoin {
+		return j.On[0]
+	}
+	return j.R.SortedVar()
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *Join) Label() string {
+	switch j.Method {
+	case MergeJoin:
+		return fmt.Sprintf("⋈mj ?%s", j.On[0])
+	case HashJoin:
+		return fmt.Sprintf("⋈hj %s", varList(j.On))
+	default:
+		return "× (cross)"
+	}
+}
+
+// LeftJoin left-outer-joins an OPTIONAL group (right) to the required
+// part (left): rows of the left input appear once per matching right
+// row, or once with the right variables unbound when nothing matches.
+// The paper lists OPTIONAL as future work (Section 7); this is the
+// extension implementation.
+type LeftJoin struct {
+	L, R Node
+	// On holds the shared variables (may be empty: a disconnected
+	// OPTIONAL degenerates to an optional cross product).
+	On []sparql.Var
+}
+
+// NewLeftJoin builds a left-outer-join node.
+func NewLeftJoin(l, r Node) *LeftJoin {
+	return &LeftJoin{L: l, R: r, On: SharedVars(l, r)}
+}
+
+// Vars implements Node.
+func (j *LeftJoin) Vars() []sparql.Var {
+	return sortedVars(append(j.L.Vars(), j.R.Vars()...))
+}
+
+// SortedVar implements Node: the left (streamed) input's order is
+// preserved.
+func (j *LeftJoin) SortedVar() sparql.Var { return j.L.SortedVar() }
+
+// Children implements Node.
+func (j *LeftJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *LeftJoin) Label() string { return "⟕ optional " + varList(j.On) }
+
+// Filter applies a residual FILTER condition.
+type Filter struct {
+	In Node
+	F  sparql.Filter
+}
+
+// Vars implements Node.
+func (f *Filter) Vars() []sparql.Var { return f.In.Vars() }
+
+// SortedVar implements Node: filtering preserves order.
+func (f *Filter) SortedVar() sparql.Var { return f.In.SortedVar() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.In} }
+
+// Label implements Node.
+func (f *Filter) Label() string { return f.F.String() }
+
+// Project keeps only the projection variables (π of Figures 2 and 3).
+type Project struct {
+	In   Node
+	Cols []sparql.Var
+	// Aliases duplicate a kept column under a variable name removed by
+	// filter rewriting (e.g. SP4a's ?name2).
+	Aliases map[sparql.Var]sparql.Var
+}
+
+// Vars implements Node.
+func (p *Project) Vars() []sparql.Var { return sortedVars(p.Cols) }
+
+// SortedVar implements Node.
+func (p *Project) SortedVar() sparql.Var {
+	sv := p.In.SortedVar()
+	for _, c := range p.Cols {
+		if c == sv {
+			return sv
+		}
+	}
+	return ""
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.In} }
+
+// Label implements Node.
+func (p *Project) Label() string { return "π " + varList(p.Cols) }
+
+// Plan is a complete logical plan for a query.
+type Plan struct {
+	Root  Node
+	Query *sparql.Query
+	// Planner names the component that produced the plan ("HSP", "CDP",
+	// "SQL"), for reports.
+	Planner string
+}
+
+// sortedVars sorts and deduplicates a variable list.
+func sortedVars(vs []sparql.Var) []sparql.Var {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SharedVars returns the variables bound by both subtrees, sorted.
+func SharedVars(a, b Node) []sparql.Var {
+	in := map[sparql.Var]bool{}
+	for _, v := range a.Vars() {
+		in[v] = true
+	}
+	var out []sparql.Var
+	for _, v := range b.Vars() {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return sortedVars(out)
+}
+
+func varList(vs []sparql.Var) string {
+	s := ""
+	for i, v := range vs {
+		if i > 0 {
+			s += ","
+		}
+		s += "?" + string(v)
+	}
+	return s
+}
+
+// Scans returns every Scan leaf of the subtree, left to right.
+func Scans(n Node) []*Scan {
+	var out []*Scan
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			out = append(out, s)
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Joins returns every Join node of the subtree, bottom-up.
+func Joins(n Node) []*Join {
+	var out []*Join
+	var walk func(Node)
+	walk = func(n Node) {
+		for _, c := range n.Children() {
+			walk(c)
+		}
+		if j, ok := n.(*Join); ok {
+			out = append(out, j)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// CountJoins returns the number of merge and hash joins (Table 4 rows);
+// cross joins count as hash joins, as in the paper's accounting.
+func CountJoins(n Node) (merge, hash int) {
+	for _, j := range Joins(n) {
+		if j.Method == MergeJoin {
+			merge++
+		} else {
+			hash++
+		}
+	}
+	return merge, hash
+}
+
+// Shape classifies a plan as left-deep or bushy.
+type Shape uint8
+
+// Plan shapes as reported in Table 4.
+const (
+	LeftDeep Shape = iota
+	Bushy
+)
+
+// String returns the Table 4 abbreviation: "LD" or "B".
+func (s Shape) String() string {
+	if s == LeftDeep {
+		return "LD"
+	}
+	return "B"
+}
+
+// PlanShape reports whether any join's right input is itself a join
+// (bushy) or every join takes a base input on the right (left-deep).
+// Filters and projections are transparent.
+func PlanShape(n Node) Shape {
+	for _, j := range Joins(n) {
+		r := j.R
+		for {
+			if f, ok := r.(*Filter); ok {
+				r = f.In
+				continue
+			}
+			if p, ok := r.(*Project); ok {
+				r = p.In
+				continue
+			}
+			break
+		}
+		if _, ok := r.(*Join); ok {
+			return Bushy
+		}
+	}
+	return LeftDeep
+}
+
+// Validate checks plan well-formedness: every query pattern (required
+// and optional) scanned exactly once, merge joins over correctly sorted
+// inputs (enforced by construction, re-checked here), and join inputs
+// disjoint.
+func (p *Plan) Validate() error {
+	seen := map[int]int{}
+	for _, s := range Scans(p.Root) {
+		seen[s.TP.ID]++
+	}
+	expected := append([]sparql.TriplePattern(nil), p.Query.Patterns...)
+	for _, g := range p.Query.Optionals {
+		expected = append(expected, g.Patterns...)
+	}
+	for _, tp := range expected {
+		if seen[tp.ID] != 1 {
+			return fmt.Errorf("algebra: pattern tp%d scanned %d times", tp.ID, seen[tp.ID])
+		}
+	}
+	if len(seen) != len(expected) {
+		return fmt.Errorf("algebra: plan scans %d patterns, query has %d", len(seen), len(expected))
+	}
+	for _, j := range Joins(p.Root) {
+		if j.Method == MergeJoin {
+			if j.L.SortedVar() != j.On[0] || j.R.SortedVar() != j.On[0] {
+				return fmt.Errorf("algebra: merge join on unsorted inputs: %s", j.Label())
+			}
+		}
+	}
+	return nil
+}
+
+// Cardinalities maps plan nodes to observed or estimated row counts,
+// used to annotate explain trees like the figures in the paper.
+type Cardinalities map[Node]int
+
+// Explain renders the operator tree, one node per line, with optional
+// cardinality annotations.
+func Explain(n Node, cards Cardinalities) string {
+	var b []byte
+	var walk func(Node, string, bool)
+	walk = func(n Node, indent string, last bool) {
+		marker := "├─ "
+		childIndent := indent + "│  "
+		if last {
+			marker = "└─ "
+			childIndent = indent + "   "
+		}
+		if indent == "" {
+			marker = ""
+			childIndent = "   "
+		}
+		line := indent + marker + n.Label()
+		if cards != nil {
+			if c, ok := cards[n]; ok {
+				line += fmt.Sprintf("  (%s)", groupDigits(c))
+			}
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+		ch := n.Children()
+		for i, c := range ch {
+			walk(c, childIndent, i == len(ch)-1)
+		}
+	}
+	walk(n, "", true)
+	return string(b)
+}
+
+// groupDigits formats 1234567 as "1.234.567", the paper's figure style.
+func groupDigits(v int) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, '.')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// ApplyFilters wraps n with every pending filter whose variables n
+// binds, returning the wrapped node and the still-pending filters.
+// Planners call it after each join so filters run as early as possible.
+func ApplyFilters(n Node, pending []sparql.Filter) (Node, []sparql.Filter) {
+	bound := map[sparql.Var]bool{}
+	for _, v := range n.Vars() {
+		bound[v] = true
+	}
+	var rest []sparql.Filter
+	for _, f := range pending {
+		if bound[f.Left] && (!f.Right.IsVar() || bound[f.Right.Var]) {
+			n = &Filter{In: n, F: f}
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	return n, rest
+}
+
+// TermID resolves a constant pattern node to its dictionary ID,
+// returning false when the constant does not occur in the data (the
+// pattern then matches nothing).
+func TermID(d *dict.Dict, n sparql.Node) (dict.ID, bool) {
+	if n.IsVar() {
+		return dict.Invalid, false
+	}
+	return d.Lookup(n.Term)
+}

@@ -1,0 +1,201 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func scan(t *testing.T, tp sparql.TriplePattern, o store.Ordering) *Scan {
+	t.Helper()
+	s, err := NewScan(tp, o)
+	if err != nil {
+		t.Fatalf("NewScan(%v, %v): %v", tp, o, err)
+	}
+	return s
+}
+
+func q(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	qq, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qq
+}
+
+func TestNewScanValidation(t *testing.T) {
+	qq := q(t, `SELECT ?x { ?x <http://p> "o" }`) // pattern (?x, p, o)
+	tp := qq.Patterns[0]
+	// Constants p,o must precede variable x: pos, ops are valid.
+	for _, ord := range []store.Ordering{store.POS, store.OPS} {
+		if _, err := NewScan(tp, ord); err != nil {
+			t.Errorf("NewScan(%v) failed: %v", ord, err)
+		}
+	}
+	for _, ord := range []store.Ordering{store.SPO, store.SOP, store.PSO, store.OSP} {
+		if _, err := NewScan(tp, ord); err == nil {
+			t.Errorf("NewScan(%v) succeeded, want error", ord)
+		}
+	}
+}
+
+func TestScanSortedVarAndPrefix(t *testing.T) {
+	qq := q(t, `SELECT ?x ?y { ?x <http://p> ?y }`)
+	tp := qq.Patterns[0]
+	s := scan(t, tp, store.PSO)
+	if got := s.SortedVar(); got != "x" {
+		t.Errorf("SortedVar = %q, want x", got)
+	}
+	if got := s.Prefix(); len(got) != 1 || got[0].Term.Value != "http://p" {
+		t.Errorf("Prefix = %v", got)
+	}
+	s2 := scan(t, tp, store.POS)
+	if got := s2.SortedVar(); got != "y" {
+		t.Errorf("SortedVar(POS) = %q, want y", got)
+	}
+}
+
+func TestJoinConstruction(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c . ?z <http://r> ?w }`)
+	s0 := scan(t, qq.Patterns[0], store.PSO) // sorted on a
+	s1 := scan(t, qq.Patterns[1], store.PSO) // sorted on a
+	s2 := scan(t, qq.Patterns[2], store.PSO) // sorted on z
+
+	mj, err := NewJoin(MergeJoin, s0, s1, nil)
+	if err != nil {
+		t.Fatalf("merge join: %v", err)
+	}
+	if mj.SortedVar() != "a" || len(mj.On) != 1 || mj.On[0] != "a" {
+		t.Errorf("merge join on %v sorted %q", mj.On, mj.SortedVar())
+	}
+	if got := mj.Vars(); len(got) != 3 {
+		t.Errorf("join vars = %v", got)
+	}
+
+	// Merge join over unsorted-on-var inputs must fail.
+	s1pos := scan(t, qq.Patterns[1], store.POS) // sorted on c
+	if _, err := NewJoin(MergeJoin, s0, s1pos, []sparql.Var{"a"}); err == nil {
+		t.Error("merge join accepted unsorted input")
+	}
+
+	// Hash join with no shared vars must fail; cross join succeeds.
+	if _, err := NewJoin(HashJoin, mj, s2, nil); err == nil {
+		t.Error("hash join accepted disjoint inputs")
+	}
+	cj, err := NewJoin(CrossJoin, mj, s2, nil)
+	if err != nil {
+		t.Fatalf("cross join: %v", err)
+	}
+	if cj.SortedVar() != s2.SortedVar() {
+		t.Errorf("cross join should preserve probe order, got %q", cj.SortedVar())
+	}
+	// Cross join over sharing inputs must fail.
+	if _, err := NewJoin(CrossJoin, s0, s1, nil); err == nil {
+		t.Error("cross join accepted sharing inputs")
+	}
+}
+
+func TestCountJoinsAndShape(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c . ?b <http://r> ?d . ?d <http://s> ?e }`)
+	sA0 := scan(t, qq.Patterns[0], store.PSO)
+	sA1 := scan(t, qq.Patterns[1], store.PSO)
+	sB := scan(t, qq.Patterns[2], store.PSO)
+	sD := scan(t, qq.Patterns[3], store.PSO)
+
+	mj, _ := NewJoin(MergeJoin, sA0, sA1, nil)
+	hj1, _ := NewJoin(HashJoin, mj, sB, nil)
+	merge, hash := CountJoins(hj1)
+	if merge != 1 || hash != 1 {
+		t.Errorf("counts = %d/%d, want 1/1", merge, hash)
+	}
+	if PlanShape(hj1) != LeftDeep {
+		t.Errorf("shape = %v, want LD", PlanShape(hj1))
+	}
+
+	// Right child a join => bushy.
+	right, _ := NewJoin(HashJoin, sB, sD, nil)
+	bushy, _ := NewJoin(HashJoin, mj, right, nil)
+	if PlanShape(bushy) != Bushy {
+		t.Errorf("shape = %v, want B", PlanShape(bushy))
+	}
+	if LeftDeep.String() != "LD" || Bushy.String() != "B" {
+		t.Error("Shape.String wrong")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c }`)
+	s0 := scan(t, qq.Patterns[0], store.PSO)
+	s1 := scan(t, qq.Patterns[1], store.PSO)
+	mj, _ := NewJoin(MergeJoin, s0, s1, nil)
+	p := &Plan{Root: mj, Query: qq, Planner: "test"}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// A plan missing a pattern must fail.
+	bad := &Plan{Root: s0, Query: qq}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted incomplete plan")
+	}
+	// A plan scanning a pattern twice must fail.
+	dup, _ := NewJoin(MergeJoin, s0, scan(t, qq.Patterns[0], store.PSO), []sparql.Var{"a"})
+	bad2 := &Plan{Root: dup, Query: qq}
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted duplicate scan")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c }`)
+	s0 := scan(t, qq.Patterns[0], store.PSO)
+	s1 := scan(t, qq.Patterns[1], store.PSO)
+	mj, _ := NewJoin(MergeJoin, s0, s1, nil)
+	proj := &Project{In: mj, Cols: []sparql.Var{"a"}}
+	out := Explain(proj, Cardinalities{mj: 1234567, s0: 10})
+	for _, want := range []string{"π ?a", "⋈mj ?a", "(1.234.567)", "[tp0]", "(10)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilterAndProjectTransparency(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c FILTER (?b != "x") }`)
+	s0 := scan(t, qq.Patterns[0], store.PSO)
+	f := &Filter{In: s0, F: qq.Filters[0]}
+	if f.SortedVar() != "a" {
+		t.Errorf("filter should preserve order, got %q", f.SortedVar())
+	}
+	s1 := scan(t, qq.Patterns[1], store.PSO)
+	mj, _ := NewJoin(MergeJoin, f, s1, nil) // filter is transparent for sortedness
+	if mj.SortedVar() != "a" {
+		t.Error("merge join over filtered input lost order")
+	}
+	pr := &Project{In: mj, Cols: []sparql.Var{"c"}}
+	if pr.SortedVar() != "" {
+		t.Error("projection dropping the sort column must clear sortedness")
+	}
+	pr2 := &Project{In: mj, Cols: []sparql.Var{"a"}}
+	if pr2.SortedVar() != "a" {
+		t.Error("projection keeping the sort column must keep sortedness")
+	}
+}
+
+func TestScansAndJoinsTraversal(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c . ?c <http://r> ?d }`)
+	s0 := scan(t, qq.Patterns[0], store.PSO)
+	s1 := scan(t, qq.Patterns[1], store.PSO)
+	s2 := scan(t, qq.Patterns[2], store.PSO)
+	mj, _ := NewJoin(MergeJoin, s0, s1, nil)
+	hj, _ := NewJoin(HashJoin, mj, s2, nil)
+	if got := Scans(hj); len(got) != 3 {
+		t.Errorf("Scans = %d, want 3", len(got))
+	}
+	js := Joins(hj)
+	if len(js) != 2 || js[0] != mj || js[1] != hj {
+		t.Errorf("Joins order wrong: %v", js)
+	}
+}

@@ -1,0 +1,81 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func TestLeftJoinNode(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . OPTIONAL { ?a <http://q> ?c } }`)
+	required := scan(t, qq.Patterns[0], store.PSO)
+	group := scan(t, qq.Optionals[0].Patterns[0], store.PSO)
+	lj := NewLeftJoin(required, group)
+
+	if got := lj.On; len(got) != 1 || got[0] != "a" {
+		t.Errorf("On = %v, want [a]", got)
+	}
+	if got := lj.Vars(); len(got) != 3 {
+		t.Errorf("Vars = %v", got)
+	}
+	if lj.SortedVar() != "a" {
+		t.Errorf("SortedVar = %q (left order must be preserved)", lj.SortedVar())
+	}
+	if !strings.Contains(lj.Label(), "optional") {
+		t.Errorf("Label = %q", lj.Label())
+	}
+	if len(lj.Children()) != 2 {
+		t.Error("Children wrong")
+	}
+}
+
+func TestLeftJoinNotCountedAsJoin(t *testing.T) {
+	// Table 4 counts the paper's merge/hash joins; the OPTIONAL operator
+	// is an extension and stays out of those counts.
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://r> ?d . OPTIONAL { ?a <http://q> ?c } }`)
+	s0 := scan(t, qq.Patterns[0], store.PSO)
+	s1 := scan(t, qq.Patterns[1], store.PSO)
+	mj, err := NewJoin(MergeJoin, s0, s1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj := NewLeftJoin(mj, scan(t, qq.Optionals[0].Patterns[0], store.PSO))
+	m, h := CountJoins(lj)
+	if m != 1 || h != 0 {
+		t.Errorf("counts = %d/%d, want 1/0", m, h)
+	}
+	if PlanShape(lj) != LeftDeep {
+		t.Errorf("shape = %v", PlanShape(lj))
+	}
+}
+
+func TestPlanValidateWithOptionals(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . OPTIONAL { ?a <http://q> ?c } }`)
+	required := scan(t, qq.Patterns[0], store.PSO)
+	group := scan(t, qq.Optionals[0].Patterns[0], store.PSO)
+	lj := NewLeftJoin(required, group)
+	plan := &Plan{Root: &Project{In: lj, Cols: qq.ProjectedVars()}, Query: qq, Planner: "test"}
+	if err := plan.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// A plan missing the optional scan must fail.
+	bad := &Plan{Root: &Project{In: required, Cols: qq.ProjectedVars()}, Query: qq}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a plan missing the optional pattern")
+	}
+}
+
+func TestLeftJoinSharedVarsEmpty(t *testing.T) {
+	qq := q(t, `SELECT ?a { ?a <http://p> ?b . OPTIONAL { ?x <http://q> ?y } }`)
+	lj := NewLeftJoin(
+		scan(t, qq.Patterns[0], store.PSO),
+		scan(t, qq.Optionals[0].Patterns[0], store.PSO),
+	)
+	if len(lj.On) != 0 {
+		t.Errorf("On = %v, want empty (disconnected optional)", lj.On)
+	}
+}
+
+var _ = sparql.Var("") // keep the import when helpers move

@@ -1,0 +1,228 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func makeEntries(width int, keys [][3]uint64, payloads []uint64) []Entry {
+	es := make([]Entry, len(keys))
+	for i, k := range keys {
+		es[i] = Entry{Key: k}
+		if payloads != nil {
+			es[i].Payload = payloads[i]
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return compareKeys(width, es[i].Key, es[j].Key) < 0 })
+	// remove duplicates
+	w := 0
+	for i := range es {
+		if i == 0 || compareKeys(width, es[i].Key, es[w-1].Key) != 0 {
+			es[w] = es[i]
+			w++
+		}
+	}
+	return es[:w]
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Width: 0}, nil); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := Build(Config{Width: 4}, nil); err == nil {
+		t.Error("width 4 accepted")
+	}
+	unsorted := []Entry{{Key: Key{2}}, {Key: Key{1}}}
+	if _, err := Build(Config{Width: 1}, unsorted); err == nil {
+		t.Error("unsorted entries accepted")
+	}
+	dup := []Entry{{Key: Key{1}}, {Key: Key{1}}}
+	if _, err := Build(Config{Width: 1}, dup); err == nil {
+		t.Error("duplicate entries accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := Build(Config{Width: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.NumLeaves() != 0 {
+		t.Errorf("empty tree: Len=%d leaves=%d", tr.Len(), tr.NumLeaves())
+	}
+	if _, ok := tr.Seek(nil).Next(); ok {
+		t.Error("Seek on empty tree yielded an entry")
+	}
+	if tr.Count([]uint64{1}) != 0 {
+		t.Error("Count on empty tree != 0")
+	}
+}
+
+func TestScanAll(t *testing.T) {
+	es := makeEntries(3, [][3]uint64{
+		{1, 1, 1}, {1, 1, 5}, {1, 2, 1}, {2, 1, 1}, {2, 1, 2}, {7, 7, 7},
+	}, nil)
+	tr, err := Build(Config{Width: 3, PageSize: 8}, es) // tiny pages force multiple leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() < 2 {
+		t.Fatalf("expected multiple leaves, got %d", tr.NumLeaves())
+	}
+	var got []Key
+	sc := tr.Scan(nil)
+	for {
+		e, ok := sc.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e.Key)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("scanned %d entries, want %d", len(got), len(es))
+	}
+	for i := range got {
+		if got[i] != es[i].Key {
+			t.Errorf("entry %d = %v, want %v", i, got[i], es[i].Key)
+		}
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	es := makeEntries(3, [][3]uint64{
+		{1, 1, 1}, {1, 1, 5}, {1, 2, 1}, {2, 1, 1}, {2, 1, 2}, {2, 3, 9},
+	}, nil)
+	tr, err := Build(Config{Width: 3, PageSize: 32}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		prefix []uint64
+		want   int
+	}{
+		{nil, 6}, {[]uint64{1}, 3}, {[]uint64{2}, 3}, {[]uint64{2, 1}, 2},
+		{[]uint64{1, 1, 5}, 1}, {[]uint64{3}, 0}, {[]uint64{0}, 0}, {[]uint64{2, 2}, 0},
+	}
+	for _, tt := range tests {
+		if got := tr.Count(tt.prefix); got != tt.want {
+			t.Errorf("Count(%v) = %d, want %d", tt.prefix, got, tt.want)
+		}
+	}
+}
+
+func TestPayloadLookup(t *testing.T) {
+	keys := [][3]uint64{{1, 2}, {1, 3}, {4, 1}, {9, 9}}
+	payloads := []uint64{10, 20, 30, 1 << 40}
+	es := makeEntries(2, keys, payloads)
+	tr, err := Build(Config{Width: 2, Payload: true, PageSize: 24}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		got, ok := tr.Lookup(k[:2])
+		if !ok || got != payloads[i] {
+			t.Errorf("Lookup(%v) = (%d,%v), want (%d,true)", k[:2], got, ok, payloads[i])
+		}
+	}
+	if _, ok := tr.Lookup([]uint64{1, 4}); ok {
+		t.Error("Lookup of absent key succeeded")
+	}
+	if _, ok := tr.Lookup([]uint64{1}); ok {
+		t.Error("Lookup with wrong width succeeded")
+	}
+}
+
+func TestCompressionIsCompact(t *testing.T) {
+	// Sequential keys should compress to only a few bytes per entry.
+	var es []Entry
+	for i := uint64(0); i < 10000; i++ {
+		es = append(es, Entry{Key: Key{5, i / 100, i}})
+	}
+	tr, err := Build(Config{Width: 3}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEntry := float64(tr.Bytes()) / float64(tr.Len())
+	if perEntry > 5 {
+		t.Errorf("compression too weak: %.1f bytes/entry", perEntry)
+	}
+}
+
+// TestScanEquivalence: property — tree scans with arbitrary prefixes agree
+// with filtering the sorted slice, for every key width, with and without
+// payloads, across page sizes.
+func TestScanEquivalence(t *testing.T) {
+	f := func(seed int64, rawWidth, rawPage uint8, p1, p2 uint8) bool {
+		width := int(rawWidth%3) + 1
+		pageSize := []int{16, 64, 256, DefaultPageSize}[rawPage%4]
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		keys := make([][3]uint64, n)
+		payloads := make([]uint64, n)
+		for i := range keys {
+			for w := 0; w < width; w++ {
+				keys[i][w] = uint64(rng.Intn(12) + 1)
+			}
+			payloads[i] = uint64(rng.Intn(1000))
+		}
+		es := makeEntries(width, keys, payloads)
+		tr, err := Build(Config{Width: width, Payload: true, PageSize: pageSize}, es)
+		if err != nil {
+			return false
+		}
+		for plen := 0; plen <= width; plen++ {
+			prefix := []uint64{uint64(p1%12 + 1), uint64(p2%12 + 1), 3}[:plen]
+			var want []Entry
+			for _, e := range es {
+				match := true
+				for i := 0; i < plen; i++ {
+					if e.Key[i] != prefix[i] {
+						match = false
+						break
+					}
+				}
+				if match {
+					want = append(want, e)
+				}
+			}
+			sc := tr.Scan(prefix)
+			for _, w := range want {
+				e, ok := sc.Next()
+				if !ok || e != w {
+					return false
+				}
+			}
+			if _, ok := sc.Next(); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekMidLeaf(t *testing.T) {
+	// Seek to a key that is not a fence key, forcing decompression from
+	// the start of a leaf.
+	var es []Entry
+	for i := uint64(1); i <= 100; i++ {
+		es = append(es, Entry{Key: Key{i}})
+	}
+	tr, err := Build(Config{Width: 1, PageSize: 64}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := tr.Seek([]uint64{57})
+	e, ok := it.Next()
+	if !ok || e.Key[0] != 57 {
+		t.Errorf("Seek(57).Next() = %v,%v", e, ok)
+	}
+	e, ok = it.Next()
+	if !ok || e.Key[0] != 58 {
+		t.Errorf("second Next() = %v,%v", e, ok)
+	}
+}

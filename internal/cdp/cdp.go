@@ -1,0 +1,477 @@
+// Package cdp reimplements the baseline the paper evaluates HSP
+// against: RDF-3X's cost-based dynamic-programming planner (Section 2,
+// [22]). Plans are enumerated bottom-up over connected subqueries with
+// interesting orders (the variable an intermediate result is sorted on),
+// costed with the published formulas of package cost, and fed by the
+// exact selection statistics plus independence-assumption join
+// estimates of package stats.
+//
+// Like the original, CDP refuses queries whose join graph is
+// disconnected ("CDP recognizes the existence of the cross product at
+// query compile time, and hence it does not produce any plan"), prefers
+// the aggregated indexes when a pattern carries an unused variable, and
+// produces bushy plans that maximise merge joins.
+package cdp
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/cost"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+)
+
+// ErrCrossProduct is returned for queries requiring a Cartesian product.
+var ErrCrossProduct = errors.New("cdp: query contains a cross product; no plan produced")
+
+// Options configures the planner.
+type Options struct {
+	// AllowCrossProducts plans disconnected queries by cross-joining
+	// their connected components instead of returning ErrCrossProduct.
+	AllowCrossProducts bool
+	// UseAggregatedIndexes marks scans over patterns with an unused
+	// trailing variable as aggregated-index scans (RDF-3X's preference,
+	// observed by the paper for SP3, SP6 and Y3). Enable only when the
+	// executing substrate implements exec.AggregatedSource.
+	UseAggregatedIndexes bool
+	// MaxDPPatterns bounds exact enumeration; larger queries fall back
+	// to a greedy left-deep strategy. Defaults to 14.
+	MaxDPPatterns int
+}
+
+// Planner is the cost-based dynamic-programming planner.
+type Planner struct {
+	est  *stats.Estimator
+	opts Options
+}
+
+// New returns a CDP planner reading statistics from est.
+func New(est *stats.Estimator, opts Options) *Planner {
+	if opts.MaxDPPatterns == 0 {
+		opts.MaxDPPatterns = 14
+	}
+	return &Planner{est: est, opts: opts}
+}
+
+// cand is one Pareto entry of the DP table: the cheapest plan for a
+// pattern subset with a particular physical order.
+type cand struct {
+	node algebra.Node
+	cost float64
+	rel  stats.Rel
+	// rightJoins counts join operators in right subtrees, the left-deep
+	// tie-breaker: RDF-3X's enumeration grows plans left-deep when costs
+	// tie (Table 4 reports LD CDP plans for the SP2a/SP2b stars).
+	rightJoins int
+}
+
+// better reports whether a beats b (nil b loses; ties break on smaller
+// estimated cardinality, then on the more left-deep shape, for
+// determinism).
+func (a *cand) better(b *cand) bool {
+	if b == nil {
+		return true
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.rel.Card != b.rel.Card {
+		return a.rel.Card < b.rel.Card
+	}
+	return a.rightJoins < b.rightJoins
+}
+
+// joinCand assembles a join candidate, accumulating the left-deep
+// tie-break metric.
+func joinCand(node algebra.Node, right algebra.Node, l, r *cand, c float64, rel stats.Rel) *cand {
+	return &cand{
+		node:       node,
+		cost:       c,
+		rel:        rel,
+		rightJoins: l.rightJoins + r.rightJoins + len(algebra.Joins(right)),
+	}
+}
+
+// Plan runs the planner on a query.
+func (p *Planner) Plan(q *sparql.Query) (*algebra.Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.HasCrossProduct() && !p.opts.AllowCrossProducts {
+		return nil, ErrCrossProduct
+	}
+	n := len(q.Patterns)
+	var root algebra.Node
+	var err error
+	if n > p.opts.MaxDPPatterns {
+		root, err = p.greedy(q)
+	} else {
+		root, err = p.dynamic(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pending := append([]sparql.Filter(nil), q.Filters...)
+	root, pending = algebra.ApplyFilters(root, pending)
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("cdp: filters reference unbound variables: %v", pending)
+	}
+	for _, g := range q.Optionals {
+		gn, err := p.planGroupNode(g)
+		if err != nil {
+			return nil, err
+		}
+		root = algebra.NewLeftJoin(root, gn)
+	}
+	plan := &algebra.Plan{
+		Root:    &algebra.Project{In: root, Cols: q.ProjectedVars(), Aliases: q.Aliases},
+		Query:   q,
+		Planner: "CDP",
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("cdp: produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// planGroupNode plans an OPTIONAL group with the same planner and
+// returns its raw (projection-free) operator tree.
+func (p *Planner) planGroupNode(g sparql.Group) (algebra.Node, error) {
+	sub := &sparql.Query{Star: true, Patterns: g.Patterns, Filters: g.Filters, Limit: -1}
+	pl, err := p.Plan(sub)
+	if err != nil {
+		return nil, fmt.Errorf("cdp: OPTIONAL group: %w", err)
+	}
+	if proj, ok := pl.Root.(*algebra.Project); ok {
+		return proj.In, nil
+	}
+	return pl.Root, nil
+}
+
+// baseCands builds the access-path candidates of one pattern: one scan
+// per sortable variable, plus the overall-cheapest under key "".
+func (p *Planner) baseCands(q *sparql.Query, tp sparql.TriplePattern, weights map[sparql.Var]int) (map[sparql.Var]*cand, error) {
+	rel := p.est.PatternRel(tp)
+	out := map[sparql.Var]*cand{}
+	vars := tp.Vars()
+	if len(vars) == 0 {
+		vars = []sparql.Var{""}
+	}
+	for _, v := range vars {
+		scan, err := algebra.NewScan(tp, stats.OrderingFor(tp, v))
+		if err != nil {
+			return nil, err
+		}
+		p.markAggregated(q, scan, weights)
+		// The scan is sorted on its first free position, which is v for
+		// patterns whose constants prefix the ordering.
+		c := &cand{node: scan, cost: 0, rel: rel}
+		if sv := scan.SortedVar(); sv != "" {
+			if c.better(out[sv]) {
+				out[sv] = c
+			}
+		}
+		if c.better(out[""]) {
+			out[""] = c
+		}
+	}
+	return out, nil
+}
+
+// markAggregated applies RDF-3X's aggregated-index preference: when the
+// trailing position of the chosen ordering holds a variable that occurs
+// nowhere else and is not projected, the two-column aggregated index
+// suffices and avoids decompressing full triples.
+func (p *Planner) markAggregated(q *sparql.Query, s *algebra.Scan, weights map[sparql.Var]int) {
+	if !p.opts.UseAggregatedIndexes {
+		return
+	}
+	last := s.TP.Slot(s.Ordering.Perm()[2])
+	if !last.IsVar() {
+		return
+	}
+	v := last.Var
+	if weights[v] == 1 && !q.IsProjected(v) && len(s.TP.Positions(v)) == 1 && !filterUses(q, v) {
+		s.Aggregated = true
+	}
+}
+
+func filterUses(q *sparql.Query, v sparql.Var) bool {
+	for _, f := range q.Filters {
+		if f.Left == v || (f.Right.IsVar() && f.Right.Var == v) {
+			return true
+		}
+	}
+	return false
+}
+
+// dynamic is the exact DP over connected subsets.
+func (p *Planner) dynamic(q *sparql.Query) (algebra.Node, error) {
+	n := len(q.Patterns)
+	weights := q.VarWeight()
+
+	// varMask[v] = bitmask of patterns containing v.
+	varMask := map[sparql.Var]uint64{}
+	for i, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			varMask[v] |= 1 << uint(i)
+		}
+	}
+	sharedBetween := func(a, b uint64) []sparql.Var {
+		var out []sparql.Var
+		for v, m := range varMask {
+			if m&a != 0 && m&b != 0 {
+				out = append(out, v)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	states := make([]map[sparql.Var]*cand, 1<<uint(n))
+	for i, tp := range q.Patterns {
+		cands, err := p.baseCands(q, tp, weights)
+		if err != nil {
+			return nil, err
+		}
+		states[1<<uint(i)] = cands
+	}
+
+	update := func(m map[sparql.Var]*cand, key sparql.Var, c *cand) {
+		if c.better(m[key]) {
+			m[key] = c
+		}
+		if c.better(m[""]) {
+			m[""] = c
+		}
+	}
+
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		if bits.OnesCount64(mask) < 2 {
+			continue
+		}
+		m := map[sparql.Var]*cand{}
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			comp := mask ^ sub
+			if sub > comp {
+				continue // each split once; sides chosen by cardinality
+			}
+			ls, rs := states[sub], states[comp]
+			if ls == nil || rs == nil || ls[""] == nil || rs[""] == nil {
+				continue
+			}
+			shared := sharedBetween(sub, comp)
+			if len(shared) == 0 {
+				continue // no cross products inside connected DP
+			}
+			// Hash join of the cheapest entries; smaller side builds.
+			l, r := ls[""], rs[""]
+			rel := stats.JoinRel(l.rel, r.rel, shared)
+			hc := l.cost + r.cost + cost.Hash(l.rel.Card, r.rel.Card)
+			build, probe := l, r
+			if probe.rel.Card < build.rel.Card {
+				build, probe = probe, build
+			}
+			if hj, err := algebra.NewJoin(algebra.HashJoin, build.node, probe.node, nil); err == nil {
+				update(m, "", joinCand(hj, probe.node, build, probe, hc, rel))
+			}
+			// Merge joins on every shared variable with sorted inputs.
+			for _, v := range shared {
+				sl, sr := ls[v], rs[v]
+				if sl == nil || sr == nil {
+					continue
+				}
+				relM := stats.JoinRel(sl.rel, sr.rel, shared)
+				mc := sl.cost + sr.cost + cost.Merge(sl.rel.Card, sr.rel.Card)
+				a, b := sl, sr
+				if b.rel.Card < a.rel.Card {
+					a, b = b, a
+				}
+				mj, err := algebra.NewJoin(algebra.MergeJoin, a.node, b.node, []sparql.Var{v})
+				if err != nil {
+					continue
+				}
+				update(m, v, joinCand(mj, b.node, a, b, mc, relM))
+			}
+		}
+		if len(m) > 0 {
+			states[mask] = m
+		}
+	}
+
+	full := uint64(1)<<uint(n) - 1
+	if states[full] != nil && states[full][""] != nil {
+		return states[full][""].node, nil
+	}
+
+	// Disconnected query: cross-join the best plans of the connected
+	// components (AllowCrossProducts was already checked).
+	comps := components(q)
+	var node algebra.Node
+	for _, cm := range comps {
+		st := states[cm]
+		if st == nil || st[""] == nil {
+			return nil, fmt.Errorf("cdp: no plan for component %b", cm)
+		}
+		if node == nil {
+			node = st[""].node
+			continue
+		}
+		j, err := algebra.NewJoin(algebra.CrossJoin, node, st[""].node, nil)
+		if err != nil {
+			return nil, err
+		}
+		node = j
+	}
+	if node == nil {
+		return nil, fmt.Errorf("cdp: empty query")
+	}
+	return node, nil
+}
+
+// components returns the bitmasks of the query's connected components.
+func components(q *sparql.Query) []uint64 {
+	n := len(q.Patterns)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := map[sparql.Var]int{}
+	for i, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	masks := map[int]uint64{}
+	var order []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := masks[r]; !ok {
+			order = append(order, r)
+		}
+		masks[r] |= 1 << uint(i)
+	}
+	var out []uint64
+	for _, r := range order {
+		out = append(out, masks[r])
+	}
+	return out
+}
+
+// greedy is the fallback for very large queries: smallest relation
+// first, then repeatedly join the connected pattern minimising the
+// estimated result, merging when orders align.
+func (p *Planner) greedy(q *sparql.Query) (algebra.Node, error) {
+	weights := q.VarWeight()
+	type unit struct {
+		tp  sparql.TriplePattern
+		rel stats.Rel
+	}
+	var units []unit
+	for _, tp := range q.Patterns {
+		units = append(units, unit{tp, p.est.PatternRel(tp)})
+	}
+	sort.SliceStable(units, func(i, j int) bool { return units[i].rel.Card < units[j].rel.Card })
+
+	mkScan := func(tp sparql.TriplePattern, v sparql.Var) (algebra.Node, error) {
+		s, err := algebra.NewScan(tp, stats.OrderingFor(tp, v))
+		if err != nil {
+			return nil, err
+		}
+		p.markAggregated(q, s, weights)
+		return s, nil
+	}
+
+	first, err := mkScan(units[0].tp, "")
+	if err != nil {
+		return nil, err
+	}
+	current, curRel := first, units[0].rel
+	rest := units[1:]
+	for len(rest) > 0 {
+		bestIdx, bestCard := -1, 0
+		for i, u := range rest {
+			sharesVar := false
+			for _, v := range u.tp.Vars() {
+				if _, ok := curRel.Distinct[v]; ok {
+					sharesVar = true
+					break
+				}
+			}
+			if !sharesVar {
+				continue
+			}
+			est := stats.JoinRel(curRel, u.rel, sharedOf(curRel, u.tp)).Card
+			if bestIdx < 0 || est < bestCard {
+				bestIdx, bestCard = i, est
+			}
+		}
+		method := algebra.HashJoin
+		if bestIdx < 0 {
+			bestIdx = 0
+			method = algebra.CrossJoin
+		}
+		u := rest[bestIdx]
+		shared := sharedOf(curRel, u.tp)
+		var right algebra.Node
+		var join *algebra.Join
+		if sv := current.SortedVar(); method == algebra.HashJoin && sv != "" && containsVar(shared, sv) {
+			if right, err = mkScan(u.tp, sv); err != nil {
+				return nil, err
+			}
+			if mj, err := algebra.NewJoin(algebra.MergeJoin, current, right, []sparql.Var{sv}); err == nil {
+				join = mj
+			}
+		}
+		if join == nil {
+			if right, err = mkScan(u.tp, ""); err != nil {
+				return nil, err
+			}
+			j, err := algebra.NewJoin(method, current, right, nil)
+			if err != nil {
+				return nil, err
+			}
+			join = j
+		}
+		current = join
+		curRel = stats.JoinRel(curRel, u.rel, shared)
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+	}
+	return current, nil
+}
+
+func sharedOf(rel stats.Rel, tp sparql.TriplePattern) []sparql.Var {
+	var out []sparql.Var
+	for _, v := range tp.Vars() {
+		if _, ok := rel.Distinct[v]; ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsVar(vs []sparql.Var, v sparql.Var) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package cdp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// yagoDoc is a miniature of the YAGO subgraph used by Y2/Y3: actors
+// living in cities, acting in and directing movies, villages and sites.
+func yagoDoc() string {
+	out := ""
+	typ := "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	for i := 0; i < 20; i++ {
+		out += fmt.Sprintf("<http://y/actor%d> <%s> <http://wn/actor> .\n", i, typ)
+		out += fmt.Sprintf("<http://y/actor%d> <http://y/livesIn> <http://y/city%d> .\n", i, i%5)
+		for m := 0; m < 3; m++ {
+			out += fmt.Sprintf("<http://y/actor%d> <http://y/actedIn> <http://y/movie%d> .\n", i, (i+m)%15)
+		}
+		if i%2 == 0 {
+			out += fmt.Sprintf("<http://y/actor%d> <http://y/directed> <http://y/movie%d> .\n", i, i%15)
+		}
+	}
+	for m := 0; m < 15; m++ {
+		out += fmt.Sprintf("<http://y/movie%d> <%s> <http://wn/movie> .\n", m, typ)
+	}
+	for v := 0; v < 6; v++ {
+		out += fmt.Sprintf("<http://y/village%d> <%s> <http://wn/village> .\n", v, typ)
+		out += fmt.Sprintf("<http://y/village%d> <http://y/locatedIn> <http://y/region%d> .\n", v, v%2)
+		out += fmt.Sprintf("<http://y/p%d> <http://y/bornIn> <http://y/village%d> .\n", v, v)
+	}
+	for s := 0; s < 4; s++ {
+		out += fmt.Sprintf("<http://y/site%d> <%s> <http://wn/site> .\n", s, typ)
+		out += fmt.Sprintf("<http://y/site%d> <http://y/locatedIn> <http://y/region%d> .\n", s, s%2)
+		out += fmt.Sprintf("<http://y/p%d> <http://y/visited> <http://y/site%d> .\n", s, s)
+	}
+	return out
+}
+
+func buildStore(t testing.TB, doc string) *store.Store {
+	t.Helper()
+	ts, err := rdf.ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := store.NewBuilder(nil)
+	for _, tr := range ts {
+		b.Add(tr)
+	}
+	return b.Build()
+}
+
+const prefixes = `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX y:   <http://y/>
+PREFIX wn:  <http://wn/>
+`
+
+const y2src = prefixes + `
+SELECT ?a
+WHERE {?a rdf:type wn:actor .
+       ?a y:livesIn ?city .
+       ?a y:actedIn ?m1 .
+       ?m1 rdf:type wn:movie .
+       ?a y:directed ?m2 .
+       ?m2 rdf:type wn:movie . }`
+
+// TestY2SameJoinCountsAsHSP reproduces the central Table 4 finding: for
+// every workload query "HSP produces plans with the same number of
+// merge and hash joins as the ones produced by CDP".
+func TestY2SameJoinCountsAsHSP(t *testing.T) {
+	st := buildStore(t, yagoDoc())
+	q := sparql.MustParse(y2src)
+	cp, err := New(stats.New(st), Options{}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, hh := 3, 2 // Table 4, column Y2
+	cm, ch := algebra.CountJoins(cp.Root)
+	if cm != hm || ch != hh {
+		t.Errorf("CDP joins = %d merge / %d hash, want %d/%d\n%s",
+			cm, ch, hm, hh, algebra.Explain(cp.Root, nil))
+	}
+	if algebra.PlanShape(cp.Root) != algebra.Bushy {
+		t.Errorf("CDP Y2 plan should be bushy (Figure 3b):\n%s", algebra.Explain(cp.Root, nil))
+	}
+}
+
+func TestY3SameJoinCountsAsHSP(t *testing.T) {
+	st := buildStore(t, yagoDoc())
+	q := sparql.MustParse(prefixes + `
+		SELECT ?p
+		WHERE {?p ?ss ?c1 .
+		       ?p ?dd ?c2 .
+		       ?c1 rdf:type wn:village .
+		       ?c1 y:locatedIn ?X .
+		       ?c2 rdf:type wn:site .
+		       ?c2 y:locatedIn ?Y . }`)
+	cp, err := New(stats.New(st), Options{}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, ch := algebra.CountJoins(cp.Root)
+	if cm != 4 || ch != 1 {
+		t.Errorf("CDP Y3 joins = %d/%d, want 4 merge / 1 hash\n%s",
+			cm, ch, algebra.Explain(cp.Root, nil))
+	}
+}
+
+func TestCrossProductRejected(t *testing.T) {
+	st := buildStore(t, yagoDoc())
+	q := sparql.MustParse(prefixes + `
+		SELECT ?a ?v {
+			?a rdf:type wn:actor .
+			?v rdf:type wn:village .
+		}`)
+	_, err := New(stats.New(st), Options{}).Plan(q)
+	if !errors.Is(err, ErrCrossProduct) {
+		t.Errorf("err = %v, want ErrCrossProduct", err)
+	}
+	// With AllowCrossProducts the components are cross-joined.
+	p, err := New(stats.New(st), Options{AllowCrossProducts: true}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := algebra.Joins(p.Root)
+	if len(joins) != 1 || joins[0].Method != algebra.CrossJoin {
+		t.Errorf("joins = %v", joins)
+	}
+}
+
+func TestAggregatedIndexPreference(t *testing.T) {
+	st := buildStore(t, yagoDoc())
+	// SP3-shaped: ?value is unused (weight 1, not projected): RDF-3X
+	// prefers the aggregated index for that scan.
+	q := sparql.MustParse(prefixes + `
+		SELECT ?a {
+			?a rdf:type wn:actor .
+			?a y:livesIn ?value .
+		}`)
+	p, err := New(stats.New(st), Options{UseAggregatedIndexes: true}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aggregated int
+	for _, s := range algebra.Scans(p.Root) {
+		if s.Aggregated {
+			aggregated++
+			if s.TP.ID != 1 {
+				t.Errorf("wrong scan aggregated: tp%d", s.TP.ID)
+			}
+		}
+	}
+	if aggregated != 1 {
+		t.Errorf("aggregated scans = %d, want 1\n%s", aggregated, algebra.Explain(p.Root, nil))
+	}
+	// Without the option no scan is aggregated.
+	p2, err := New(stats.New(st), Options{}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range algebra.Scans(p2.Root) {
+		if s.Aggregated {
+			t.Error("aggregated scan without UseAggregatedIndexes")
+		}
+	}
+}
+
+func TestProjectedVarNotAggregated(t *testing.T) {
+	st := buildStore(t, yagoDoc())
+	q := sparql.MustParse(prefixes + `SELECT ?a ?value { ?a y:livesIn ?value }`)
+	p, err := New(stats.New(st), Options{UseAggregatedIndexes: true}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range algebra.Scans(p.Root) {
+		if s.Aggregated {
+			t.Error("projected variable must not be dropped by an aggregated scan")
+		}
+	}
+}
+
+func TestGreedyFallback(t *testing.T) {
+	st := buildStore(t, yagoDoc())
+	q := sparql.MustParse(y2src)
+	p, err := New(stats.New(st), Options{MaxDPPatterns: 2}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The greedy plan must produce the same results as the DP plan.
+	eng := exec.New(exec.ColumnSource{St: st})
+	rg, err := eng.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := New(stats.New(st), Options{}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := eng.Execute(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.String() != rd.String() {
+		t.Errorf("greedy and DP plans disagree:\n%s\nvs\n%s", rg, rd)
+	}
+}
+
+// TestCDPAgreesWithHSP: property — on random data and random join
+// queries, CDP and HSP plans produce identical result multisets, and
+// the CDP plan's estimated cost never exceeds the HSP plan's cost under
+// the same estimator (DP optimality).
+func TestCDPAgreesWithHSP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := store.NewBuilder(nil)
+		ents := 14
+		for i := 0; i < 160; i++ {
+			s := fmt.Sprintf("http://e/%d", rng.Intn(ents))
+			switch rng.Intn(3) {
+			case 0:
+				b.Add(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(sparql.RDFType),
+					O: rdf.NewIRI(fmt.Sprintf("http://t/T%d", rng.Intn(2)))})
+			default:
+				b.Add(rdf.Triple{S: rdf.NewIRI(s),
+					P: rdf.NewIRI(fmt.Sprintf("http://p/%c", 'a'+rune(rng.Intn(3)))),
+					O: rdf.NewIRI(fmt.Sprintf("http://e/%d", rng.Intn(ents)))})
+			}
+		}
+		st := b.Build()
+		eng := exec.New(exec.ColumnSource{St: st})
+		for k := 0; k < 3; k++ {
+			src := randomQuery(rng)
+			q, err := sparql.Parse(src)
+			if err != nil || q.HasCrossProduct() {
+				continue
+			}
+			cp, err := New(stats.New(st), Options{}).Plan(q)
+			if err != nil {
+				t.Logf("cdp error on %s: %v", src, err)
+				return false
+			}
+			hp, err := core.NewPlanner().Plan(q)
+			if err != nil {
+				return false
+			}
+			rc, err := eng.Execute(cp)
+			if err != nil {
+				t.Logf("cdp exec error on %s: %v\n%s", src, err, algebra.Explain(cp.Root, nil))
+				return false
+			}
+			rh, err := eng.Execute(hp)
+			if err != nil {
+				return false
+			}
+			if rc.String() != rh.String() {
+				t.Logf("CDP and HSP disagree on %s", src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomQuery(rng *rand.Rand) string {
+	var b []byte
+	b = append(b, "SELECT * {\n"...)
+	n := rng.Intn(4) + 1
+	vars := []string{"v0"}
+	for i := 0; i < n; i++ {
+		subj := "?" + vars[rng.Intn(len(vars))]
+		pred := []string{"<http://p/a>", "<http://p/b>", "<http://p/c>",
+			"<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"}[rng.Intn(4)]
+		nv := fmt.Sprintf("v%d", len(vars))
+		var obj string
+		switch rng.Intn(3) {
+		case 0:
+			obj = fmt.Sprintf("<http://e/%d>", rng.Intn(14))
+		case 1:
+			obj = "?" + nv
+			vars = append(vars, nv)
+		default:
+			obj = "?" + vars[rng.Intn(len(vars))]
+		}
+		b = append(b, fmt.Sprintf("  %s %s %s .\n", subj, pred, obj)...)
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+func TestMergeJoinsDominate(t *testing.T) {
+	// A pure star query must be planned with merge joins only — the cost
+	// model makes hash joins 300k times more expensive at small scale.
+	st := buildStore(t, yagoDoc())
+	q := sparql.MustParse(prefixes + `
+		SELECT ?a {
+			?a rdf:type wn:actor .
+			?a y:livesIn ?c .
+			?a y:actedIn ?m .
+		}`)
+	p, err := New(stats.New(st), Options{}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge, hash := algebra.CountJoins(p.Root)
+	if merge != 2 || hash != 0 {
+		t.Errorf("star query joins = %d/%d, want 2 merge, 0 hash\n%s",
+			merge, hash, algebra.Explain(p.Root, nil))
+	}
+}

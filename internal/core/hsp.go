@@ -1,0 +1,471 @@
+// Package core implements the paper's primary contribution: the
+// Heuristic SPARQL Planner (HSP, Section 5). HSP chooses an execution
+// plan for a SPARQL join query using only the syntactic and structural
+// form of the query — no statistics:
+//
+//  1. FILTER conditions are rewritten into triple patterns where
+//     possible (Section 6.2.1).
+//  2. The variable graph is built and all maximum-weight independent
+//     sets are computed; HEURISTICS 3, 4, 2 and 5 break ties among them
+//     (Algorithm 1). Each chosen variable becomes a block of merge
+//     joins; covered patterns are removed and the process repeats.
+//  3. Every triple pattern is assigned one of the six ordered relations
+//     by AssignOrderedRelation (Algorithm 2), putting constants first
+//     and the merge variable next so the scan emits it sorted.
+//  4. Merge-join blocks are chained (most selective pattern first, per
+//     HEURISTICS 1, 3, 4) and the blocks plus leftover selections are
+//     combined with hash joins into a bushy plan.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/heuristics"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+	"github.com/sparql-hsp/hsp/internal/vargraph"
+)
+
+// Planner is the heuristic SPARQL planner. The zero value is not valid;
+// use NewPlanner.
+type Planner struct {
+	opts Options
+}
+
+// Options configures planner variants; the defaults reproduce the paper.
+type Options struct {
+	// Heuristics toggles individual heuristic variants (rdf:type
+	// exception of H1).
+	Heuristics heuristics.Options
+	// DisableFilterRewrite keeps FILTERs as post-join predicates instead
+	// of folding them into triple patterns (how the paper describes CDP's
+	// behaviour; HSP's default is to rewrite).
+	DisableFilterRewrite bool
+	// ForceLeftDeep chains all units left-deep instead of allowing bushy
+	// combination. Used by the ablation study; the paper's HSP is bushy.
+	ForceLeftDeep bool
+	// NaiveBlockOrder chains merge-block scans in pattern order instead
+	// of H1 selectivity order. Used by the ablation study.
+	NaiveBlockOrder bool
+	// TieBreakers selects which set-level heuristics break MWIS ties and
+	// in which order. Nil means the paper's order: H3, H4, H2, H5.
+	TieBreakers []TieBreaker
+	// Stats enables the hybrid optimization strategy the paper's
+	// conclusion proposes: the variable graph and heuristics still
+	// decide *what* is merge-joined, but exact selection counts order
+	// the scans within each block and the hash joins between blocks —
+	// addressing the "large star joins for which our heuristics fail to
+	// produce near to optimal plans" (Section 7).
+	Stats *stats.Estimator
+}
+
+// NewPlanner returns a planner with the paper's default configuration.
+func NewPlanner() *Planner { return NewPlannerWith(Options{}) }
+
+// NewPlannerWith returns a planner with explicit options.
+func NewPlannerWith(o Options) *Planner {
+	if o.TieBreakers == nil {
+		o.TieBreakers = []TieBreaker{H3Sets, H4Sets, H2Sets, H5Sets}
+	}
+	if o.Heuristics == (heuristics.Options{}) {
+		o.Heuristics = heuristics.Default
+	}
+	return &Planner{opts: o}
+}
+
+// Result carries the plan plus the planner's intermediate decisions,
+// used by explain output and the experiment harness.
+type Result struct {
+	Plan *algebra.Plan
+	// Rewritten is the query after filter rewriting; the plan's scans
+	// reference its patterns.
+	Rewritten *sparql.Query
+	// RewriteNotes describes each applied filter rewrite.
+	RewriteNotes []string
+	// Rounds holds the independent set chosen in each iteration of
+	// Algorithm 1, in order.
+	Rounds [][]sparql.Var
+	// Graphs holds the rendered variable graph of each round (Figure 1
+	// style), for explain output.
+	Graphs []string
+	// Candidates holds, per round, the number of maximum-weight
+	// independent sets the tie-breaking heuristics chose among.
+	Candidates []int
+	// Assignments maps pattern ID to its access path decision.
+	Assignments map[int]Assignment
+}
+
+// Assignment is the output of AssignOrderedRelation for one pattern.
+type Assignment struct {
+	Ordering store.Ordering
+	// MergeVar is the sorted variable used for a merge join, or "" when
+	// the pattern is evaluated as a plain selection/scan.
+	MergeVar sparql.Var
+	// Round is the Algorithm 1 iteration that chose MergeVar (-1 for
+	// selections).
+	Round int
+}
+
+// Plan runs HSP on a query.
+func (p *Planner) Plan(q *sparql.Query) (*algebra.Plan, error) {
+	r, err := p.PlanDetailed(q)
+	if err != nil {
+		return nil, err
+	}
+	return r.Plan, nil
+}
+
+// PlanDetailed runs HSP and returns the plan with full decision detail.
+func (p *Planner) PlanDetailed(q *sparql.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Assignments: map[int]Assignment{}}
+
+	work := q
+	if !p.opts.DisableFilterRewrite {
+		work, res.RewriteNotes = sparql.RewriteFilters(q)
+	} else {
+		work = q.Clone()
+	}
+	res.Rewritten = work
+
+	// --- Algorithm 1: choose merge variables round by round. ---
+	remaining := append([]sparql.TriplePattern(nil), work.Patterns...)
+	for round := 0; len(remaining) > 0; round++ {
+		g, err := vargraph.New(remaining)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if g.NumNodes() == 0 {
+			break // no join variables left; leftovers become selections
+		}
+		sets := g.MaxWeightIndependentSets()
+		if len(sets) == 0 {
+			break
+		}
+		res.Graphs = append(res.Graphs, g.String())
+		res.Candidates = append(res.Candidates, len(sets))
+		chosen := p.chooseSet(work, remaining, sets)
+		res.Rounds = append(res.Rounds, chosen)
+
+		inSet := map[sparql.Var]bool{}
+		for _, v := range chosen {
+			inSet[v] = true
+		}
+		var rest []sparql.TriplePattern
+		for _, tp := range remaining {
+			covered := false
+			for _, v := range tp.Vars() {
+				if inSet[v] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				rest = append(rest, tp)
+			}
+		}
+		remaining = rest
+	}
+
+	// --- Algorithm 2: assign ordered relations. ---
+	for round, set := range res.Rounds {
+		for _, c := range set {
+			for _, tp := range work.Patterns {
+				if _, done := res.Assignments[tp.ID]; done || !tp.HasVar(c) {
+					continue
+				}
+				res.Assignments[tp.ID] = Assignment{
+					Ordering: mergeOrdering(tp, c),
+					MergeVar: c,
+					Round:    round,
+				}
+			}
+		}
+	}
+	for _, tp := range work.Patterns {
+		if _, done := res.Assignments[tp.ID]; !done {
+			res.Assignments[tp.ID] = Assignment{
+				Ordering: heuristics.SelectOrdering(tp),
+				Round:    -1,
+			}
+		}
+	}
+
+	root, err := p.buildTree(work, res)
+	if err != nil {
+		return nil, err
+	}
+
+	// OPTIONAL groups (the paper's Section 7 extension): each group is
+	// planned by the same algorithm and left-outer-joined in order.
+	for _, g := range work.Optionals {
+		gn, err := p.planGroupNode(g)
+		if err != nil {
+			return nil, err
+		}
+		root = algebra.NewLeftJoin(root, gn)
+	}
+
+	name := "HSP"
+	if p.opts.Stats != nil {
+		name = "HSP-hybrid"
+	}
+	res.Plan = &algebra.Plan{
+		Root:    &algebra.Project{In: root, Cols: work.ProjectedVars(), Aliases: work.Aliases},
+		Query:   work,
+		Planner: name,
+	}
+	if err := res.Plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: produced invalid plan: %w", err)
+	}
+	return res, nil
+}
+
+// planGroupNode plans an OPTIONAL group with the same planner and
+// returns its raw (projection-free) operator tree.
+func (p *Planner) planGroupNode(g sparql.Group) (algebra.Node, error) {
+	sub := &sparql.Query{Star: true, Patterns: g.Patterns, Filters: g.Filters, Limit: -1}
+	res, err := p.PlanDetailed(sub)
+	if err != nil {
+		return nil, fmt.Errorf("core: OPTIONAL group: %w", err)
+	}
+	if proj, ok := res.Plan.Root.(*algebra.Project); ok {
+		return proj.In, nil
+	}
+	return res.Plan.Root, nil
+}
+
+// mergeOrdering implements Algorithm 2 for a pattern participating in a
+// merge join on v: constants first, then v, then the remaining
+// variables. Constants are ordered subject, object, predicate — the
+// order the paper's figures use (e.g. OPS, not POS, for rdf:type
+// selections), reflecting H1's "objects are more selective than
+// subjects, and subjects more selective than properties" reading with
+// the most selective bound positions leading the composite key.
+func mergeOrdering(tp sparql.TriplePattern, v sparql.Var) store.Ordering {
+	var consts, vars []store.Pos
+	vpos := store.Pos(255)
+	for _, pos := range []store.Pos{store.S, store.O, store.P} {
+		n := tp.Slot(pos)
+		switch {
+		case !n.IsVar():
+			consts = append(consts, pos)
+		case n.Var == v && vpos == 255:
+			vpos = pos
+		default:
+			vars = append(vars, pos)
+		}
+	}
+	seq := append(append(append([]store.Pos{}, consts...), vpos), vars...)
+	return store.MustOrderingFor(seq[0], seq[1], seq[2])
+}
+
+// buildTree assembles the bushy plan: merge-join blocks in round order,
+// then leftover selections, combined with hash joins.
+func (p *Planner) buildTree(q *sparql.Query, res *Result) (algebra.Node, error) {
+	byID := map[int]sparql.TriplePattern{}
+	for _, tp := range q.Patterns {
+		byID[tp.ID] = tp
+	}
+
+	// Group pattern IDs by (round, merge variable).
+	type blockKey struct {
+		round int
+		v     sparql.Var
+	}
+	blocks := map[blockKey][]sparql.TriplePattern{}
+	var leftovers []sparql.TriplePattern
+	for _, tp := range q.Patterns {
+		a := res.Assignments[tp.ID]
+		if a.MergeVar == "" {
+			leftovers = append(leftovers, tp)
+			continue
+		}
+		k := blockKey{a.Round, a.MergeVar}
+		blocks[k] = append(blocks[k], tp)
+	}
+
+	// Units in deterministic order: blocks by round then variable, then
+	// leftover selections by H1 selectivity.
+	var units []algebra.Node
+	for round, set := range res.Rounds {
+		for _, v := range set {
+			tps := blocks[blockKey{round, v}]
+			if len(tps) == 0 {
+				continue
+			}
+			b, err := p.buildBlock(q, res, v, tps)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, b)
+		}
+	}
+	sort.SliceStable(leftovers, func(i, j int) bool {
+		ri, rj := p.opts.Heuristics.H1Rank(leftovers[i]), p.opts.Heuristics.H1Rank(leftovers[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return leftovers[i].ID < leftovers[j].ID
+	})
+	for _, tp := range leftovers {
+		s, err := algebra.NewScan(tp, res.Assignments[tp.ID].Ordering)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, s)
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("core: query produced no plan units")
+	}
+
+	if p.opts.ForceLeftDeep {
+		units = flattenToScans(units)
+	}
+
+	pending := append([]sparql.Filter(nil), q.Filters...)
+	for i, u := range units {
+		units[i], pending = algebra.ApplyFilters(u, pending)
+	}
+
+	// Combine with hash joins, preferring connected units; fall back to
+	// cross joins only when the query itself is disconnected. In hybrid
+	// mode the estimator picks the connected unit minimising the join
+	// result instead of the first one in heuristic order.
+	current := units[0]
+	rest := units[1:]
+	for len(rest) > 0 {
+		pick := -1
+		if p.opts.Stats != nil {
+			bestCard := 0
+			for i, u := range rest {
+				shared := algebra.SharedVars(current, u)
+				if len(shared) == 0 {
+					continue
+				}
+				est := stats.JoinRel(foldRel(p.opts.Stats, current), foldRel(p.opts.Stats, u), shared).Card
+				if pick < 0 || est < bestCard {
+					pick, bestCard = i, est
+				}
+			}
+		} else {
+			for i, u := range rest {
+				if len(algebra.SharedVars(current, u)) > 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		method := algebra.HashJoin
+		if pick < 0 {
+			pick = 0
+			method = algebra.CrossJoin
+		} else if sv := current.SortedVar(); p.opts.ForceLeftDeep && sv != "" &&
+			sv == rest[pick].SortedVar() {
+			// In the forced left-deep ablation, chained scans of the same
+			// merge block still meet sorted and keep their merge joins.
+			method = algebra.MergeJoin
+		}
+		var on []sparql.Var
+		if method == algebra.MergeJoin {
+			on = []sparql.Var{current.SortedVar()}
+		}
+		j, err := algebra.NewJoin(method, current, rest[pick], on)
+		if err != nil {
+			return nil, err
+		}
+		current = j
+		rest = append(rest[:pick], rest[pick+1:]...)
+		current, pending = algebra.ApplyFilters(current, pending)
+	}
+	for _, f := range pending {
+		current = &algebra.Filter{In: current, F: f}
+	}
+	return current, nil
+}
+
+// foldRel estimates a subtree's result by folding the independence
+// assumption over its scans (hybrid mode only).
+func foldRel(est *stats.Estimator, n algebra.Node) stats.Rel {
+	scans := algebra.Scans(n)
+	rel := est.PatternRel(scans[0].TP)
+	for _, s := range scans[1:] {
+		next := est.PatternRel(s.TP)
+		var shared []sparql.Var
+		for _, v := range s.TP.Vars() {
+			if _, ok := rel.Distinct[v]; ok {
+				shared = append(shared, v)
+			}
+		}
+		sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+		rel = stats.JoinRel(rel, next, shared)
+	}
+	return rel
+}
+
+// flattenToScans decomposes merge-join blocks into their scans, in block
+// order, for the forced left-deep ablation.
+func flattenToScans(units []algebra.Node) []algebra.Node {
+	var out []algebra.Node
+	for _, u := range units {
+		if _, ok := u.(*algebra.Join); ok {
+			for _, s := range algebra.Scans(u) {
+				out = append(out, s)
+			}
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// buildBlock chains the patterns of one merge variable into a left-deep
+// sequence of merge joins, most selective pattern first (H1, then H3
+// constants, then H4 literal objects, then pattern ID).
+func (p *Planner) buildBlock(q *sparql.Query, res *Result, v sparql.Var, tps []sparql.TriplePattern) (algebra.Node, error) {
+	sort.SliceStable(tps, func(i, j int) bool {
+		a, b := tps[i], tps[j]
+		if p.opts.NaiveBlockOrder {
+			return a.ID < b.ID
+		}
+		if p.opts.Stats != nil {
+			// Hybrid mode: exact selection counts replace H1.
+			if ca, cb := p.opts.Stats.PatternCard(a), p.opts.Stats.PatternCard(b); ca != cb {
+				return ca < cb
+			}
+		}
+		if ra, rb := p.opts.Heuristics.H1Rank(a), p.opts.Heuristics.H1Rank(b); ra != rb {
+			return ra < rb
+		}
+		if ca, cb := heuristics.H3Constants(a), heuristics.H3Constants(b); ca != cb {
+			return ca > cb
+		}
+		la, lb := heuristics.H4LiteralObject(a), heuristics.H4LiteralObject(b)
+		if la != lb {
+			return la
+		}
+		return a.ID < b.ID
+	})
+	var node algebra.Node
+	for _, tp := range tps {
+		s, err := algebra.NewScan(tp, res.Assignments[tp.ID].Ordering)
+		if err != nil {
+			return nil, err
+		}
+		if node == nil {
+			node = s
+			continue
+		}
+		j, err := algebra.NewJoin(algebra.MergeJoin, node, s, []sparql.Var{v})
+		if err != nil {
+			return nil, err
+		}
+		node = j
+	}
+	return node, nil
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+const prefixes = `
+PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bench:   <http://localhost/vocabulary/bench/>
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+PREFIX foaf:    <http://xmlns.com/foaf/0.1/>
+PREFIX swrc:    <http://swrc.ontoware.org/ontology#>
+PREFIX y:       <http://yago/>
+PREFIX wn:      <http://wordnet/>
+`
+
+func plan(t *testing.T, src string) (*Result, *algebra.Plan) {
+	t.Helper()
+	q, err := sparql.Parse(prefixes + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := NewPlanner().PlanDetailed(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return res, res.Plan
+}
+
+func checkCounts(t *testing.T, p *algebra.Plan, wantMerge, wantHash int, wantShape algebra.Shape) {
+	t.Helper()
+	merge, hash := algebra.CountJoins(p.Root)
+	if merge != wantMerge || hash != wantHash {
+		t.Errorf("joins = %d merge / %d hash, want %d/%d\n%s",
+			merge, hash, wantMerge, wantHash, algebra.Explain(p.Root, nil))
+	}
+	if got := algebra.PlanShape(p.Root); got != wantShape {
+		t.Errorf("shape = %v, want %v\n%s", got, wantShape, algebra.Explain(p.Root, nil))
+	}
+}
+
+// TestY3Plan reproduces Figure 2: two merge blocks (on ?c1 and ?c2, two
+// merge joins each) combined by one hash join on ?p — 4 merge + 1 hash,
+// bushy (Table 4, column Y3).
+func TestY3Plan(t *testing.T) {
+	res, p := plan(t, `
+		SELECT ?p
+		WHERE {?p ?ss ?c1 .
+		       ?p ?dd ?c2 .
+		       ?c1 rdf:type wn:wordnet_village .
+		       ?c1 y:locatedIn ?X .
+		       ?c2 rdf:type wn:wordnet_site .
+		       ?c2 y:locatedIn ?Y . }`)
+	checkCounts(t, p, 4, 1, algebra.Bushy)
+	if len(res.Rounds) != 1 || len(res.Rounds[0]) != 2 ||
+		res.Rounds[0][0] != "c1" || res.Rounds[0][1] != "c2" {
+		t.Errorf("rounds = %v, want [[c1 c2]]", res.Rounds)
+	}
+	// Figure 2 block order on ?c1: type pattern first (OPS), then
+	// locatedIn (PSO), then the all-variable pattern scanned via OSP.
+	scans := algebra.Scans(p.Root)
+	if len(scans) != 6 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	if scans[0].TP.ID != 2 || scans[0].Ordering != store.OPS {
+		t.Errorf("first scan = tp%d via %v, want tp2 via ops", scans[0].TP.ID, scans[0].Ordering)
+	}
+	if scans[1].TP.ID != 3 || scans[1].Ordering != store.PSO {
+		t.Errorf("second scan = tp%d via %v, want tp3 via pso", scans[1].TP.ID, scans[1].Ordering)
+	}
+	if scans[2].TP.ID != 0 || scans[2].Ordering != store.OSP {
+		t.Errorf("third scan = tp%d via %v, want tp0 via osp", scans[2].TP.ID, scans[2].Ordering)
+	}
+}
+
+// TestY2Plan reproduces Figure 3(a): all merge joins on ?a (H3 resolves
+// the {a} vs {m1,m2} tie), hash joins against the two movie-type
+// selections — 3 merge + 2 hash, left-deep (Table 4, column Y2).
+func TestY2Plan(t *testing.T) {
+	res, p := plan(t, `
+		SELECT ?a
+		WHERE {?a rdf:type wn:wordnet_actor .
+		       ?a y:livesIn ?city .
+		       ?a y:actedIn ?m1 .
+		       ?m1 rdf:type wn:wordnet_movie .
+		       ?a y:directed ?m2 .
+		       ?m2 rdf:type wn:wordnet_movie . }`)
+	checkCounts(t, p, 3, 2, algebra.LeftDeep)
+	if len(res.Rounds) != 1 || len(res.Rounds[0]) != 1 || res.Rounds[0][0] != "a" {
+		t.Errorf("rounds = %v, want [[a]] (H3 tie-break)", res.Rounds)
+	}
+	if res.Candidates[0] != 2 {
+		t.Errorf("candidates in round 0 = %d, want 2 ({a} and {m1,m2})", res.Candidates[0])
+	}
+}
+
+// TestSP1Plan: the light star query — one block on ?jrnl, 2 merge joins,
+// no hash joins, left-deep. H4 puts the literal-object title pattern
+// before the URI-object type pattern.
+func TestSP1Plan(t *testing.T) {
+	_, p := plan(t, `
+		SELECT ?yr
+		WHERE {?jrnl rdf:type bench:Journal .
+		       ?jrnl dc:title "Journal 1 (1940)" .
+		       ?jrnl dcterms:issued ?yr . }`)
+	checkCounts(t, p, 2, 0, algebra.LeftDeep)
+	scans := algebra.Scans(p.Root)
+	if scans[0].TP.ID != 1 {
+		t.Errorf("first scan should be the literal-title pattern, got tp%d", scans[0].TP.ID)
+	}
+	if scans[1].TP.ID != 0 || scans[2].TP.ID != 2 {
+		t.Errorf("block order = tp%d,tp%d,tp%d, want tp1,tp0,tp2", scans[0].TP.ID, scans[1].TP.ID, scans[2].TP.ID)
+	}
+}
+
+// TestSP3Plan: filter rewriting folds the FILTER into the second
+// pattern, leaving one s=s merge join (Table 4, column SP3).
+func TestSP3Plan(t *testing.T) {
+	res, p := plan(t, `
+		SELECT ?article
+		WHERE {?article rdf:type bench:Article .
+		       ?article ?property ?value .
+		       FILTER (?property = swrc:pages) }`)
+	checkCounts(t, p, 1, 0, algebra.LeftDeep)
+	if len(res.RewriteNotes) != 1 {
+		t.Errorf("rewrite notes = %v", res.RewriteNotes)
+	}
+	for _, s := range algebra.Scans(p.Root) {
+		if s.TP.P.IsVar() {
+			t.Errorf("pattern still has variable predicate after rewrite: %v", s.TP)
+		}
+	}
+}
+
+// TestSP4aPlan: the FILTER (?name = ?name2) unification connects the two
+// halves; the MWIS {article, name, inproc} yields three 1-merge-join
+// blocks combined by two hash joins — 3 merge + 2 hash, bushy.
+func TestSP4aPlan(t *testing.T) {
+	res, p := plan(t, `
+		SELECT ?person ?name
+		WHERE {?article rdf:type bench:Article .
+		       ?article dc:creator ?person .
+		       ?inproc rdf:type bench:Inproceedings .
+		       ?inproc dc:creator ?person2 .
+		       ?person foaf:name ?name .
+		       ?person2 foaf:name ?name2 .
+		       FILTER (?name = ?name2) }`)
+	checkCounts(t, p, 3, 2, algebra.Bushy)
+	if len(res.Rounds) != 1 || len(res.Rounds[0]) != 3 {
+		t.Errorf("rounds = %v, want one round of three variables", res.Rounds)
+	}
+}
+
+// TestY4Plan: the chain query. H2 picks {b,d} (two s=o joins) over
+// {a,c}; 2 merge + 2 hash, bushy (Table 4, column Y4).
+func TestY4Plan(t *testing.T) {
+	res, p := plan(t, `
+		SELECT ?a ?b ?d
+		WHERE {?a ?p1 ?b .
+		       ?b ?p2 ?c .
+		       ?c ?p3 ?d .
+		       ?a rdf:type wn:wordnet_actor .
+		       ?d rdf:type wn:wordnet_movie . }`)
+	checkCounts(t, p, 2, 2, algebra.Bushy)
+	if len(res.Rounds) == 0 || len(res.Rounds[0]) != 2 ||
+		res.Rounds[0][0] != "b" || res.Rounds[0][1] != "d" {
+		t.Errorf("round 0 = %v, want [b d] (H2 tie-break)", res.Rounds)
+	}
+}
+
+// TestSP2aPlan: the heavy star — a single block of nine merge joins.
+func TestSP2aPlan(t *testing.T) {
+	_, p := plan(t, `
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		SELECT ?inproc
+		WHERE {?inproc rdf:type bench:Inproceedings .
+		       ?inproc dc:creator ?author .
+		       ?inproc bench:booktitle ?booktitle .
+		       ?inproc dc:title ?title .
+		       ?inproc dcterms:partOf ?proc .
+		       ?inproc rdfs:seeAlso ?ee .
+		       ?inproc swrc:pages ?page .
+		       ?inproc foaf:homepage ?url .
+		       ?inproc dcterms:issued ?yr .
+		       ?inproc bench:abstract ?abstract . }`)
+	checkCounts(t, p, 9, 0, algebra.LeftDeep)
+}
+
+func TestSelectionPlan(t *testing.T) {
+	_, p := plan(t, `SELECT ?x WHERE { ?x rdf:type bench:Article . }`)
+	checkCounts(t, p, 0, 0, algebra.LeftDeep)
+	scans := algebra.Scans(p.Root)
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	// Constants p,o must form the access-path prefix.
+	if got := scans[0].Ordering.Perm()[2]; got != store.S {
+		t.Errorf("selection scanned via %v; subject should be the free position", scans[0].Ordering)
+	}
+}
+
+func TestCrossProductPlan(t *testing.T) {
+	_, p := plan(t, `SELECT ?x ?a WHERE { ?x rdf:type bench:Article . ?a rdf:type bench:Journal . }`)
+	joins := algebra.Joins(p.Root)
+	if len(joins) != 1 || joins[0].Method != algebra.CrossJoin {
+		t.Errorf("expected one cross join, got %v", joins)
+	}
+}
+
+// TestRepeatedVariablePattern: ?x ?p ?x must not break planning.
+func TestRepeatedVariablePattern(t *testing.T) {
+	_, p := plan(t, `SELECT ?x WHERE { ?x ?p ?x . ?x rdf:type bench:Article . }`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceLeftDeepAblation(t *testing.T) {
+	q := sparql.MustParse(prefixes + `
+		SELECT ?p
+		WHERE {?p ?ss ?c1 .
+		       ?p ?dd ?c2 .
+		       ?c1 rdf:type wn:wordnet_village .
+		       ?c1 y:locatedIn ?X .
+		       ?c2 rdf:type wn:wordnet_site .
+		       ?c2 y:locatedIn ?Y . }`)
+	res, err := NewPlannerWith(Options{ForceLeftDeep: true}).PlanDetailed(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := algebra.PlanShape(res.Plan.Root); got != algebra.LeftDeep {
+		t.Errorf("forced shape = %v\n%s", got, algebra.Explain(res.Plan.Root, nil))
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Errorf("left-deep plan invalid: %v", err)
+	}
+	// The first block's merge joins survive flattening.
+	merge, _ := algebra.CountJoins(res.Plan.Root)
+	if merge == 0 {
+		t.Error("forced left-deep plan lost every merge join")
+	}
+}
+
+func TestMergeOrdering(t *testing.T) {
+	q := sparql.MustParse(prefixes + `SELECT ?s ?o { ?s dc:title ?o }`)
+	tp := q.Patterns[0]
+	// Joining on ?o: constant p first, then o, then s => pos? p,o,s = POS.
+	if got := mergeOrdering(tp, "o"); got != store.POS {
+		t.Errorf("mergeOrdering(?o) = %v, want pos", got)
+	}
+	if got := mergeOrdering(tp, "s"); got != store.PSO {
+		t.Errorf("mergeOrdering(?s) = %v, want pso", got)
+	}
+}
+
+func TestExplainOutputs(t *testing.T) {
+	res, p := plan(t, `
+		SELECT ?p
+		WHERE {?p ?ss ?c1 .
+		       ?c1 rdf:type wn:wordnet_village .
+		       ?c1 y:locatedIn ?X . }`)
+	if len(res.Graphs) == 0 || !strings.Contains(res.Graphs[0], "?c1(3)") {
+		t.Errorf("graphs = %v", res.Graphs)
+	}
+	out := algebra.Explain(p.Root, nil)
+	if !strings.Contains(out, "⋈mj ?c1") {
+		t.Errorf("explain missing merge join:\n%s", out)
+	}
+}
+
+func TestPlannerRejectsInvalidQuery(t *testing.T) {
+	q := &sparql.Query{Projection: []sparql.Var{"x"}}
+	if _, err := NewPlanner().Plan(q); err == nil {
+		t.Error("planner accepted a query with no patterns")
+	}
+}

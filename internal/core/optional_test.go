@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// Planner-level tests for the Section 7 OPTIONAL extension.
+
+func TestOptionalPlanShape(t *testing.T) {
+	q := sparql.MustParse(prefixes + `
+		SELECT ?inproc ?abstract
+		WHERE {
+			?inproc rdf:type bench:Inproceedings .
+			?inproc dc:creator ?author .
+			OPTIONAL { ?inproc bench:abstract ?abstract }
+		}`)
+	res, err := NewPlanner().PlanDetailed(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The required part merges on ?inproc; the group hangs off a left
+	// outer join.
+	m, _ := algebra.CountJoins(res.Plan.Root)
+	if m != 1 {
+		t.Errorf("required merge joins = %d, want 1", m)
+	}
+	out := algebra.Explain(res.Plan.Root, nil)
+	if !strings.Contains(out, "⟕ optional ?inproc") {
+		t.Errorf("plan missing left join:\n%s", out)
+	}
+	if len(algebra.Scans(res.Plan.Root)) != 3 {
+		t.Errorf("scans = %d, want 3 (2 required + 1 optional)", len(algebra.Scans(res.Plan.Root)))
+	}
+}
+
+func TestMultipleOptionals(t *testing.T) {
+	q := sparql.MustParse(prefixes + `
+		SELECT ?j
+		WHERE {
+			?j rdf:type bench:Journal .
+			OPTIONAL { ?j dcterms:revised ?rev }
+			OPTIONAL { ?j dc:title ?title . ?j dcterms:issued ?yr }
+		}`)
+	res, err := NewPlanner().PlanDetailed(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := algebra.Explain(res.Plan.Root, nil)
+	if strings.Count(out, "⟕ optional") != 2 {
+		t.Errorf("want two left joins:\n%s", out)
+	}
+	// The two-pattern group is itself merge-joined on ?j.
+	m, _ := algebra.CountJoins(res.Plan.Root)
+	if m != 1 {
+		t.Errorf("merge joins = %d, want 1 (inside the second group)", m)
+	}
+}
+
+func TestOptionalGroupWithInternalJoinVariable(t *testing.T) {
+	// The group's own join variable (?c) never appears in the required
+	// part; its merge block lives entirely inside the left join.
+	q := sparql.MustParse(`
+		SELECT ?s
+		WHERE {
+			?s <http://p/root> ?r .
+			OPTIONAL { ?s <http://p/a> ?c . ?c <http://p/b> ?d }
+		}`)
+	res, err := NewPlanner().PlanDetailed(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, h := algebra.CountJoins(res.Plan.Root)
+	if m+h != 1 {
+		t.Errorf("group should contain exactly one join, got %d/%d", m, h)
+	}
+}
+
+func TestHybridStatsNilSafe(t *testing.T) {
+	// Stats == nil must reproduce the pure heuristic planner exactly.
+	q := sparql.MustParse(prefixes + `
+		SELECT ?p
+		WHERE {?p ?ss ?c1 .
+		       ?c1 rdf:type wn:wordnet_village .
+		       ?c1 y:locatedIn ?X . }`)
+	a, err := NewPlannerWith(Options{}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlanner().Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.Explain(a.Root, nil) != algebra.Explain(b.Root, nil) {
+		t.Error("zero Options differ from NewPlanner defaults")
+	}
+}

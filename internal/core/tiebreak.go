@@ -1,0 +1,192 @@
+package core
+
+import (
+	"github.com/sparql-hsp/hsp/internal/heuristics"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// TieBreaker narrows a collection of candidate maximum-weight
+// independent sets, as in Algorithm 1's cascade
+//
+//	I ← apply HEURISTIC 3 in I; then 4; then 2; then 5.
+//
+// Each breaker receives the query, the still-unplanned patterns and the
+// candidates, and returns the surviving candidates (never empty).
+type TieBreaker func(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) [][]sparql.Var
+
+// chooseSet applies the configured tie-breakers in order and then picks
+// the first survivor. The paper picks randomly among final survivors
+// ("one set is picked randomly"); this implementation picks the
+// lexicographically smallest for reproducibility, documented in
+// DESIGN.md.
+func (p *Planner) chooseSet(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) []sparql.Var {
+	for _, tb := range p.opts.TieBreakers {
+		if len(sets) <= 1 {
+			break
+		}
+		sets = tb(q, remaining, sets)
+	}
+	return sets[0]
+}
+
+// covered returns the patterns of remaining containing any set variable.
+func covered(remaining []sparql.TriplePattern, set []sparql.Var) []sparql.TriplePattern {
+	in := map[sparql.Var]bool{}
+	for _, v := range set {
+		in[v] = true
+	}
+	var out []sparql.TriplePattern
+	for _, tp := range remaining {
+		for _, v := range tp.Vars() {
+			if in[v] {
+				out = append(out, tp)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// keepMin retains the candidates minimising score; keepMax the maximisers.
+func keepMin(sets [][]sparql.Var, score func([]sparql.Var) int) [][]sparql.Var {
+	best := 0
+	var out [][]sparql.Var
+	for i, s := range sets {
+		v := score(s)
+		if i == 0 || v < best {
+			best = v
+			out = out[:0]
+		}
+		if v == best {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func keepMax(sets [][]sparql.Var, score func([]sparql.Var) int) [][]sparql.Var {
+	return keepMin(sets, func(s []sparql.Var) int { return -score(s) })
+}
+
+// H3Sets applies HEURISTIC 3 at the set level: prefer the candidate
+// whose covered patterns carry the fewest constants in total. The
+// merge-join blocks should absorb the syntactically least selective
+// patterns — those are the ones that produce large inputs, which merge
+// joins consume without materialisation, while highly selective
+// patterns are cheap under any join method. This reading reproduces the
+// paper's reported Y2 plan (all merge joins on ?a, Figure 3a); the
+// ablation bench BenchmarkAblationTieBreakDirection compares the
+// opposite reading.
+func H3Sets(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) [][]sparql.Var {
+	return keepMin(sets, func(s []sparql.Var) int {
+		n := 0
+		for _, tp := range covered(remaining, s) {
+			n += heuristics.H3Constants(tp)
+		}
+		return n
+	})
+}
+
+// H3SetsMost is the opposite reading of HEURISTIC 3 (prefer covering
+// the most constants), available for the ablation study.
+func H3SetsMost(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) [][]sparql.Var {
+	return keepMax(sets, func(s []sparql.Var) int {
+		n := 0
+		for _, tp := range covered(remaining, s) {
+			n += heuristics.H3Constants(tp)
+		}
+		return n
+	})
+}
+
+// H4Sets applies HEURISTIC 4 at the set level: among candidates, prefer
+// the one whose covered patterns include the fewest literal objects
+// (same direction as H3Sets: literal-object patterns are the most
+// selective and need not be absorbed into merge blocks).
+func H4Sets(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) [][]sparql.Var {
+	return keepMin(sets, func(s []sparql.Var) int {
+		n := 0
+		for _, tp := range covered(remaining, s) {
+			if heuristics.H4LiteralObject(tp) {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+// H2Sets applies HEURISTIC 2: prefer the candidate whose merge joins
+// run on the most selective join patterns. Each set variable's join
+// kinds are ranked (p⋈o best … p⋈p worst) and candidates compared by
+// their sorted rank vectors, lexicographically.
+func H2Sets(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) [][]sparql.Var {
+	vec := func(s []sparql.Var) []int {
+		var ranks []int
+		for _, v := range s {
+			tps := covered(remaining, []sparql.Var{v})
+			// Star-anchored kinds: pair every occurrence with the first.
+			for i := 1; i < len(tps); i++ {
+				k := heuristics.H2JoinKind(v, tps[0], tps[i])
+				ranks = append(ranks, heuristics.H2Rank(k))
+			}
+		}
+		insertionSort(ranks)
+		return ranks
+	}
+	best := vec(sets[0])
+	out := [][]sparql.Var{sets[0]}
+	for _, s := range sets[1:] {
+		v := vec(s)
+		switch compareIntVecs(v, best) {
+		case -1:
+			best = v
+			out = [][]sparql.Var{s}
+		case 0:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// H5Sets applies HEURISTIC 5: prefer the candidate whose covered
+// patterns contain the most unused variables that are not projection
+// variables (delaying patterns holding projection variables).
+func H5Sets(q *sparql.Query, remaining []sparql.TriplePattern, sets [][]sparql.Var) [][]sparql.Var {
+	return keepMax(sets, func(s []sparql.Var) int {
+		n := 0
+		for _, tp := range covered(remaining, s) {
+			n += heuristics.H5UnusedVars(q, tp)
+		}
+		return n
+	})
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// compareIntVecs compares rank vectors lexicographically; a shorter
+// vector that is a prefix of a longer one compares smaller (fewer,
+// equally selective joins win).
+func compareIntVecs(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}

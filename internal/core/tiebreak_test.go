@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// TestH3SetsDirections checks both readings of set-level HEURISTIC 3 on
+// the Y2 tie ({a} vs {m1,m2}): the paper reading (fewest covered
+// constants) picks {a}; the opposite picks {m1,m2}.
+func TestH3SetsDirections(t *testing.T) {
+	q := sparql.MustParse(prefixes + `
+		SELECT ?a
+		WHERE {?a rdf:type wn:wordnet_actor .
+		       ?a y:livesIn ?city .
+		       ?a y:actedIn ?m1 .
+		       ?m1 rdf:type wn:wordnet_movie .
+		       ?a y:directed ?m2 .
+		       ?m2 rdf:type wn:wordnet_movie . }`)
+	sets := [][]sparql.Var{{"a"}, {"m1", "m2"}}
+
+	got := H3Sets(q, q.Patterns, sets)
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != "a" {
+		t.Errorf("H3Sets picked %v, want [[a]]", got)
+	}
+	got = H3SetsMost(q, q.Patterns, sets)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("H3SetsMost picked %v, want [[m1 m2]]", got)
+	}
+}
+
+// TestH5SetsPrefersUnusedVars: H5 keeps the candidate whose covered
+// patterns carry more unused (non-join, non-projection) variables.
+func TestH5SetsPrefersUnusedVars(t *testing.T) {
+	// ?a's patterns carry unused object variables ?u1 ?u2; ?b's patterns
+	// carry the projection variable.
+	q := sparql.MustParse(`
+		SELECT ?x
+		WHERE { ?a <http://p/1> ?u1 .
+		        ?a <http://p/2> ?u2 .
+		        ?b <http://p/3> ?x .
+		        ?b <http://p/4> ?x2 .
+		        ?u2 <http://p/5> ?x2 . }`)
+	sets := [][]sparql.Var{{"a"}, {"b"}}
+	got := H5Sets(q, q.Patterns, sets)
+	if len(got) != 1 || got[0][0] != "a" {
+		t.Errorf("H5Sets picked %v, want [[a]] (more unused variables)", got)
+	}
+}
+
+func TestCompareIntVecs(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2}, []int{1, 2}, 0},
+		{[]int{1, 2}, []int{1, 3}, -1},
+		{[]int{2}, []int{1, 9}, 1},
+		{[]int{1}, []int{1, 0}, -1}, // prefix is smaller
+		{[]int{1, 0}, []int{1}, 1},
+		{nil, nil, 0},
+		{nil, []int{0}, -1},
+	}
+	for _, tt := range tests {
+		if got := compareIntVecs(tt.a, tt.b); got != tt.want {
+			t.Errorf("compareIntVecs(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// TestHybridFoldRel exercises foldRel through hybrid planning of a
+// query with multiple blocks (the hash-join ordering path).
+func TestHybridFoldRel(t *testing.T) {
+	b := store.NewBuilder(nil)
+	stq := sparql.MustParse(prefixes + `
+		SELECT ?p
+		WHERE {?p ?ss ?c1 .
+		       ?p ?dd ?c2 .
+		       ?c1 rdf:type wn:wordnet_village .
+		       ?c1 y:locatedIn ?X .
+		       ?c2 rdf:type wn:wordnet_site .
+		       ?c2 y:locatedIn ?Y . }`)
+	// A tiny dataset exercising the statistics path.
+	add := func(s, p, o string) {
+		b.Add(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)})
+	}
+	add("http://y/p1", "http://yago/bornIn", "http://y/v1")
+	add("http://y/p1", "http://yago/visited", "http://y/s1")
+	add("http://y/v1", sparql.RDFType, "http://wordnet/wordnet_village")
+	add("http://y/v1", "http://yago/locatedIn", "http://y/r1")
+	add("http://y/s1", sparql.RDFType, "http://wordnet/wordnet_site")
+	add("http://y/s1", "http://yago/locatedIn", "http://y/r1")
+	st := b.Build()
+
+	res, err := NewPlannerWith(Options{Stats: stats.New(st)}).PlanDetailed(stq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Planner != "HSP-hybrid" {
+		t.Errorf("planner name = %q", res.Plan.Planner)
+	}
+	m, h := algebra.CountJoins(res.Plan.Root)
+	if m != 4 || h != 1 {
+		t.Errorf("hybrid Y3 joins = %d/%d, want 4/1 (structure must not change)", m, h)
+	}
+}

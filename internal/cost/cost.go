@@ -1,0 +1,74 @@
+// Package cost implements the CDP cost model of RDF-3X exactly as the
+// paper reproduces it (Section 6.2):
+//
+//	cost_mergejoin(lc, rc) = (lc + rc) / 100,000
+//	cost_hashjoin(lc, rc)  = 300,000 + lc/100 + rc/10
+//
+// where lc and rc are the cardinalities of the two join inputs, lc being
+// the smaller one. Selection cost is excluded: the paper argues it is
+// "asymptotically the same in both systems" and Table 3 reports join
+// costs only.
+package cost
+
+import (
+	"github.com/sparql-hsp/hsp/internal/algebra"
+)
+
+// Merge returns the cost of a merge join over inputs of the given
+// cardinalities.
+func Merge(lc, rc int) float64 {
+	return float64(lc+rc) / 100000
+}
+
+// Hash returns the cost of a hash join; the smaller input is hashed.
+func Hash(lc, rc int) float64 {
+	if rc < lc {
+		lc, rc = rc, lc
+	}
+	return 300000 + float64(lc)/100 + float64(rc)/10
+}
+
+// Join dispatches on the join method; cross joins are costed as hash
+// joins, the engine's fallback implementation.
+func Join(m algebra.JoinMethod, lc, rc int) float64 {
+	if m == algebra.MergeJoin {
+		return Merge(lc, rc)
+	}
+	return Hash(lc, rc)
+}
+
+// Breakdown is a plan's cost split by join algorithm, the two numbers
+// reported per plan in Table 3 (merge cost in bold + hash cost).
+type Breakdown struct {
+	MergeCost float64
+	HashCost  float64
+}
+
+// Total returns the combined cost.
+func (b Breakdown) Total() float64 { return b.MergeCost + b.HashCost }
+
+// Carder supplies per-node output cardinalities, either estimated (for
+// planning) or measured (for reporting, as in the figures).
+type Carder interface {
+	Card(n algebra.Node) int
+}
+
+// Plan walks a plan and sums the cost of every join per the CDP model.
+func Plan(root algebra.Node, c Carder) Breakdown {
+	var b Breakdown
+	for _, j := range algebra.Joins(root) {
+		lc, rc := c.Card(j.L), c.Card(j.R)
+		if j.Method == algebra.MergeJoin {
+			b.MergeCost += Merge(lc, rc)
+		} else {
+			b.HashCost += Hash(lc, rc)
+		}
+	}
+	return b
+}
+
+// MapCarder adapts a plain map to the Carder interface.
+type MapCarder map[algebra.Node]int
+
+// Card implements Carder; unknown nodes cost as empty inputs.
+func (m MapCarder) Card(n algebra.Node) int { return m[n] }

@@ -1,0 +1,89 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func TestMergeFormula(t *testing.T) {
+	if got := Merge(50000, 50000); got != 1.0 {
+		t.Errorf("Merge(50k,50k) = %v, want 1.0", got)
+	}
+	if got := Merge(0, 0); got != 0 {
+		t.Errorf("Merge(0,0) = %v", got)
+	}
+}
+
+func TestHashFormula(t *testing.T) {
+	// 300000 + lc/100 + rc/10 with lc the smaller input.
+	want := 300000 + 100.0/100 + 1000.0/10
+	if got := Hash(100, 1000); got != want {
+		t.Errorf("Hash(100,1000) = %v, want %v", got, want)
+	}
+	if got := Hash(1000, 100); got != want {
+		t.Errorf("Hash must be symmetric: %v != %v", got, want)
+	}
+}
+
+// TestHashSymmetry: property — the formula always charges the smaller
+// input as build side.
+func TestHashSymmetry(t *testing.T) {
+	f := func(a, b uint16) bool {
+		return Hash(int(a), int(b)) == Hash(int(b), int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeAlwaysCheaperAtScale documents why CDP and HSP maximise merge
+// joins: below the hash join's constant term, merging is always cheaper.
+func TestMergeAlwaysCheaperAtScale(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lc, rc := int(a%10_000_000), int(b%10_000_000)
+		return Merge(lc, rc) < Hash(lc, rc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanBreakdown(t *testing.T) {
+	qq := sparql.MustParse(`SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c . ?c <http://r> ?d }`)
+	s0, err := algebra.NewScan(qq.Patterns[0], store.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := algebra.NewScan(qq.Patterns[1], store.PSO)
+	s2, _ := algebra.NewScan(qq.Patterns[2], store.PSO)
+	mj, _ := algebra.NewJoin(algebra.MergeJoin, s0, s1, nil)
+	hj, _ := algebra.NewJoin(algebra.HashJoin, mj, s2, nil)
+
+	cards := MapCarder{s0: 100, s1: 200, mj: 150, s2: 1000}
+	b := Plan(hj, cards)
+	wantMerge := Merge(100, 200)
+	wantHash := Hash(150, 1000)
+	if math.Abs(b.MergeCost-wantMerge) > 1e-9 || math.Abs(b.HashCost-wantHash) > 1e-9 {
+		t.Errorf("breakdown = %+v, want %v/%v", b, wantMerge, wantHash)
+	}
+	if math.Abs(b.Total()-(wantMerge+wantHash)) > 1e-9 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestJoinDispatch(t *testing.T) {
+	if Join(algebra.MergeJoin, 10, 10) != Merge(10, 10) {
+		t.Error("Join(merge) wrong")
+	}
+	if Join(algebra.HashJoin, 10, 10) != Hash(10, 10) {
+		t.Error("Join(hash) wrong")
+	}
+	if Join(algebra.CrossJoin, 10, 10) != Hash(10, 10) {
+		t.Error("Join(cross) should cost as hash")
+	}
+}

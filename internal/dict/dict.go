@@ -1,0 +1,111 @@
+// Package dict implements the mapping dictionary that replaces RDF
+// constants (URIs and literals) by dense integer identifiers, the tactic
+// the paper notes is used by "the majority of the systems" to avoid
+// processing long strings during query evaluation.
+//
+// IDs are assigned densely starting at 1; ID 0 is reserved as the invalid
+// ID. The dictionary records each term's kind so the planner can apply
+// HEURISTIC 4 (literal objects are more selective than URI objects)
+// without string inspection.
+package dict
+
+import (
+	"sync"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. 0 is never a valid ID.
+type ID = uint64
+
+// Invalid is the reserved "no such term" identifier.
+const Invalid ID = 0
+
+// Dict is a bidirectional term dictionary. It is safe for concurrent
+// readers; Encode (which may mutate) takes an exclusive lock, so mixed
+// concurrent encoding and lookup is also safe.
+type Dict struct {
+	mu    sync.RWMutex
+	ids   map[termKey]ID
+	terms []rdf.Term // terms[i] is the term for ID i+1
+}
+
+// termKey keeps IRIs and literals with identical spellings distinct.
+type termKey struct {
+	kind  rdf.TermKind
+	value string
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{ids: make(map[termKey]ID)}
+}
+
+// Len returns the number of distinct terms in the dictionary.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// Encode returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Encode(t rdf.Term) ID {
+	k := termKey{t.Kind, t.Value}
+	d.mu.RLock()
+	id, ok := d.ids[k]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[k]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.ids[k] = id
+	return id
+}
+
+// Lookup returns the ID of t if it is present, and Invalid otherwise.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[termKey{t.Kind, t.Value}]
+	return id, ok
+}
+
+// Term returns the term for a valid ID. It panics on Invalid or
+// out-of-range IDs, which always indicate an engine bug.
+func (d *Dict) Term(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == Invalid || int(id) > len(d.terms) {
+		panic("dict: invalid ID")
+	}
+	return d.terms[id-1]
+}
+
+// Kind returns the term kind for a valid ID.
+func (d *Dict) Kind(id ID) rdf.TermKind {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == Invalid || int(id) > len(d.terms) {
+		panic("dict: invalid ID")
+	}
+	return d.terms[id-1].Kind
+}
+
+// IsLiteral reports whether id denotes a literal term. Used by H4.
+func (d *Dict) IsLiteral(id ID) bool { return d.Kind(id) == rdf.Literal }
+
+// EncodeTriple encodes all three components of t.
+func (d *Dict) EncodeTriple(t rdf.Triple) (s, p, o ID) {
+	return d.Encode(t.S), d.Encode(t.P), d.Encode(t.O)
+}
+
+// DecodeTriple is the inverse of EncodeTriple.
+func (d *Dict) DecodeTriple(s, p, o ID) rdf.Triple {
+	return rdf.Triple{S: d.Term(s), P: d.Term(p), O: d.Term(o)}
+}

@@ -1,0 +1,119 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	d := New()
+	a := d.Encode(rdf.NewIRI("http://ex/a"))
+	b := d.Encode(rdf.NewIRI("http://ex/b"))
+	lit := d.Encode(rdf.NewLiteral("http://ex/a")) // same spelling, different kind
+	if a == b || a == lit || b == lit {
+		t.Fatalf("IDs not distinct: %d %d %d", a, b, lit)
+	}
+	if a != 1 || b != 2 || lit != 3 {
+		t.Errorf("IDs not dense from 1: %d %d %d", a, b, lit)
+	}
+	if got := d.Encode(rdf.NewIRI("http://ex/a")); got != a {
+		t.Errorf("re-encode returned %d, want %d", got, a)
+	}
+	if d.Term(a) != rdf.NewIRI("http://ex/a") {
+		t.Errorf("Term(%d) = %v", a, d.Term(a))
+	}
+	if !d.IsLiteral(lit) || d.IsLiteral(a) {
+		t.Error("IsLiteral misclassifies")
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := New()
+	if _, ok := d.Lookup(rdf.NewIRI("missing")); ok {
+		t.Error("Lookup of missing term reported ok")
+	}
+	id := d.Encode(rdf.NewLiteral("x"))
+	got, ok := d.Lookup(rdf.NewLiteral("x"))
+	if !ok || got != id {
+		t.Errorf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+}
+
+func TestTermPanicsOnInvalid(t *testing.T) {
+	d := New()
+	for _, id := range []ID{Invalid, 1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+}
+
+func TestEncodeTripleRoundTrip(t *testing.T) {
+	d := New()
+	tr := rdf.Triple{
+		S: rdf.NewIRI("http://ex/s"),
+		P: rdf.NewIRI("http://ex/p"),
+		O: rdf.NewLiteral("1940"),
+	}
+	s, p, o := d.EncodeTriple(tr)
+	if got := d.DecodeTriple(s, p, o); got != tr {
+		t.Errorf("round trip = %v, want %v", got, tr)
+	}
+}
+
+// TestRoundTripProperty: Encode then Term is the identity for arbitrary terms.
+func TestRoundTripProperty(t *testing.T) {
+	d := New()
+	f := func(v string, kind uint8) bool {
+		term := rdf.Term{Kind: rdf.TermKind(kind % 3), Value: v}
+		id := d.Encode(term)
+		return d.Term(id) == term
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentEncode exercises the locking paths: many goroutines encode
+// overlapping term sets; afterwards every term must decode to itself and
+// equal spellings must have received a single ID.
+func TestConcurrentEncode(t *testing.T) {
+	d := New()
+	const workers = 8
+	const terms = 200
+	var wg sync.WaitGroup
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]ID, terms)
+			for i := 0; i < terms; i++ {
+				ids[w][i] = d.Encode(rdf.NewIRI(fmt.Sprintf("t%d", i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < terms; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got ID %d for term %d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if d.Len() != terms {
+		t.Errorf("Len = %d, want %d", d.Len(), terms)
+	}
+}

@@ -1,0 +1,546 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Row is a tuple of variable bindings, indexed by compile-time slot
+// number; dict.Invalid marks an unbound slot.
+type Row []dict.ID
+
+// iterator is the internal operator interface (bufio.Scanner style).
+type iterator interface {
+	// Next advances to the next row, returning false at the end of the
+	// stream or on error.
+	Next() bool
+	// Row returns the current row; valid until the next call to Next.
+	Row() Row
+	// Err returns the first error encountered, if any.
+	Err() error
+}
+
+// emptyIter yields nothing (e.g. a scan whose constant is absent).
+type emptyIter struct{}
+
+func (emptyIter) Next() bool { return false }
+func (emptyIter) Row() Row   { return nil }
+func (emptyIter) Err() error { return nil }
+
+// --- scan ---
+
+// scanIter evaluates one triple pattern over an access path. The
+// constant prefix has been resolved to IDs; remaining positions map to
+// row slots. Repeated variables within a pattern become equality checks.
+type scanIter struct {
+	in    TripleIter
+	width int
+	// slotOf[i] is the row slot of the i-th emitted component (the
+	// components after the prefix), or -1 for a repeat occurrence that
+	// must instead equal checkSlot[i].
+	slotOf    []int
+	checkSlot []int
+	row       Row
+}
+
+func (s *scanIter) Next() bool {
+	for {
+		t, ok := s.in.Next()
+		if !ok {
+			return false
+		}
+		for i := range s.row {
+			s.row[i] = dict.Invalid
+		}
+		ok = true
+		for i, slot := range s.slotOf {
+			v := t[len(t)-len(s.slotOf)+i]
+			if slot >= 0 {
+				s.row[slot] = v
+			} else if s.row[s.checkSlot[i]] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+}
+
+func (s *scanIter) Row() Row   { return s.row }
+func (s *scanIter) Err() error { return nil }
+
+// aggScanIter evaluates a pattern over the aggregated pair index: the
+// third position's unused variable is dropped, and each pair row is
+// emitted count times to preserve SPARQL multiset semantics while
+// decompressing only the (much smaller) aggregated index.
+type aggScanIter struct {
+	in      PairIter
+	slotOf  [2]int // row slots of the two pair components (-1: unbound)
+	row     Row
+	pending uint64
+	cur     [2]dict.ID
+}
+
+func (s *aggScanIter) Next() bool {
+	for s.pending == 0 {
+		x, y, count, ok := s.in.Next()
+		if !ok {
+			return false
+		}
+		s.cur = [2]dict.ID{x, y}
+		s.pending = count
+	}
+	s.pending--
+	for i := range s.row {
+		s.row[i] = dict.Invalid
+	}
+	for i, slot := range s.slotOf {
+		if slot >= 0 {
+			s.row[slot] = s.cur[i]
+		}
+	}
+	return true
+}
+
+func (s *aggScanIter) Row() Row   { return s.row }
+func (s *aggScanIter) Err() error { return nil }
+
+// --- order checking ---
+
+// orderCheck wraps a merge-join input and verifies it really is sorted
+// on the join slot, failing the query instead of mis-joining.
+type orderCheck struct {
+	in   iterator
+	slot int
+	desc string
+	prev dict.ID
+	seen bool
+	err  error
+}
+
+func (o *orderCheck) Next() bool {
+	if o.err != nil {
+		return false
+	}
+	if !o.in.Next() {
+		o.err = o.in.Err()
+		return false
+	}
+	v := o.in.Row()[o.slot]
+	if o.seen && v < o.prev {
+		o.err = fmt.Errorf("exec: %s: input not sorted on join variable (%d after %d)", o.desc, v, o.prev)
+		return false
+	}
+	o.prev, o.seen = v, true
+	return true
+}
+
+func (o *orderCheck) Row() Row   { return o.in.Row() }
+func (o *orderCheck) Err() error { return o.err }
+
+// --- merge join ---
+
+// mergeJoinIter joins two inputs sorted on the same slot. Groups of
+// equal keys on the right are buffered; every (left row, right row)
+// combination that also agrees on the other shared slots is emitted.
+type mergeJoinIter struct {
+	l, r   iterator
+	slot   int
+	shared []int // all shared slots, for residual equality checks
+
+	started  bool
+	lRow     Row   // current left row; nil when the left side is exhausted
+	rNext    Row   // lookahead right row; nil when exhausted
+	group    []Row // buffered right rows whose key is groupKey
+	groupKey dict.ID
+	gi       int  // next group element for the current left row
+	inGroup  bool // lRow joins the buffered group
+	out      Row
+	err      error
+}
+
+// pull copies the next row from an input, recording its error state.
+func (m *mergeJoinIter) pull(it iterator) Row {
+	if it.Next() {
+		return append(Row(nil), it.Row()...)
+	}
+	if m.err == nil {
+		m.err = it.Err()
+	}
+	return nil
+}
+
+func (m *mergeJoinIter) Next() bool {
+	if m.err != nil {
+		return false
+	}
+	if !m.started {
+		m.started = true
+		m.lRow = m.pull(m.l)
+		m.rNext = m.pull(m.r)
+		if m.err != nil {
+			return false
+		}
+	}
+	for {
+		if m.inGroup {
+			for m.gi < len(m.group) {
+				r := m.group[m.gi]
+				m.gi++
+				if out, ok := mergeRows(m.lRow, r, m.shared); ok {
+					m.out = out
+					return true
+				}
+			}
+			// The current left row exhausted the group; the next left row
+			// may carry the same key and re-join it.
+			m.lRow = m.pull(m.l)
+			if m.err != nil {
+				return false
+			}
+			if m.lRow != nil && m.lRow[m.slot] == m.groupKey {
+				m.gi = 0
+				continue
+			}
+			m.inGroup = false
+		}
+		if m.lRow == nil || m.rNext == nil {
+			return false
+		}
+		lk, rk := m.lRow[m.slot], m.rNext[m.slot]
+		switch {
+		case lk < rk:
+			if m.lRow = m.pull(m.l); m.err != nil || m.lRow == nil {
+				return false
+			}
+		case lk > rk:
+			if m.rNext = m.pull(m.r); m.err != nil || m.rNext == nil {
+				return false
+			}
+		default:
+			m.group = m.group[:0]
+			m.groupKey = rk
+			for m.rNext != nil && m.rNext[m.slot] == rk {
+				m.group = append(m.group, m.rNext)
+				m.rNext = m.pull(m.r)
+				if m.err != nil {
+					return false
+				}
+			}
+			m.gi = 0
+			m.inGroup = true
+		}
+	}
+}
+
+func (m *mergeJoinIter) Row() Row   { return m.out }
+func (m *mergeJoinIter) Err() error { return m.err }
+
+// --- hash join ---
+
+// hashJoinIter builds a hash table over the left input on the join
+// slots, then streams the right input, preserving its order.
+type hashJoinIter struct {
+	l, r    iterator
+	keys    []int
+	shared  []int
+	built   bool
+	table   map[string][]Row
+	matches []Row
+	mIdx    int
+	rRow    Row
+	out     Row
+	err     error
+	// cross marks a Cartesian product (no key slots).
+	cross bool
+	all   []Row
+}
+
+func (h *hashJoinIter) build() {
+	h.built = true
+	if h.cross {
+		for h.l.Next() {
+			h.all = append(h.all, append(Row(nil), h.l.Row()...))
+		}
+	} else {
+		h.table = make(map[string][]Row)
+		for h.l.Next() {
+			r := append(Row(nil), h.l.Row()...)
+			k := hashKey(r, h.keys)
+			h.table[k] = append(h.table[k], r)
+		}
+	}
+	h.err = h.l.Err()
+}
+
+func (h *hashJoinIter) Next() bool {
+	if !h.built {
+		h.build()
+	}
+	if h.err != nil {
+		return false
+	}
+	for {
+		for h.mIdx < len(h.matches) {
+			l := h.matches[h.mIdx]
+			h.mIdx++
+			if out, ok := mergeRows(l, h.rRow, h.shared); ok {
+				h.out = out
+				return true
+			}
+		}
+		if !h.r.Next() {
+			h.err = h.r.Err()
+			return false
+		}
+		h.rRow = h.r.Row()
+		if h.cross {
+			h.matches = h.all
+		} else {
+			h.matches = h.table[hashKey(h.rRow, h.keys)]
+		}
+		h.mIdx = 0
+	}
+}
+
+func (h *hashJoinIter) Row() Row   { return h.out }
+func (h *hashJoinIter) Err() error { return h.err }
+
+func hashKey(r Row, slots []int) string {
+	var b strings.Builder
+	for _, s := range slots {
+		v := r[s]
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(v >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// mergeRows combines a left and right row, requiring agreement on every
+// shared slot bound on both sides.
+func mergeRows(l, r Row, shared []int) (Row, bool) {
+	for _, s := range shared {
+		if l[s] != dict.Invalid && r[s] != dict.Invalid && l[s] != r[s] {
+			return nil, false
+		}
+	}
+	out := append(Row(nil), l...)
+	for i, v := range r {
+		if v != dict.Invalid {
+			out[i] = v
+		}
+	}
+	return out, true
+}
+
+// --- left outer join (OPTIONAL) ---
+
+// leftJoinIter implements the OPTIONAL semantics: the right (optional)
+// input is hashed; left rows stream through, emitting one output row
+// per match, or themselves unchanged when nothing matches.
+type leftJoinIter struct {
+	l, r    iterator
+	keys    []int
+	shared  []int
+	built   bool
+	table   map[string][]Row
+	all     []Row // when keys is empty (disconnected OPTIONAL)
+	matches []Row
+	mIdx    int
+	lRow    Row
+	emitted bool // whether the current left row produced any output
+	out     Row
+	err     error
+}
+
+func (h *leftJoinIter) build() {
+	h.built = true
+	if len(h.keys) == 0 {
+		for h.r.Next() {
+			h.all = append(h.all, append(Row(nil), h.r.Row()...))
+		}
+	} else {
+		h.table = make(map[string][]Row)
+		for h.r.Next() {
+			row := append(Row(nil), h.r.Row()...)
+			k := hashKey(row, h.keys)
+			h.table[k] = append(h.table[k], row)
+		}
+	}
+	h.err = h.r.Err()
+}
+
+func (h *leftJoinIter) Next() bool {
+	if !h.built {
+		h.build()
+	}
+	if h.err != nil {
+		return false
+	}
+	for {
+		for h.mIdx < len(h.matches) {
+			r := h.matches[h.mIdx]
+			h.mIdx++
+			if out, ok := mergeRows(h.lRow, r, h.shared); ok {
+				h.emitted = true
+				h.out = out
+				return true
+			}
+		}
+		if h.lRow != nil && !h.emitted {
+			// No optional match: emit the left row as-is.
+			h.emitted = true
+			h.out = h.lRow
+			return true
+		}
+		if !h.l.Next() {
+			h.err = h.l.Err()
+			return false
+		}
+		h.lRow = h.l.Row()
+		h.emitted = false
+		if len(h.keys) == 0 {
+			h.matches = h.all
+		} else {
+			h.matches = h.table[hashKey(h.lRow, h.keys)]
+		}
+		h.mIdx = 0
+	}
+}
+
+func (h *leftJoinIter) Row() Row   { return h.out }
+func (h *leftJoinIter) Err() error { return h.err }
+
+// --- filter ---
+
+// filterIter evaluates a comparison FILTER.
+type filterIter struct {
+	in      iterator
+	d       *dict.Dict
+	op      sparql.CompareOp
+	slot    int
+	rSlot   int      // -1 when the right side is a constant
+	rTerm   rdf.Term // constant right side
+	rID     dict.ID  // dictionary ID of the constant (Invalid if absent)
+	rInDict bool
+}
+
+func (f *filterIter) Next() bool {
+	for f.in.Next() {
+		if f.accept(f.in.Row()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *filterIter) accept(r Row) bool {
+	lv := r[f.slot]
+	if lv == dict.Invalid {
+		return false
+	}
+	if f.rSlot >= 0 {
+		rv := r[f.rSlot]
+		if rv == dict.Invalid {
+			return false
+		}
+		return compareIDs(f.d, f.op, lv, rv)
+	}
+	switch f.op {
+	case sparql.OpEq:
+		return f.rInDict && lv == f.rID
+	case sparql.OpNe:
+		return !f.rInDict || lv != f.rID
+	default:
+		c := strings.Compare(f.d.Term(lv).Value, f.rTerm.Value)
+		return opHolds(f.op, c)
+	}
+}
+
+func (f *filterIter) Row() Row   { return f.in.Row() }
+func (f *filterIter) Err() error { return f.in.Err() }
+
+func compareIDs(d *dict.Dict, op sparql.CompareOp, a, b dict.ID) bool {
+	switch op {
+	case sparql.OpEq:
+		return a == b
+	case sparql.OpNe:
+		return a != b
+	default:
+		return opHolds(op, strings.Compare(d.Term(a).Value, d.Term(b).Value))
+	}
+}
+
+func opHolds(op sparql.CompareOp, cmp int) bool {
+	switch op {
+	case sparql.OpEq:
+		return cmp == 0
+	case sparql.OpNe:
+		return cmp != 0
+	case sparql.OpLt:
+		return cmp < 0
+	case sparql.OpLe:
+		return cmp <= 0
+	case sparql.OpGt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// --- projection ---
+
+// projectIter narrows rows to the projection columns (slot list
+// precomputed by the compiler, including alias duplicates).
+type projectIter struct {
+	in    iterator
+	slots []int
+	out   Row
+}
+
+func (p *projectIter) Next() bool {
+	if !p.in.Next() {
+		return false
+	}
+	r := p.in.Row()
+	if p.out == nil {
+		p.out = make(Row, len(p.slots))
+	}
+	for i, s := range p.slots {
+		p.out[i] = r[s]
+	}
+	return true
+}
+
+func (p *projectIter) Row() Row   { return p.out }
+func (p *projectIter) Err() error { return p.in.Err() }
+
+// --- counting (cardinality annotation) ---
+
+// countIter counts rows flowing through a plan edge, for the
+// cardinality annotations of Figures 2 and 3.
+type countIter struct {
+	in iterator
+	n  int
+}
+
+func (c *countIter) Next() bool {
+	if c.in.Next() {
+		c.n++
+		return true
+	}
+	return false
+}
+
+func (c *countIter) Row() Row   { return c.in.Row() }
+func (c *countIter) Err() error { return c.in.Err() }
+
+var _ = store.S // keep store imported for doc references

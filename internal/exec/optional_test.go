@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/rdf3x"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// bruteForceOptional extends the oracle with OPTIONAL semantics: each
+// required binding is extended by every compatible group solution, or
+// kept as-is when the group has none.
+func bruteForceOptional(ts []rdf.Triple, q *sparql.Query) string {
+	type binding map[sparql.Var]rdf.Term
+	match := func(b binding, n sparql.Node, val rdf.Term) (binding, bool) {
+		if !n.IsVar() {
+			if n.Term == val {
+				return b, true
+			}
+			return nil, false
+		}
+		if old, ok := b[n.Var]; ok {
+			if old == val {
+				return b, true
+			}
+			return nil, false
+		}
+		nb := binding{}
+		for k, v := range b {
+			nb[k] = v
+		}
+		nb[n.Var] = val
+		return nb, true
+	}
+	evalPatterns := func(start []binding, patterns []sparql.TriplePattern) []binding {
+		bs := start
+		for _, tp := range patterns {
+			var next []binding
+			for _, b := range bs {
+				for _, tr := range ts {
+					nb, ok := match(b, tp.S, tr.S)
+					if !ok {
+						continue
+					}
+					nb2, ok := match(nb, tp.P, tr.P)
+					if !ok {
+						continue
+					}
+					nb3, ok := match(nb2, tp.O, tr.O)
+					if !ok {
+						continue
+					}
+					next = append(next, nb3)
+				}
+			}
+			bs = next
+		}
+		return bs
+	}
+	holds := func(b binding, f sparql.Filter) bool {
+		lv, ok := b[f.Left]
+		if !ok {
+			return false
+		}
+		var rv rdf.Term
+		if f.Right.IsVar() {
+			if rv, ok = b[f.Right.Var]; !ok {
+				return false
+			}
+		} else {
+			rv = f.Right.Term
+		}
+		c := strings.Compare(lv.Value, rv.Value)
+		switch f.Op {
+		case sparql.OpEq:
+			return lv == rv
+		case sparql.OpNe:
+			return lv != rv
+		case sparql.OpLt:
+			return c < 0
+		case sparql.OpLe:
+			return c <= 0
+		case sparql.OpGt:
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+
+	bindings := evalPatterns([]binding{{}}, q.Patterns)
+	var filtered []binding
+	for _, b := range bindings {
+		ok := true
+		for _, f := range q.Filters {
+			if !holds(b, f) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, b)
+		}
+	}
+	bindings = filtered
+
+	for _, g := range q.Optionals {
+		var next []binding
+		for _, b := range bindings {
+			exts := evalPatterns([]binding{b}, g.Patterns)
+			var kept []binding
+			for _, e := range exts {
+				ok := true
+				for _, f := range g.Filters {
+					if !holds(e, f) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, e)
+				}
+			}
+			if len(kept) == 0 {
+				next = append(next, b)
+			} else {
+				next = append(next, kept...)
+			}
+		}
+		bindings = next
+	}
+
+	proj := q.ProjectedVars()
+	var lines []string
+	for _, b := range bindings {
+		var sb strings.Builder
+		for i, v := range proj {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if tv, ok := b[v]; ok {
+				sb.WriteString(tv.String())
+			} else {
+				sb.WriteString("∅")
+			}
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for i, v := range proj {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteString("?" + string(v))
+	}
+	b.WriteByte('\n')
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// randomOptionalQuery builds a random query with one or two OPTIONAL
+// groups over the synthetic vocabulary.
+func randomOptionalQuery(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("SELECT * {\n")
+	fmt.Fprintf(&b, "  ?v0 <http://p/a> ?v1 .\n")
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "  ?v0 <http://p/b> ?v2 .\n")
+	}
+	for g := 0; g < rng.Intn(2)+1; g++ {
+		fmt.Fprintf(&b, "  OPTIONAL { ?v%d <http://p/%c> ?o%d }\n",
+			rng.Intn(2), 'a'+rune(rng.Intn(3)), g)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// TestOptionalMatchesBruteForce: property — HSP plans with OPTIONAL
+// groups return exactly the oracle's multiset on random data.
+func TestOptionalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := randomDataset(seed, 120)
+		b := store.NewBuilder(nil)
+		seen := map[rdf.Triple]bool{}
+		var uniq []rdf.Triple
+		for _, tr := range ts {
+			if !seen[tr] {
+				seen[tr] = true
+				uniq = append(uniq, tr)
+			}
+			b.Add(tr)
+		}
+		st := b.Build()
+		for k := 0; k < 3; k++ {
+			src := randomOptionalQuery(rng)
+			q, err := sparql.Parse(src)
+			if err != nil {
+				return false
+			}
+			p, err := core.NewPlanner().Plan(q)
+			if err != nil {
+				t.Logf("plan error on %s: %v", src, err)
+				return false
+			}
+			res, err := New(ColumnSource{st}).Execute(p)
+			if err != nil {
+				t.Logf("exec error on %s: %v", src, err)
+				return false
+			}
+			if res.String() != bruteForceOptional(uniq, q) {
+				t.Logf("mismatch on %s", src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultSortSliceAppendDedup(t *testing.T) {
+	doc := `
+<http://e/a> <http://p/n> "3" .
+<http://e/b> <http://p/n> "1" .
+<http://e/c> <http://p/n> "2" .
+`
+	st := buildStore(t, doc)
+	q, p := hspPlan(t, `SELECT ?s ?n { ?s <http://p/n> ?n }`)
+	_ = q
+	res, err := New(ColumnSource{st}).Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.SortBy([]sparql.OrderKey{{Var: "n"}}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Terms(0)["n"].Value != "1" || res.Terms(2)["n"].Value != "3" {
+		t.Errorf("ascending sort wrong:\n%s", res)
+	}
+	if err := res.SortBy([]sparql.OrderKey{{Var: "n", Desc: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Terms(0)["n"].Value != "3" {
+		t.Errorf("descending sort wrong:\n%s", res)
+	}
+	if err := res.SortBy([]sparql.OrderKey{{Var: "zzz"}}); err == nil {
+		t.Error("sort by unknown variable accepted")
+	}
+
+	// Append + Dedup.
+	res2, err := New(ColumnSource{st}).Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Append(res2); err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 {
+		t.Fatalf("appended len = %d", res.Len())
+	}
+	res.Dedup()
+	if res.Len() != 3 {
+		t.Errorf("dedup len = %d, want 3", res.Len())
+	}
+
+	// Slice.
+	res.Slice(1, 1)
+	if res.Len() != 1 {
+		t.Errorf("slice len = %d", res.Len())
+	}
+	res.Slice(5, -1)
+	if res.Len() != 0 {
+		t.Errorf("out-of-range offset should empty the result, got %d", res.Len())
+	}
+
+	// Mismatched append.
+	_, p2 := hspPlan(t, `SELECT ?s { ?s <http://p/n> ?n }`)
+	res3, err := New(ColumnSource{st}).Execute(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res3.Append(res2); err == nil {
+		t.Error("append with different projections accepted")
+	}
+}
+
+func TestLeftJoinDisconnectedOptional(t *testing.T) {
+	// An OPTIONAL sharing no variable with the required part: every
+	// required row pairs with every group row (or survives alone).
+	doc := `
+<http://e/a> <http://p/x> "1" .
+<http://e/b> <http://p/y> "2" .
+<http://e/c> <http://p/y> "3" .
+`
+	st := buildStore(t, doc)
+	q, p := hspPlan(t, `SELECT * { ?s <http://p/x> ?v . OPTIONAL { ?t <http://p/y> ?w } }`)
+	res, err := New(ColumnSource{st}).Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := rdf.ParseNTriples(doc)
+	if got, want := res.String(), bruteForceOptional(ts, q); got != want {
+		t.Errorf("mismatch:\n%s\nvs\n%s", got, want)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+}
+
+func TestOptionalOnBothEngines(t *testing.T) {
+	ts := randomDataset(7, 150)
+	b := store.NewBuilder(nil)
+	for _, tr := range ts {
+		b.Add(tr)
+	}
+	st := b.Build()
+	q := sparql.MustParse(`SELECT * {
+		?a <http://p/a> ?b .
+		OPTIONAL { ?b <http://p/b> ?c }
+	}`)
+	p, err := core.NewPlanner().Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := New(ColumnSource{st}).Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := buildRDF3X(t, st)
+	rres, err := New(RDF3XSource{rx}).Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.String() != rres.String() {
+		t.Error("substrates disagree on OPTIONAL query")
+	}
+}
+
+func buildRDF3X(t *testing.T, st *store.Store) *rdf3x.Store {
+	t.Helper()
+	rx, err := rdf3x.Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rx
+}

@@ -1,0 +1,608 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6) over the synthetic SP²Bench and YAGO
+// datasets: query characteristics (Table 2), plan costs under the CDP
+// cost model (Table 3), plan characteristics (Table 4), HSP planning
+// times (Table 6), execution times for the three engines (Tables 7 and
+// 8), the example variable graph (Figure 1), and the Y3/Y2 plans
+// (Figures 2 and 3).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/cdp"
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/cost"
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf3x"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/sqlopt"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+	"github.com/sparql-hsp/hsp/internal/vargraph"
+	"github.com/sparql-hsp/hsp/internal/yago"
+)
+
+// Config parameterises a reproduction run.
+type Config struct {
+	// SP2BenchScale and YAGOScale are target triple counts; the paper
+	// loads 50M and 16M, the defaults here are laptop-sized with the
+	// same shape.
+	SP2BenchScale int
+	YAGOScale     int
+	Seed          int64
+	// Runs is the number of timed warm executions averaged for Tables 7
+	// and 8 (the paper uses 20 after one discarded cold run).
+	Runs int
+}
+
+// DefaultConfig mirrors the paper's protocol at reduced scale.
+func DefaultConfig() Config {
+	return Config{SP2BenchScale: 200000, YAGOScale: 100000, Seed: 1, Runs: 5}
+}
+
+// Workload is a prepared dataset plus its query set.
+type Workload struct {
+	Name    string
+	Col     *store.Store
+	RX      *rdf3x.Store
+	Queries []struct{ Name, Text string }
+}
+
+// Env holds both prepared workloads.
+type Env struct {
+	Cfg      Config
+	SP2Bench *Workload
+	YAGO     *Workload
+}
+
+// NewEnv generates the datasets and builds both substrates.
+func NewEnv(cfg Config) (*Env, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 5
+	}
+	sp := sp2bench.Generate(cfg.SP2BenchScale, cfg.Seed)
+	spx, err := rdf3x.Build(sp)
+	if err != nil {
+		return nil, err
+	}
+	yg := yago.Generate(cfg.YAGOScale, cfg.Seed)
+	ygx, err := rdf3x.Build(yg)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Cfg:      cfg,
+		SP2Bench: &Workload{Name: "SP2Bench", Col: sp, RX: spx, Queries: sp2bench.Queries()},
+		YAGO:     &Workload{Name: "YAGO", Col: yg, RX: ygx, Queries: yago.Queries()},
+	}, nil
+}
+
+// Workloads lists both workloads.
+func (e *Env) Workloads() []*Workload { return []*Workload{e.SP2Bench, e.YAGO} }
+
+// planHSP plans a query with the paper's HSP configuration.
+func planHSP(text string) (*core.Result, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPlanner().PlanDetailed(q)
+}
+
+// planCDP plans with the CDP baseline. Like the paper's authors, the
+// harness manually rewrites the one query CDP refuses (the SP4a cross
+// product); all other queries are given to CDP unrewritten, so filters
+// stay post-join ("CDP does not perform this rewriting").
+func planCDP(w *Workload, text string) (*algebra.Plan, bool, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, false, err
+	}
+	pl := cdp.New(stats.New(w.Col), cdp.Options{UseAggregatedIndexes: true})
+	p, err := pl.Plan(q)
+	if err == nil {
+		return p, false, nil
+	}
+	if err != cdp.ErrCrossProduct {
+		return nil, false, err
+	}
+	rw, _ := sparql.RewriteFilters(q)
+	p, err = pl.Plan(rw)
+	return p, true, err
+}
+
+// planSQL plans with the left-deep SQL baseline.
+func planSQL(w *Workload, text string) (*algebra.Plan, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return sqlopt.New(stats.New(w.Col)).Plan(q)
+}
+
+// Table2 prints the query characteristics of both workloads
+// (characteristics are measured after HSP's filter rewriting, as in the
+// paper's "SP3(a,b,c)_2" convention).
+func Table2(e *Env, out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(out, "Table 2: Query characteristics for SP2Bench and YAGO")
+	var names []string
+	chars := map[string]sparql.Characteristics{}
+	for _, w := range e.Workloads() {
+		for _, q := range w.Queries {
+			parsed, err := sparql.Parse(q.Text)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q.Name, err)
+			}
+			rw, _ := sparql.RewriteFilters(parsed)
+			chars[q.Name] = sparql.Analyze(rw)
+			names = append(names, q.Name)
+		}
+	}
+	row := func(label string, f func(c sparql.Characteristics) int) {
+		fmt.Fprintf(tw, "%s", label)
+		for _, n := range names {
+			fmt.Fprintf(tw, "\t%d", f(chars[n]))
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "Query")
+	for _, n := range names {
+		fmt.Fprintf(tw, "\t%s", n)
+	}
+	fmt.Fprintln(tw)
+	row("# Triple Patterns", func(c sparql.Characteristics) int { return c.TriplePatterns })
+	row("# Variables", func(c sparql.Characteristics) int { return c.Vars })
+	row("# Projection Variables", func(c sparql.Characteristics) int { return c.ProjectionVars })
+	row("# Shared vars", func(c sparql.Characteristics) int { return c.SharedVars })
+	row("# TPs with 0 const", func(c sparql.Characteristics) int { return c.TPsWithNConsts[0] })
+	row("# TPs with 1 const", func(c sparql.Characteristics) int { return c.TPsWithNConsts[1] })
+	row("# TPs with 2 const", func(c sparql.Characteristics) int { return c.TPsWithNConsts[2] })
+	row("# Joins", func(c sparql.Characteristics) int { return c.Joins })
+	row("Maximum star join", func(c sparql.Characteristics) int { return c.MaxStar })
+	for _, k := range []sparql.JoinKind{sparql.JoinSS, sparql.JoinPP, sparql.JoinOO, sparql.JoinSP, sparql.JoinSO, sparql.JoinPO} {
+		kind := k
+		row("# "+kind.String(), func(c sparql.Characteristics) int { return c.JoinPatterns[kind] })
+	}
+	return tw.Flush()
+}
+
+// measuredCarder costs plans with observed cardinalities from a real
+// execution. HSP plans run on the column substrate, CDP plans on the
+// RDF-3X substrate (whose aggregated indexes their scans may use).
+func measuredCarder(w *Workload, p *algebra.Plan) (cost.Carder, error) {
+	eng := engineFor(w, p)
+	_, cards, err := eng.ExecuteWithCards(p)
+	if err != nil {
+		return nil, err
+	}
+	m := cost.MapCarder{}
+	for n, c := range cards {
+		m[n] = c
+	}
+	return m, nil
+}
+
+// engineFor returns the substrate a plan is destined for.
+func engineFor(w *Workload, p *algebra.Plan) *exec.Engine {
+	if p.Planner == "CDP" {
+		return exec.New(exec.RDF3XSource{St: w.RX})
+	}
+	return exec.New(exec.ColumnSource{St: w.Col})
+}
+
+// Table3 prints the CDP-cost-model cost of the HSP and CDP plans, the
+// merge-join cost and hash-join cost separately as in the paper
+// ("mj+hj"). Cardinalities are the observed ones.
+func Table3(e *Env, out io.Writer) error {
+	fmt.Fprintln(out, "Table 3: The cost of HSP and CDP plans (CDP cost model, observed cardinalities)")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Query\tHSP mj-cost\tHSP hj-cost\tCDP mj-cost\tCDP hj-cost")
+	for _, w := range e.Workloads() {
+		for _, q := range w.Queries {
+			hres, err := planHSP(q.Text)
+			if err != nil {
+				return err
+			}
+			// Selection-only queries have no join cost (the paper omits
+			// SP5/SP6 from Table 3).
+			if m, h := algebra.CountJoins(hres.Plan.Root); m+h == 0 {
+				continue
+			}
+			hc, err := measuredCarder(w, hres.Plan)
+			if err != nil {
+				return err
+			}
+			hb := cost.Plan(hres.Plan.Root, hc)
+
+			cp, _, err := planCDP(w, q.Text)
+			if err != nil {
+				return err
+			}
+			cc, err := measuredCarder(w, cp)
+			if err != nil {
+				return err
+			}
+			cb := cost.Plan(cp.Root, cc)
+			fmt.Fprintf(tw, "%s\t%.2f\t%.0f\t%.2f\t%.0f\n",
+				q.Name, hb.MergeCost, hb.HashCost, cb.MergeCost, cb.HashCost)
+		}
+	}
+	return tw.Flush()
+}
+
+// PlanChar is one Table 4 row.
+type PlanChar struct {
+	Query             string
+	HSPMerge, HSPHash int
+	HSPShape          algebra.Shape
+	CDPMerge, CDPHash int
+	CDPShape          algebra.Shape
+	CDPRewritten      bool
+	SameJoinCounts    bool
+	SimilarPlans      bool
+}
+
+// Table4Data computes the plan characteristics of every query.
+func Table4Data(e *Env) ([]PlanChar, error) {
+	var rows []PlanChar
+	for _, w := range e.Workloads() {
+		for _, q := range w.Queries {
+			hres, err := planHSP(q.Text)
+			if err != nil {
+				return nil, err
+			}
+			cp, rewritten, err := planCDP(w, q.Text)
+			if err != nil {
+				return nil, err
+			}
+			r := PlanChar{Query: q.Name, CDPRewritten: rewritten}
+			r.HSPMerge, r.HSPHash = algebra.CountJoins(hres.Plan.Root)
+			r.HSPShape = algebra.PlanShape(hres.Plan.Root)
+			r.CDPMerge, r.CDPHash = algebra.CountJoins(cp.Root)
+			r.CDPShape = algebra.PlanShape(cp.Root)
+			r.SameJoinCounts = r.HSPMerge == r.CDPMerge && r.HSPHash == r.CDPHash
+			r.SimilarPlans = r.SameJoinCounts && r.HSPShape == r.CDPShape &&
+				sameMergeVars(hres.Plan.Root, cp.Root)
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// sameMergeVars reports whether two plans merge-join on the same
+// variable multiset (the paper's "similar plans" criterion concerns the
+// chosen sorted variables and join order).
+func sameMergeVars(a, b algebra.Node) bool {
+	vars := func(n algebra.Node) string {
+		var vs []string
+		for _, j := range algebra.Joins(n) {
+			if j.Method == algebra.MergeJoin {
+				vs = append(vs, string(j.On[0]))
+			}
+		}
+		sort.Strings(vs)
+		return strings.Join(vs, ",")
+	}
+	return vars(a) == vars(b)
+}
+
+// Table4 prints plan characteristics.
+func Table4(e *Env, out io.Writer) error {
+	rows, err := Table4Data(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Table 4: Plan characteristics for SP2Bench and YAGO")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Query\tHSP mj\tHSP hj\tHSP shape\tCDP mj\tCDP hj\tCDP shape\tSimilar")
+	for _, r := range rows {
+		similar := "×"
+		if r.SimilarPlans {
+			similar = "√"
+		}
+		note := ""
+		if r.CDPRewritten {
+			note = " (CDP: manually rewritten)"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%d\t%s\t%s%s\n",
+			r.Query, r.HSPMerge, r.HSPHash, r.HSPShape,
+			r.CDPMerge, r.CDPHash, r.CDPShape, similar, note)
+	}
+	return tw.Flush()
+}
+
+// Table6 measures HSP planning time per query (parsing excluded), the
+// paper's Table 6.
+func Table6(e *Env, out io.Writer) error {
+	fmt.Fprintln(out, "Table 6: Planning time of HSP for all queries (ms)")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	for _, w := range e.Workloads() {
+		for _, q := range w.Queries {
+			parsed, err := sparql.Parse(q.Text)
+			if err != nil {
+				return err
+			}
+			pl := core.NewPlanner()
+			const reps = 200
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if _, err := pl.Plan(parsed); err != nil {
+					return err
+				}
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000 / reps
+			fmt.Fprintf(tw, "%s\t%.3f\n", q.Name, ms)
+		}
+	}
+	return tw.Flush()
+}
+
+// ExecRow is one measured cell group of Tables 7/8.
+type ExecRow struct {
+	Query   string
+	HSPms   float64 // MonetDB/HSP
+	CDPms   float64 // RDF-3X/CDP
+	SQLms   float64 // MonetDB/SQL; negative marks XXX (Cartesian product)
+	Results int
+}
+
+// hasCross reports whether a plan contains a Cartesian product.
+func hasCross(p *algebra.Plan) bool {
+	for _, j := range algebra.Joins(p.Root) {
+		if j.Method == algebra.CrossJoin {
+			return true
+		}
+	}
+	return false
+}
+
+// timePlan executes a plan cfg.Runs+1 times on the engine, discarding
+// the first (cold) run and averaging the rest — the paper's warm-run
+// protocol.
+func timePlan(eng *exec.Engine, p *algebra.Plan, runs int) (float64, int, error) {
+	res, err := eng.Execute(p) // cold run, discarded
+	if err != nil {
+		return 0, 0, err
+	}
+	n := res.Len()
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := eng.Execute(p); err != nil {
+			return 0, 0, err
+		}
+		total += time.Since(start)
+	}
+	return float64(total.Microseconds()) / 1000 / float64(runs), n, nil
+}
+
+// ExecTimes measures Tables 7 (SP²Bench) or 8 (YAGO) for a workload.
+func ExecTimes(e *Env, w *Workload) ([]ExecRow, error) {
+	monet := exec.New(exec.ColumnSource{St: w.Col})
+	rx := exec.New(exec.RDF3XSource{St: w.RX})
+	var rows []ExecRow
+	for _, q := range w.Queries {
+		r := ExecRow{Query: q.Name}
+
+		hres, err := planHSP(q.Text)
+		if err != nil {
+			return nil, err
+		}
+		r.HSPms, r.Results, err = timePlan(monet, hres.Plan, e.Cfg.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s HSP: %w", q.Name, err)
+		}
+
+		cp, _, err := planCDP(w, q.Text)
+		if err != nil {
+			return nil, err
+		}
+		cdpMS, cdpN, err := timePlan(rx, cp, e.Cfg.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s CDP: %w", q.Name, err)
+		}
+		r.CDPms = cdpMS
+		if cdpN != r.Results {
+			return nil, fmt.Errorf("%s: engines disagree: HSP %d rows, CDP %d rows", q.Name, r.Results, cdpN)
+		}
+
+		sp, err := planSQL(w, q.Text)
+		if err != nil {
+			return nil, err
+		}
+		if hasCross(sp) {
+			// The paper marks MonetDB/SQL on SP4a as XXX: "the
+			// MonetDB/SQL optimizer chooses to execute a Cartesian
+			// product and thus fails to terminate".
+			r.SQLms = -1
+		} else {
+			sqlMS, sqlN, err := timePlan(monet, sp, e.Cfg.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s SQL: %w", q.Name, err)
+			}
+			r.SQLms = sqlMS
+			if sqlN != r.Results {
+				return nil, fmt.Errorf("%s: engines disagree: HSP %d rows, SQL %d rows", q.Name, r.Results, sqlN)
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Table7 prints SP²Bench execution times.
+func Table7(e *Env, out io.Writer) error {
+	return execTable(e, e.SP2Bench, "Table 7: Query Execution Time (in ms) for SP2Bench Queries (Warm Runs)", out)
+}
+
+// Table8 prints YAGO execution times.
+func Table8(e *Env, out io.Writer) error {
+	return execTable(e, e.YAGO, "Table 8: Query Execution Time (in ms) for YAGO queries (Warm Runs)", out)
+}
+
+func execTable(e *Env, w *Workload, title string, out io.Writer) error {
+	rows, err := ExecTimes(e, w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s  [%d triples, %d warm runs]\n", title, w.Col.NumTriples(), e.Cfg.Runs)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Query\tMonetDB/HSP\tRDF-3X/CDP\tMonetDB/SQL\t#Results")
+	for _, r := range rows {
+		sql := fmt.Sprintf("%.2f", r.SQLms)
+		if r.SQLms < 0 {
+			sql = "XXX"
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t%d\n", r.Query, r.HSPms, r.CDPms, sql, r.Results)
+	}
+	return tw.Flush()
+}
+
+// Figure1 renders the variable graph of the Section 3 example query.
+func Figure1(out io.Writer) error {
+	q := sparql.MustParse(`
+		PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX bench:   <http://localhost/vocabulary/bench/>
+		PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?yr ?jrnl
+		WHERE { ?jrnl rdf:type bench:Journal .
+		        ?jrnl dc:title "Journal 1 (1940)" .
+		        ?jrnl dcterms:issued ?yr .
+		        ?jrnl dcterms:revised ?rev . }`)
+	// The full (untrimmed) weights of Figure 1.
+	fmt.Fprintln(out, "Figure 1: variable graph of the Section 3 example")
+	w := q.VarWeight()
+	fmt.Fprintf(out, "weights: ?yr(%d) ?jrnl(%d) ?rev(%d)\n", w["yr"], w["jrnl"], w["rev"])
+	g, err := vargraph.New(q.Patterns)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "after trimming weight-1 nodes: %s\n", g.String())
+	fmt.Fprintf(out, "maximum weight independent sets: %v\n", g.MaxWeightIndependentSets())
+	return nil
+}
+
+// Figure2 executes Y3's HSP plan on the YAGO store and renders the
+// operator tree with observed cardinalities (the paper's Figure 2).
+func Figure2(e *Env, out io.Writer) error {
+	hres, err := planHSP(yago.Y3)
+	if err != nil {
+		return err
+	}
+	eng := exec.New(exec.ColumnSource{St: e.YAGO.Col})
+	tree, err := eng.Explain(hres.Plan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Figure 2: HSP plan for YAGO query Y3 (observed cardinalities)")
+	fmt.Fprintln(out, tree)
+	return nil
+}
+
+// Figure3 renders the HSP and CDP plans for Y2 side by side (the
+// paper's Figure 3).
+func Figure3(e *Env, out io.Writer) error {
+	hres, err := planHSP(yago.Y2)
+	if err != nil {
+		return err
+	}
+	cp, _, err := planCDP(e.YAGO, yago.Y2)
+	if err != nil {
+		return err
+	}
+	ht, err := engineFor(e.YAGO, hres.Plan).Explain(hres.Plan)
+	if err != nil {
+		return err
+	}
+	ct, err := engineFor(e.YAGO, cp).Explain(cp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Figure 3(a): HSP plan for YAGO query Y2")
+	fmt.Fprintln(out, ht)
+	fmt.Fprintln(out, "Figure 3(b): CDP plan for YAGO query Y2")
+	fmt.Fprintln(out, ct)
+	return nil
+}
+
+// JoinPatternStudy reproduces the Section 6.2 dataset study backing
+// HEURISTIC 2: for each join-position pattern, the total number of join
+// results over all predicate pairs, measured on the workload data.
+func JoinPatternStudy(e *Env, out io.Writer) error {
+	fmt.Fprintln(out, "Dataset study (Section 6.2): join results per join-position pattern")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tp⋈o\ts⋈p\ts⋈o\to⋈o\ts⋈s\tp⋈p")
+	for _, w := range e.Workloads() {
+		counts := joinPatternCensus(w.Col)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n", w.Name,
+			counts[sparql.JoinPO], counts[sparql.JoinSP], counts[sparql.JoinSO],
+			counts[sparql.JoinOO], counts[sparql.JoinSS], counts[sparql.JoinPP])
+	}
+	return tw.Flush()
+}
+
+// joinPatternCensus estimates |R ⋈pos R| for each positional join kind
+// via the value-frequency histograms of each position: the join result
+// size between positions A and B is Σ_v count_A(v)·count_B(v).
+func joinPatternCensus(st *store.Store) [sparql.NumJoinKinds]int {
+	freq := func(o store.Ordering, pos store.Pos) map[uint64]int {
+		m := map[uint64]int{}
+		for _, t := range st.Rel(o) {
+			m[t[pos]]++
+		}
+		return m
+	}
+	fs := freq(store.SPO, store.S)
+	fp := freq(store.SPO, store.P)
+	fo := freq(store.SPO, store.O)
+	cross := func(a, b map[uint64]int) int {
+		n := 0
+		for v, ca := range a {
+			if cb, ok := b[v]; ok {
+				n += ca * cb
+			}
+		}
+		return n
+	}
+	var out [sparql.NumJoinKinds]int
+	out[sparql.JoinSS] = cross(fs, fs)
+	out[sparql.JoinPP] = cross(fp, fp)
+	out[sparql.JoinOO] = cross(fo, fo)
+	out[sparql.JoinSP] = cross(fs, fp)
+	out[sparql.JoinSO] = cross(fs, fo)
+	out[sparql.JoinPO] = cross(fp, fo)
+	return out
+}
+
+// All runs every table and figure in paper order.
+func All(e *Env, out io.Writer) error {
+	steps := []func() error{
+		func() error { return Table2(e, out) },
+		func() error { return Table3(e, out) },
+		func() error { return Table4(e, out) },
+		func() error { return Table6(e, out) },
+		func() error { return Table7(e, out) },
+		func() error { return Table8(e, out) },
+		func() error { return Figure1(out) },
+		func() error { return Figure2(e, out) },
+		func() error { return Figure3(e, out) },
+		func() error { return JoinPatternStudy(e, out) },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package heuristics implements the five optimization heuristics of
+// Section 4 of the paper as first-class, separately testable rankers.
+// They are purely syntactic: no statistics or data access is required,
+// which is the paper's central premise.
+package heuristics
+
+import (
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Options toggles heuristic variants, used by the ablation benchmarks.
+type Options struct {
+	// TypeException applies HEURISTIC 1's exception: patterns whose
+	// property is rdf:type are demoted within their syntactic class
+	// because rdf:type "is a very common property and thus these triples
+	// should not be considered as selective".
+	TypeException bool
+}
+
+// Default is the configuration used by the paper's planner.
+var Default = Options{TypeException: true}
+
+// H1 — Triple pattern order.
+//
+// H1Class returns the position of the pattern's syntactic shape in the
+// selectivity chain of HEURISTIC 1, 0 being the most selective:
+//
+//	(s,p,o) ≺ (s,?,o) ≺ (?,p,o) ≺ (s,p,?) ≺ (?,?,o) ≺ (s,?,?) ≺ (?,p,?) ≺ (?,?,?)
+func H1Class(tp sparql.TriplePattern) int {
+	s := !tp.S.IsVar()
+	p := !tp.P.IsVar()
+	o := !tp.O.IsVar()
+	switch {
+	case s && p && o:
+		return 0
+	case s && !p && o:
+		return 1
+	case !s && p && o:
+		return 2
+	case s && p && !o:
+		return 3
+	case !s && !p && o:
+		return 4
+	case s && !p && !o:
+		return 5
+	case !s && p && !o:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// H1Rank returns a total-order rank implementing HEURISTIC 1 under the
+// given options: twice the class, plus one when the rdf:type exception
+// demotes the pattern within its class. Lower is more selective.
+func (o Options) H1Rank(tp sparql.TriplePattern) int {
+	r := 2 * H1Class(tp)
+	if o.TypeException && tp.IsTypePattern() {
+		r++
+	}
+	return r
+}
+
+// H1Less orders patterns by increasing H1 rank (most selective first).
+func (o Options) H1Less(a, b sparql.TriplePattern) bool {
+	return o.H1Rank(a) < o.H1Rank(b)
+}
+
+// H2 — Distinct position of joins.
+//
+// H2Rank returns the precedence of a join kind, 0 being the most
+// selective: p⋈o ≺ s⋈p ≺ s⋈o ≺ o⋈o ≺ s⋈s ≺ p⋈p. The sparql.JoinKind
+// constants are declared in this order, so the rank is the kind itself.
+func H2Rank(k sparql.JoinKind) int { return int(k) }
+
+// H2JoinKind classifies a join of variable v between two patterns by
+// the positions v occupies in them. When v occupies several positions
+// in a pattern, the most selective pairing is reported.
+func H2JoinKind(v sparql.Var, a, b sparql.TriplePattern) sparql.JoinKind {
+	best := sparql.JoinPP
+	found := false
+	for _, pa := range a.Positions(v) {
+		for _, pb := range b.Positions(v) {
+			k := sparql.JoinKindOf(pa, pb)
+			if !found || H2Rank(k) < H2Rank(best) {
+				best = k
+				found = true
+			}
+		}
+	}
+	return best
+}
+
+// H3 — Triples with most literals/URIs.
+//
+// H3Constants returns the number of bound components; HEURISTIC 3
+// prefers patterns with more ("the more bound components a triple
+// pattern has, the more selective it will be").
+func H3Constants(tp sparql.TriplePattern) int { return tp.NumConstants() }
+
+// H4 — Triples with literals in the object.
+//
+// H4LiteralObject reports whether the pattern's object is a literal
+// constant; HEURISTIC 4 prefers these over URI objects "because in many
+// cases if a URI is used as an object, it is used by many triples".
+func H4LiteralObject(tp sparql.TriplePattern) bool {
+	return !tp.O.IsVar() && tp.O.Term.Kind == rdf.Literal
+}
+
+// H5 — Triple patterns with less projections.
+//
+// H5ProjectionVars counts the projection variables of the query that
+// occur in the pattern; HEURISTIC 5 considers patterns holding
+// projection variables "as late as possible".
+func H5ProjectionVars(q *sparql.Query, tp sparql.TriplePattern) int {
+	n := 0
+	for _, v := range tp.Vars() {
+		if q.IsProjected(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// H5UnusedVars counts the pattern's variables that are neither shared
+// (join variables) nor projected — HEURISTIC 5's secondary criterion
+// prefers "the maximum number of unused variables that are not
+// projection variables".
+func H5UnusedVars(q *sparql.Query, tp sparql.TriplePattern) int {
+	shared := map[sparql.Var]bool{}
+	for _, v := range q.SharedVars() {
+		shared[v] = true
+	}
+	n := 0
+	for _, v := range tp.Vars() {
+		if !shared[v] && !q.IsProjected(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectOrdering implements HEURISTIC 1's role in access-path selection
+// for the SQL baseline and Algorithm 2's v = nil case: the pattern's
+// constants form the access-path prefix, followed by its variables in
+// pattern order. Constants are sequenced subject, object, predicate —
+// the order the paper's figures use (OPS rather than POS for rdf:type
+// selections), leading the composite key with the most selective bound
+// positions per H1's position reasoning.
+func SelectOrdering(tp sparql.TriplePattern) store.Ordering {
+	var consts, vars []store.Pos
+	for _, pos := range []store.Pos{store.S, store.O, store.P} {
+		if !tp.Slot(pos).IsVar() {
+			consts = append(consts, pos)
+		}
+	}
+	for _, pos := range []store.Pos{store.S, store.P, store.O} {
+		if tp.Slot(pos).IsVar() {
+			vars = append(vars, pos)
+		}
+	}
+	seq := append(append([]store.Pos{}, consts...), vars...)
+	return store.MustOrderingFor(seq[0], seq[1], seq[2])
+}

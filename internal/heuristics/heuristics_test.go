@@ -1,0 +1,181 @@
+package heuristics
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func pat(t *testing.T, src string) sparql.TriplePattern {
+	t.Helper()
+	q, err := sparql.Parse("PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nSELECT * { " + src + " }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q.Patterns[0]
+}
+
+// TestH1Chain verifies the exact published chain:
+// (s,p,o) ≺ (s,?,o) ≺ (?,p,o) ≺ (s,p,?) ≺ (?,?,o) ≺ (s,?,?) ≺ (?,p,?) ≺ (?,?,?).
+func TestH1Chain(t *testing.T) {
+	chain := []string{
+		`<http://s> <http://p> <http://o>`,
+		`<http://s> ?p <http://o>`,
+		`?s <http://p> <http://o>`,
+		`<http://s> <http://p> ?o`,
+		`?s ?p <http://o>`,
+		`<http://s> ?p ?o`,
+		`?s <http://p> ?o`,
+		`?s ?p ?o`,
+	}
+	for i := range chain {
+		if got := H1Class(pat(t, chain[i])); got != i {
+			t.Errorf("H1Class(%s) = %d, want %d", chain[i], got, i)
+		}
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		a, b := pat(t, chain[i]), pat(t, chain[i+1])
+		if !Default.H1Less(a, b) || Default.H1Less(b, a) {
+			t.Errorf("H1 order violated between %q and %q", chain[i], chain[i+1])
+		}
+	}
+}
+
+// TestH1TypeException: an rdf:type pattern is demoted within its class
+// but does not fall below the next class (the order in Figures 2 and 3,
+// where σ(type) still precedes single-constant patterns, depends on it).
+func TestH1TypeException(t *testing.T) {
+	typePat := pat(t, `?s rdf:type <http://o>`) // class (?,p,o)
+	samePat := pat(t, `?s <http://p> <http://o>`)
+	nextPat := pat(t, `<http://s> <http://p> ?o`) // class (s,p,?)
+
+	if !Default.H1Less(samePat, typePat) {
+		t.Error("rdf:type pattern not demoted within its class")
+	}
+	if !Default.H1Less(typePat, nextPat) {
+		t.Error("rdf:type pattern demoted below the next class")
+	}
+	// With the exception disabled, type patterns rank as their class.
+	off := Options{TypeException: false}
+	if off.H1Rank(typePat) != off.H1Rank(samePat) {
+		t.Error("TypeException=false still demotes type patterns")
+	}
+}
+
+func TestH2RankOrder(t *testing.T) {
+	// p⋈o ≺ s⋈p ≺ s⋈o ≺ o⋈o ≺ s⋈s ≺ p⋈p
+	order := []sparql.JoinKind{
+		sparql.JoinPO, sparql.JoinSP, sparql.JoinSO,
+		sparql.JoinOO, sparql.JoinSS, sparql.JoinPP,
+	}
+	for i := 0; i+1 < len(order); i++ {
+		if H2Rank(order[i]) >= H2Rank(order[i+1]) {
+			t.Errorf("H2 precedence violated: %v !≺ %v", order[i], order[i+1])
+		}
+	}
+}
+
+func TestH2JoinKind(t *testing.T) {
+	a := pat(t, `?x <http://p> ?y`)
+	b := pat(t, `?z <http://q> ?x`)
+	if got := H2JoinKind("x", a, b); got != sparql.JoinSO {
+		t.Errorf("kind = %v, want s=o", got)
+	}
+	c := pat(t, `?x <http://q> ?w`)
+	if got := H2JoinKind("x", a, c); got != sparql.JoinSS {
+		t.Errorf("kind = %v, want s=s", got)
+	}
+	// v at several positions: the most selective pairing wins.
+	d := pat(t, `?x <http://q> ?x`)
+	if got := H2JoinKind("x", a, d); got != sparql.JoinSO {
+		t.Errorf("kind = %v, want s=o (best pairing)", got)
+	}
+}
+
+func TestH3H4(t *testing.T) {
+	if H3Constants(pat(t, `<http://s> <http://p> "x"`)) != 3 {
+		t.Error("H3 constants wrong")
+	}
+	if H3Constants(pat(t, `?s ?p ?o`)) != 0 {
+		t.Error("H3 constants wrong for all-var")
+	}
+	if !H4LiteralObject(pat(t, `?s <http://p> "lit"`)) {
+		t.Error("H4 should accept literal object")
+	}
+	if H4LiteralObject(pat(t, `?s <http://p> <http://o>`)) {
+		t.Error("H4 should reject URI object")
+	}
+	if H4LiteralObject(pat(t, `?s <http://p> ?o`)) {
+		t.Error("H4 should reject variable object")
+	}
+}
+
+func TestH5(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c . ?b <http://r> ?u }`)
+	// Pattern 0 has projection var a and shared b; pattern 2 has b + unused u.
+	if got := H5ProjectionVars(q, q.Patterns[0]); got != 1 {
+		t.Errorf("H5ProjectionVars(tp0) = %d, want 1", got)
+	}
+	if got := H5ProjectionVars(q, q.Patterns[2]); got != 0 {
+		t.Errorf("H5ProjectionVars(tp2) = %d, want 0", got)
+	}
+	if got := H5UnusedVars(q, q.Patterns[2]); got != 1 {
+		t.Errorf("H5UnusedVars(tp2) = %d, want 1 (?u)", got)
+	}
+	if got := H5UnusedVars(q, q.Patterns[0]); got != 0 {
+		t.Errorf("H5UnusedVars(tp0) = %d, want 0", got)
+	}
+}
+
+func TestSelectOrdering(t *testing.T) {
+	tests := []struct {
+		src  string
+		want store.Ordering
+	}{
+		{`<http://s> <http://p> ?o`, store.SPO},
+		{`<http://s> ?p <http://o>`, store.SOP},
+		{`?s <http://p> <http://o>`, store.OPS},
+		{`<http://s> ?p ?o`, store.SPO},
+		{`?s <http://p> ?o`, store.PSO},
+		{`?s ?p <http://o>`, store.OSP},
+		{`?s ?p ?o`, store.SPO},
+		// A fully bound pattern is a point lookup; the s,o,p constant
+		// precedence yields sop.
+		{`<http://s> <http://p> <http://o>`, store.SOP},
+	}
+	for _, tt := range tests {
+		if got := SelectOrdering(pat(t, tt.src)); got != tt.want {
+			t.Errorf("SelectOrdering(%s) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestH1RankTotalOrder: ranks are stable under sorting — sorting by
+// H1Less yields a deterministic, H1-consistent sequence.
+func TestH1RankTotalOrder(t *testing.T) {
+	srcs := []string{
+		`?s ?p ?o`,
+		`<http://s> <http://p> "x"`,
+		`?s rdf:type <http://T>`,
+		`?s <http://p> "x"`,
+		`<http://s> <http://p> ?o`,
+	}
+	var ps []sparql.TriplePattern
+	for _, s := range srcs {
+		ps = append(ps, pat(t, s))
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return Default.H1Less(ps[i], ps[j]) })
+	for i := 0; i+1 < len(ps); i++ {
+		if Default.H1Rank(ps[i]) > Default.H1Rank(ps[i+1]) {
+			t.Errorf("sorted sequence violates H1 at %d", i)
+		}
+	}
+	if ps[0].NumConstants() != 3 {
+		t.Errorf("most selective should be the 3-constant pattern, got %v", ps[0])
+	}
+	if ps[len(ps)-1].NumVarSlots() != 3 {
+		t.Errorf("least selective should be the all-var pattern, got %v", ps[len(ps)-1])
+	}
+}

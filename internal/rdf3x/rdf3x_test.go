@@ -1,0 +1,178 @@
+package rdf3x
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func randomColumnStore(seed int64, n, domain int) *store.Store {
+	rng := rand.New(rand.NewSource(seed))
+	b := store.NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		b.AddIDs(
+			dict.ID(rng.Intn(domain)+1),
+			dict.ID(rng.Intn(domain/4+1)+1),
+			dict.ID(rng.Intn(domain)+1),
+		)
+	}
+	return b.Build()
+}
+
+func TestPairForAndPairOf(t *testing.T) {
+	for p := Pair(0); p < NumPairs; p++ {
+		perm := p.Perm()
+		got, err := PairFor(perm[0], perm[1])
+		if err != nil || got != p {
+			t.Errorf("PairFor(%v) = %v,%v", perm, got, err)
+		}
+		name := perm[0].String() + perm[1].String()
+		if p.String() != name {
+			t.Errorf("Pair %v name = %q, want %q", p, p.String(), name)
+		}
+	}
+	if _, err := PairFor(store.S, store.S); err == nil {
+		t.Error("PairFor(S,S) succeeded")
+	}
+	if got := PairOf(store.POS); got != PO {
+		t.Errorf("PairOf(POS) = %v, want PO", got)
+	}
+	if got := PairOf(store.SPO); got != SP {
+		t.Errorf("PairOf(SPO) = %v, want SP", got)
+	}
+}
+
+// TestCountsMatchColumnStore: property — every count answered by the
+// RDF-3X indexes (one-value, aggregated, full) equals the column store's
+// binary-search count, for every ordering and prefix length.
+func TestCountsMatchColumnStore(t *testing.T) {
+	f := func(seed int64, v1, v2, v3 uint16) bool {
+		cs := randomColumnStore(seed, 250, 30)
+		rs, err := Build(cs)
+		if err != nil {
+			return false
+		}
+		if rs.NumTriples() != cs.NumTriples() {
+			return false
+		}
+		vals := []dict.ID{dict.ID(v1%35 + 1), dict.ID(v2%35 + 1), dict.ID(v3%35 + 1)}
+		for o := store.Ordering(0); o < store.NumOrderings; o++ {
+			for plen := 0; plen <= 3; plen++ {
+				if rs.Count(o, vals[:plen]) != cs.Count(o, vals[:plen]) {
+					return false
+				}
+			}
+			for plen := 0; plen <= 2; plen++ {
+				if rs.DistinctInRange(o, vals[:plen]) != cs.DistinctInRange(o, vals[:plen]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanMatchesColumnStore: property — full-index scans decompress to
+// exactly the column store's sorted range, in order.
+func TestScanMatchesColumnStore(t *testing.T) {
+	f := func(seed int64, rawOrd uint8, v1 uint16) bool {
+		cs := randomColumnStore(seed, 200, 20)
+		rs, err := Build(cs)
+		if err != nil {
+			return false
+		}
+		o := store.Ordering(rawOrd % store.NumOrderings)
+		perm := o.Perm()
+		for _, prefix := range [][]dict.ID{nil, {dict.ID(v1%25 + 1)}} {
+			lo, hi := cs.Range(o, prefix)
+			sc := rs.Scan(o, prefix)
+			for i := lo; i < hi; i++ {
+				e, ok := sc.Next()
+				if !ok {
+					return false
+				}
+				tr := cs.Rel(o)[i]
+				if e.Key[0] != tr[perm[0]] || e.Key[1] != tr[perm[1]] || e.Key[2] != tr[perm[2]] {
+					return false
+				}
+			}
+			if _, ok := sc.Next(); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanAggregated(t *testing.T) {
+	cs := randomColumnStore(7, 300, 15)
+	rs, err := Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of PO-pair counts must equal the total triple count, and each
+	// pair's payload must match the column store.
+	sum := 0
+	sc := rs.ScanAggregated(PO, nil)
+	for {
+		e, ok := sc.Next()
+		if !ok {
+			break
+		}
+		sum += int(e.Payload)
+		if got := cs.Count(store.POS, []dict.ID{e.Key[0], e.Key[1]}); got != int(e.Payload) {
+			t.Fatalf("pair (%d,%d) payload %d, column store says %d", e.Key[0], e.Key[1], e.Payload, got)
+		}
+	}
+	if sum != cs.NumTriples() {
+		t.Errorf("aggregated counts sum to %d, want %d", sum, cs.NumTriples())
+	}
+}
+
+func TestCountConstant(t *testing.T) {
+	cs := randomColumnStore(11, 200, 10)
+	rs, err := Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := dict.ID(1); id <= 12; id++ {
+		for _, pos := range []store.Pos{store.S, store.P, store.O} {
+			var o store.Ordering
+			switch pos {
+			case store.S:
+				o = store.SPO
+			case store.P:
+				o = store.PSO
+			default:
+				o = store.OSP
+			}
+			if got, want := rs.CountConstant(pos, id), cs.Count(o, []dict.ID{id}); got != want {
+				t.Fatalf("CountConstant(%v,%d) = %d, want %d", pos, id, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexBytesCompression(t *testing.T) {
+	cs := randomColumnStore(3, 5000, 400)
+	rs, err := Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "the size of the indexes does not exceed the size of the
+	// dataset". Uncompressed six orderings cost 6*24 bytes per triple;
+	// all fifteen compressed indexes together should stay well under that.
+	uncompressed := 6 * 24 * cs.NumTriples()
+	if rs.IndexBytes() >= uncompressed {
+		t.Errorf("compressed indexes %d B >= uncompressed %d B", rs.IndexBytes(), uncompressed)
+	}
+}

@@ -1,0 +1,154 @@
+// Package sp2bench provides a deterministic, scaled-down generator of
+// the SP²Bench dataset shape (Schmidt et al., ICDE 2009 — the paper's
+// synthetic workload) together with the ten SP²Bench-derived queries of
+// the paper's evaluation (SP1–SP6 with variants).
+//
+// The generator reproduces the schema structure the queries touch —
+// journals, articles, inproceedings, proceedings and persons carrying
+// the dc/dcterms/swrc/foaf/bench properties — with the relative
+// selectivities that drive the paper's observations: rdf:type is by far
+// the most common predicate, titles are unique literals, years come
+// from a small domain, and articles never carry an ISBN (so SP3c is
+// empty, as on the real dataset).
+package sp2bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Vocabulary IRIs (the SP²Bench namespaces).
+const (
+	NSBench   = "http://localhost/vocabulary/bench/"
+	NSDC      = "http://purl.org/dc/elements/1.1/"
+	NSDCTerms = "http://purl.org/dc/terms/"
+	NSFoaf    = "http://xmlns.com/foaf/0.1/"
+	NSSwrc    = "http://swrc.ontoware.org/ontology#"
+	NSRDFS    = "http://www.w3.org/2000/01/rdf-schema#"
+	NSData    = "http://localhost/publications/"
+
+	TypeJournal       = NSBench + "Journal"
+	TypeArticle       = NSBench + "Article"
+	TypeInproceedings = NSBench + "Inproceedings"
+	TypeProceedings   = NSBench + "Proceedings"
+	TypePerson        = NSFoaf + "Person"
+	PredTitle         = NSDC + "title"
+	PredCreator       = NSDC + "creator"
+	PredIssued        = NSDCTerms + "issued"
+	PredRevised       = NSDCTerms + "revised"
+	PredPartOf        = NSDCTerms + "partOf"
+	PredSeeAlso       = NSRDFS + "seeAlso"
+	PredPages         = NSSwrc + "pages"
+	PredMonth         = NSSwrc + "month"
+	PredISBN          = NSSwrc + "isbn"
+	PredJournalOf     = NSSwrc + "journal"
+	PredHomepage      = NSFoaf + "homepage"
+	PredName          = NSFoaf + "name"
+	PredBooktitle     = NSBench + "booktitle"
+	PredAbstract      = NSBench + "abstract"
+	PredCdrom         = NSBench + "cdrom"
+)
+
+// Generate produces approximately `scale` triples of SP²Bench-shaped
+// data into a fresh column store. The output is deterministic for a
+// given (scale, seed) pair.
+func Generate(scale int, seed int64) *store.Store {
+	b := store.NewBuilder(nil)
+	GenerateInto(b, scale, seed)
+	return b.Build()
+}
+
+// GenerateInto emits the dataset into an existing builder.
+func GenerateInto(b *store.Builder, scale int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	iri := func(s string) rdf.Term { return rdf.NewIRI(s) }
+	lit := func(s string) rdf.Term { return rdf.NewLiteral(s) }
+	typ := iri(sparql.RDFType)
+	add := func(s, p, o rdf.Term) { b.Add(rdf.Triple{S: s, P: p, O: o}) }
+
+	// Budget: an article costs ~7 triples, an inproceedings ~10, a
+	// journal ~4, a person ~2. Solve roughly for the requested scale.
+	unit := scale / 24
+	if unit < 1 {
+		unit = 1
+	}
+	nYears := 25
+	nJournals := unit // one journal per year-slot group
+	nArticles := unit * 2
+	nInproc := unit
+	nProc := unit / 2
+	if nProc < 1 {
+		nProc = 1
+	}
+	nPersons := unit * 2
+
+	year := func(i int) string { return fmt.Sprintf("%d", 1940+i%nYears) }
+
+	persons := make([]rdf.Term, nPersons)
+	for i := range persons {
+		persons[i] = iri(fmt.Sprintf("%sperson/P%d", NSData, i))
+		add(persons[i], typ, iri(TypePerson))
+		add(persons[i], iri(PredName), lit(fmt.Sprintf("Person %d", i)))
+		if i%7 == 0 {
+			add(persons[i], iri(PredHomepage), iri(fmt.Sprintf("http://www.person%d.example.org/", i)))
+		}
+	}
+
+	journals := make([]rdf.Term, nJournals)
+	for i := range journals {
+		journals[i] = iri(fmt.Sprintf("%sjournal/Journal%d/%s", NSData, i/nYears+1, year(i)))
+		add(journals[i], typ, iri(TypeJournal))
+		add(journals[i], iri(PredTitle), lit(fmt.Sprintf("Journal %d (%s)", i/nYears+1, year(i))))
+		add(journals[i], iri(PredIssued), lit(year(i)))
+		if i%5 == 0 {
+			add(journals[i], iri(PredRevised), lit(year(i+2)))
+		}
+	}
+
+	proceedings := make([]rdf.Term, nProc)
+	for i := range proceedings {
+		proceedings[i] = iri(fmt.Sprintf("%sproc/Proceeding%d/%s", NSData, i+1, year(i)))
+		add(proceedings[i], typ, iri(TypeProceedings))
+		add(proceedings[i], iri(PredIssued), lit(year(i)))
+		// Proceedings carry ISBNs (query SP5); articles never do (SP3c).
+		add(proceedings[i], iri(PredISBN), lit(fmt.Sprintf("1-58113-%03d-%d", i%1000, i%10)))
+	}
+
+	for i := 0; i < nArticles; i++ {
+		a := iri(fmt.Sprintf("%sarticle/A%d", NSData, i))
+		add(a, typ, iri(TypeArticle))
+		add(a, iri(PredTitle), lit(fmt.Sprintf("Article %d", i)))
+		add(a, iri(PredCreator), persons[rng.Intn(nPersons)])
+		add(a, iri(PredIssued), lit(year(rng.Intn(nYears))))
+		add(a, iri(PredPages), lit(fmt.Sprintf("%d", rng.Intn(400)+1)))
+		add(a, iri(PredJournalOf), journals[rng.Intn(nJournals)])
+		if i%3 == 0 {
+			add(a, iri(PredMonth), lit(fmt.Sprintf("%d", rng.Intn(12)+1)))
+		}
+		if i%11 == 0 {
+			add(a, iri(PredCdrom), lit("cdrom"))
+		}
+	}
+
+	for i := 0; i < nInproc; i++ {
+		ip := iri(fmt.Sprintf("%sinproc/Inproceeding%d", NSData, i))
+		add(ip, typ, iri(TypeInproceedings))
+		add(ip, iri(PredCreator), persons[rng.Intn(nPersons)])
+		add(ip, iri(PredBooktitle), lit(fmt.Sprintf("Proceedings of Conference %d", i%40)))
+		add(ip, iri(PredTitle), lit(fmt.Sprintf("Inproceeding %d", i)))
+		add(ip, iri(PredPartOf), proceedings[rng.Intn(nProc)])
+		add(ip, iri(PredSeeAlso), iri(fmt.Sprintf("http://www.conf%d.example.org/paper%d", i%40, i)))
+		add(ip, iri(PredPages), lit(fmt.Sprintf("%d", rng.Intn(400)+1)))
+		add(ip, iri(PredHomepage), iri(fmt.Sprintf("http://www.inproc%d.example.org/", i)))
+		add(ip, iri(PredIssued), lit(year(rng.Intn(nYears))))
+		// Like the real dataset, only some inproceedings carry an
+		// abstract — which is why SP²Bench Q2 queries it with OPTIONAL.
+		if i%3 != 0 {
+			add(ip, iri(PredAbstract), lit(fmt.Sprintf("Abstract of inproceeding %d", i)))
+		}
+	}
+}

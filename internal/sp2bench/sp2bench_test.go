@@ -1,0 +1,154 @@
+package sp2bench
+
+import (
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(2000, 1)
+	b := Generate(2000, 1)
+	if a.NumTriples() != b.NumTriples() {
+		t.Fatalf("non-deterministic triple count: %d vs %d", a.NumTriples(), b.NumTriples())
+	}
+	for i, tr := range a.Rel(0) {
+		bt := b.Rel(0)[i]
+		if a.Dict().Term(tr[0]) != b.Dict().Term(bt[0]) ||
+			a.Dict().Term(tr[1]) != b.Dict().Term(bt[1]) ||
+			a.Dict().Term(tr[2]) != b.Dict().Term(bt[2]) {
+			t.Fatalf("triple %d differs between runs", i)
+		}
+	}
+	c := Generate(2000, 2)
+	if c.NumTriples() == 0 {
+		t.Fatal("seed 2 generated nothing")
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	for _, scale := range []int{500, 5000, 50000} {
+		st := Generate(scale, 1)
+		n := st.NumTriples()
+		if n < scale/2 || n > scale*2 {
+			t.Errorf("scale %d produced %d triples (outside [%d,%d])", scale, n, scale/2, scale*2)
+		}
+	}
+}
+
+// expectedTable2 holds the paper's Table 2 column for each query; cells
+// where the published numbers are internally inconsistent with any
+// reconstructable query carry our value with the paper's in a comment
+// (see EXPERIMENTS.md).
+var expectedTable2 = map[string]sparql.Characteristics{
+	"SP1": {TriplePatterns: 3, Vars: 2, ProjectionVars: 2, SharedVars: 1,
+		TPsWithNConsts: [4]int{0, 1, 2, 0}, Joins: 2, MaxStar: 2,
+		JoinPatterns: mkJoins(sparql.JoinSS, 2)},
+	"SP2a": {TriplePatterns: 10, Vars: 10, ProjectionVars: 1, SharedVars: 1,
+		TPsWithNConsts: [4]int{0, 9, 1, 0}, Joins: 9, MaxStar: 9,
+		JoinPatterns: mkJoins(sparql.JoinSS, 9)},
+	"SP2b": {TriplePatterns: 8, Vars: 8, ProjectionVars: 1, SharedVars: 1,
+		TPsWithNConsts: [4]int{0, 7, 1, 0}, Joins: 7, MaxStar: 7,
+		JoinPatterns: mkJoins(sparql.JoinSS, 7)},
+	// SP3 characteristics are measured after HSP's filter rewriting
+	// ("SP3(a,b,c)_2" in the paper).
+	"SP3a": {TriplePatterns: 2, Vars: 2, ProjectionVars: 1, SharedVars: 1,
+		TPsWithNConsts: [4]int{0, 1, 1, 0}, Joins: 1, MaxStar: 1,
+		JoinPatterns: mkJoins(sparql.JoinSS, 1)},
+	"SP4a": {TriplePatterns: 6, Vars: 5, ProjectionVars: 2, SharedVars: 5,
+		TPsWithNConsts: [4]int{0, 4, 2, 0}, Joins: 5, MaxStar: 1,
+		JoinPatterns: addJoins(mkJoins(sparql.JoinSS, 2), sparql.JoinSO, 2, sparql.JoinOO, 1)},
+	// SP4b: the paper prints 5 vars / 4 shared; the reconstructable Q5b
+	// has 4 vars / 3 shared (see DESIGN.md §4).
+	"SP4b": {TriplePatterns: 5, Vars: 4, ProjectionVars: 2, SharedVars: 3,
+		TPsWithNConsts: [4]int{0, 3, 2, 0}, Joins: 4, MaxStar: 2,
+		JoinPatterns: addJoins(mkJoins(sparql.JoinSS, 2), sparql.JoinSO, 2)},
+	"SP5": {TriplePatterns: 1, Vars: 2, ProjectionVars: 2, SharedVars: 0,
+		TPsWithNConsts: [4]int{0, 1, 0, 0}},
+	"SP6": {TriplePatterns: 1, Vars: 1, ProjectionVars: 1, SharedVars: 0,
+		TPsWithNConsts: [4]int{0, 0, 1, 0}},
+}
+
+func mkJoins(k sparql.JoinKind, n int) [sparql.NumJoinKinds]int {
+	var out [sparql.NumJoinKinds]int
+	out[k] = n
+	return out
+}
+
+func addJoins(base [sparql.NumJoinKinds]int, kvs ...interface{}) [sparql.NumJoinKinds]int {
+	for i := 0; i < len(kvs); i += 2 {
+		base[kvs[i].(sparql.JoinKind)] += kvs[i+1].(int)
+	}
+	return base
+}
+
+// TestTable2Characteristics validates the reconstructed queries against
+// the paper's Table 2 (SP²Bench side).
+func TestTable2Characteristics(t *testing.T) {
+	for _, q := range Queries() {
+		want, ok := expectedTable2[q.Name]
+		if !ok {
+			// SP3b/c share SP3a's column.
+			if q.Name == "SP3b" || q.Name == "SP3c" {
+				want = expectedTable2["SP3a"]
+			} else {
+				continue
+			}
+		}
+		parsed, err := sparql.Parse(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		rewritten, _ := sparql.RewriteFilters(parsed)
+		got := sparql.Analyze(rewritten)
+		if got != want {
+			t.Errorf("%s characteristics:\ngot  %+v\nwant %+v", q.Name, got, want)
+		}
+	}
+}
+
+// TestWorkloadResults runs the whole workload through HSP on generated
+// data and checks the expected result-size relationships.
+func TestWorkloadResults(t *testing.T) {
+	st := Generate(8000, 1)
+	eng := exec.New(exec.ColumnSource{St: st})
+	counts := map[string]int{}
+	for _, q := range Queries() {
+		parsed, err := sparql.Parse(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		plan, err := core.NewPlanner().Plan(parsed)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", q.Name, err)
+		}
+		res, err := eng.Execute(plan)
+		if err != nil {
+			t.Fatalf("%s: exec: %v", q.Name, err)
+		}
+		counts[q.Name] = res.Len()
+	}
+	if counts["SP1"] != 1 {
+		t.Errorf("SP1 results = %d, want exactly 1 (unique title)", counts["SP1"])
+	}
+	for _, name := range []string{"SP2a", "SP2b", "SP3a", "SP3b", "SP4a", "SP4b", "SP5", "SP6"} {
+		if counts[name] == 0 {
+			t.Errorf("%s returned no results", name)
+		}
+	}
+	if counts["SP3c"] != 0 {
+		t.Errorf("SP3c results = %d, want 0 (articles have no ISBN)", counts["SP3c"])
+	}
+	if counts["SP3b"] >= counts["SP3a"] {
+		t.Errorf("SP3b (%d) should be more selective than SP3a (%d)", counts["SP3b"], counts["SP3a"])
+	}
+	if counts["SP5"] >= counts["SP6"] {
+		t.Errorf("SP5 (%d) must be smaller than SP6 (%d) — the paper's decompression discussion depends on it",
+			counts["SP5"], counts["SP6"])
+	}
+	if counts["SP2b"] < counts["SP2a"] {
+		t.Errorf("SP2b (%d) is a relaxation of SP2a (%d)", counts["SP2b"], counts["SP2a"])
+	}
+}

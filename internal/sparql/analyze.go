@@ -1,0 +1,127 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// JoinKind names the positional join patterns of HEURISTIC 2.
+type JoinKind uint8
+
+// The six join kinds, in the precedence order of HEURISTIC 2
+// (p⋈o ≺ s⋈p ≺ s⋈o ≺ o⋈o ≺ s⋈s ≺ p⋈p, most selective first).
+const (
+	JoinPO JoinKind = iota
+	JoinSP
+	JoinSO
+	JoinOO
+	JoinSS
+	JoinPP
+	NumJoinKinds = 6
+)
+
+var joinKindNames = [NumJoinKinds]string{"p=o", "s=p", "s=o", "o=o", "s=s", "p=p"}
+
+// String returns the conventional spelling, e.g. "s=o".
+func (k JoinKind) String() string { return joinKindNames[k] }
+
+// JoinKindOf returns the kind for a join between positions a and b.
+func JoinKindOf(a, b store.Pos) JoinKind {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == store.S && b == store.S:
+		return JoinSS
+	case a == store.P && b == store.P:
+		return JoinPP
+	case a == store.O && b == store.O:
+		return JoinOO
+	case a == store.S && b == store.P:
+		return JoinSP
+	case a == store.S && b == store.O:
+		return JoinSO
+	default:
+		return JoinPO
+	}
+}
+
+// Characteristics are the per-query statistics of Table 2.
+type Characteristics struct {
+	TriplePatterns int
+	Vars           int
+	ProjectionVars int
+	SharedVars     int
+	TPsWithNConsts [4]int // indexed by constant count 0..3
+	Joins          int
+	MaxStar        int // triple patterns in the largest star, minus one
+	JoinPatterns   [NumJoinKinds]int
+}
+
+// Analyze computes the Table 2 characteristics of a query.
+//
+// Joins are counted as in the paper: a variable occurring in k patterns
+// participates in k-1 joins ("the weight of the variable minus 1
+// captures the number of joins this variable participates in"). Join
+// kinds are assigned by anchoring each variable's star at one occurrence
+// (a subject occurrence when it has one, else predicate, else object)
+// and pairing every other occurrence with the anchor; this reproduces
+// every join-pattern cell of Table 2.
+func Analyze(q *Query) Characteristics {
+	var c Characteristics
+	c.TriplePatterns = len(q.Patterns)
+	c.Vars = len(q.Vars())
+	c.ProjectionVars = len(q.ProjectedVars())
+	for _, tp := range q.Patterns {
+		c.TPsWithNConsts[tp.NumConstants()]++
+	}
+	for _, v := range q.SharedVars() {
+		var positions []store.Pos
+		for _, tp := range q.Patterns {
+			positions = append(positions, tp.Positions(v)...)
+		}
+		c.SharedVars++
+		c.Joins += len(positions) - 1
+		if len(positions)-1 > c.MaxStar {
+			c.MaxStar = len(positions) - 1
+		}
+		anchor := positions[0]
+		anchorIdx := 0
+		for i, p := range positions {
+			if p < anchor { // store.S < store.P < store.O
+				anchor = p
+				anchorIdx = i
+			}
+		}
+		for i, p := range positions {
+			if i == anchorIdx {
+				continue
+			}
+			c.JoinPatterns[JoinKindOf(anchor, p)]++
+		}
+	}
+	return c
+}
+
+// String renders the characteristics as the rows of Table 2.
+func (c Characteristics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Triple Patterns      %d\n", c.TriplePatterns)
+	fmt.Fprintf(&b, "# Variables            %d\n", c.Vars)
+	fmt.Fprintf(&b, "# Projection Variables %d\n", c.ProjectionVars)
+	fmt.Fprintf(&b, "# Shared vars          %d\n", c.SharedVars)
+	for n := 0; n <= 2; n++ {
+		fmt.Fprintf(&b, "# TPs with %d const     %d\n", n, c.TPsWithNConsts[n])
+	}
+	fmt.Fprintf(&b, "# Joins                %d\n", c.Joins)
+	fmt.Fprintf(&b, "Maximum star join      %d\n", c.MaxStar)
+	fmt.Fprintf(&b, "# s = s                %d\n", c.JoinPatterns[JoinSS])
+	fmt.Fprintf(&b, "# p = p                %d\n", c.JoinPatterns[JoinPP])
+	fmt.Fprintf(&b, "# o = o                %d\n", c.JoinPatterns[JoinOO])
+	fmt.Fprintf(&b, "# s = p                %d\n", c.JoinPatterns[JoinSP])
+	fmt.Fprintf(&b, "# s = o                %d\n", c.JoinPatterns[JoinSO])
+	fmt.Fprintf(&b, "# p = o                %d", c.JoinPatterns[JoinPO])
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// yagoPrefix declares the prefixes used by the reconstructed YAGO queries.
+const yagoPrefix = `
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX y:    <http://yago/>
+PREFIX wn:   <http://wordnet/>
+`
+
+// y2Source is YAGO query Y2 exactly as printed in Table 9 of the paper.
+const y2Source = yagoPrefix + `
+SELECT ?a
+WHERE {?a rdf:type wn:wordnet_actor .
+       ?a y:livesIn ?city .
+       ?a y:actedIn ?m1 .
+       ?m1 rdf:type wn:wordnet_movie .
+       ?a y:directed ?m2 .
+       ?m2 rdf:type wn:wordnet_movie .
+}`
+
+// y3Source is YAGO query Y3 exactly as printed in Table 5 of the paper.
+const y3Source = yagoPrefix + `
+SELECT ?p
+WHERE {?p ?ss ?c1 .
+       ?p ?dd ?c2 .
+       ?c1 rdf:type wn:wordnet_village .
+       ?c1 y:locatedIn ?X .
+       ?c2 rdf:type wn:wordnet_site .
+       ?c2 y:locatedIn ?Y .
+}`
+
+func TestAnalyzeY2(t *testing.T) {
+	// Expected values from Table 2, column Y2.
+	c := Analyze(MustParse(y2Source))
+	if c.TriplePatterns != 6 {
+		t.Errorf("TPs = %d, want 6", c.TriplePatterns)
+	}
+	if c.Vars != 4 {
+		t.Errorf("vars = %d, want 4", c.Vars)
+	}
+	if c.ProjectionVars != 1 {
+		t.Errorf("proj = %d, want 1", c.ProjectionVars)
+	}
+	if c.SharedVars != 3 {
+		t.Errorf("shared = %d, want 3", c.SharedVars)
+	}
+	if c.TPsWithNConsts[1] != 3 || c.TPsWithNConsts[2] != 3 {
+		t.Errorf("const counts = %v, want 0/3/3", c.TPsWithNConsts)
+	}
+	if c.Joins != 5 {
+		t.Errorf("joins = %d, want 5", c.Joins)
+	}
+	if c.MaxStar != 3 {
+		t.Errorf("max star = %d, want 3", c.MaxStar)
+	}
+	if c.JoinPatterns[JoinSS] != 3 || c.JoinPatterns[JoinSO] != 2 {
+		t.Errorf("join patterns = %v, want s=s:3 s=o:2", c.JoinPatterns)
+	}
+}
+
+func TestAnalyzeY3(t *testing.T) {
+	// Expected values from Table 2, column Y3.
+	c := Analyze(MustParse(y3Source))
+	if c.TriplePatterns != 6 || c.Vars != 7 || c.ProjectionVars != 1 || c.SharedVars != 3 {
+		t.Errorf("tp/vars/proj/shared = %d/%d/%d/%d, want 6/7/1/3",
+			c.TriplePatterns, c.Vars, c.ProjectionVars, c.SharedVars)
+	}
+	if c.TPsWithNConsts[0] != 2 || c.TPsWithNConsts[1] != 2 || c.TPsWithNConsts[2] != 2 {
+		t.Errorf("const counts = %v, want 2/2/2", c.TPsWithNConsts)
+	}
+	if c.Joins != 5 || c.MaxStar != 2 {
+		t.Errorf("joins/maxstar = %d/%d, want 5/2", c.Joins, c.MaxStar)
+	}
+	if c.JoinPatterns[JoinSS] != 3 || c.JoinPatterns[JoinSO] != 2 || c.JoinPatterns[JoinPP] != 0 {
+		t.Errorf("join patterns = %v, want s=s:3 s=o:2", c.JoinPatterns)
+	}
+}
+
+func TestAnalyzeSelectionQuery(t *testing.T) {
+	c := Analyze(MustParse(`SELECT ?x { ?x a <http://bench/Article> }`))
+	if c.Joins != 0 || c.MaxStar != 0 || c.SharedVars != 0 {
+		t.Errorf("selection query has joins: %+v", c)
+	}
+	if c.TPsWithNConsts[2] != 1 {
+		t.Errorf("const counts = %v", c.TPsWithNConsts)
+	}
+}
+
+func TestAnalyzeOOJoin(t *testing.T) {
+	c := Analyze(MustParse(`SELECT ?a { ?x <http://p/1> ?a . ?y <http://p/2> ?a }`))
+	if c.JoinPatterns[JoinOO] != 1 || c.Joins != 1 {
+		t.Errorf("o=o join not detected: %+v", c)
+	}
+}
+
+func TestAnalyzePOJoin(t *testing.T) {
+	c := Analyze(MustParse(`SELECT ?a { ?x ?a ?y . ?z <http://p/1> ?a }`))
+	if c.JoinPatterns[JoinPO] != 1 {
+		t.Errorf("p=o join not detected: %+v", c)
+	}
+}
+
+func TestJoinKindOfSymmetry(t *testing.T) {
+	for _, a := range []struct{ x, y JoinKind }{} {
+		_ = a
+	}
+	pairs := []struct {
+		k    JoinKind
+		name string
+	}{
+		{JoinSS, "s=s"}, {JoinPP, "p=p"}, {JoinOO, "o=o"},
+		{JoinSP, "s=p"}, {JoinSO, "s=o"}, {JoinPO, "p=o"},
+	}
+	for _, p := range pairs {
+		if p.k.String() != p.name {
+			t.Errorf("%v.String() = %q, want %q", p.k, p.k.String(), p.name)
+		}
+	}
+}
+
+func TestCharacteristicsString(t *testing.T) {
+	s := Analyze(MustParse(y2Source)).String()
+	for _, want := range []string{"# Triple Patterns      6", "# s = s                3", "Maximum star join      3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+// Package sparql implements the SPARQL join-query dialect of the paper
+// (Definition 3): basic graph patterns of triple patterns joined by '.',
+// with SELECT/ASK projections, PREFIX declarations and simple comparison
+// FILTERs — plus the extension features the paper's Section 7 lists as
+// future work: OPTIONAL groups, top-level UNION branches, and the
+// ORDER BY / LIMIT / OFFSET solution modifiers.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// RDFType is the well-known rdf:type predicate IRI. HEURISTIC 1 treats
+// triple patterns whose predicate is rdf:type as non-selective.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// Var is a SPARQL variable name, stored without the leading '?'.
+type Var string
+
+// Node is one slot of a triple pattern: either a variable or an RDF term.
+type Node struct {
+	Var  Var      // non-empty iff the slot holds a variable
+	Term rdf.Term // the constant, when Var is empty
+}
+
+// NewVarNode returns a variable slot.
+func NewVarNode(v Var) Node { return Node{Var: v} }
+
+// NewTermNode returns a constant slot.
+func NewTermNode(t rdf.Term) Node { return Node{Term: t} }
+
+// IsVar reports whether the slot holds a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// String renders the slot in SPARQL syntax.
+func (n Node) String() string {
+	if n.IsVar() {
+		return "?" + string(n.Var)
+	}
+	return n.Term.String()
+}
+
+// TriplePattern is a SPARQL triple pattern (Definition 2).
+type TriplePattern struct {
+	S, P, O Node
+	// ID is the pattern's index within its query, stable across planner
+	// transformations; plans and figures reference patterns as "tpID".
+	ID int
+}
+
+// String renders the pattern in SPARQL syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// Slot returns the node at a triple position.
+func (tp TriplePattern) Slot(p store.Pos) Node {
+	switch p {
+	case store.S:
+		return tp.S
+	case store.P:
+		return tp.P
+	default:
+		return tp.O
+	}
+}
+
+// WithSlot returns a copy with position p replaced.
+func (tp TriplePattern) WithSlot(p store.Pos, n Node) TriplePattern {
+	switch p {
+	case store.S:
+		tp.S = n
+	case store.P:
+		tp.P = n
+	default:
+		tp.O = n
+	}
+	return tp
+}
+
+// Vars returns the distinct variables of the pattern in s,p,o order.
+func (tp TriplePattern) Vars() []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.IsVar() && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// HasVar reports whether v occurs in the pattern.
+func (tp TriplePattern) HasVar(v Var) bool {
+	return (tp.S.IsVar() && tp.S.Var == v) ||
+		(tp.P.IsVar() && tp.P.Var == v) ||
+		(tp.O.IsVar() && tp.O.Var == v)
+}
+
+// Positions returns the positions at which v occurs.
+func (tp TriplePattern) Positions(v Var) []store.Pos {
+	var out []store.Pos
+	for _, p := range []store.Pos{store.S, store.P, store.O} {
+		n := tp.Slot(p)
+		if n.IsVar() && n.Var == v {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumConstants returns the number of constant slots (0..3).
+func (tp TriplePattern) NumConstants() int {
+	n := 0
+	for _, p := range []store.Pos{store.S, store.P, store.O} {
+		if !tp.Slot(p).IsVar() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumVarSlots returns the number of variable slots (counting repeats).
+func (tp TriplePattern) NumVarSlots() int { return 3 - tp.NumConstants() }
+
+// IsTypePattern reports whether the predicate is the constant rdf:type,
+// the exception case of HEURISTIC 1.
+func (tp TriplePattern) IsTypePattern() bool {
+	return !tp.P.IsVar() && tp.P.Term.Kind == rdf.IRI && tp.P.Term.Value == RDFType
+}
+
+// CompareOp is a FILTER comparison operator.
+type CompareOp uint8
+
+// Supported FILTER comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = map[CompareOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// String returns the SPARQL spelling of the operator.
+func (op CompareOp) String() string { return opNames[op] }
+
+// Filter is a simple comparison FILTER over one or two variables.
+type Filter struct {
+	Left  Var
+	Op    CompareOp
+	Right Node // a variable or a constant
+}
+
+// String renders the filter in SPARQL syntax.
+func (f Filter) String() string {
+	return fmt.Sprintf("FILTER (?%s %s %s)", f.Left, f.Op, f.Right)
+}
+
+// Group is a nested graph pattern: the body of an OPTIONAL clause.
+type Group struct {
+	Patterns []TriplePattern
+	Filters  []Filter
+}
+
+// Vars returns the distinct variables of the group's patterns.
+func (g Group) Vars() []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, tp := range g.Patterns {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  Var
+	Desc bool
+}
+
+// Query is a SPARQL join query (Definition 3) plus projections,
+// filters, and the extension features the paper lists as future work
+// (Section 7): OPTIONAL groups, UNION branches and solution modifiers.
+type Query struct {
+	// Projection holds the SELECT variables in declaration order.
+	// Star indicates SELECT *.
+	Projection []Var
+	Star       bool
+	// Ask marks an ASK query: the answer is whether any solution
+	// exists. Ask queries project every variable internally.
+	Ask      bool
+	Distinct bool
+	Patterns []TriplePattern
+	Filters  []Filter
+	// Optionals are OPTIONAL groups, left-joined to the required
+	// patterns in declaration order.
+	Optionals []Group
+	// Union chains the next UNION branch, which shares this query's
+	// SELECT clause and solution modifiers.
+	Union *Query
+	// OrderBy lists ORDER BY keys; Limit < 0 means no LIMIT.
+	OrderBy []OrderKey
+	Limit   int
+	Offset  int
+	// Aliases maps projected variables that were removed by filter
+	// rewriting to the surviving variable carrying their binding.
+	Aliases map[Var]Var
+}
+
+// Vars returns all distinct variables of the query's patterns, in first
+// appearance order.
+func (q *Query) Vars() []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// VarWeight returns, for each variable, the number of triple patterns it
+// occurs in — the weight function β of the variable graph (Definition 4).
+func (q *Query) VarWeight() map[Var]int {
+	w := map[Var]int{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			w[v]++
+		}
+	}
+	return w
+}
+
+// SharedVars returns the variables occurring in at least two patterns
+// (the join variables), sorted for determinism.
+func (q *Query) SharedVars() []Var {
+	var out []Var
+	for v, w := range q.VarWeight() {
+		if w >= 2 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProjectedVars returns the effective projection: the declared variables
+// or, for SELECT *, every required and optional pattern variable.
+func (q *Query) ProjectedVars() []Var {
+	if q.Star {
+		return q.AllVars()
+	}
+	return q.Projection
+}
+
+// IsProjected reports whether v is part of the query answer.
+func (q *Query) IsProjected(v Var) bool {
+	if q.Star {
+		return true
+	}
+	for _, p := range q.Projection {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PatternsWith returns the patterns containing v.
+func (q *Query) PatternsWith(v Var) []TriplePattern {
+	var out []TriplePattern
+	for _, tp := range q.Patterns {
+		if tp.HasVar(v) {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// AllVars returns the distinct variables of the required patterns and
+// every optional group, in first appearance order.
+func (q *Query) AllVars() []Var {
+	out := q.Vars()
+	seen := map[Var]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, g := range q.Optionals {
+		for _, v := range g.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Branches flattens the UNION chain into its branch queries (a query
+// without UNION yields itself).
+func (q *Query) Branches() []*Query {
+	var out []*Query
+	for b := q; b != nil; b = b.Union {
+		out = append(out, b)
+	}
+	return out
+}
+
+// String renders the query in SPARQL syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	if q.Ask {
+		b.WriteString("ASK")
+	} else {
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if q.Star {
+			b.WriteString("*")
+		} else {
+			for i, v := range q.Projection {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				b.WriteString("?" + string(v))
+			}
+		}
+	}
+	b.WriteString("\nWHERE {\n")
+	branches := q.Branches()
+	for bi, br := range branches {
+		indent := "  "
+		if len(branches) > 1 {
+			if bi > 0 {
+				b.WriteString("  } UNION {\n")
+			} else {
+				b.WriteString("  {\n")
+			}
+			indent = "    "
+		}
+		for _, tp := range br.Patterns {
+			b.WriteString(indent + tp.String() + " .\n")
+		}
+		for _, f := range br.Filters {
+			b.WriteString(indent + f.String() + "\n")
+		}
+		for _, g := range br.Optionals {
+			b.WriteString(indent + "OPTIONAL {\n")
+			for _, tp := range g.Patterns {
+				b.WriteString(indent + "  " + tp.String() + " .\n")
+			}
+			for _, f := range g.Filters {
+				b.WriteString(indent + "  " + f.String() + "\n")
+			}
+			b.WriteString(indent + "}\n")
+		}
+	}
+	if len(branches) > 1 {
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}")
+	for _, k := range q.OrderBy {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		fmt.Fprintf(&b, "\nORDER BY %s(?%s)", dir, k.Var)
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "\nOFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: at least one pattern,
+// projection variables bound by some (required or optional) pattern,
+// filters referencing bound variables, patterns satisfying Definition 2
+// (no literal subjects or predicates), and consistent UNION branches.
+func (q *Query) Validate() error {
+	for _, br := range q.Branches() {
+		if err := br.validateBranch(); err != nil {
+			return err
+		}
+	}
+	for _, k := range q.OrderBy {
+		found := false
+		for _, v := range q.AllVars() {
+			if v == k.Var {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sparql: ORDER BY variable ?%s is not bound", k.Var)
+		}
+	}
+	return nil
+}
+
+func (q *Query) validateBranch() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("sparql: query has no triple patterns")
+	}
+	checkPattern := func(tp TriplePattern) error {
+		if !tp.S.IsVar() && tp.S.Term.Kind == rdf.Literal {
+			return fmt.Errorf("sparql: literal subject in pattern %s", tp)
+		}
+		if !tp.P.IsVar() && tp.P.Term.Kind != rdf.IRI {
+			return fmt.Errorf("sparql: non-IRI predicate in pattern %s", tp)
+		}
+		return nil
+	}
+	bound := map[Var]bool{}
+	for _, tp := range q.Patterns {
+		if err := checkPattern(tp); err != nil {
+			return err
+		}
+		for _, v := range tp.Vars() {
+			bound[v] = true
+		}
+	}
+	for _, g := range q.Optionals {
+		if len(g.Patterns) == 0 {
+			return fmt.Errorf("sparql: empty OPTIONAL group")
+		}
+		for _, tp := range g.Patterns {
+			if err := checkPattern(tp); err != nil {
+				return err
+			}
+			for _, v := range tp.Vars() {
+				bound[v] = true
+			}
+		}
+		for _, f := range g.Filters {
+			if !bound[f.Left] || (f.Right.IsVar() && !bound[f.Right.Var]) {
+				return fmt.Errorf("sparql: OPTIONAL filter %s references unbound variable", f)
+			}
+		}
+	}
+	if !q.Star {
+		for _, v := range q.Projection {
+			if !bound[v] {
+				if _, ok := q.Aliases[v]; ok {
+					continue
+				}
+				return fmt.Errorf("sparql: projected variable ?%s is not bound by any pattern", v)
+			}
+		}
+	}
+	for _, f := range q.Filters {
+		if !bound[f.Left] {
+			return fmt.Errorf("sparql: filter variable ?%s is not bound", f.Left)
+		}
+		if f.Right.IsVar() && !bound[f.Right.Var] {
+			return fmt.Errorf("sparql: filter variable ?%s is not bound", f.Right.Var)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the query (sharing nothing with the
+// original except term strings).
+func (q *Query) Clone() *Query {
+	cp := *q
+	cp.Projection = append([]Var(nil), q.Projection...)
+	cp.Patterns = append([]TriplePattern(nil), q.Patterns...)
+	cp.Filters = append([]Filter(nil), q.Filters...)
+	cp.OrderBy = append([]OrderKey(nil), q.OrderBy...)
+	cp.Optionals = nil
+	for _, g := range q.Optionals {
+		cp.Optionals = append(cp.Optionals, Group{
+			Patterns: append([]TriplePattern(nil), g.Patterns...),
+			Filters:  append([]Filter(nil), g.Filters...),
+		})
+	}
+	if q.Union != nil {
+		cp.Union = q.Union.Clone()
+	}
+	if q.Aliases != nil {
+		cp.Aliases = make(map[Var]Var, len(q.Aliases))
+		for k, v := range q.Aliases {
+			cp.Aliases[k] = v
+		}
+	}
+	return &cp
+}

@@ -1,0 +1,178 @@
+package sparql
+
+import "testing"
+
+// Tests for the paper's Section 7 extension features: OPTIONAL, UNION
+// and solution modifiers.
+
+func TestParseOptional(t *testing.T) {
+	// SP²Bench Q2's real shape: a star with one OPTIONAL property.
+	q, err := Parse(`
+		PREFIX bench: <http://localhost/vocabulary/bench/>
+		PREFIX dc:    <http://purl.org/dc/elements/1.1/>
+		SELECT ?inproc ?abstract
+		WHERE {
+			?inproc a bench:Inproceedings .
+			?inproc dc:creator ?author .
+			OPTIONAL { ?inproc bench:abstract ?abstract }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Errorf("required patterns = %d, want 2", len(q.Patterns))
+	}
+	if len(q.Optionals) != 1 || len(q.Optionals[0].Patterns) != 1 {
+		t.Fatalf("optionals = %+v", q.Optionals)
+	}
+	// Pattern IDs continue across the group.
+	if got := q.Optionals[0].Patterns[0].ID; got != 2 {
+		t.Errorf("optional pattern ID = %d, want 2", got)
+	}
+	// ?abstract is bound only optionally but still projectable.
+	if err := q.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if vs := q.AllVars(); len(vs) != 3 {
+		t.Errorf("AllVars = %v", vs)
+	}
+}
+
+func TestParseOptionalWithFilter(t *testing.T) {
+	q, err := Parse(`
+		SELECT ?s
+		WHERE {
+			?s <http://p/a> ?v .
+			OPTIONAL { ?s <http://p/b> ?w . FILTER (?w != "x") }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Optionals[0].Filters) != 1 {
+		t.Errorf("group filters = %v", q.Optionals[0].Filters)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q, err := Parse(`
+		SELECT ?x
+		WHERE {
+			{ ?x <http://p/a> "1" . ?x <http://p/b> ?y }
+			UNION
+			{ ?x <http://p/c> "2" }
+			UNION
+			{ ?x <http://p/d> ?z }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := q.Branches()
+	if len(branches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(branches))
+	}
+	if len(branches[0].Patterns) != 2 || len(branches[1].Patterns) != 1 {
+		t.Errorf("branch patterns = %d/%d", len(branches[0].Patterns), len(branches[1].Patterns))
+	}
+	for i, b := range branches {
+		if len(b.Projection) != 1 || b.Projection[0] != "x" {
+			t.Errorf("branch %d projection = %v (must inherit the SELECT clause)", i, b.Projection)
+		}
+		if err := b.validateBranch(); err != nil {
+			t.Errorf("branch %d: %v", i, err)
+		}
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	q, err := Parse(`
+		SELECT ?s ?v
+		WHERE { ?s <http://p/a> ?v }
+		ORDER BY DESC(?v) ?s
+		LIMIT 10
+		OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[0].Var != "v" ||
+		q.OrderBy[1].Desc || q.OrderBy[1].Var != "s" {
+		t.Errorf("OrderBy = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseNoModifiersDefaults(t *testing.T) {
+	q := MustParse(`SELECT ?s { ?s ?p ?o }`)
+	if q.Limit != -1 || q.Offset != 0 || len(q.OrderBy) != 0 {
+		t.Errorf("defaults = limit %d offset %d order %v", q.Limit, q.Offset, q.OrderBy)
+	}
+}
+
+func TestUnionStringRoundTrip(t *testing.T) {
+	q := MustParse(`
+		SELECT ?x
+		WHERE { { ?x <http://p/a> "1" } UNION { ?x <http://p/b> "2" } }
+		ORDER BY ?x LIMIT 3`)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", q.String(), err)
+	}
+	if len(q2.Branches()) != 2 || q2.Limit != 3 || len(q2.OrderBy) != 1 {
+		t.Errorf("round trip lost structure: %s", q2)
+	}
+}
+
+func TestOptionalStringRoundTrip(t *testing.T) {
+	q := MustParse(`
+		SELECT ?s
+		WHERE { ?s <http://p/a> ?v . OPTIONAL { ?s <http://p/b> ?w . FILTER (?w != "x") } }`)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", q.String(), err)
+	}
+	if len(q2.Optionals) != 1 || len(q2.Optionals[0].Filters) != 1 {
+		t.Errorf("round trip lost OPTIONAL: %s", q2)
+	}
+}
+
+func TestCloneDeepCopiesExtensions(t *testing.T) {
+	q := MustParse(`
+		SELECT ?x
+		WHERE { { ?x <http://p/a> ?y . OPTIONAL { ?x <http://p/b> ?z } } UNION { ?x <http://p/c> ?w } }
+		ORDER BY ?x`)
+	cp := q.Clone()
+	cp.Optionals[0].Patterns[0] = cp.Optionals[0].Patterns[0].WithSlot(0, NewVarNode("changed"))
+	cp.OrderBy[0].Var = "changed"
+	cp.Union.Patterns[0] = cp.Union.Patterns[0].WithSlot(0, NewVarNode("changed"))
+	if q.Optionals[0].Patterns[0].S.Var == "changed" ||
+		q.OrderBy[0].Var == "changed" ||
+		q.Union.Patterns[0].S.Var == "changed" {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestRewriteTouchesOptionals(t *testing.T) {
+	q := MustParse(`
+		SELECT ?s
+		WHERE { ?s <http://p/a> ?v . OPTIONAL { ?s <http://p/b> ?v2 . ?v2 <http://p/c> ?u } FILTER (?v = "k") }`)
+	rw, _ := RewriteFilters(q)
+	if len(rw.Filters) != 0 {
+		t.Fatalf("filter kept: %v", rw.Filters)
+	}
+	if rw.Patterns[0].O.IsVar() {
+		t.Error("constant not folded into required pattern")
+	}
+}
+
+func TestValidateOrderByUnbound(t *testing.T) {
+	q := MustParse(`SELECT ?s { ?s ?p ?o . OPTIONAL { ?s <http://q> ?w } }`)
+	q.OrderBy = []OrderKey{{Var: "w"}}
+	if err := q.Validate(); err != nil {
+		t.Errorf("ORDER BY over optional variable should validate: %v", err)
+	}
+	q.OrderBy = []OrderKey{{Var: "nope"}}
+	if err := q.Validate(); err == nil {
+		t.Error("ORDER BY over unbound variable accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tEOF     tokenKind = iota
+	tKeyword           // SELECT, WHERE, FILTER, PREFIX, DISTINCT
+	tVar               // ?name or $name (value without sigil)
+	tIRI               // <...> (value without brackets)
+	tPName             // prefix:local or prefix: (kept verbatim)
+	tString            // "..." with escapes resolved; @lang/^^<dt> kept verbatim
+	tNumber            // integer or decimal literal
+	tA                 // the keyword 'a' (rdf:type)
+	tLBrace
+	tRBrace
+	tLParen
+	tRParen
+	tDot
+	tComma
+	tStar
+	tOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tVar:
+		return "?" + t.val
+	case tIRI:
+		return "<" + t.val + ">"
+	default:
+		return t.val
+	}
+}
+
+// SyntaxError reports a SPARQL parse failure with line/column context.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.in); i++ {
+		if l.in[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "WHERE": true, "FILTER": true,
+	"PREFIX": true, "DISTINCT": true,
+	"OPTIONAL": true, "UNION": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "OFFSET": true,
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '{':
+		l.pos++
+		return token{tLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return token{tRBrace, "}", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tRParen, ")", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tDot, ".", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tComma, ",", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tStar, "*", start}, nil
+	case c == '?' || c == '$':
+		l.pos++
+		v := l.ident()
+		if v == "" {
+			return token{}, l.errf(start, "empty variable name")
+		}
+		return token{tVar, v, start}, nil
+	case c == '<':
+		// Either an IRI (<non-space up to '>') or a comparison operator.
+		if end := l.iriEnd(); end >= 0 {
+			v := l.in[l.pos+1 : end]
+			l.pos = end + 1
+			return token{tIRI, v, start}, nil
+		}
+		l.pos++
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{tOp, "<=", start}, nil
+		}
+		return token{tOp, "<", start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{tOp, ">=", start}, nil
+		}
+		return token{tOp, ">", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tOp, "=", start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{tOp, "!=", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '"':
+		return l.stringLit(start)
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+		return l.number(start)
+	default:
+		word := l.ident()
+		if word == "" {
+			return token{}, l.errf(start, "unexpected character %q", c)
+		}
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return token{tKeyword, upper, start}, nil
+		}
+		if word == "a" && (l.pos >= len(l.in) || l.in[l.pos] != ':') {
+			return token{tA, "a", start}, nil
+		}
+		// Prefixed name: word must contain or be followed by ':'.
+		if l.pos < len(l.in) && l.in[l.pos] == ':' {
+			l.pos++
+			local := l.ident()
+			return token{tPName, word + ":" + local, start}, nil
+		}
+		if i := strings.IndexByte(word, ':'); i >= 0 {
+			return token{tPName, word, start}, nil
+		}
+		return token{}, l.errf(start, "unexpected identifier %q (did you mean a prefixed name or ?variable?)", word)
+	}
+}
+
+// iriEnd returns the index of the closing '>' if the text at pos looks
+// like an IRI (no whitespace before '>'), else -1.
+func (l *lexer) iriEnd() int {
+	for i := l.pos + 1; i < len(l.in); i++ {
+		switch l.in[i] {
+		case '>':
+			return i
+		case ' ', '\t', '\n', '\r':
+			return -1
+		}
+	}
+	return -1
+}
+
+// ident consumes [A-Za-z0-9_.-]* allowing unicode letters; it stops
+// before ':' so prefixed names are assembled by the caller. Dots are
+// accepted only when surrounded by identifier characters (SPARQL local
+// names may contain them; a bare '.' is the join operator).
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.in) {
+		c := rune(l.in[l.pos])
+		if c == '.' {
+			// Lookahead: a dot is part of the identifier only if followed
+			// by an identifier character.
+			if l.pos+1 < len(l.in) {
+				nc := rune(l.in[l.pos+1])
+				if nc == '_' || nc == '-' || unicode.IsLetter(nc) || unicode.IsDigit(nc) {
+					l.pos++
+					continue
+				}
+			}
+			break
+		}
+		if c == '_' || c == '-' || unicode.IsLetter(c) || unicode.IsDigit(c) || c >= 0x80 {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.in[start:l.pos]
+}
+
+func (l *lexer) stringLit(start int) (token, error) {
+	var b strings.Builder
+	i := l.pos + 1
+	for {
+		if i >= len(l.in) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		c := l.in[i]
+		if c == '"' {
+			i++
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(l.in) {
+				return token{}, l.errf(start, "dangling escape")
+			}
+			i++
+			switch l.in[i] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return token{}, l.errf(start, "unknown escape \\%c", l.in[i])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	// Optional @lang or ^^<datatype>, preserved verbatim.
+	if i < len(l.in) && l.in[i] == '@' {
+		j := i + 1
+		for j < len(l.in) && (isAlnum(l.in[j]) || l.in[j] == '-') {
+			j++
+		}
+		b.WriteString(l.in[i:j])
+		i = j
+	} else if i+1 < len(l.in) && l.in[i] == '^' && l.in[i+1] == '^' {
+		if i+2 >= len(l.in) || l.in[i+2] != '<' {
+			return token{}, l.errf(start, "malformed datatype annotation")
+		}
+		end := strings.IndexByte(l.in[i+2:], '>')
+		if end < 0 {
+			return token{}, l.errf(start, "unterminated datatype IRI")
+		}
+		b.WriteString(l.in[i : i+2+end+1])
+		i += 2 + end + 1
+	}
+	l.pos = i
+	return token{tString, b.String(), start}, nil
+}
+
+func (l *lexer) number(start int) (token, error) {
+	i := l.pos
+	if l.in[i] == '-' {
+		i++
+	}
+	for i < len(l.in) && l.in[i] >= '0' && l.in[i] <= '9' {
+		i++
+	}
+	if i+1 < len(l.in) && l.in[i] == '.' && l.in[i+1] >= '0' && l.in[i+1] <= '9' {
+		i++
+		for i < len(l.in) && l.in[i] >= '0' && l.in[i] <= '9' {
+			i++
+		}
+	}
+	v := l.in[l.pos:i]
+	l.pos = i
+	return token{tNumber, v, start}, nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,477 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// Parse parses a SPARQL join query. The accepted grammar is:
+//
+//	query      := prefix* SELECT DISTINCT? projection WHERE? '{' body '}'
+//	prefix     := PREFIX pname: <iri>
+//	projection := '*' | ?var (','? ?var)*
+//	body       := (pattern | filter) ('.'? ...)*
+//	pattern    := term term term
+//	filter     := FILTER '(' ?var op (?var | constant) ')'
+//	term       := ?var | <iri> | pname:local | 'a' | "literal" | number
+//
+// matching the paper's join-query dialect (Definition 3) plus the simple
+// equality/comparison FILTERs used by the SP²Bench workload.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: &lexer{in: input}, prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known-good queries; it panics on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex      *lexer
+	tok      token
+	prefixes map[string]string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tKeyword || p.tok.val != kw {
+		return p.lex.errf(p.tok.pos, "expected %s, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) query() (*Query, error) {
+	for p.tok.kind == tKeyword && p.tok.val == "PREFIX" {
+		if err := p.prefixDecl(); err != nil {
+			return nil, err
+		}
+	}
+	q := &Query{}
+	if p.tok.kind == tKeyword && p.tok.val == "ASK" {
+		q.Ask = true
+		q.Star = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tKeyword && p.tok.val == "DISTINCT" {
+			q.Distinct = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind == tStar {
+			q.Star = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			for p.tok.kind == tVar || p.tok.kind == tComma {
+				if p.tok.kind == tVar {
+					q.Projection = append(q.Projection, Var(p.tok.val))
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if len(q.Projection) == 0 {
+				return nil, p.lex.errf(p.tok.pos, "SELECT clause lists no variables")
+			}
+		}
+	}
+	if p.tok.kind == tKeyword && p.tok.val == "WHERE" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tLBrace {
+		return nil, p.lex.errf(p.tok.pos, "expected '{', found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q.Limit = -1
+	if p.tok.kind == tLBrace {
+		// { { branch } UNION { branch } ... }
+		if err := p.unionBranches(q); err != nil {
+			return nil, err
+		}
+	} else if err := p.body(q); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tRBrace {
+		return nil, p.lex.errf(p.tok.pos, "expected '}', found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.modifiers(q); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.lex.errf(p.tok.pos, "unexpected %s after query", p.tok)
+	}
+	return q, nil
+}
+
+// unionBranches parses { body } (UNION { body })*, filling the head
+// query with the first branch and chaining the rest via Union. Every
+// branch shares the head's SELECT clause.
+func (p *parser) unionBranches(head *Query) error {
+	cur := head
+	for {
+		if p.tok.kind != tLBrace {
+			return p.lex.errf(p.tok.pos, "expected '{' opening UNION branch, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.body(cur); err != nil {
+			return err
+		}
+		if p.tok.kind != tRBrace {
+			return p.lex.errf(p.tok.pos, "expected '}' closing UNION branch, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if !(p.tok.kind == tKeyword && p.tok.val == "UNION") {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		next := &Query{
+			Projection: append([]Var(nil), head.Projection...),
+			Star:       head.Star,
+			Ask:        head.Ask,
+			Distinct:   head.Distinct,
+			Limit:      -1,
+		}
+		cur.Union = next
+		cur = next
+	}
+}
+
+// modifiers parses the solution modifiers ORDER BY, LIMIT and OFFSET.
+func (p *parser) modifiers(q *Query) error {
+	for p.tok.kind == tKeyword {
+		switch p.tok.val {
+		case "ORDER":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if !(p.tok.kind == tKeyword && p.tok.val == "BY") {
+				return p.lex.errf(p.tok.pos, "expected BY after ORDER, found %s", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.orderKeys(q); err != nil {
+				return err
+			}
+		case "LIMIT", "OFFSET":
+			kw := p.tok.val
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tNumber {
+				return p.lex.errf(p.tok.pos, "expected number after %s, found %s", kw, p.tok)
+			}
+			n, err := strconv.Atoi(p.tok.val)
+			if err != nil || n < 0 {
+				return p.lex.errf(p.tok.pos, "bad %s value %q", kw, p.tok.val)
+			}
+			if kw == "LIMIT" {
+				q.Limit = n
+			} else {
+				q.Offset = n
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return p.lex.errf(p.tok.pos, "unexpected %s after query", p.tok)
+		}
+	}
+	return nil
+}
+
+func (p *parser) orderKeys(q *Query) error {
+	for {
+		switch {
+		case p.tok.kind == tVar:
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.tok.val)})
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tKeyword && (p.tok.val == "ASC" || p.tok.val == "DESC"):
+			desc := p.tok.val == "DESC"
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tLParen {
+				return p.lex.errf(p.tok.pos, "expected '(' after ASC/DESC, found %s", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tVar {
+				return p.lex.errf(p.tok.pos, "expected variable in ORDER BY, found %s", p.tok)
+			}
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.tok.val), Desc: desc})
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tRParen {
+				return p.lex.errf(p.tok.pos, "expected ')' in ORDER BY, found %s", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			if len(q.OrderBy) == 0 {
+				return p.lex.errf(p.tok.pos, "ORDER BY lists no keys")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) prefixDecl() error {
+	if err := p.advance(); err != nil { // consume PREFIX
+		return err
+	}
+	if p.tok.kind != tPName || !strings.HasSuffix(p.tok.val, ":") {
+		return p.lex.errf(p.tok.pos, "expected prefix declaration name (e.g. rdf:), found %s", p.tok)
+	}
+	name := strings.TrimSuffix(p.tok.val, ":")
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tIRI {
+		return p.lex.errf(p.tok.pos, "expected IRI in prefix declaration, found %s", p.tok)
+	}
+	p.prefixes[name] = p.tok.val
+	return p.advance()
+}
+
+func (p *parser) body(q *Query) error {
+	nextID := 0
+	for {
+		switch {
+		case p.tok.kind == tRBrace:
+			return nil
+		case p.tok.kind == tDot:
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tKeyword && p.tok.val == "FILTER":
+			f, err := p.filter()
+			if err != nil {
+				return err
+			}
+			q.Filters = append(q.Filters, f)
+		case p.tok.kind == tKeyword && p.tok.val == "OPTIONAL":
+			g, err := p.optionalGroup(&nextID)
+			if err != nil {
+				return err
+			}
+			q.Optionals = append(q.Optionals, g)
+		case p.tok.kind == tKeyword:
+			return p.lex.errf(p.tok.pos, "unsupported SPARQL feature %s (this engine implements the paper's join-query dialect plus OPTIONAL/UNION)", p.tok.val)
+		default:
+			tp, err := p.triplePattern(nextID)
+			if err != nil {
+				return err
+			}
+			nextID++
+			q.Patterns = append(q.Patterns, tp)
+		}
+	}
+}
+
+// optionalGroup parses OPTIONAL { pattern* filter* }. Pattern IDs
+// continue the enclosing body's numbering so every pattern of a branch
+// is uniquely identified in plans.
+func (p *parser) optionalGroup(nextID *int) (Group, error) {
+	if err := p.advance(); err != nil { // consume OPTIONAL
+		return Group{}, err
+	}
+	if p.tok.kind != tLBrace {
+		return Group{}, p.lex.errf(p.tok.pos, "expected '{' after OPTIONAL, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return Group{}, err
+	}
+	var g Group
+	for {
+		switch {
+		case p.tok.kind == tRBrace:
+			if err := p.advance(); err != nil {
+				return Group{}, err
+			}
+			return g, nil
+		case p.tok.kind == tDot:
+			if err := p.advance(); err != nil {
+				return Group{}, err
+			}
+		case p.tok.kind == tKeyword && p.tok.val == "FILTER":
+			f, err := p.filter()
+			if err != nil {
+				return Group{}, err
+			}
+			g.Filters = append(g.Filters, f)
+		case p.tok.kind == tKeyword:
+			return Group{}, p.lex.errf(p.tok.pos, "unsupported feature %s inside OPTIONAL", p.tok.val)
+		default:
+			tp, err := p.triplePattern(*nextID)
+			if err != nil {
+				return Group{}, err
+			}
+			*nextID++
+			g.Patterns = append(g.Patterns, tp)
+		}
+	}
+}
+
+func (p *parser) triplePattern(id int) (TriplePattern, error) {
+	s, err := p.patternNode()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	pr, err := p.patternNode()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	o, err := p.patternNode()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	return TriplePattern{S: s, P: pr, O: o, ID: id}, nil
+}
+
+func (p *parser) patternNode() (Node, error) {
+	tok := p.tok
+	switch tok.kind {
+	case tVar:
+		if err := p.advance(); err != nil {
+			return Node{}, err
+		}
+		return NewVarNode(Var(tok.val)), nil
+	case tIRI:
+		if err := p.advance(); err != nil {
+			return Node{}, err
+		}
+		return NewTermNode(rdf.NewIRI(tok.val)), nil
+	case tPName:
+		iri, err := p.expandPName(tok)
+		if err != nil {
+			return Node{}, err
+		}
+		if err := p.advance(); err != nil {
+			return Node{}, err
+		}
+		return NewTermNode(rdf.NewIRI(iri)), nil
+	case tA:
+		if err := p.advance(); err != nil {
+			return Node{}, err
+		}
+		return NewTermNode(rdf.NewIRI(RDFType)), nil
+	case tString, tNumber:
+		if err := p.advance(); err != nil {
+			return Node{}, err
+		}
+		return NewTermNode(rdf.NewLiteral(tok.val)), nil
+	default:
+		return Node{}, p.lex.errf(tok.pos, "expected term or variable, found %s", tok)
+	}
+}
+
+func (p *parser) expandPName(tok token) (string, error) {
+	i := strings.IndexByte(tok.val, ':')
+	base, ok := p.prefixes[tok.val[:i]]
+	if !ok {
+		return "", p.lex.errf(tok.pos, "undeclared prefix %q", tok.val[:i])
+	}
+	return base + tok.val[i+1:], nil
+}
+
+func (p *parser) filter() (Filter, error) {
+	if err := p.advance(); err != nil { // consume FILTER
+		return Filter{}, err
+	}
+	if p.tok.kind != tLParen {
+		return Filter{}, p.lex.errf(p.tok.pos, "expected '(' after FILTER, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return Filter{}, err
+	}
+	if p.tok.kind != tVar {
+		return Filter{}, p.lex.errf(p.tok.pos, "FILTER must start with a variable, found %s", p.tok)
+	}
+	f := Filter{Left: Var(p.tok.val)}
+	if err := p.advance(); err != nil {
+		return Filter{}, err
+	}
+	if p.tok.kind != tOp {
+		return Filter{}, p.lex.errf(p.tok.pos, "expected comparison operator, found %s", p.tok)
+	}
+	switch p.tok.val {
+	case "=":
+		f.Op = OpEq
+	case "!=":
+		f.Op = OpNe
+	case "<":
+		f.Op = OpLt
+	case "<=":
+		f.Op = OpLe
+	case ">":
+		f.Op = OpGt
+	case ">=":
+		f.Op = OpGe
+	}
+	if err := p.advance(); err != nil {
+		return Filter{}, err
+	}
+	rhs, err := p.patternNode()
+	if err != nil {
+		return Filter{}, err
+	}
+	f.Right = rhs
+	if p.tok.kind != tRParen {
+		return Filter{}, p.lex.errf(p.tok.pos, "expected ')' closing FILTER, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return Filter{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,203 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// paperQuery is the example query from Section 3 of the paper.
+const paperQuery = `
+PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bench:   <http://localhost/vocabulary/bench/>
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?yr,?jrnl
+WHERE {?jrnl rdf:type bench:Journal .
+       ?jrnl dc:title "Journal 1 (1940)" .
+       ?jrnl dcterms:issued ?yr .
+       ?jrnl dcterms:revised ?rev .
+       FILTER (?rev="1942") }
+`
+
+func TestParsePaperExample(t *testing.T) {
+	q, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Patterns) != 4 {
+		t.Fatalf("patterns = %d, want 4", len(q.Patterns))
+	}
+	if got := q.Projection; len(got) != 2 || got[0] != "yr" || got[1] != "jrnl" {
+		t.Errorf("projection = %v", got)
+	}
+	if q.Patterns[0].P.Term.Value != RDFType {
+		t.Errorf("rdf:type not expanded: %q", q.Patterns[0].P.Term.Value)
+	}
+	if q.Patterns[1].O.Term != rdf.NewLiteral("Journal 1 (1940)") {
+		t.Errorf("literal object = %v", q.Patterns[1].O.Term)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %d, want 1", len(q.Filters))
+	}
+	f := q.Filters[0]
+	if f.Left != "rev" || f.Op != OpEq || f.Right.IsVar() || f.Right.Term.Value != "1942" {
+		t.Errorf("filter = %+v", f)
+	}
+	// Weights for the variable graph of Figure 1.
+	w := q.VarWeight()
+	if w["jrnl"] != 4 || w["yr"] != 1 || w["rev"] != 1 {
+		t.Errorf("weights = %v, want jrnl:4 yr:1 rev:1", w)
+	}
+}
+
+func TestParseShorthands(t *testing.T) {
+	q, err := Parse(`SELECT * { ?s a <http://ex/T> . ?s <http://ex/age> 42 }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !q.Star {
+		t.Error("SELECT * not recognised")
+	}
+	if q.Patterns[0].P.Term.Value != RDFType {
+		t.Errorf("'a' not expanded to rdf:type: %v", q.Patterns[0].P)
+	}
+	if q.Patterns[1].O.Term != rdf.NewLiteral("42") {
+		t.Errorf("number literal = %v", q.Patterns[1].O.Term)
+	}
+}
+
+func TestParseDistinctAndDollarVars(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT $x { $x <http://ex/p> "v" }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !q.Distinct || len(q.Projection) != 1 || q.Projection[0] != "x" {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestParseFilterVariants(t *testing.T) {
+	q, err := Parse(`SELECT ?x ?y {
+		?x <http://ex/p> ?y .
+		?x <http://ex/q> ?z .
+		FILTER (?y = ?z)
+		FILTER (?z != "b")
+		FILTER (?y < "m")
+		FILTER (?y >= "a")
+	}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ops := []CompareOp{OpEq, OpNe, OpLt, OpGe}
+	if len(q.Filters) != len(ops) {
+		t.Fatalf("filters = %d, want %d", len(q.Filters), len(ops))
+	}
+	for i, f := range q.Filters {
+		if f.Op != ops[i] {
+			t.Errorf("filter %d op = %v, want %v", i, f.Op, ops[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no select":          `{ ?s ?p ?o }`,
+		"no patterns":        `SELECT ?s { }`,
+		"unbound projection": `SELECT ?q { ?s ?p ?o }`,
+		"undeclared prefix":  `SELECT ?s { ?s foo:bar ?o }`,
+		"literal subject":    `SELECT ?o { "s" <http://p> ?o }`,
+		"literal predicate":  `SELECT ?o { <http://s> "p" ?o }`,
+		"construct":          `CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`,
+		"graph clause":       `SELECT ?s { GRAPH <http://g> { ?s ?p ?o } }`,
+		"empty optional":     `SELECT ?s { ?s ?p ?o OPTIONAL { } }`,
+		"optional no brace":  `SELECT ?s { ?s ?p ?o OPTIONAL ?s ?q ?r }`,
+		"union no brace":     `SELECT ?s { { ?s ?p ?o } UNION ?s ?q ?r }`,
+		"order by nothing":   `SELECT ?s { ?s ?p ?o } ORDER BY`,
+		"order unbound":      `SELECT ?s { ?s ?p ?o } ORDER BY ?zzz`,
+		"limit junk":         `SELECT ?s { ?s ?p ?o } LIMIT x`,
+		"trailing junk":      `SELECT ?s { ?s ?p ?o } extra`,
+		"unterminated":       `SELECT ?s { ?s ?p ?o`,
+		"empty variable":     `SELECT ? { ?s ?p ?o }`,
+		"filter not var":     `SELECT ?s { ?s ?p ?o FILTER ("a" = ?s) }`,
+		"filter unbound":     `SELECT ?s { ?s ?p ?o FILTER (?zz = "a") }`,
+		"unterminated str":   `SELECT ?s { ?s ?p "abc }`,
+		"bang alone":         `SELECT ?s { ?s ?p ?o FILTER (?s ! "a") }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("SELECT ?s\n{ ?s ?p }")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T (%v)", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("Line = %d, want 2", se.Line)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	q := MustParse(paperQuery)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", q.String(), err)
+	}
+	if len(q2.Patterns) != len(q.Patterns) || len(q2.Filters) != len(q.Filters) {
+		t.Errorf("round trip changed shape: %s", q2)
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	q := MustParse(`SELECT ?x { ?x <http://ex/p> ?x . <http://ex/s> ?p "o" }`)
+	tp0, tp1 := q.Patterns[0], q.Patterns[1]
+	if got := tp0.Positions("x"); len(got) != 2 || got[0] != store.S || got[1] != store.O {
+		t.Errorf("Positions(x) = %v", got)
+	}
+	if got := tp0.Vars(); len(got) != 1 {
+		t.Errorf("Vars() should dedup: %v", got)
+	}
+	if tp1.NumConstants() != 2 || tp1.NumVarSlots() != 1 {
+		t.Errorf("const/var counts wrong: %d %d", tp1.NumConstants(), tp1.NumVarSlots())
+	}
+	if !tp0.HasVar("x") || tp0.HasVar("zzz") {
+		t.Error("HasVar wrong")
+	}
+}
+
+func TestIsTypePattern(t *testing.T) {
+	q := MustParse(`SELECT ?s { ?s a <http://ex/T> . ?s <http://ex/p> ?o . ?s ?p <http://ex/T2> }`)
+	if !q.Patterns[0].IsTypePattern() {
+		t.Error("pattern 0 should be a type pattern")
+	}
+	if q.Patterns[1].IsTypePattern() || q.Patterns[2].IsTypePattern() {
+		t.Error("patterns 1/2 should not be type patterns")
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	q, err := Parse("# heading comment\nSELECT ?s { ?s ?p ?o # trailing\n}")
+	if err != nil || len(q.Patterns) != 1 {
+		t.Errorf("comments not skipped: %v %v", q, err)
+	}
+}
+
+func TestStringLiteralFeatures(t *testing.T) {
+	q := MustParse(`SELECT ?s { ?s <http://ex/p> "tab\there" . ?s <http://ex/q> "fr"@fr-BE . ?s <http://ex/r> "5"^^<http://www.w3.org/2001/XMLSchema#int> }`)
+	if q.Patterns[0].O.Term.Value != "tab\there" {
+		t.Errorf("escape: %q", q.Patterns[0].O.Term.Value)
+	}
+	if q.Patterns[1].O.Term.Value != "fr@fr-BE" {
+		t.Errorf("lang: %q", q.Patterns[1].O.Term.Value)
+	}
+	if !strings.HasSuffix(q.Patterns[2].O.Term.Value, "#int>") {
+		t.Errorf("datatype: %q", q.Patterns[2].O.Term.Value)
+	}
+}

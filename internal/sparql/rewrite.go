@@ -1,0 +1,147 @@
+package sparql
+
+import (
+	"fmt"
+
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// RewriteFilters performs the filter rewriting the paper attributes to
+// HSP (Section 6.2.1): "Unlike CDP, HSP systematically rewrites
+// filtering queries into an equivalent form involving only triple
+// patterns."
+//
+// Two rules are applied:
+//
+//   - FILTER (?x = constant) with ?x not projected: the constant is
+//     substituted for ?x in every pattern and the filter dropped
+//     (queries SP3a/b/c).
+//   - FILTER (?x = ?y): the two variables are unified. If only one of
+//     them is projected, that one survives; if neither is, the left one
+//     survives. When both are projected the filter is kept (the engine
+//     would otherwise lose a result column). Unification is what turns
+//     SP4a's cross product into a connected join query.
+//
+// Non-equality filters are left in place for the executor. The returned
+// query is a copy; notes describe each rewrite for explain output.
+func RewriteFilters(q *Query) (*Query, []string) {
+	out := q.Clone()
+	var notes []string
+	var kept []Filter
+	for _, f := range out.Filters {
+		switch {
+		case f.Op == OpEq && !f.Right.IsVar() && !out.IsProjected(f.Left):
+			substituteConst(out, f.Left, f.Right)
+			notes = append(notes, fmt.Sprintf("folded %s into triple patterns", f))
+		case f.Op == OpEq && f.Right.IsVar():
+			keep, drop := f.Left, f.Right.Var
+			if out.IsProjected(drop) && out.IsProjected(keep) {
+				kept = append(kept, f)
+				continue
+			}
+			if out.IsProjected(drop) {
+				keep, drop = drop, keep
+			}
+			substituteVar(out, drop, keep)
+			if out.Aliases == nil {
+				out.Aliases = map[Var]Var{}
+			}
+			out.Aliases[drop] = keep
+			notes = append(notes, fmt.Sprintf("unified ?%s with ?%s (from %s)", drop, keep, f))
+		default:
+			kept = append(kept, f)
+		}
+	}
+	out.Filters = kept
+	return out, notes
+}
+
+func substituteConst(q *Query, v Var, c Node) {
+	subst := func(ps []TriplePattern) {
+		for i, tp := range ps {
+			for _, pos := range []store.Pos{store.S, store.P, store.O} {
+				if n := tp.Slot(pos); n.IsVar() && n.Var == v {
+					tp = tp.WithSlot(pos, c)
+				}
+			}
+			ps[i] = tp
+		}
+	}
+	subst(q.Patterns)
+	for gi := range q.Optionals {
+		subst(q.Optionals[gi].Patterns)
+	}
+	for i, f := range q.Filters {
+		if f.Right.IsVar() && f.Right.Var == v {
+			q.Filters[i].Right = c
+		}
+	}
+}
+
+func substituteVar(q *Query, from, to Var) {
+	n := NewVarNode(to)
+	subst := func(ps []TriplePattern) {
+		for i, tp := range ps {
+			for _, pos := range []store.Pos{store.S, store.P, store.O} {
+				if s := tp.Slot(pos); s.IsVar() && s.Var == from {
+					tp = tp.WithSlot(pos, n)
+				}
+			}
+			ps[i] = tp
+		}
+	}
+	subst(q.Patterns)
+	for gi := range q.Optionals {
+		subst(q.Optionals[gi].Patterns)
+	}
+	for i, f := range q.Filters {
+		if f.Left == from {
+			q.Filters[i].Left = to
+		}
+		if f.Right.IsVar() && f.Right.Var == from {
+			q.Filters[i].Right = n
+		}
+	}
+}
+
+// HasCrossProduct reports whether the query's join graph is
+// disconnected, i.e. evaluating it requires a Cartesian product. The
+// paper notes CDP "recognizes the existence of the cross product at
+// query compile time, and hence does not produce any plan" (SP4a), and
+// that the MonetDB/SQL optimizer "chooses to execute a Cartesian
+// product and thus fails to terminate".
+func (q *Query) HasCrossProduct() bool {
+	n := len(q.Patterns)
+	if n <= 1 {
+		return false
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := map[Var]int{}
+	for i, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return true
+		}
+	}
+	return false
+}

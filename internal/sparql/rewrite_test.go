@@ -1,0 +1,126 @@
+package sparql
+
+import (
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+func TestRewriteConstFilter(t *testing.T) {
+	// SP3-style: FILTER (?property = <iri>) folds into the pattern.
+	q := MustParse(`SELECT ?article {
+		?article a <http://bench/Article> .
+		?article ?property ?value .
+		FILTER (?property = <http://swrc/pages>)
+	}`)
+	rw, notes := RewriteFilters(q)
+	if len(rw.Filters) != 0 {
+		t.Fatalf("filter not dropped: %v", rw.Filters)
+	}
+	if len(notes) != 1 {
+		t.Errorf("notes = %v", notes)
+	}
+	tp := rw.Patterns[1]
+	if tp.P.IsVar() || tp.P.Term != rdf.NewIRI("http://swrc/pages") {
+		t.Errorf("constant not substituted: %v", tp)
+	}
+	// Original query untouched.
+	if !q.Patterns[1].P.IsVar() {
+		t.Error("rewrite mutated the input query")
+	}
+}
+
+func TestRewriteKeepsProjectedConstFilter(t *testing.T) {
+	q := MustParse(`SELECT ?rev {
+		?j <http://dcterms/revised> ?rev .
+		FILTER (?rev = "1942")
+	}`)
+	rw, _ := RewriteFilters(q)
+	if len(rw.Filters) != 1 {
+		t.Errorf("projected-variable filter should be kept, got %v", rw.Filters)
+	}
+}
+
+func TestRewriteVarEquality(t *testing.T) {
+	// SP4a-style: unification removes the cross product.
+	q := MustParse(`SELECT ?person ?name {
+		?article a <http://bench/Article> .
+		?article <http://dc/creator> ?person .
+		?inproc a <http://bench/Inproceedings> .
+		?inproc <http://dc/creator> ?person2 .
+		?person <http://foaf/name> ?name .
+		?person2 <http://foaf/name> ?name2 .
+		FILTER (?name = ?name2)
+	}`)
+	if !q.HasCrossProduct() {
+		t.Fatal("query without rewriting should have a cross product")
+	}
+	rw, _ := RewriteFilters(q)
+	if len(rw.Filters) != 0 {
+		t.Fatalf("filter not dropped: %v", rw.Filters)
+	}
+	if rw.HasCrossProduct() {
+		t.Error("rewritten query still has a cross product")
+	}
+	if rw.Patterns[5].O.Var != "name" {
+		t.Errorf("?name2 not unified: %v", rw.Patterns[5])
+	}
+	if rw.Aliases["name2"] != "name" {
+		t.Errorf("alias not recorded: %v", rw.Aliases)
+	}
+}
+
+func TestRewriteVarEqualityKeepsProjectedSide(t *testing.T) {
+	q := MustParse(`SELECT ?b {
+		?x <http://ex/p> ?a .
+		?y <http://ex/p> ?b .
+		FILTER (?a = ?b)
+	}`)
+	rw, _ := RewriteFilters(q)
+	// ?b is projected, so ?a must be the one replaced.
+	if rw.Patterns[0].O.Var != "b" {
+		t.Errorf("projected variable did not survive: %v", rw.Patterns[0])
+	}
+}
+
+func TestRewriteBothProjectedKept(t *testing.T) {
+	q := MustParse(`SELECT ?a ?b {
+		?x <http://ex/p> ?a .
+		?x <http://ex/q> ?b .
+		FILTER (?a = ?b)
+	}`)
+	rw, _ := RewriteFilters(q)
+	if len(rw.Filters) != 1 {
+		t.Errorf("filter over two projected variables must be kept, got %v", rw.Filters)
+	}
+}
+
+func TestRewriteNonEqualityKept(t *testing.T) {
+	q := MustParse(`SELECT ?s {
+		?s <http://ex/p> ?v .
+		FILTER (?v < "10")
+	}`)
+	rw, _ := RewriteFilters(q)
+	if len(rw.Filters) != 1 {
+		t.Errorf("non-equality filter dropped: %v", rw.Filters)
+	}
+}
+
+func TestHasCrossProduct(t *testing.T) {
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{`SELECT ?s { ?s ?p ?o }`, false},
+		{`SELECT ?s { ?s ?p ?o . ?s ?q ?r }`, false},
+		{`SELECT ?s { ?s ?p ?o . ?x ?y ?z }`, true},
+		{`SELECT ?s { ?s ?p ?o . ?o ?q ?r . ?r ?t ?u }`, false},
+		{`SELECT ?s { ?s ?p ?o . ?o ?q ?r . ?a ?b ?c }`, true},
+	}
+	for _, tt := range tests {
+		q := MustParse(tt.src)
+		if got := q.HasCrossProduct(); got != tt.want {
+			t.Errorf("HasCrossProduct(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sparql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: property — Parse returns errors, never panics,
+// on arbitrary byte soup and on mutated versions of valid queries.
+func TestParseNeverPanics(t *testing.T) {
+	valid := []string{
+		paperQuery,
+		`SELECT * { { ?a <http://p> ?b } UNION { ?a <http://q> ?b } } ORDER BY ?a LIMIT 5`,
+		`SELECT ?s { ?s ?p ?o . OPTIONAL { ?s <http://q> ?w . FILTER (?w != "x") } }`,
+	}
+	f := func(seed int64, raw string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse panicked: %v", r)
+			}
+		}()
+		// Raw fuzz input.
+		_, _ = Parse(raw)
+		// Mutated valid query: delete/duplicate/flip random bytes.
+		rng := rand.New(rand.NewSource(seed))
+		src := []byte(valid[rng.Intn(len(valid))])
+		for k := 0; k < rng.Intn(8)+1; k++ {
+			if len(src) == 0 {
+				break
+			}
+			i := rng.Intn(len(src))
+			switch rng.Intn(3) {
+			case 0:
+				src = append(src[:i], src[i+1:]...)
+			case 1:
+				src = append(src[:i], append([]byte{src[i]}, src[i:]...)...)
+			default:
+				src[i] = byte(rng.Intn(128))
+			}
+		}
+		_, _ = Parse(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseValidQueriesStable: the valid corpus parses and re-parses
+// via String() without error.
+func TestParseValidQueriesStable(t *testing.T) {
+	corpus := []string{
+		paperQuery,
+		`SELECT DISTINCT ?x { ?x <http://p> "v" } LIMIT 1 OFFSET 2`,
+		`SELECT * { { ?a <http://p> ?b } UNION { ?a <http://q> ?b } }`,
+		`SELECT ?s { ?s ?p ?o . OPTIONAL { ?s <http://q> ?w } OPTIONAL { ?s <http://r> ?u } }`,
+		`SELECT ?s ?o { ?s <http://p> ?o } ORDER BY DESC(?o) ASC(?s)`,
+	}
+	for _, src := range corpus {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if _, err := Parse(q.String()); err != nil {
+			t.Errorf("re-Parse of %q rendering failed: %v\nrendering:\n%s", src, err, q.String())
+		}
+	}
+}
+
+// TestDeepNesting: pathological inputs with many tokens stay linear and
+// error cleanly rather than exhausting the stack.
+func TestDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("SELECT ?s { ?s ?p ?o ")
+	for i := 0; i < 10000; i++ {
+		b.WriteString(". ?s ?p ?o ")
+	}
+	b.WriteString("}")
+	q, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("long pattern list rejected: %v", err)
+	}
+	if len(q.Patterns) != 10001 {
+		t.Errorf("patterns = %d", len(q.Patterns))
+	}
+}

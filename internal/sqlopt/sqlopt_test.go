@@ -1,0 +1,142 @@
+package sqlopt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func buildRandom(seed int64, n int) *store.Store {
+	rng := rand.New(rand.NewSource(seed))
+	b := store.NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("http://e/%d", rng.Intn(12))
+		switch rng.Intn(3) {
+		case 0:
+			b.Add(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(sparql.RDFType),
+				O: rdf.NewIRI(fmt.Sprintf("http://t/T%d", rng.Intn(2)))})
+		default:
+			b.Add(rdf.Triple{S: rdf.NewIRI(s),
+				P: rdf.NewIRI(fmt.Sprintf("http://p/%c", 'a'+rune(rng.Intn(3)))),
+				O: rdf.NewIRI(fmt.Sprintf("http://e/%d", rng.Intn(12)))})
+		}
+	}
+	return b.Build()
+}
+
+func TestAlwaysLeftDeep(t *testing.T) {
+	st := buildRandom(1, 200)
+	srcs := []string{
+		`SELECT * { ?a <http://p/a> ?b . ?b <http://p/b> ?c . ?c <http://p/c> ?d }`,
+		`SELECT * { ?a <http://p/a> ?b . ?a <http://p/b> ?c . ?a <http://p/c> ?d }`,
+		`SELECT * { ?a <http://p/a> ?b . ?c <http://p/b> ?b . ?c <http://p/c> ?d . ?d <http://p/a> ?e }`,
+	}
+	for _, src := range srcs {
+		q := sparql.MustParse(src)
+		p, err := New(stats.New(st)).Plan(q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := algebra.PlanShape(p.Root); got != algebra.LeftDeep {
+			t.Errorf("%s: shape = %v, want LD\n%s", src, got, algebra.Explain(p.Root, nil))
+		}
+	}
+}
+
+func TestCrossProductTakenBlindly(t *testing.T) {
+	st := buildRandom(2, 150)
+	q := sparql.MustParse(`SELECT * { ?a <http://p/a> ?b . ?c <http://p/b> ?d }`)
+	p, err := New(stats.New(st)).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := algebra.Joins(p.Root)
+	found := false
+	for _, j := range joins {
+		if j.Method == algebra.CrossJoin {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("disconnected query should produce a Cartesian product:\n%s", algebra.Explain(p.Root, nil))
+	}
+}
+
+// TestAgreesWithHSP: property — the SQL baseline, despite different
+// plans, returns exactly the same results as HSP.
+func TestAgreesWithHSP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := buildRandom(seed, 150)
+		eng := exec.New(exec.ColumnSource{St: st})
+		for k := 0; k < 3; k++ {
+			var b []byte
+			b = append(b, "SELECT * {\n"...)
+			vars := []string{"v0"}
+			for i := 0; i < rng.Intn(3)+1; i++ {
+				subj := "?" + vars[rng.Intn(len(vars))]
+				nv := fmt.Sprintf("v%d", len(vars))
+				vars = append(vars, nv)
+				b = append(b, fmt.Sprintf("  %s <http://p/%c> ?%s .\n", subj, 'a'+rune(rng.Intn(3)), nv)...)
+			}
+			b = append(b, '}')
+			q, err := sparql.Parse(string(b))
+			if err != nil {
+				return false
+			}
+			sp, err := New(stats.New(st)).Plan(q)
+			if err != nil {
+				return false
+			}
+			hp, err := core.NewPlanner().Plan(q)
+			if err != nil {
+				return false
+			}
+			rs, err := eng.Execute(sp)
+			if err != nil {
+				t.Logf("sql exec: %v", err)
+				return false
+			}
+			rh, err := eng.Execute(hp)
+			if err != nil {
+				return false
+			}
+			if rs.String() != rh.String() {
+				t.Logf("SQL and HSP disagree on %s", string(b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanPrefersMostSharedVariable(t *testing.T) {
+	st := buildRandom(3, 100)
+	q := sparql.MustParse(`SELECT * { ?a <http://p/a> ?b . ?a <http://p/b> ?c . ?a <http://p/c> ?d }`)
+	p, err := New(stats.New(st)).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range algebra.Scans(p.Root) {
+		if got := s.SortedVar(); got != "a" {
+			t.Errorf("scan %s sorted on %q, want the hub variable a", s.Label(), got)
+		}
+	}
+	// The aligned orders should let the baseline pick up merge joins.
+	merge, _ := algebra.CountJoins(p.Root)
+	if merge == 0 {
+		t.Errorf("left-deep star should still merge-join:\n%s", algebra.Explain(p.Root, nil))
+	}
+}

@@ -1,0 +1,192 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func charsetsDoc(t *testing.T) *store.Store {
+	t.Helper()
+	b := store.NewBuilder(nil)
+	add := func(s, p, o string) {
+		b.Add(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)})
+	}
+	// Two "classes" of subjects: 3 subjects with {a,b} (one carrying two
+	// b-triples), 2 subjects with {a} only.
+	add("http://s/1", "http://p/a", "http://o/1")
+	add("http://s/1", "http://p/b", "http://o/2")
+	add("http://s/2", "http://p/a", "http://o/1")
+	add("http://s/2", "http://p/b", "http://o/3")
+	add("http://s/3", "http://p/a", "http://o/4")
+	add("http://s/3", "http://p/b", "http://o/5")
+	add("http://s/3", "http://p/b", "http://o/6")
+	add("http://s/4", "http://p/a", "http://o/1")
+	add("http://s/5", "http://p/a", "http://o/2")
+	return b.Build()
+}
+
+func TestCharacteristicSetsBasics(t *testing.T) {
+	st := charsetsDoc(t)
+	cs := stats.NewCharacteristicSets(st)
+	if cs.NumSets() != 2 {
+		t.Fatalf("NumSets = %d, want 2 ({a,b} and {a})", cs.NumSets())
+	}
+	d := st.Dict()
+	pa, _ := d.Lookup(rdf.NewIRI("http://p/a"))
+	pb, _ := d.Lookup(rdf.NewIRI("http://p/b"))
+
+	// Star {a}: all 5 subjects, each once = 5.
+	if got := cs.EstimateStar([]uint64{pa}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("EstimateStar({a}) = %v, want 5", got)
+	}
+	// Star {a,b}: subjects 1..3 → 1·1 + 1·1 + 1·2 = 4 results; the
+	// formula gives 3 · (3/3) · (4/3) = 4 exactly.
+	if got := cs.EstimateStar([]uint64{pa, pb}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("EstimateStar({a,b}) = %v, want 4", got)
+	}
+	// Star {b}: 3 subjects, 4 b-triples = 4.
+	if got := cs.EstimateStar([]uint64{pb}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("EstimateStar({b}) = %v, want 4", got)
+	}
+}
+
+func TestStarCardValidation(t *testing.T) {
+	st := charsetsDoc(t)
+	cs := stats.NewCharacteristicSets(st)
+	d := st.Dict()
+	parse := func(src string) []sparql.TriplePattern {
+		return sparql.MustParse("SELECT * { " + src + " }").Patterns
+	}
+	if _, ok := cs.StarCard(d, parse(`?s <http://p/a> ?x . ?s <http://p/b> ?y`)); !ok {
+		t.Error("valid star rejected")
+	}
+	if _, ok := cs.StarCard(d, parse(`?s <http://p/a> ?x . ?t <http://p/b> ?y`)); ok {
+		t.Error("non-star accepted (different subjects)")
+	}
+	if _, ok := cs.StarCard(d, parse(`?s ?p ?x`)); ok {
+		t.Error("variable predicate accepted")
+	}
+	if _, ok := cs.StarCard(d, parse(`?s <http://p/a> <http://o/1>`)); ok {
+		t.Error("bound object accepted")
+	}
+	if card, ok := cs.StarCard(d, parse(`?s <http://p/zz> ?x`)); !ok || card != 0 {
+		t.Errorf("absent predicate: (%v, %v), want (0, true)", card, ok)
+	}
+	if _, ok := cs.StarCard(d, nil); ok {
+		t.Error("empty star accepted")
+	}
+}
+
+// TestCharSetsExactOnStars: property — on random data where each
+// subject carries each predicate at most once (the case Neumann &
+// Moerkotte prove exact), the characteristic-set estimate of a
+// 2-or-3-predicate star equals the true cardinality.
+func TestCharSetsExactOnStars(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := store.NewBuilder(nil)
+		for s := 0; s < 30; s++ {
+			for p := 0; p < 4; p++ {
+				if rng.Intn(2) == 0 {
+					continue // this subject lacks predicate p
+				}
+				b.Add(rdf.Triple{
+					S: rdf.NewIRI(fmt.Sprintf("http://s/%d", s)),
+					P: rdf.NewIRI(fmt.Sprintf("http://p/%c", 'a'+rune(p))),
+					O: rdf.NewIRI(fmt.Sprintf("http://o/%d", rng.Intn(50))),
+				})
+			}
+		}
+		st := b.Build()
+		cs := stats.NewCharacteristicSets(st)
+
+		k := rng.Intn(2) + 2
+		var src string
+		for i := 0; i < k; i++ {
+			src += fmt.Sprintf("?s <http://p/%c> ?o%d . ", 'a'+rune(i), i)
+		}
+		q := sparql.MustParse("SELECT * { " + src + " }")
+		est, ok := cs.StarCard(st.Dict(), q.Patterns)
+		if !ok {
+			return false
+		}
+		plan, err := core.NewPlanner().Plan(q)
+		if err != nil {
+			return false
+		}
+		res, err := exec.New(exec.ColumnSource{St: st}).Execute(plan)
+		if err != nil {
+			return false
+		}
+		return math.Abs(est-float64(res.Len())) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCharSetsMultiplicityUpperBoundQuality: with multi-valued
+// predicates the estimate is approximate; it must stay within a small
+// factor of the truth on random data (far tighter than independence).
+func TestCharSetsMultiplicityUpperBoundQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := store.NewBuilder(nil)
+	for i := 0; i < 400; i++ {
+		b.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://s/%d", rng.Intn(40))),
+			P: rdf.NewIRI(fmt.Sprintf("http://p/%c", 'a'+rune(rng.Intn(3)))),
+			O: rdf.NewIRI(fmt.Sprintf("http://o/%d", i)), // all objects distinct: no dedup
+		})
+	}
+	st := b.Build()
+	cs := stats.NewCharacteristicSets(st)
+	q := sparql.MustParse(`SELECT * { ?s <http://p/a> ?x . ?s <http://p/b> ?y }`)
+	est, ok := cs.StarCard(st.Dict(), q.Patterns)
+	if !ok {
+		t.Fatal("star rejected")
+	}
+	plan, err := core.NewPlanner().Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.New(exec.ColumnSource{St: st}).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(res.Len())
+	if truth == 0 {
+		t.Skip("degenerate data")
+	}
+	if est < truth/2 || est > truth*2 {
+		t.Errorf("estimate %v vs truth %v — beyond 2x", est, truth)
+	}
+}
+
+func TestCharSetsFootprint(t *testing.T) {
+	// The statistic must stay tiny relative to the data (the selling
+	// point of the original paper).
+	b := store.NewBuilder(nil)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://s/%d", i/5)),
+			P: rdf.NewIRI(fmt.Sprintf("http://p/%d", rng.Intn(8))),
+			O: rdf.NewIRI(fmt.Sprintf("http://o/%d", rng.Intn(100))),
+		})
+	}
+	st := b.Build()
+	cs := stats.NewCharacteristicSets(st)
+	if cs.NumSets() > 300 {
+		t.Errorf("NumSets = %d — footprint should be far below the subject count", cs.NumSets())
+	}
+}

@@ -1,0 +1,168 @@
+// Package stats implements the cardinality estimation the cost-based
+// baselines rely on, in the style of RDF-3X: exact selection counts
+// answered from the indexes (the one-value and aggregated indexes of
+// RDF-3X, or binary search on the column store) combined with the
+// classic independence assumption for join results.
+//
+// HSP deliberately uses none of this — the whole point of the paper —
+// but CDP (RDF-3X's dynamic-programming optimizer) and the MonetDB/SQL
+// baseline do.
+package stats
+
+import (
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Provider answers count queries from a storage substrate. Both
+// store.Store and rdf3x.Store implement it.
+type Provider interface {
+	NumTriples() int
+	Count(o store.Ordering, prefix []dict.ID) int
+	DistinctInRange(o store.Ordering, prefix []dict.ID) int
+	Dict() *dict.Dict
+}
+
+// Estimator caches pattern statistics for one query planning session.
+type Estimator struct {
+	p     Provider
+	cards map[string]int
+}
+
+// New returns an estimator over a provider.
+func New(p Provider) *Estimator {
+	return &Estimator{p: p, cards: map[string]int{}}
+}
+
+// Provider returns the underlying statistics provider.
+func (e *Estimator) Provider() Provider { return e.p }
+
+// OrderingFor builds the access path that sorts tp's constants first and
+// v (when non-empty) next, mirroring the planners' Algorithm 2 layout.
+func OrderingFor(tp sparql.TriplePattern, v sparql.Var) store.Ordering {
+	var consts, vars []store.Pos
+	vpos := store.Pos(255)
+	for _, pos := range []store.Pos{store.S, store.O, store.P} {
+		n := tp.Slot(pos)
+		switch {
+		case !n.IsVar():
+			consts = append(consts, pos)
+		case v != "" && n.Var == v && vpos == 255:
+			vpos = pos
+		default:
+			vars = append(vars, pos)
+		}
+	}
+	seq := consts
+	if vpos != 255 {
+		seq = append(seq, vpos)
+	}
+	seq = append(seq, vars...)
+	return store.MustOrderingFor(seq[0], seq[1], seq[2])
+}
+
+// prefixIDs resolves tp's constants (in ordering sequence) to IDs,
+// reporting ok=false when a constant does not occur in the data.
+func (e *Estimator) prefixIDs(tp sparql.TriplePattern, o store.Ordering) ([]dict.ID, bool) {
+	var prefix []dict.ID
+	for _, pos := range o.Perm() {
+		n := tp.Slot(pos)
+		if n.IsVar() {
+			break
+		}
+		id, found := e.p.Dict().Lookup(n.Term)
+		if !found {
+			return nil, false
+		}
+		prefix = append(prefix, id)
+	}
+	return prefix, true
+}
+
+// PatternCard returns the exact number of triples matching a pattern
+// (RDF-3X answers this from its aggregated/one-value indexes).
+func (e *Estimator) PatternCard(tp sparql.TriplePattern) int {
+	key := "c" + tp.String()
+	if c, ok := e.cards[key]; ok {
+		return c
+	}
+	o := OrderingFor(tp, "")
+	c := 0
+	if prefix, ok := e.prefixIDs(tp, o); ok {
+		c = e.p.Count(o, prefix)
+		// A repeated variable (?x p ?x) halves nothing we can compute
+		// cheaply; keep the upper bound.
+	}
+	e.cards[key] = c
+	return c
+}
+
+// PatternDistinct returns the exact number of distinct bindings of v in
+// the pattern's matches.
+func (e *Estimator) PatternDistinct(tp sparql.TriplePattern, v sparql.Var) int {
+	key := "d" + string(v) + "|" + tp.String()
+	if c, ok := e.cards[key]; ok {
+		return c
+	}
+	o := OrderingFor(tp, v)
+	c := 0
+	if prefix, ok := e.prefixIDs(tp, o); ok {
+		c = e.p.DistinctInRange(o, prefix)
+	}
+	e.cards[key] = c
+	return c
+}
+
+// Rel summarises one (base or intermediate) relation for estimation.
+type Rel struct {
+	Card     int
+	Distinct map[sparql.Var]int
+}
+
+// PatternRel builds the Rel of a base pattern.
+func (e *Estimator) PatternRel(tp sparql.TriplePattern) Rel {
+	r := Rel{Card: e.PatternCard(tp), Distinct: map[sparql.Var]int{}}
+	for _, v := range tp.Vars() {
+		r.Distinct[v] = e.PatternDistinct(tp, v)
+	}
+	return r
+}
+
+// JoinRel estimates the result of joining l and r on their shared
+// variables under the independence assumption:
+//
+//	|L ⋈ R| = |L|·|R| / Π_v max(d_L(v), d_R(v))
+//
+// with per-variable distinct counts capped by the result cardinality.
+func JoinRel(l, r Rel, shared []sparql.Var) Rel {
+	card := float64(l.Card) * float64(r.Card)
+	for _, v := range shared {
+		dl, dr := l.Distinct[v], r.Distinct[v]
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d > 1 {
+			card /= float64(d)
+		}
+	}
+	out := Rel{Card: int(card + 0.5), Distinct: map[sparql.Var]int{}}
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for v, d := range l.Distinct {
+		out.Distinct[v] = min(d, out.Card)
+	}
+	for v, d := range r.Distinct {
+		if dl, ok := out.Distinct[v]; ok {
+			out.Distinct[v] = min(min(dl, d), out.Card)
+		} else {
+			out.Distinct[v] = min(d, out.Card)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/rdf3x"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+const doc = `
+<http://e/a1> <http://p/type> <http://t/Article> .
+<http://e/a2> <http://p/type> <http://t/Article> .
+<http://e/a3> <http://p/type> <http://t/Article> .
+<http://e/j1> <http://p/type> <http://t/Journal> .
+<http://e/a1> <http://p/creator> <http://e/p1> .
+<http://e/a2> <http://p/creator> <http://e/p1> .
+<http://e/a3> <http://p/creator> <http://e/p2> .
+<http://e/p1> <http://p/name> "alice" .
+<http://e/p2> <http://p/name> "bob" .
+`
+
+func build(t *testing.T) *store.Store {
+	t.Helper()
+	ts, err := rdf.ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := store.NewBuilder(nil)
+	for _, tr := range ts {
+		b.Add(tr)
+	}
+	return b.Build()
+}
+
+func pat(t *testing.T, src string) sparql.TriplePattern {
+	t.Helper()
+	q, err := sparql.Parse("SELECT * { " + src + " }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Patterns[0]
+}
+
+func TestPatternCardExact(t *testing.T) {
+	e := New(build(t))
+	tests := []struct {
+		src  string
+		want int
+	}{
+		{`?x <http://p/type> <http://t/Article>`, 3},
+		{`?x <http://p/type> ?t`, 4},
+		{`?x ?p ?o`, 9},
+		{`<http://e/a1> ?p ?o`, 2},
+		{`?x <http://p/name> "alice"`, 1},
+		{`?x <http://p/nosuch> ?o`, 0},
+		{`?x <http://p/type> <http://t/Missing>`, 0},
+	}
+	for _, tt := range tests {
+		if got := e.PatternCard(pat(t, tt.src)); got != tt.want {
+			t.Errorf("PatternCard(%s) = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestPatternDistinct(t *testing.T) {
+	e := New(build(t))
+	tp := pat(t, `?x <http://p/creator> ?who`)
+	if got := e.PatternDistinct(tp, "x"); got != 3 {
+		t.Errorf("distinct ?x = %d, want 3", got)
+	}
+	if got := e.PatternDistinct(tp, "who"); got != 2 {
+		t.Errorf("distinct ?who = %d, want 2", got)
+	}
+}
+
+func TestJoinRelIndependence(t *testing.T) {
+	l := Rel{Card: 100, Distinct: map[sparql.Var]int{"x": 50, "y": 100}}
+	r := Rel{Card: 200, Distinct: map[sparql.Var]int{"x": 100, "z": 10}}
+	out := JoinRel(l, r, []sparql.Var{"x"})
+	if out.Card != 200 { // 100*200/max(50,100)
+		t.Errorf("card = %d, want 200", out.Card)
+	}
+	if out.Distinct["x"] != 50 || out.Distinct["z"] != 10 {
+		t.Errorf("distinct = %v", out.Distinct)
+	}
+	// Distinct counts are capped by the result cardinality.
+	small := JoinRel(Rel{Card: 2, Distinct: map[sparql.Var]int{"x": 2, "y": 2}},
+		Rel{Card: 1, Distinct: map[sparql.Var]int{"x": 1}}, []sparql.Var{"x"})
+	if small.Distinct["y"] > small.Card {
+		t.Errorf("distinct y = %d exceeds card %d", small.Distinct["y"], small.Card)
+	}
+}
+
+func TestEstimatorWorksOnRDF3X(t *testing.T) {
+	cs := build(t)
+	rx, err := rdf3x.Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, er := New(cs), New(rx)
+	for _, src := range []string{
+		`?x <http://p/type> <http://t/Article>`,
+		`?x ?p ?o`,
+		`<http://e/a1> <http://p/creator> ?who`,
+	} {
+		tp := pat(t, src)
+		if ec.PatternCard(tp) != er.PatternCard(tp) {
+			t.Errorf("card mismatch on %s: column=%d rdf3x=%d", src, ec.PatternCard(tp), er.PatternCard(tp))
+		}
+		for _, v := range tp.Vars() {
+			if ec.PatternDistinct(tp, v) != er.PatternDistinct(tp, v) {
+				t.Errorf("distinct mismatch on %s ?%s", src, v)
+			}
+		}
+	}
+}
+
+func TestCaching(t *testing.T) {
+	e := New(build(t))
+	tp := pat(t, `?x <http://p/type> ?t`)
+	a := e.PatternCard(tp)
+	b := e.PatternCard(tp)
+	if a != b {
+		t.Errorf("cached value differs: %d vs %d", a, b)
+	}
+}

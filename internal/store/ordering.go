@@ -1,0 +1,101 @@
+// Package store implements the triple-table storage substrate assumed by
+// the paper: RDF triples stored "in a triple table, [with] all possible
+// ordering combinations also present" (Section 5). Each of the six
+// collation orders spo, sop, pso, pos, osp, ops is a fully sorted copy of
+// the (dictionary-encoded) triple relation, giving binary-search
+// selections and sorted access paths for merge joins.
+package store
+
+import "fmt"
+
+// Pos identifies a triple component position.
+type Pos uint8
+
+// Triple component positions.
+const (
+	S Pos = 0
+	P Pos = 1
+	O Pos = 2
+)
+
+// String returns "s", "p" or "o".
+func (p Pos) String() string {
+	switch p {
+	case S:
+		return "s"
+	case P:
+		return "p"
+	case O:
+		return "o"
+	default:
+		return fmt.Sprintf("Pos(%d)", uint8(p))
+	}
+}
+
+// Ordering identifies one of the six sorted triple relations.
+type Ordering uint8
+
+// The six collation orders of the triple table.
+const (
+	SPO Ordering = iota
+	SOP
+	PSO
+	POS
+	OSP
+	OPS
+	NumOrderings = 6
+)
+
+var orderingPerms = [NumOrderings][3]Pos{
+	SPO: {S, P, O},
+	SOP: {S, O, P},
+	PSO: {P, S, O},
+	POS: {P, O, S},
+	OSP: {O, S, P},
+	OPS: {O, P, S},
+}
+
+var orderingNames = [NumOrderings]string{"spo", "sop", "pso", "pos", "osp", "ops"}
+
+// String returns the conventional lower-case name, e.g. "pos".
+func (o Ordering) String() string {
+	if int(o) < len(orderingNames) {
+		return orderingNames[o]
+	}
+	return fmt.Sprintf("Ordering(%d)", uint8(o))
+}
+
+// Perm returns the component positions in collation order. For POS it
+// returns [P, O, S]: triples are sorted by predicate, then object, then
+// subject.
+func (o Ordering) Perm() [3]Pos { return orderingPerms[o] }
+
+// OrderingFor returns the ordering that sorts by the three positions in
+// the given sequence. The positions must be a permutation of {S, P, O}.
+func OrderingFor(a, b, c Pos) (Ordering, error) {
+	for o, perm := range orderingPerms {
+		if perm == [3]Pos{a, b, c} {
+			return Ordering(o), nil
+		}
+	}
+	return SPO, fmt.Errorf("store: %v%v%v is not a permutation of s,p,o", a, b, c)
+}
+
+// MustOrderingFor is OrderingFor for statically known-good positions.
+func MustOrderingFor(a, b, c Pos) Ordering {
+	o, err := OrderingFor(a, b, c)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ParseOrdering converts a name such as "pos" into an Ordering.
+func ParseOrdering(name string) (Ordering, error) {
+	for i, n := range orderingNames {
+		if n == name {
+			return Ordering(i), nil
+		}
+	}
+	return SPO, fmt.Errorf("store: unknown ordering %q", name)
+}

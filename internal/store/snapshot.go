@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// Snapshot format: a compact binary serialisation of a Store. Loading
+// rebuilds all six orderings, so only the canonical spo relation is
+// stored, delta-compressed like the RDF-3X leaves. The payload is
+// integrity-checked with CRC-32.
+//
+//	magic "HSPSNP01"
+//	uvarint dictLen
+//	dictLen × (kind byte, uvarint len, value bytes)   — IDs 1..dictLen in order
+//	uvarint numTriples
+//	numTriples × gap-compressed (s,p,o)
+//	4-byte little-endian CRC-32 (IEEE) of everything above
+const snapshotMagic = "HSPSNP01"
+
+// Save writes a snapshot of the store to w.
+func (s *Store) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+
+	d := s.Dict()
+	if err := writeUvarint(uint64(d.Len())); err != nil {
+		return err
+	}
+	for id := dict.ID(1); int(id) <= d.Len(); id++ {
+		t := d.Term(id)
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(t.Value))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(t.Value); err != nil {
+			return err
+		}
+	}
+
+	rel := s.Rel(SPO)
+	if err := writeUvarint(uint64(len(rel))); err != nil {
+		return err
+	}
+	var prev Triple
+	for i, t := range rel {
+		if i == 0 {
+			for _, v := range t {
+				if err := writeUvarint(v); err != nil {
+					return err
+				}
+			}
+		} else {
+			df := 0
+			for df < 2 && prev[df] == t[df] {
+				df++
+			}
+			if err := bw.WriteByte(byte(df)); err != nil {
+				return err
+			}
+			if err := writeUvarint(t[df] - prev[df]); err != nil {
+				return err
+			}
+			for j := df + 1; j < 3; j++ {
+				if err := writeUvarint(t[j]); err != nil {
+					return err
+				}
+			}
+		}
+		prev = t
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// Load reads a snapshot written by Save and rebuilds the store
+// (including all six orderings). The whole snapshot is read into memory
+// first — the store itself is memory-resident, so this adds no
+// asymptotic cost — and the checksum verified before parsing.
+func Load(r io.Reader) (*Store, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if len(raw) < len(snapshotMagic)+4 {
+		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(raw))
+	}
+	payload, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum) {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupted file)")
+	}
+	br := bytes.NewReader(payload)
+
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (bad magic %q)", magic)
+	}
+
+	dictLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot dictionary length: %w", err)
+	}
+	d := dict.New()
+	buf := make([]byte, 0, 256)
+	for i := uint64(0); i < dictLen; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+		}
+		if kind > byte(rdf.Blank) {
+			return nil, fmt.Errorf("store: snapshot term %d has invalid kind %d", i, kind)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("store: snapshot term %d is implausibly long (%d bytes)", i, n)
+		}
+		if uint64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+		}
+		id := d.Encode(rdf.Term{Kind: rdf.TermKind(kind), Value: string(buf)})
+		if id != dict.ID(i+1) {
+			return nil, fmt.Errorf("store: snapshot dictionary has duplicate term %q", buf)
+		}
+	}
+
+	numTriples, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot triple count: %w", err)
+	}
+	b := NewBuilder(d)
+	var prev Triple
+	for i := uint64(0); i < numTriples; i++ {
+		var t Triple
+		if i == 0 {
+			for j := 0; j < 3; j++ {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+				}
+				t[j] = v
+			}
+		} else {
+			dfb, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+			}
+			df := int(dfb)
+			if df > 2 {
+				return nil, fmt.Errorf("store: snapshot triple %d has bad delta header %d", i, df)
+			}
+			t = prev
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+			}
+			t[df] = prev[df] + delta
+			for j := df + 1; j < 3; j++ {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+				}
+				t[j] = v
+			}
+		}
+		for _, v := range t {
+			if v == dict.Invalid || v > dictLen {
+				return nil, fmt.Errorf("store: snapshot triple %d references unknown term %d", i, v)
+			}
+		}
+		b.AddIDs(t[S], t[P], t[O])
+		prev = t
+	}
+
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("store: snapshot has %d trailing bytes", br.Len())
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := buildSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTriples() != s.NumTriples() {
+		t.Fatalf("triples = %d, want %d", loaded.NumTriples(), s.NumTriples())
+	}
+	for o := Ordering(0); o < NumOrderings; o++ {
+		a, b := s.Rel(o), loaded.Rel(o)
+		for i := range a {
+			at := s.Dict().DecodeTriple(a[i][S], a[i][P], a[i][O])
+			bt := loaded.Dict().DecodeTriple(b[i][S], b[i][P], b[i][O])
+			if at != bt {
+				t.Fatalf("ordering %v triple %d: %v != %v", o, i, at, bt)
+			}
+		}
+	}
+}
+
+// randomTermStore builds a store of real (dictionary-backed) terms.
+func randomTermStore(seed int64, n int) *Store {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		o := rdf.Term(rdf.NewIRI(fmt.Sprintf("http://e/%d", rng.Intn(25))))
+		if rng.Intn(3) == 0 {
+			o = rdf.NewLiteral(fmt.Sprintf("value %d", rng.Intn(10)))
+		}
+		b.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://e/%d", rng.Intn(25))),
+			P: rdf.NewIRI(fmt.Sprintf("http://p/%d", rng.Intn(6))),
+			O: o,
+		})
+	}
+	return b.Build()
+}
+
+// TestSnapshotRoundTripProperty: random stores survive the round trip
+// with identical term-level content.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomTermStore(seed, 200)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if loaded.NumTriples() != s.NumTriples() {
+			return false
+		}
+		a, b := s.Rel(SPO), loaded.Rel(SPO)
+		for i := range a {
+			at := s.Dict().DecodeTriple(a[i][S], a[i][P], a[i][O])
+			bt := loaded.Dict().DecodeTriple(b[i][S], b[i][P], b[i][O])
+			if at != bt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	s := NewBuilder(nil).Build()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTriples() != 0 {
+		t.Errorf("triples = %d", loaded.NumTriples())
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	s := buildSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bit flip in the middle.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+
+	// Truncation.
+	if _, err := Load(bytes.NewReader(good[:len(good)-8])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if _, err := Load(bytes.NewReader(good[:4])); err == nil {
+		t.Error("tiny snapshot accepted")
+	}
+
+	// Wrong magic.
+	bad = append([]byte(nil), good...)
+	copy(bad, "NOTASNAP")
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Trailing garbage (breaks the checksum, which covers the payload).
+	bad = append(append([]byte(nil), good...), 0x01, 0x02)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("snapshot with trailing bytes accepted")
+	}
+
+	// Empty input.
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSnapshotPreservesTermKinds(t *testing.T) {
+	b := NewBuilder(nil)
+	b.Add(rdf.Triple{
+		S: rdf.NewBlank("b0"),
+		P: rdf.NewIRI("http://p"),
+		O: rdf.NewLiteral("http://p"), // same spelling, different kind
+	})
+	s := b.Build()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := loaded.Rel(SPO)[0]
+	got := loaded.Dict().DecodeTriple(tr[S], tr[P], tr[O])
+	if got.S.Kind != rdf.Blank || got.O.Kind != rdf.Literal {
+		t.Errorf("kinds lost: %v", got)
+	}
+}
+
+func TestSnapshotCompact(t *testing.T) {
+	s := randomStore(5, 5000, 500)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Raw size would be 24 bytes per triple; the gap compression should
+	// do much better even with an empty dictionary.
+	if buf.Len() > 12*s.NumTriples() {
+		t.Errorf("snapshot %d bytes for %d triples (too large)", buf.Len(), s.NumTriples())
+	}
+}

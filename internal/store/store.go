@@ -1,0 +1,188 @@
+package store
+
+import (
+	"sort"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// Triple is a dictionary-encoded triple. Components are always held in
+// subject, predicate, object order regardless of which sorted relation
+// the triple sits in; orderings permute the comparison, not the layout.
+type Triple [3]dict.ID
+
+// Get returns the component at position p.
+func (t Triple) Get(p Pos) dict.ID { return t[p] }
+
+// Store is an immutable in-memory triple store holding the six sorted
+// orderings. Build one with a Builder. A Store is safe for concurrent use.
+type Store struct {
+	dict *dict.Dict
+	rel  [NumOrderings][]Triple
+	// distinct[p] is the number of distinct values at position p.
+	distinct [3]int
+}
+
+// Dict returns the term dictionary backing the store.
+func (s *Store) Dict() *dict.Dict { return s.dict }
+
+// NumTriples returns the number of (distinct) triples.
+func (s *Store) NumTriples() int { return len(s.rel[SPO]) }
+
+// DistinctValues returns the number of distinct values appearing at
+// position p across all triples.
+func (s *Store) DistinctValues(p Pos) int { return s.distinct[p] }
+
+// Rel exposes the sorted slice for an ordering. Callers must not mutate it.
+func (s *Store) Rel(o Ordering) []Triple { return s.rel[o] }
+
+// less reports whether a sorts before b under ordering o.
+func less(o Ordering, a, b Triple) bool {
+	perm := orderingPerms[o]
+	for _, p := range perm {
+		if a[p] != b[p] {
+			return a[p] < b[p]
+		}
+	}
+	return false
+}
+
+// Range returns the half-open index interval [lo, hi) of triples in
+// ordering o whose leading components equal prefix. len(prefix) must be
+// between 0 and 3; an empty prefix selects the whole relation.
+func (s *Store) Range(o Ordering, prefix []dict.ID) (lo, hi int) {
+	rel := s.rel[o]
+	if len(prefix) == 0 {
+		return 0, len(rel)
+	}
+	perm := orderingPerms[o]
+	cmpPrefix := func(t Triple) int {
+		for i, want := range prefix {
+			got := t[perm[i]]
+			if got < want {
+				return -1
+			}
+			if got > want {
+				return +1
+			}
+		}
+		return 0
+	}
+	lo = sort.Search(len(rel), func(i int) bool { return cmpPrefix(rel[i]) >= 0 })
+	hi = sort.Search(len(rel), func(i int) bool { return cmpPrefix(rel[i]) > 0 })
+	return lo, hi
+}
+
+// Count returns the number of triples matching the prefix under o.
+func (s *Store) Count(o Ordering, prefix []dict.ID) int {
+	lo, hi := s.Range(o, prefix)
+	return hi - lo
+}
+
+// DistinctInRange counts the distinct values of the component at depth
+// len(prefix) within the matching range — e.g. for ordering POS and
+// prefix [p], it counts the distinct objects occurring with predicate p.
+// The range is sorted on that component, so a single pass suffices.
+func (s *Store) DistinctInRange(o Ordering, prefix []dict.ID) int {
+	if len(prefix) >= 3 {
+		return 0
+	}
+	lo, hi := s.Range(o, prefix)
+	if lo == hi {
+		return 0
+	}
+	pos := orderingPerms[o][len(prefix)]
+	n := 1
+	prev := s.rel[o][lo][pos]
+	for i := lo + 1; i < hi; i++ {
+		if v := s.rel[o][i][pos]; v != prev {
+			n++
+			prev = v
+		}
+	}
+	return n
+}
+
+// Contains reports whether the fully specified triple is present.
+func (s *Store) Contains(t Triple) bool {
+	lo, hi := s.Range(SPO, []dict.ID{t[S], t[P], t[O]})
+	return hi > lo
+}
+
+// Builder accumulates triples and produces an immutable Store.
+type Builder struct {
+	dict    *dict.Dict
+	triples []Triple
+}
+
+// NewBuilder returns a Builder using the given dictionary, creating a
+// fresh one if d is nil.
+func NewBuilder(d *dict.Dict) *Builder {
+	if d == nil {
+		d = dict.New()
+	}
+	return &Builder{dict: d}
+}
+
+// Dict returns the builder's dictionary.
+func (b *Builder) Dict() *dict.Dict { return b.dict }
+
+// Add encodes and appends one RDF triple. It panics on triples that
+// violate Definition 1 (e.g. a zero Term in any position), which always
+// indicates a generator or loader bug.
+func (b *Builder) Add(t rdf.Triple) {
+	if !t.Valid() {
+		panic("store: invalid triple " + t.String())
+	}
+	s, p, o := b.dict.EncodeTriple(t)
+	b.AddIDs(s, p, o)
+}
+
+// AddIDs appends a pre-encoded triple.
+func (b *Builder) AddIDs(s, p, o dict.ID) {
+	b.triples = append(b.triples, Triple{s, p, o})
+}
+
+// Len returns the number of triples added so far (before deduplication).
+func (b *Builder) Len() int { return len(b.triples) }
+
+// Build sorts the six orderings, removes duplicate triples, and returns
+// the finished store. The builder must not be reused afterwards.
+func (b *Builder) Build() *Store {
+	st := &Store{dict: b.dict}
+
+	// Sort the canonical SPO copy and deduplicate in place.
+	base := b.triples
+	b.triples = nil
+	sort.Slice(base, func(i, j int) bool { return less(SPO, base[i], base[j]) })
+	base = dedup(base)
+	st.rel[SPO] = base
+
+	for o := Ordering(1); o < NumOrderings; o++ {
+		cp := make([]Triple, len(base))
+		copy(cp, base)
+		ord := o
+		sort.Slice(cp, func(i, j int) bool { return less(ord, cp[i], cp[j]) })
+		st.rel[o] = cp
+	}
+
+	st.distinct[S] = st.DistinctInRange(SPO, nil)
+	st.distinct[P] = st.DistinctInRange(PSO, nil)
+	st.distinct[O] = st.DistinctInRange(OSP, nil)
+	return st
+}
+
+func dedup(ts []Triple) []Triple {
+	if len(ts) == 0 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[i-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}

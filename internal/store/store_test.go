@@ -1,0 +1,233 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+func TestOrderingNamesRoundTrip(t *testing.T) {
+	for o := Ordering(0); o < NumOrderings; o++ {
+		got, err := ParseOrdering(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOrdering(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOrdering("xyz"); err == nil {
+		t.Error("ParseOrdering(xyz) succeeded")
+	}
+}
+
+func TestOrderingFor(t *testing.T) {
+	tests := []struct {
+		a, b, c Pos
+		want    Ordering
+	}{
+		{S, P, O, SPO}, {S, O, P, SOP}, {P, S, O, PSO},
+		{P, O, S, POS}, {O, S, P, OSP}, {O, P, S, OPS},
+	}
+	for _, tt := range tests {
+		got, err := OrderingFor(tt.a, tt.b, tt.c)
+		if err != nil || got != tt.want {
+			t.Errorf("OrderingFor(%v,%v,%v) = %v, %v; want %v", tt.a, tt.b, tt.c, got, err, tt.want)
+		}
+	}
+	if _, err := OrderingFor(S, S, O); err == nil {
+		t.Error("OrderingFor(S,S,O) succeeded, want error")
+	}
+}
+
+func TestPermConsistent(t *testing.T) {
+	for o := Ordering(0); o < NumOrderings; o++ {
+		perm := o.Perm()
+		seen := [3]bool{}
+		for _, p := range perm {
+			if seen[p] {
+				t.Fatalf("%v has duplicate position %v", o, p)
+			}
+			seen[p] = true
+		}
+		name := perm[0].String() + perm[1].String() + perm[2].String()
+		if name != o.String() {
+			t.Errorf("perm of %v spells %q", o, name)
+		}
+	}
+}
+
+func buildSmall(t *testing.T) *Store {
+	t.Helper()
+	b := NewBuilder(nil)
+	doc := `
+<http://ex/j1> <http://rdf/type> <http://bench/Journal> .
+<http://ex/j1> <http://dc/title> "Journal 1 (1940)" .
+<http://ex/j1> <http://dcterms/issued> "1940" .
+<http://ex/j2> <http://rdf/type> <http://bench/Journal> .
+<http://ex/j2> <http://dc/title> "Journal 1 (1941)" .
+<http://ex/a1> <http://rdf/type> <http://bench/Article> .
+`
+	ts, err := rdf.ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		b.Add(tr)
+	}
+	b.Add(ts[0]) // duplicate, must be removed
+	return b.Build()
+}
+
+func TestBuildDedup(t *testing.T) {
+	s := buildSmall(t)
+	if s.NumTriples() != 6 {
+		t.Errorf("NumTriples = %d, want 6 (dedup failed?)", s.NumTriples())
+	}
+}
+
+func TestRangeAndCount(t *testing.T) {
+	s := buildSmall(t)
+	d := s.Dict()
+	typeID, _ := d.Lookup(rdf.NewIRI("http://rdf/type"))
+	journal, _ := d.Lookup(rdf.NewIRI("http://bench/Journal"))
+
+	if got := s.Count(PSO, []dict.ID{typeID}); got != 3 {
+		t.Errorf("Count(PSO, [type]) = %d, want 3", got)
+	}
+	if got := s.Count(POS, []dict.ID{typeID, journal}); got != 2 {
+		t.Errorf("Count(POS, [type journal]) = %d, want 2", got)
+	}
+	if got := s.Count(SPO, nil); got != 6 {
+		t.Errorf("Count(SPO, nil) = %d, want 6", got)
+	}
+	missing := dict.ID(999999)
+	if got := s.Count(PSO, []dict.ID{missing}); got != 0 {
+		t.Errorf("Count of missing = %d, want 0", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := buildSmall(t)
+	if got := s.DistinctValues(S); got != 3 {
+		t.Errorf("distinct subjects = %d, want 3", got)
+	}
+	if got := s.DistinctValues(P); got != 3 {
+		t.Errorf("distinct predicates = %d, want 3", got)
+	}
+	d := s.Dict()
+	typeID, _ := d.Lookup(rdf.NewIRI("http://rdf/type"))
+	// distinct objects of rdf:type = {Journal, Article}
+	if got := s.DistinctInRange(POS, []dict.ID{typeID}); got != 2 {
+		t.Errorf("DistinctInRange(POS,[type]) = %d, want 2", got)
+	}
+	if got := s.DistinctInRange(SPO, []dict.ID{1, 2, 3}); got != 0 {
+		t.Errorf("DistinctInRange with full prefix = %d, want 0", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := buildSmall(t)
+	d := s.Dict()
+	j1, _ := d.Lookup(rdf.NewIRI("http://ex/j1"))
+	typeID, _ := d.Lookup(rdf.NewIRI("http://rdf/type"))
+	journal, _ := d.Lookup(rdf.NewIRI("http://bench/Journal"))
+	if !s.Contains(Triple{j1, typeID, journal}) {
+		t.Error("Contains missed an existing triple")
+	}
+	if s.Contains(Triple{journal, typeID, j1}) {
+		t.Error("Contains found a nonexistent triple")
+	}
+}
+
+func randomStore(seed int64, n, domain int) *Store {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		b.AddIDs(
+			dict.ID(rng.Intn(domain)+1),
+			dict.ID(rng.Intn(domain/4+1)+1),
+			dict.ID(rng.Intn(domain)+1),
+		)
+	}
+	return b.Build()
+}
+
+// TestAllOrderingsSorted: property — every ordering is sorted under its
+// own comparator and holds the same multiset of triples.
+func TestAllOrderingsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomStore(seed, 300, 40)
+		base := s.Rel(SPO)
+		for o := Ordering(0); o < NumOrderings; o++ {
+			rel := s.Rel(o)
+			if len(rel) != len(base) {
+				return false
+			}
+			count := make(map[Triple]int)
+			for i, tr := range rel {
+				count[tr]++
+				if i > 0 && less(o, tr, rel[i-1]) {
+					return false
+				}
+			}
+			for _, tr := range base {
+				count[tr]--
+				if count[tr] < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeMatchesNaive: property — Range agrees with a naive scan for
+// random prefixes of every length under every ordering.
+func TestRangeMatchesNaive(t *testing.T) {
+	f := func(seed int64, rawOrd uint8, p1, p2, p3 uint16) bool {
+		s := randomStore(seed, 200, 25)
+		o := Ordering(rawOrd % NumOrderings)
+		perm := o.Perm()
+		vals := []dict.ID{dict.ID(p1%30 + 1), dict.ID(p2%30 + 1), dict.ID(p3%30 + 1)}
+		for plen := 0; plen <= 3; plen++ {
+			prefix := vals[:plen]
+			naive := 0
+			for _, tr := range s.Rel(SPO) {
+				ok := true
+				for i := 0; i < plen; i++ {
+					if tr[perm[i]] != prefix[i] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					naive++
+				}
+			}
+			if s.Count(o, prefix) != naive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := NewBuilder(nil).Build()
+	if s.NumTriples() != 0 {
+		t.Errorf("empty store has %d triples", s.NumTriples())
+	}
+	if lo, hi := s.Range(POS, []dict.ID{1}); lo != 0 || hi != 0 {
+		t.Errorf("Range on empty store = [%d,%d)", lo, hi)
+	}
+	if s.DistinctInRange(SPO, nil) != 0 {
+		t.Error("DistinctInRange on empty store != 0")
+	}
+}

@@ -1,0 +1,272 @@
+package vargraph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+func patterns(t *testing.T, src string) []sparql.TriplePattern {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Patterns
+}
+
+// TestFigure1 reproduces the variable graph of Figure 1: three variables
+// ?jrnl(4), ?yr(1), ?rev(1); after trimming only ?jrnl remains.
+func TestFigure1(t *testing.T) {
+	ps := patterns(t, `
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?yr ?jrnl {
+			?jrnl rdf:type <http://bench/Journal> .
+			?jrnl <http://dc/title> "Journal 1 (1940)" .
+			?jrnl <http://dcterms/issued> ?yr .
+			?jrnl <http://dcterms/revised> ?rev .
+		}`)
+	g, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 {
+		t.Fatalf("nodes = %v, want only ?jrnl after trimming", g.Vars())
+	}
+	if g.Weight("jrnl") != 4 {
+		t.Errorf("weight(jrnl) = %d, want 4", g.Weight("jrnl"))
+	}
+	sets := g.MaxWeightIndependentSets()
+	if len(sets) != 1 || len(sets[0]) != 1 || sets[0][0] != "jrnl" {
+		t.Errorf("MWIS = %v, want [[jrnl]]", sets)
+	}
+}
+
+// TestY3Graph: the Y3 variable graph has nodes p(2), c1(3), c2(3) with
+// edges p–c1 and p–c2; the unique MWIS is {c1,c2} with weight 6,
+// yielding the two merge blocks of Figure 2.
+func TestY3Graph(t *testing.T) {
+	ps := patterns(t, `
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?p {
+			?p ?ss ?c1 .
+			?p ?dd ?c2 .
+			?c1 rdf:type <http://wn/village> .
+			?c1 <http://y/locatedIn> ?X .
+			?c2 rdf:type <http://wn/site> .
+			?c2 <http://y/locatedIn> ?Y .
+		}`)
+	g, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %v", g.Vars())
+	}
+	if !g.HasEdge("p", "c1") || !g.HasEdge("p", "c2") || g.HasEdge("c1", "c2") {
+		t.Error("edges wrong")
+	}
+	sets := g.MaxWeightIndependentSets()
+	want := [][]sparql.Var{{"c1", "c2"}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("MWIS = %v, want %v", sets, want)
+	}
+	if g.SetWeight(sets[0]) != 6 {
+		t.Errorf("weight = %d, want 6", g.SetWeight(sets[0]))
+	}
+}
+
+// TestY2GraphTie: Y2 has two maximum sets, {a} and {m1,m2}, both of
+// weight 4 — the tie the planner breaks with the heuristics.
+func TestY2GraphTie(t *testing.T) {
+	ps := patterns(t, `
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?a {
+			?a rdf:type <http://wn/actor> .
+			?a <http://y/livesIn> ?city .
+			?a <http://y/actedIn> ?m1 .
+			?m1 rdf:type <http://wn/movie> .
+			?a <http://y/directed> ?m2 .
+			?m2 rdf:type <http://wn/movie> .
+		}`)
+	g, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := g.MaxWeightIndependentSets()
+	if len(sets) != 2 {
+		t.Fatalf("MWIS count = %d (%v), want 2", len(sets), sets)
+	}
+	want := [][]sparql.Var{{"a"}, {"m1", "m2"}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("MWIS = %v, want %v", sets, want)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	ps := patterns(t, `SELECT ?s { ?s <http://p> "o" }`)
+	g, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 {
+		t.Errorf("nodes = %d, want 0", g.NumNodes())
+	}
+	if sets := g.MaxWeightIndependentSets(); sets != nil {
+		t.Errorf("MWIS of empty graph = %v, want nil", sets)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ps := patterns(t, `SELECT ?a { ?a <http://p> ?b . ?a <http://q> ?c . ?b <http://r> ?d . ?b <http://s> ?e }`)
+	g, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	if !strings.Contains(s, "?a(2)") || !strings.Contains(s, "?b(3)") {
+		t.Errorf("String() = %q", s)
+	}
+	if !strings.Contains(s, "?a–?b") {
+		t.Errorf("String() missing edge: %q", s)
+	}
+}
+
+// randomGraph builds a graph directly (bypassing patterns) for property
+// testing the solver against brute force.
+type rawGraph struct {
+	n       int
+	weights []int
+	adj     [][]bool
+}
+
+func (r rawGraph) toGraph() *Graph {
+	g := &Graph{
+		weights: r.weights,
+		adj:     make([]uint64, r.n),
+		index:   map[sparql.Var]int{},
+	}
+	for i := 0; i < r.n; i++ {
+		v := sparql.Var(fmt.Sprintf("v%02d", i))
+		g.vars = append(g.vars, v)
+		g.index[v] = i
+	}
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.adj[i][j] {
+				g.adj[i] |= 1 << uint(j)
+			}
+		}
+	}
+	return g
+}
+
+func randomRawGraph(rng *rand.Rand, n int) rawGraph {
+	r := rawGraph{n: n, weights: make([]int, n), adj: make([][]bool, n)}
+	for i := range r.adj {
+		r.adj[i] = make([]bool, n)
+		r.weights[i] = rng.Intn(5) + 2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				r.adj[i][j] = true
+				r.adj[j][i] = true
+			}
+		}
+	}
+	return r
+}
+
+func bruteForceMax(r rawGraph) (int, int) {
+	best, count := 0, 0
+	for mask := 0; mask < 1<<uint(r.n); mask++ {
+		ok := true
+		w := 0
+		for i := 0; i < r.n && ok; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			w += r.weights[i]
+			for j := i + 1; j < r.n; j++ {
+				if mask&(1<<uint(j)) != 0 && r.adj[i][j] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if w > best {
+			best, count = w, 1
+		} else if w == best {
+			count++
+		}
+	}
+	return best, count
+}
+
+// TestSolverMatchesBruteForce: property — on random graphs up to 14
+// nodes the solver finds exactly the brute-force optima, every returned
+// set is independent, and all have the optimal weight.
+func TestSolverMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRawGraph(rng, rng.Intn(13)+2)
+		g := r.toGraph()
+		sets := g.MaxWeightIndependentSets()
+		wantW, wantCount := bruteForceMax(r)
+		if len(sets) != wantCount {
+			return false
+		}
+		for _, s := range sets {
+			if !g.IsIndependent(s) || g.SetWeight(s) != wantW {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolver50Nodes checks the paper's claim that a 50-node variable
+// graph is solvable quickly (§6.2.2: "HSP can process a variable graph
+// of up to 50 nodes in less than 6ms").
+func TestSolver50Nodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := randomRawGraph(rng, 50)
+	g := r.toGraph()
+	sets := g.MaxWeightIndependentSets()
+	if len(sets) == 0 {
+		t.Fatal("no MWIS found on 50-node graph")
+	}
+	for _, s := range sets {
+		if !g.IsIndependent(s) {
+			t.Fatal("solver returned dependent set")
+		}
+	}
+}
+
+func TestTooManyNodes(t *testing.T) {
+	var ps []sparql.TriplePattern
+	// 65 variables each in two patterns: chain v0-v1, v1-v2, ...
+	for i := 0; i < 66; i++ {
+		ps = append(ps, sparql.TriplePattern{
+			S:  sparql.NewVarNode(sparql.Var(fmt.Sprintf("v%d", i))),
+			P:  sparql.NewVarNode(sparql.Var(fmt.Sprintf("u%d", i))), // weight 1, trimmed
+			O:  sparql.NewVarNode(sparql.Var(fmt.Sprintf("v%d", i+1))),
+			ID: i,
+		})
+	}
+	if _, err := New(ps); err == nil {
+		t.Error("New accepted > MaxNodes join variables")
+	}
+}

@@ -1,0 +1,166 @@
+// Package yago provides a deterministic generator reproducing the
+// shape of the YAGO subgraph the paper's queries Y1–Y4 touch — actors,
+// movies, scientists, villages, sites and the locatedIn hierarchy — and
+// the four reconstructed YAGO queries.
+//
+// The paper's YAGO observations guide the generator: the graph is
+// sparse with a small diameter and hub nodes (usually subjects), and
+// it is the one dataset where the same URI may appear as both subject
+// and object of different triples (the locatedIn chains).
+package yago
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Vocabulary IRIs.
+const (
+	NS   = "http://yago/"
+	NSWN = "http://wordnet/"
+
+	TypeActor     = NSWN + "wordnet_actor"
+	TypeMovie     = NSWN + "wordnet_movie"
+	TypeScientist = NSWN + "wordnet_scientist"
+	TypeVillage   = NSWN + "wordnet_village"
+	TypeSite      = NSWN + "wordnet_site"
+	TypeRegion    = NSWN + "wordnet_region"
+	TypePerson    = NSWN + "wordnet_person"
+
+	PredLivesIn   = NS + "livesIn"
+	PredActedIn   = NS + "actedIn"
+	PredDirected  = NS + "directed"
+	PredLocatedIn = NS + "locatedIn"
+	PredBornIn    = NS + "bornIn"
+	PredAdvisor   = NS + "hasAcademicAdvisor"
+	PredMarriedTo = NS + "isMarriedTo"
+	PredWonPrize  = NS + "hasWonPrize"
+	PredVisited   = NS + "visited"
+	PredHasSequel = NS + "hasSequel"
+)
+
+// Generate produces approximately `scale` triples of YAGO-shaped data.
+// Deterministic for a given (scale, seed).
+func Generate(scale int, seed int64) *store.Store {
+	b := store.NewBuilder(nil)
+	GenerateInto(b, scale, seed)
+	return b.Build()
+}
+
+// GenerateInto emits the dataset into an existing builder.
+func GenerateInto(b *store.Builder, scale int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	iri := func(s string) rdf.Term { return rdf.NewIRI(s) }
+	typ := iri(sparql.RDFType)
+	add := func(s, p, o rdf.Term) { b.Add(rdf.Triple{S: s, P: p, O: o}) }
+
+	unit := scale / 20
+	if unit < 2 {
+		unit = 2
+	}
+	nActors := unit * 2
+	nMovies := unit
+	nScientists := unit
+	nVillages := unit / 2
+	nSites := unit / 4
+	nRegions := unit / 8
+	nDistricts := unit / 4
+	nCities := unit / 2
+	if nSites < 1 {
+		nSites = 1
+	}
+	if nRegions < 1 {
+		nRegions = 1
+	}
+	if nDistricts < 1 {
+		nDistricts = 1
+	}
+
+	regions := make([]rdf.Term, nRegions)
+	for i := range regions {
+		regions[i] = iri(fmt.Sprintf("%sregion%d", NS, i))
+		add(regions[i], typ, iri(TypeRegion))
+	}
+	districts := make([]rdf.Term, nDistricts)
+	for i := range districts {
+		districts[i] = iri(fmt.Sprintf("%sdistrict%d", NS, i))
+		add(districts[i], iri(PredLocatedIn), regions[i%nRegions])
+	}
+	cities := make([]rdf.Term, nCities)
+	for i := range cities {
+		cities[i] = iri(fmt.Sprintf("%scity%d", NS, i))
+		add(cities[i], iri(PredLocatedIn), districts[i%nDistricts])
+	}
+	villages := make([]rdf.Term, nVillages)
+	for i := range villages {
+		villages[i] = iri(fmt.Sprintf("%svillage%d", NS, i))
+		add(villages[i], typ, iri(TypeVillage))
+		add(villages[i], iri(PredLocatedIn), districts[i%nDistricts])
+	}
+	sites := make([]rdf.Term, nSites)
+	for i := range sites {
+		sites[i] = iri(fmt.Sprintf("%ssite%d", NS, i))
+		add(sites[i], typ, iri(TypeSite))
+		add(sites[i], iri(PredLocatedIn), districts[i%nDistricts])
+	}
+
+	movies := make([]rdf.Term, nMovies)
+	for i := range movies {
+		movies[i] = iri(fmt.Sprintf("%smovie%d", NS, i))
+	}
+	for i := range movies {
+		add(movies[i], typ, iri(TypeMovie))
+		if i%4 == 0 && i+1 < nMovies {
+			add(movies[i], iri(PredHasSequel), movies[i+1])
+		}
+	}
+
+	actors := make([]rdf.Term, nActors)
+	for i := range actors {
+		actors[i] = iri(fmt.Sprintf("%sactor%d", NS, i))
+		add(actors[i], typ, iri(TypeActor))
+		add(actors[i], iri(PredLivesIn), cities[rng.Intn(nCities)])
+		for m := 0; m < rng.Intn(3)+1; m++ {
+			add(actors[i], iri(PredActedIn), movies[rng.Intn(nMovies)])
+		}
+		if i%3 == 0 {
+			add(actors[i], iri(PredDirected), movies[rng.Intn(nMovies)])
+		}
+		if i%5 == 0 && i > 0 {
+			add(actors[i], iri(PredMarriedTo), actors[i-1])
+		}
+	}
+
+	// People linking to villages and sites (Y3's variable-predicate
+	// patterns ?p ?ss ?c1 / ?p ?dd ?c2).
+	for i := 0; i < unit; i++ {
+		p := iri(fmt.Sprintf("%sperson%d", NS, i))
+		add(p, typ, iri(TypePerson))
+		if i%2 == 0 {
+			add(p, iri(PredBornIn), villages[rng.Intn(nVillages)])
+		}
+		if i%3 == 0 {
+			add(p, iri(PredVisited), sites[rng.Intn(nSites)])
+		}
+	}
+
+	scientists := make([]rdf.Term, nScientists)
+	for i := range scientists {
+		scientists[i] = iri(fmt.Sprintf("%sscientist%d", NS, i))
+		add(scientists[i], typ, iri(TypeScientist))
+		add(scientists[i], iri(PredBornIn), cities[rng.Intn(nCities)])
+		if i > 0 {
+			add(scientists[i], iri(PredAdvisor), scientists[rng.Intn(i)])
+		}
+		if i%2 == 0 {
+			add(scientists[i], iri(PredMarriedTo), iri(fmt.Sprintf("%sperson%d", NS, rng.Intn(unit))))
+		}
+		if i%4 == 0 {
+			add(scientists[i], iri(PredWonPrize), iri(fmt.Sprintf("%sprize%d", NS, i%7)))
+		}
+	}
+}

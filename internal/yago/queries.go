@@ -1,0 +1,72 @@
+package yago
+
+// The four YAGO queries of the paper's evaluation. Y2 and Y3 are
+// printed verbatim in the paper (Tables 9 and 5); Y1 and Y4 are
+// reconstructed from the characteristics in Table 2 and the discussion
+// in Section 6.2.1 (see EXPERIMENTS.md for the recorded deviations).
+
+const prefixes = `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX y:   <http://yago/>
+PREFIX wn:  <http://wordnet/>
+`
+
+// Y1 is the scientist query: a five-pattern star on ?p plus the
+// locatedIn chain from the birthplace. The MWIS tie between {p,y} and
+// {p,z} is broken by HEURISTIC 3 — the paper notes H3/H5 as the
+// effective heuristics and that HSP "chooses to perform the majority
+// of the involved merge joins on a single variable".
+const Y1 = prefixes + `
+SELECT ?p ?x
+WHERE { ?p rdf:type wn:wordnet_scientist .
+        ?p y:bornIn ?x .
+        ?p y:hasAcademicAdvisor ?adv .
+        ?p y:isMarriedTo ?w .
+        ?p y:hasWonPrize ?prize .
+        ?x y:locatedIn ?y .
+        ?y y:locatedIn ?z .
+        ?z rdf:type wn:wordnet_region . }`
+
+// Y2 is printed in Table 9 of the paper: actors that lived somewhere,
+// acted in a movie and directed a movie.
+const Y2 = prefixes + `
+SELECT ?a
+WHERE { ?a rdf:type wn:wordnet_actor .
+        ?a y:livesIn ?city .
+        ?a y:actedIn ?m1 .
+        ?m1 rdf:type wn:wordnet_movie .
+        ?a y:directed ?m2 .
+        ?m2 rdf:type wn:wordnet_movie . }`
+
+// Y3 is printed in Table 5 of the paper: entities related to both a
+// village and a site, with variable predicates (Figure 2 shows its HSP
+// plan).
+const Y3 = prefixes + `
+SELECT ?p
+WHERE { ?p ?ss ?c1 .
+        ?p ?dd ?c2 .
+        ?c1 rdf:type wn:wordnet_village .
+        ?c1 y:locatedIn ?X .
+        ?c2 rdf:type wn:wordnet_site .
+        ?c2 y:locatedIn ?Y . }`
+
+// Y4 is the chain query: three constant-free patterns bridging an
+// actor to a movie ("the query plan needs to scan the entire triple
+// relation twice to evaluate the remaining patterns").
+const Y4 = prefixes + `
+SELECT ?a ?b ?d
+WHERE { ?a ?p1 ?b .
+        ?b ?p2 ?c .
+        ?c ?p3 ?d .
+        ?a rdf:type wn:wordnet_actor .
+        ?d rdf:type wn:wordnet_movie . }`
+
+// Queries lists the workload in the paper's reporting order.
+func Queries() []struct{ Name, Text string } {
+	return []struct{ Name, Text string }{
+		{"Y1", Y1},
+		{"Y2", Y2},
+		{"Y3", Y3},
+		{"Y4", Y4},
+	}
+}
