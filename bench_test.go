@@ -59,6 +59,7 @@ func envScale(name string, def int) int {
 }
 
 func getEnv(b *testing.B) *experiments.Env {
+	b.ReportAllocs()
 	b.Helper()
 	benchOnce.Do(func() {
 		benchEnv, benchErr = experiments.NewEnv(experiments.Config{
@@ -77,6 +78,7 @@ func getEnv(b *testing.B) *experiments.Env {
 // --- Table 2 ---
 
 func BenchmarkTable2Characteristics(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -89,6 +91,7 @@ func BenchmarkTable2Characteristics(b *testing.B) {
 // --- Table 3 ---
 
 func BenchmarkTable3PlanCost(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -101,6 +104,7 @@ func BenchmarkTable3PlanCost(b *testing.B) {
 // --- Table 4 ---
 
 func BenchmarkTable4PlanCharacteristics(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -113,6 +117,7 @@ func BenchmarkTable4PlanCharacteristics(b *testing.B) {
 // --- Table 6: HSP planning time per query ---
 
 func BenchmarkTable6PlanningTime(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	pl := core.NewPlanner()
 	for _, w := range e.Workloads() {
@@ -122,6 +127,7 @@ func BenchmarkTable6PlanningTime(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.Run(q.Name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := pl.Plan(parsed); err != nil {
 						b.Fatal(err)
@@ -150,6 +156,7 @@ func benchExec(b *testing.B, w *experiments.Workload) {
 			b.Fatal(err)
 		}
 		b.Run(q.Name+"/MonetDB-HSP", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := monet.Execute(hplan); err != nil {
 					b.Fatal(err)
@@ -168,6 +175,7 @@ func benchExec(b *testing.B, w *experiments.Workload) {
 			b.Fatal(err)
 		}
 		b.Run(q.Name+"/RDF3X-CDP", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := rx.Execute(cplan); err != nil {
 					b.Fatal(err)
@@ -186,6 +194,7 @@ func benchExec(b *testing.B, w *experiments.Workload) {
 			}
 		}
 		b.Run(q.Name+"/MonetDB-SQL", func(b *testing.B) {
+			b.ReportAllocs()
 			if cross {
 				b.Skip("XXX: Cartesian product (the paper reports MonetDB/SQL fails to terminate)")
 			}
@@ -205,6 +214,7 @@ func BenchmarkTable8YAGO(b *testing.B) { benchExec(b, getEnv(b).YAGO) }
 // --- Figures ---
 
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := experiments.Figure1(io.Discard); err != nil {
 			b.Fatal(err)
@@ -213,6 +223,7 @@ func BenchmarkFigure1(b *testing.B) {
 }
 
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -223,6 +234,7 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -260,9 +272,11 @@ func chainPatterns(n int, seed int64) []sparql.TriplePattern {
 }
 
 func BenchmarkMWISScalability(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{10, 20, 30, 40, 50} {
 		ps := chainPatterns(n, int64(n))
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g, err := vargraph.New(ps)
 				if err != nil {
@@ -279,6 +293,7 @@ func BenchmarkMWISScalability(b *testing.B) {
 // --- Scan decompression: the SP6/Y3 effect in isolation ---
 
 func BenchmarkScanDecompression(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	w := e.SP2Bench
 	monet := exec.ColumnSource{St: w.Col}
@@ -333,12 +348,14 @@ func ablationCost(b *testing.B, opts core.Options, query string) float64 {
 // set-level HEURISTIC 3 (prefer fewest vs most covered constants) on
 // Y2, where the {a} vs {m1,m2} tie makes the difference (Figure 3).
 func BenchmarkAblationTieBreakDirection(b *testing.B) {
+	b.ReportAllocs()
 	variants := map[string][]core.TieBreaker{
 		"fewest-constants(paper)": nil, // default cascade
 		"most-constants":          {core.H3SetsMost, core.H4Sets, core.H2Sets, core.H5Sets},
 	}
 	for name, tbs := range variants {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var c float64
 			for i := 0; i < b.N; i++ {
 				c = ablationCost(b, core.Options{TieBreakers: tbs}, yago.Y2)
@@ -351,6 +368,7 @@ func BenchmarkAblationTieBreakDirection(b *testing.B) {
 // BenchmarkAblationTypeException toggles HEURISTIC 1's rdf:type
 // demotion on SP1-shaped planning.
 func BenchmarkAblationTypeException(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	_ = e
 	const sp1 = `
@@ -367,6 +385,7 @@ func BenchmarkAblationTypeException(b *testing.B) {
 		"without-type-exception":     {TypeException: false},
 	} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var c float64
 			for i := 0; i < b.N; i++ {
 				c = ablationCostSP2(b, core.Options{Heuristics: h}, sp1)
@@ -402,6 +421,7 @@ func ablationCostSP2(b *testing.B, opts core.Options, query string) float64 {
 // BenchmarkAblationBushy compares the paper's bushy plans against
 // forced left-deep plans on Y3 (execution time).
 func BenchmarkAblationBushy(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	eng := exec.New(exec.ColumnSource{St: e.YAGO.Col})
 	for name, opts := range map[string]core.Options{
@@ -414,6 +434,7 @@ func BenchmarkAblationBushy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Execute(plan); err != nil {
 					b.Fatal(err)
@@ -428,6 +449,7 @@ func BenchmarkAblationBushy(b *testing.B) {
 // structure, exact statistics order scans and hash joins) on the heavy
 // star SP2a — the query class the paper says HSP handles worst.
 func BenchmarkAblationHybrid(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	w := e.SP2Bench
 	eng := exec.New(exec.ColumnSource{St: w.Col})
@@ -447,6 +469,7 @@ func BenchmarkAblationHybrid(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Execute(plan); err != nil {
 					b.Fatal(err)
@@ -462,6 +485,7 @@ func BenchmarkAblationHybrid(b *testing.B) {
 // store, and reports its estimation error on the SP2a star against the
 // independence assumption's.
 func BenchmarkCharacteristicSets(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	w := e.SP2Bench
 	var sp2a *sparql.Query
@@ -475,6 +499,7 @@ func BenchmarkCharacteristicSets(b *testing.B) {
 	// objects; the type pattern's bound object is out of their domain).
 	star := &sparql.Query{Star: true, Patterns: sp2a.Patterns[1:], Limit: -1}
 	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if cs := stats.NewCharacteristicSets(w.Col); cs.NumSets() == 0 {
 				b.Fatal("no characteristic sets")
@@ -487,6 +512,7 @@ func BenchmarkCharacteristicSets(b *testing.B) {
 		truth = res.Len()
 	}
 	b.Run("estimate-star", func(b *testing.B) {
+		b.ReportAllocs()
 		var est float64
 		for i := 0; i < b.N; i++ {
 			var ok bool
@@ -501,6 +527,7 @@ func BenchmarkCharacteristicSets(b *testing.B) {
 	})
 	// Independence-assumption baseline error on the same star.
 	b.Run("independence", func(b *testing.B) {
+		b.ReportAllocs()
 		est := stats.New(w.Col)
 		var card int
 		for i := 0; i < b.N; i++ {
@@ -529,6 +556,7 @@ func mustHSP(b *testing.B, q *sparql.Query) *algebra.Plan {
 // pattern-order blocks on Y3 (execution time; H1 puts the selective
 // type patterns first).
 func BenchmarkAblationBlockOrder(b *testing.B) {
+	b.ReportAllocs()
 	e := getEnv(b)
 	eng := exec.New(exec.ColumnSource{St: e.YAGO.Col})
 	for name, opts := range map[string]core.Options{
@@ -541,6 +569,7 @@ func BenchmarkAblationBlockOrder(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Execute(plan); err != nil {
 					b.Fatal(err)
@@ -549,3 +578,54 @@ func BenchmarkAblationBlockOrder(b *testing.B) {
 		})
 	}
 }
+
+// --- streamed vs materialised execution ---
+
+// benchStream measures the two result-delivery paths of the physical
+// layer over the whole SP2Bench suite: Execute (materialise every row)
+// versus Compile+Run (pull rows one at a time), so the perf trajectory
+// tracks both. The parallel variant adds concurrent hash-join builds.
+func benchStream(b *testing.B, parallelism int, materialise bool) {
+	e := getEnv(b)
+	w := e.SP2Bench
+	eng := exec.New(exec.ColumnSource{St: w.Col})
+	for _, q := range w.Queries {
+		parsed, err := sparql.Parse(q.Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := core.NewPlanner().Plan(parsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled, err := eng.Compile(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := exec.Options{Parallelism: parallelism}
+		b.Run(q.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if materialise {
+					if _, err := eng.ExecuteOpts(plan, opts); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				run := compiled.Run(opts)
+				for run.Next() {
+				}
+				if err := run.Err(); err != nil {
+					b.Fatal(err)
+				}
+				run.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkExecMaterialised(b *testing.B) { benchStream(b, 1, true) }
+
+func BenchmarkExecStreamed(b *testing.B) { benchStream(b, 1, false) }
+
+func BenchmarkExecStreamedParallel(b *testing.B) { benchStream(b, 4, false) }

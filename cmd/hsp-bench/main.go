@@ -5,7 +5,12 @@
 // Usage:
 //
 //	hsp-bench [-table 2|3|4|6|7|8] [-figure 1|2|3] [-study] [-all]
+//	          [-analyze] [-parallel N]
 //	          [-sp2scale N] [-yagoscale N] [-seed N] [-runs N]
+//
+// -analyze prints EXPLAIN ANALYZE trees (per-operator row counts, wall
+// times and hash-join build sizes) for every workload query under all
+// three planners; -parallel N runs those executions with N workers.
 package main
 
 import (
@@ -21,6 +26,8 @@ func main() {
 		table     = flag.Int("table", 0, "reproduce one table (2, 3, 4, 6, 7 or 8)")
 		figure    = flag.Int("figure", 0, "reproduce one figure (1, 2 or 3)")
 		study     = flag.Bool("study", false, "run the Section 6.2 join-pattern dataset study")
+		analyze   = flag.Bool("analyze", false, "print EXPLAIN ANALYZE for every query under all three planners")
+		parallel  = flag.Int("parallel", 1, "executor workers for -analyze runs")
 		all       = flag.Bool("all", false, "reproduce everything in paper order")
 		sp2scale  = flag.Int("sp2scale", 200000, "approximate SP2Bench triple count")
 		yagoscale = flag.Int("yagoscale", 100000, "approximate YAGO triple count")
@@ -28,7 +35,7 @@ func main() {
 		runs      = flag.Int("runs", 5, "warm timing runs per query (Tables 7/8)")
 	)
 	flag.Parse()
-	if *table == 0 && *figure == 0 && !*study && !*all {
+	if *table == 0 && *figure == 0 && !*study && !*analyze && !*all {
 		*all = true
 	}
 
@@ -97,6 +104,11 @@ func main() {
 	}
 	if *study {
 		if err := experiments.JoinPatternStudy(env, os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *analyze {
+		if err := experiments.ExplainAnalyzeAll(env, os.Stdout, *parallel); err != nil {
 			fail(err)
 		}
 	}

@@ -11,6 +11,11 @@
 // left-deep MonetDB/SQL-style baseline) or hybrid (HSP structure with
 // statistics-based ordering, the paper's Section 7 proposal). The -engine flag selects monet
 // (uncompressed sorted orderings) or rdf3x (compressed indexes).
+//
+// -stream pulls rows from the running plan instead of materialising the
+// result, -parallel N lets the executor use N concurrent workers, and
+// -analyze prints an EXPLAIN ANALYZE tree (per-operator row counts,
+// wall times and hash-join build sizes) instead of rows.
 package main
 
 import (
@@ -36,7 +41,10 @@ func main() {
 		planner   = flag.String("planner", "hsp", "planner: hsp, cdp, sql or hybrid")
 		engine    = flag.String("engine", "monet", "engine: monet or rdf3x")
 		explain   = flag.Bool("explain", false, "print the plan with observed cardinalities instead of rows")
+		analyze   = flag.Bool("analyze", false, "print EXPLAIN ANALYZE (per-operator rows, timings, build sizes) instead of rows")
 		plan      = flag.Bool("plan", false, "print the plan without executing")
+		stream    = flag.Bool("stream", false, "stream rows instead of materialising the result")
+		parallel  = flag.Int("parallel", 1, "number of concurrent executor workers")
 		maxRows   = flag.Int("maxrows", 20, "result rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -88,9 +96,22 @@ func main() {
 		fmt.Print(out)
 		return
 	}
+	if *analyze {
+		out, err := db.ExplainAnalyze(p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *stream {
+		streamRows(db, p, hsp.Engine(*engine), *parallel, *maxRows)
+		return
+	}
 
 	start = time.Now()
-	res, err := db.Execute(p, hsp.Engine(*engine))
+	res, err := db.Execute(p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
 	if err != nil {
 		fail(err)
 	}
@@ -112,6 +133,36 @@ func main() {
 	if n < res.Len() {
 		fmt.Printf("... (%d more rows)\n", res.Len()-n)
 	}
+}
+
+// streamRows pulls rows one at a time, printing as they arrive; memory
+// stays constant no matter how large the result is.
+func streamRows(db *hsp.DB, p *hsp.Plan, e hsp.Engine, parallel, maxRows int) {
+	start := time.Now()
+	rows, err := db.StreamPlan(p, e, hsp.WithParallelism(parallel))
+	if err != nil {
+		fail(err)
+	}
+	defer rows.Close()
+	vars := rows.Vars()
+	fmt.Println(strings.Join(vars, "\t"))
+	n := 0
+	for rows.Next() {
+		if maxRows > 0 && n >= maxRows {
+			break
+		}
+		row := rows.Row()
+		var cells []string
+		for _, v := range vars {
+			cells = append(cells, row[v].String())
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d rows in %v\n", n, time.Since(start))
 }
 
 func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {

@@ -1,0 +1,3 @@
+module github.com/sparql-hsp/hsp
+
+go 1.24

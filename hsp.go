@@ -16,6 +16,14 @@
 //
 //	plan, _ := db.Plan(query, hsp.PlannerHSP)   // or PlannerCDP, PlannerSQL, PlannerHybrid
 //	res, _ := db.Execute(plan, hsp.EngineRDF3X) // or EngineMonet
+//
+// Results can also be streamed row by row instead of materialised, with
+// optional intra-query parallelism, and plans profiled per operator:
+//
+//	rows, _ := db.Stream(query, hsp.WithParallelism(4))
+//	defer rows.Close()
+//	for rows.Next() { use(rows.Row()) }
+//	out, _ := db.ExplainAnalyze(plan, hsp.EngineMonet) // EXPLAIN ANALYZE
 package hsp
 
 import (
@@ -410,15 +418,18 @@ func (db *DB) engineFor(e Engine) (*exec.Engine, error) {
 
 // Execute runs a plan on the chosen engine and materialises the
 // result: UNION branches are concatenated, then DISTINCT, ORDER BY,
-// OFFSET and LIMIT are applied.
-func (db *DB) Execute(p *Plan, e Engine) (*Result, error) {
+// OFFSET and LIMIT are applied. Pass WithParallelism to let the
+// executor use concurrent workers; Stream and StreamPlan avoid
+// materialisation entirely.
+func (db *DB) Execute(p *Plan, e Engine, opts ...ExecOption) (*Result, error) {
 	eng, err := db.engineFor(e)
 	if err != nil {
 		return nil, err
 	}
+	eopts := resolveOpts(opts)
 	var acc *exec.Result
 	for _, pl := range p.plans {
-		res, err := eng.Execute(pl)
+		res, err := eng.ExecuteOpts(pl, eopts)
 		if err != nil {
 			return nil, err
 		}
@@ -466,13 +477,37 @@ func (db *DB) Explain(p *Plan, e Engine) (string, error) {
 	return b.String(), nil
 }
 
+// ExplainAnalyze executes the plan with per-operator instrumentation
+// and renders the operator tree(s) annotated with observed row counts,
+// wall times and hash-join build sizes — EXPLAIN ANALYZE. Each UNION
+// branch gets a run summary line followed by its tree.
+func (db *DB) ExplainAnalyze(p *Plan, e Engine, opts ...ExecOption) (string, error) {
+	eng, err := db.engineFor(e)
+	if err != nil {
+		return "", err
+	}
+	eopts := resolveOpts(opts)
+	if len(p.plans) == 1 {
+		return eng.ExplainAnalyze(p.plans[0], eopts)
+	}
+	var b strings.Builder
+	for i, pl := range p.plans {
+		tree, err := eng.ExplainAnalyze(pl, eopts)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "UNION branch %d:\n%s", i, tree)
+	}
+	return b.String(), nil
+}
+
 // Query is the convenience path: HSP planning on the column substrate.
-func (db *DB) Query(query string) (*Result, error) {
+func (db *DB) Query(query string, opts ...ExecOption) (*Result, error) {
 	p, err := db.Plan(query, PlannerHSP)
 	if err != nil {
 		return nil, err
 	}
-	return db.Execute(p, EngineMonet)
+	return db.Execute(p, EngineMonet, opts...)
 }
 
 // Ask evaluates an ASK query: whether at least one solution exists. The

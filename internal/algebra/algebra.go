@@ -440,6 +440,21 @@ type Cardinalities map[Node]int
 // Explain renders the operator tree, one node per line, with optional
 // cardinality annotations.
 func Explain(n Node, cards Cardinalities) string {
+	if cards == nil {
+		return ExplainWith(n, nil)
+	}
+	return ExplainWith(n, func(n Node) string {
+		if c, ok := cards[n]; ok {
+			return fmt.Sprintf("(%s)", groupDigits(c))
+		}
+		return ""
+	})
+}
+
+// ExplainWith renders the operator tree, one node per line, appending
+// the annotation annot returns for each node (skipped when empty). The
+// executor uses it for EXPLAIN ANALYZE's per-operator runtime stats.
+func ExplainWith(n Node, annot func(Node) string) string {
 	var b []byte
 	var walk func(Node, string, bool)
 	walk = func(n Node, indent string, last bool) {
@@ -454,9 +469,9 @@ func Explain(n Node, cards Cardinalities) string {
 			childIndent = "   "
 		}
 		line := indent + marker + n.Label()
-		if cards != nil {
-			if c, ok := cards[n]; ok {
-				line += fmt.Sprintf("  (%s)", groupDigits(c))
+		if annot != nil {
+			if a := annot(n); a != "" {
+				line += "  " + a
 			}
 		}
 		b = append(b, line...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/sparql-hsp/hsp/internal/algebra"
 	"github.com/sparql-hsp/hsp/internal/dict"
@@ -154,7 +155,7 @@ func (r *Result) Dedup() {
 	seen := make(map[string]bool, len(r.Rows))
 	w := 0
 	for _, row := range r.Rows {
-		k := hashKey(row, identitySlots(len(row)))
+		k := RowKey(row)
 		if seen[k] {
 			continue
 		}
@@ -165,94 +166,108 @@ func (r *Result) Dedup() {
 	r.Rows = r.Rows[:w]
 }
 
-// Execute runs a plan to completion.
+// Execute runs a plan to completion with default options.
 func (e *Engine) Execute(p *algebra.Plan) (*Result, error) {
-	res, _, err := e.execute(p, false)
+	return e.ExecuteOpts(p, Options{})
+}
+
+// ExecuteOpts compiles a plan, runs it to completion and materialises
+// every row. Streaming consumers use Compile and Run directly.
+func (e *Engine) ExecuteOpts(p *algebra.Plan, opts Options) (*Result, error) {
+	c, err := e.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := c.runMaterialised(opts, false)
 	return res, err
+}
+
+// runMaterialised drains one run into a Result. countsOnly collects
+// row counts without per-row timing, for the cardinality paths.
+func (c *Compiled) runMaterialised(opts Options, countsOnly bool) (*Result, Metrics, error) {
+	run := c.run(opts, countsOnly)
+	defer run.Close()
+	res := &Result{d: c.eng.src.Dict(), Vars: append([]sparql.Var(nil), c.vars...)}
+	for run.Next() {
+		res.Rows = append(res.Rows, append(Row(nil), run.Row()...))
+	}
+	if err := run.Err(); err != nil {
+		return nil, nil, err
+	}
+	return res, run.Metrics(), nil
 }
 
 // ExecuteWithCards runs a plan and returns per-operator output counts,
 // the annotations shown in the paper's plan figures.
 func (e *Engine) ExecuteWithCards(p *algebra.Plan) (*Result, algebra.Cardinalities, error) {
-	return e.execute(p, true)
+	c, err := e.Compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, m, err := c.runMaterialised(Options{Analyze: true}, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, e.figureCards(p, m), nil
+}
+
+// figureCards converts run metrics to the paper's figure annotations.
+// Pipelined operators stop pulling once an input is exhausted, so the
+// observed counts on scans can understate the selection size. The
+// paper's figures annotate full selection cardinalities; report those
+// for scans, answered directly from the indexes.
+func (e *Engine) figureCards(p *algebra.Plan, m Metrics) algebra.Cardinalities {
+	cards := m.Cardinalities()
+	for _, s := range algebra.Scans(p.Root) {
+		cards[s] = e.scanCount(s)
+	}
+	return cards
 }
 
 // Explain executes the plan and renders the operator tree annotated
 // with the observed cardinalities.
 func (e *Engine) Explain(p *algebra.Plan) (string, error) {
-	_, cards, err := e.execute(p, true)
+	_, cards, err := e.ExecuteWithCards(p)
 	if err != nil {
 		return "", err
 	}
 	return algebra.Explain(p.Root, cards), nil
 }
 
-func (e *Engine) execute(p *algebra.Plan, withCards bool) (*Result, algebra.Cardinalities, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
-	c := &compiler{
-		engine: e,
-		slots:  map[sparql.Var]int{},
-	}
-	if withCards {
-		c.counters = map[algebra.Node]*countIter{}
-	}
-	// Assign slots for every variable in the plan.
-	c.assignSlots(p.Root)
-
-	it, err := c.compile(p.Root)
+// ExplainAnalyze executes the plan with per-operator instrumentation
+// and renders the operator tree annotated with observed row counts,
+// wall times and build sizes, preceded by a run summary line.
+func (e *Engine) ExplainAnalyze(p *algebra.Plan, opts Options) (string, error) {
+	opts.Analyze = true
+	c, err := e.Compile(p)
 	if err != nil {
-		return nil, nil, err
+		return "", err
 	}
-	res := &Result{d: e.src.Dict()}
-	root := p.Root
-	if proj, ok := root.(*algebra.Project); ok {
-		res.Vars = c.projectVars(proj)
-	} else {
-		for v := range c.slots {
-			res.Vars = append(res.Vars, v)
-		}
-		sort.Slice(res.Vars, func(i, j int) bool { return res.Vars[i] < res.Vars[j] })
-		cols := make([]int, len(res.Vars))
-		for i, v := range res.Vars {
-			cols[i] = c.slots[v]
-		}
-		it = &projectIter{in: it, slots: cols}
+	run := c.Run(opts)
+	start := time.Now()
+	n := 0
+	for run.Next() {
+		n++
 	}
-	seen := map[string]bool{}
-	for it.Next() {
-		row := append(Row(nil), it.Row()...)
-		if p.Query != nil && p.Query.Distinct {
-			k := hashKey(row, identitySlots(len(row)))
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		res.Rows = append(res.Rows, row)
-		if p.Query != nil && p.Query.Ask {
-			break // ASK needs only existence; stop at the first solution
-		}
+	total := time.Since(start)
+	run.Close()
+	if err := run.Err(); err != nil {
+		return "", err
 	}
-	if err := it.Err(); err != nil {
-		return nil, nil, err
+	m := run.Metrics()
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
 	}
-	var cards algebra.Cardinalities
-	if withCards {
-		cards = algebra.Cardinalities{}
-		for n, ct := range c.counters {
-			cards[n] = ct.n
+	head := fmt.Sprintf("engine=%s planner=%s rows=%d time=%s parallelism=%d\n",
+		e.src.Name(), p.Planner, n, fmtDuration(total), par)
+	tree := algebra.ExplainWith(p.Root, func(nd algebra.Node) string {
+		if om, ok := m[nd]; ok {
+			return om.annotation()
 		}
-		// Pipelined operators stop pulling once an input is exhausted, so
-		// the observed counts on scans can understate the selection size.
-		// The paper's figures annotate full selection cardinalities;
-		// report those for scans, answered directly from the indexes.
-		for _, s := range algebra.Scans(p.Root) {
-			cards[s] = e.scanCount(s)
-		}
-	}
-	return res, cards, nil
+		return ""
+	})
+	return head + tree, nil
 }
 
 // scanCount returns the full match count of a scan's access path.
@@ -279,235 +294,4 @@ func identitySlots(n int) []int {
 		s[i] = i
 	}
 	return s
-}
-
-// compiler lowers algebra nodes to iterators.
-type compiler struct {
-	engine   *Engine
-	slots    map[sparql.Var]int
-	counters map[algebra.Node]*countIter
-}
-
-func (c *compiler) slot(v sparql.Var) int {
-	if s, ok := c.slots[v]; ok {
-		return s
-	}
-	s := len(c.slots)
-	c.slots[v] = s
-	return s
-}
-
-func (c *compiler) assignSlots(n algebra.Node) {
-	if s, ok := n.(*algebra.Scan); ok {
-		for _, v := range s.TP.Vars() {
-			c.slot(v)
-		}
-	}
-	for _, ch := range n.Children() {
-		c.assignSlots(ch)
-	}
-}
-
-func (c *compiler) width() int { return len(c.slots) }
-
-func (c *compiler) wrap(n algebra.Node, it iterator) iterator {
-	if c.counters == nil {
-		return it
-	}
-	ct := &countIter{in: it}
-	c.counters[n] = ct
-	return ct
-}
-
-func (c *compiler) compile(n algebra.Node) (iterator, error) {
-	switch n := n.(type) {
-	case *algebra.Scan:
-		it, err := c.compileScan(n)
-		if err != nil {
-			return nil, err
-		}
-		return c.wrap(n, it), nil
-	case *algebra.Join:
-		l, err := c.compile(n.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := c.compile(n.R)
-		if err != nil {
-			return nil, err
-		}
-		shared := make([]int, 0, 4)
-		for _, v := range algebra.SharedVars(n.L, n.R) {
-			shared = append(shared, c.slots[v])
-		}
-		var it iterator
-		switch n.Method {
-		case algebra.MergeJoin:
-			slot := c.slots[n.On[0]]
-			it = &mergeJoinIter{
-				l:      &orderCheck{in: l, slot: slot, desc: "merge join left input"},
-				r:      &orderCheck{in: r, slot: slot, desc: "merge join right input"},
-				slot:   slot,
-				shared: shared,
-			}
-		case algebra.HashJoin:
-			keys := make([]int, len(n.On))
-			for i, v := range n.On {
-				keys[i] = c.slots[v]
-			}
-			it = &hashJoinIter{l: l, r: r, keys: keys, shared: shared}
-		default:
-			it = &hashJoinIter{l: l, r: r, cross: true}
-		}
-		return c.wrap(n, it), nil
-	case *algebra.LeftJoin:
-		l, err := c.compile(n.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := c.compile(n.R)
-		if err != nil {
-			return nil, err
-		}
-		keys := make([]int, 0, len(n.On))
-		for _, v := range n.On {
-			keys = append(keys, c.slots[v])
-		}
-		shared := make([]int, 0, 4)
-		for _, v := range algebra.SharedVars(n.L, n.R) {
-			shared = append(shared, c.slots[v])
-		}
-		return c.wrap(n, &leftJoinIter{l: l, r: r, keys: keys, shared: shared}), nil
-	case *algebra.Filter:
-		in, err := c.compile(n.In)
-		if err != nil {
-			return nil, err
-		}
-		f := &filterIter{
-			in:    in,
-			d:     c.engine.src.Dict(),
-			op:    n.F.Op,
-			slot:  c.slots[n.F.Left],
-			rSlot: -1,
-		}
-		if n.F.Right.IsVar() {
-			f.rSlot = c.slots[n.F.Right.Var]
-		} else {
-			f.rTerm = n.F.Right.Term
-			f.rID, f.rInDict = c.engine.src.Dict().Lookup(n.F.Right.Term)
-		}
-		return c.wrap(n, f), nil
-	case *algebra.Project:
-		in, err := c.compile(n.In)
-		if err != nil {
-			return nil, err
-		}
-		cols := make([]int, 0, len(n.Cols)+len(n.Aliases))
-		for _, v := range c.projectVars(n) {
-			src := v
-			if a, ok := n.Aliases[v]; ok {
-				src = a
-			}
-			s, ok := c.slots[src]
-			if !ok {
-				return nil, fmt.Errorf("exec: projection variable ?%s is unbound", v)
-			}
-			cols = append(cols, s)
-		}
-		return c.wrap(n, &projectIter{in: in, slots: cols}), nil
-	default:
-		return nil, fmt.Errorf("exec: unknown plan node %T", n)
-	}
-}
-
-// projectVars returns the output columns of a projection: the declared
-// columns followed by alias names, deduplicated, in stable order.
-func (c *compiler) projectVars(p *algebra.Project) []sparql.Var {
-	var out []sparql.Var
-	seen := map[sparql.Var]bool{}
-	for _, v := range p.Cols {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	var aliases []sparql.Var
-	for a := range p.Aliases {
-		if !seen[a] {
-			aliases = append(aliases, a)
-		}
-	}
-	sort.Slice(aliases, func(i, j int) bool { return aliases[i] < aliases[j] })
-	return append(out, aliases...)
-}
-
-func (c *compiler) compileScan(s *algebra.Scan) (iterator, error) {
-	d := c.engine.src.Dict()
-	perm := s.Ordering.Perm()
-
-	// Resolve the constant prefix.
-	var prefix []dict.ID
-	nConst := 0
-	for _, pos := range perm {
-		n := s.TP.Slot(pos)
-		if n.IsVar() {
-			break
-		}
-		id, ok := d.Lookup(n.Term)
-		if !ok {
-			return emptyIter{}, nil // constant absent: no matches
-		}
-		prefix = append(prefix, id)
-		nConst++
-	}
-
-	if s.Aggregated {
-		return c.compileAggScan(s, prefix, nConst)
-	}
-
-	it := &scanIter{
-		in:  c.engine.src.Scan(s.Ordering, prefix),
-		row: make(Row, c.width()),
-	}
-	boundAt := map[sparql.Var]int{}
-	for _, pos := range perm[nConst:] {
-		v := s.TP.Slot(pos).Var
-		if first, dup := boundAt[v]; dup {
-			it.slotOf = append(it.slotOf, -1)
-			it.checkSlot = append(it.checkSlot, first)
-		} else {
-			slot := c.slot(v)
-			boundAt[v] = slot
-			it.slotOf = append(it.slotOf, slot)
-			it.checkSlot = append(it.checkSlot, -1)
-		}
-	}
-	return it, nil
-}
-
-// compileAggScan lowers an aggregated-index scan: only the first two
-// ordering positions are materialised; the third must be a variable and
-// is left unbound (its multiplicity is preserved via the pair counts).
-func (c *compiler) compileAggScan(s *algebra.Scan, prefix []dict.ID, nConst int) (iterator, error) {
-	agg, ok := c.engine.src.(AggregatedSource)
-	if !ok {
-		return nil, fmt.Errorf("exec: %s source has no aggregated indexes for %s", c.engine.src.Name(), s.Label())
-	}
-	perm := s.Ordering.Perm()
-	if last := s.TP.Slot(perm[2]); !last.IsVar() {
-		return nil, fmt.Errorf("exec: aggregated scan with constant third position in %s", s.Label())
-	}
-	it := &aggScanIter{
-		in:     agg.ScanPairs(s.Ordering, prefix),
-		row:    make(Row, c.width()),
-		slotOf: [2]int{-1, -1},
-	}
-	for i := 0; i < 2; i++ {
-		n := s.TP.Slot(perm[i])
-		if i < nConst || !n.IsVar() {
-			continue
-		}
-		it.slotOf[i] = c.slot(n.Var)
-	}
-	return it, nil
 }

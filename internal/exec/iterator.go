@@ -245,19 +245,67 @@ func (m *mergeJoinIter) Err() error { return m.err }
 
 // --- hash join ---
 
+// rowTable is the build side of a hash join: a lookup structure over
+// the build input's rows, keyed by the join slots. The sequential path
+// uses a single Go map; the parallel path a sharded table built by
+// morsel workers.
+type rowTable interface {
+	lookup(k string) []Row
+	size() int
+}
+
+// mapTable is the single-threaded rowTable.
+type mapTable map[string][]Row
+
+func (t mapTable) lookup(k string) []Row { return t[k] }
+
+func (t mapTable) size() int {
+	n := 0
+	for _, rs := range t {
+		n += len(rs)
+	}
+	return n
+}
+
+// buildFn produces a hash-join build side: a keyed table, or the plain
+// row list for key-less (cross / disconnected-optional) joins.
+type buildFn func() (rowTable, []Row, error)
+
+// seqBuild drains an iterator into a mapTable (or a row list when keys
+// is nil), the single-threaded build.
+func seqBuild(in iterator, keys []int) buildFn {
+	return func() (rowTable, []Row, error) {
+		if keys == nil {
+			var all []Row
+			for in.Next() {
+				all = append(all, append(Row(nil), in.Row()...))
+			}
+			return nil, all, in.Err()
+		}
+		table := make(mapTable)
+		for in.Next() {
+			r := append(Row(nil), in.Row()...)
+			k := hashKey(r, keys)
+			table[k] = append(table[k], r)
+		}
+		return table, nil, in.Err()
+	}
+}
+
 // hashJoinIter builds a hash table over the left input on the join
 // slots, then streams the right input, preserving its order.
 type hashJoinIter struct {
-	l, r    iterator
-	keys    []int
-	shared  []int
-	built   bool
-	table   map[string][]Row
-	matches []Row
-	mIdx    int
-	rRow    Row
-	out     Row
-	err     error
+	buildSide buildFn
+	r         iterator
+	keys      []int
+	shared    []int
+	built     bool
+	table     rowTable
+	matches   []Row
+	mIdx      int
+	rRow      Row
+	out       Row
+	err       error
 	// cross marks a Cartesian product (no key slots).
 	cross bool
 	all   []Row
@@ -265,19 +313,7 @@ type hashJoinIter struct {
 
 func (h *hashJoinIter) build() {
 	h.built = true
-	if h.cross {
-		for h.l.Next() {
-			h.all = append(h.all, append(Row(nil), h.l.Row()...))
-		}
-	} else {
-		h.table = make(map[string][]Row)
-		for h.l.Next() {
-			r := append(Row(nil), h.l.Row()...)
-			k := hashKey(r, h.keys)
-			h.table[k] = append(h.table[k], r)
-		}
-	}
-	h.err = h.l.Err()
+	h.table, h.all, h.err = h.buildSide()
 }
 
 func (h *hashJoinIter) Next() bool {
@@ -304,7 +340,7 @@ func (h *hashJoinIter) Next() bool {
 		if h.cross {
 			h.matches = h.all
 		} else {
-			h.matches = h.table[hashKey(h.rRow, h.keys)]
+			h.matches = h.table.lookup(hashKey(h.rRow, h.keys))
 		}
 		h.mIdx = 0
 	}
@@ -315,8 +351,23 @@ func (h *hashJoinIter) Err() error { return h.err }
 
 func hashKey(r Row, slots []int) string {
 	var b strings.Builder
+	b.Grow(len(slots) * 8)
 	for _, s := range slots {
 		v := r[s]
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(v >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// RowKey returns a compact identity key over every column of a row,
+// the dedup key for DISTINCT handling (shared with the facade's
+// cross-branch UNION deduplication).
+func RowKey(r Row) string {
+	var b strings.Builder
+	b.Grow(len(r) * 8)
+	for _, v := range r {
 		for i := 0; i < 8; i++ {
 			b.WriteByte(byte(v >> (8 * i)))
 		}
@@ -347,35 +398,24 @@ func mergeRows(l, r Row, shared []int) (Row, bool) {
 // input is hashed; left rows stream through, emitting one output row
 // per match, or themselves unchanged when nothing matches.
 type leftJoinIter struct {
-	l, r    iterator
-	keys    []int
-	shared  []int
-	built   bool
-	table   map[string][]Row
-	all     []Row // when keys is empty (disconnected OPTIONAL)
-	matches []Row
-	mIdx    int
-	lRow    Row
-	emitted bool // whether the current left row produced any output
-	out     Row
-	err     error
+	l         iterator
+	buildSide buildFn
+	keys      []int
+	shared    []int
+	built     bool
+	table     rowTable
+	all       []Row // when keys is empty (disconnected OPTIONAL)
+	matches   []Row
+	mIdx      int
+	lRow      Row
+	emitted   bool // whether the current left row produced any output
+	out       Row
+	err       error
 }
 
 func (h *leftJoinIter) build() {
 	h.built = true
-	if len(h.keys) == 0 {
-		for h.r.Next() {
-			h.all = append(h.all, append(Row(nil), h.r.Row()...))
-		}
-	} else {
-		h.table = make(map[string][]Row)
-		for h.r.Next() {
-			row := append(Row(nil), h.r.Row()...)
-			k := hashKey(row, h.keys)
-			h.table[k] = append(h.table[k], row)
-		}
-	}
-	h.err = h.r.Err()
+	h.table, h.all, h.err = h.buildSide()
 }
 
 func (h *leftJoinIter) Next() bool {
@@ -410,7 +450,7 @@ func (h *leftJoinIter) Next() bool {
 		if len(h.keys) == 0 {
 			h.matches = h.all
 		} else {
-			h.matches = h.table[hashKey(h.lRow, h.keys)]
+			h.matches = h.table.lookup(hashKey(h.lRow, h.keys))
 		}
 		h.mIdx = 0
 	}
@@ -522,25 +562,5 @@ func (p *projectIter) Next() bool {
 
 func (p *projectIter) Row() Row   { return p.out }
 func (p *projectIter) Err() error { return p.in.Err() }
-
-// --- counting (cardinality annotation) ---
-
-// countIter counts rows flowing through a plan edge, for the
-// cardinality annotations of Figures 2 and 3.
-type countIter struct {
-	in iterator
-	n  int
-}
-
-func (c *countIter) Next() bool {
-	if c.in.Next() {
-		c.n++
-		return true
-	}
-	return false
-}
-
-func (c *countIter) Row() Row   { return c.in.Row() }
-func (c *countIter) Err() error { return c.in.Err() }
 
 var _ = store.S // keep store imported for doc references

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+)
+
+// OpMetrics holds the runtime statistics of one operator during one
+// run, the per-node annotations of EXPLAIN ANALYZE.
+type OpMetrics struct {
+	// Rows is the number of rows the operator emitted.
+	Rows int64
+	// Wall is the cumulative wall time spent inside the operator's
+	// Next calls, children included (parallel build-side work is
+	// accounted to the join's BuildWall instead).
+	Wall time.Duration
+	// Build is the number of rows materialised on a join's build side
+	// (hash table or cross-product buffer); zero for streaming operators.
+	Build int64
+	// BuildWall is the wall time of the build phase, for joins.
+	BuildWall time.Duration
+	// Parallel reports whether the operator's build ran on morsel
+	// workers.
+	Parallel bool
+}
+
+// Metrics maps plan nodes to their observed runtime statistics.
+type Metrics map[algebra.Node]*OpMetrics
+
+// Cardinalities converts observed row counts to the algebra package's
+// annotation map (the paper's plan-figure numbers).
+func (m Metrics) Cardinalities() algebra.Cardinalities {
+	cards := algebra.Cardinalities{}
+	for n, om := range m {
+		cards[n] = int(atomic.LoadInt64(&om.Rows))
+	}
+	return cards
+}
+
+// annotation renders one operator's EXPLAIN ANALYZE suffix.
+func (m *OpMetrics) annotation() string {
+	s := fmt.Sprintf("(rows=%d time=%s", atomic.LoadInt64(&m.Rows), fmtDuration(m.Wall))
+	if b := atomic.LoadInt64(&m.Build); b > 0 || m.BuildWall > 0 {
+		s += fmt.Sprintf(" build=%d build_time=%s", b, fmtDuration(m.BuildWall))
+		if m.Parallel {
+			s += " parallel"
+		}
+	}
+	return s + ")"
+}
+
+// fmtDuration trims a duration to three significant sub-unit digits so
+// analyze output stays readable.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}
+
+// metricIter wraps an operator's output, counting rows and — when
+// timed — timing Next calls. Timing only runs in full analyze mode;
+// the cardinality-annotation path counts without touching the clock.
+type metricIter struct {
+	in    iterator
+	m     *OpMetrics
+	timed bool
+}
+
+func (c *metricIter) Next() bool {
+	if !c.timed {
+		if c.in.Next() {
+			atomic.AddInt64(&c.m.Rows, 1)
+			return true
+		}
+		return false
+	}
+	start := time.Now()
+	ok := c.in.Next()
+	c.m.Wall += time.Since(start)
+	if ok {
+		atomic.AddInt64(&c.m.Rows, 1)
+	}
+	return ok
+}
+
+func (c *metricIter) Row() Row   { return c.in.Row() }
+func (c *metricIter) Err() error { return c.in.Err() }

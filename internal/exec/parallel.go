@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Morsel-driven parallelism (Leis et al.): a hash-join build side that
+// is a plain scan over a positional source is split into fixed-size
+// morsels of the sorted relation; workers claim morsels via an atomic
+// cursor, extract and hash-partition rows independently, and the
+// partitions are assembled into a sharded table, one shard per worker
+// in a second phase. Both phases visit morsels in index order per
+// shard, so the table contents — and therefore join output — are
+// byte-for-byte deterministic regardless of scheduling.
+
+const (
+	// morselRows is the number of relation rows one worker claims at a
+	// time: large enough to amortise claiming, small enough to balance.
+	morselRows = 8192
+	// minParallelRows is the build size below which partitioning costs
+	// more than it saves; smaller builds run sequentially.
+	minParallelRows = 4096
+)
+
+// MorselSource is implemented by substrates whose scans are positional
+// ranges over a sorted relation and can therefore be split into
+// independently scannable morsels (the column store; the compressed
+// B+-tree substrate streams pages and stays sequential).
+type MorselSource interface {
+	Source
+	// ScanRange returns the half-open row bounds of the scan of o
+	// matching prefix.
+	ScanRange(o store.Ordering, prefix []dict.ID) (lo, hi int)
+	// ScanSlice streams rows [lo, hi) of ordering o, permuted like Scan.
+	ScanSlice(o store.Ordering, lo, hi int) TripleIter
+}
+
+// morselScan describes a partitionable build-side scan.
+type morselScan struct {
+	s   *scanOp
+	src MorselSource
+}
+
+// keyedRow carries a build row with its precomputed join key.
+type keyedRow struct {
+	k string
+	r Row
+}
+
+// shardedTable is the parallel-built rowTable: rows are distributed
+// over power-of-two shards by key hash; probes address exactly one
+// shard.
+type shardedTable struct {
+	shards []mapTable
+	mask   uint32
+}
+
+func (t *shardedTable) lookup(k string) []Row {
+	return t.shards[fnv32(k)&t.mask][k]
+}
+
+func (t *shardedTable) size() int {
+	n := 0
+	for _, s := range t.shards {
+		n += s.size()
+	}
+	return n
+}
+
+// fnv32 is FNV-1a over the key bytes, the shard selector.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardCountFor picks a power-of-two shard count with headroom over the
+// worker count, so phase 2 balances even with skewed keys.
+func shardCountFor(workers int) uint32 {
+	n := uint32(1)
+	for n < uint32(4*workers) {
+		n <<= 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// parallelBuild returns the build function running the two-phase
+// partitioned build. keys is nil for key-less builds (cross products
+// and disconnected OPTIONALs), which gather rows in morsel order
+// instead of building a table. sm, when non-nil, receives the scan's
+// observed row count and wall time (the scan's own iterator is
+// bypassed, so its metricIter never sees these rows).
+func (ms *morselScan) parallelBuild(rt *runEnv, keys []int, sm *OpMetrics) buildFn {
+	return func() (rowTable, []Row, error) {
+		start := time.Now()
+		lo, hi := ms.src.ScanRange(ms.s.s.Ordering, ms.s.prefix)
+		if hi-lo < minParallelRows {
+			// Too small to be worth partitioning.
+			t, all, err := seqBuild(ms.seqIter(rt, lo, hi, sm), keys)()
+			return t, all, err
+		}
+		workers := rt.opts.Parallelism
+		nm := (hi - lo + morselRows - 1) / morselRows
+		if workers > nm {
+			workers = nm
+		}
+		nShards := shardCountFor(workers)
+
+		// Phase 1: workers claim morsels and extract rows, partitioned
+		// by key hash (or flat for key-less builds).
+		perMorsel := make([][][]keyedRow, nm)
+		flat := make([][]Row, nm)
+		var cursor int64
+		var rows int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if !rt.acquire() {
+						return // run closed
+					}
+					i := int(atomic.AddInt64(&cursor, 1)) - 1
+					if i >= nm {
+						rt.release()
+						return
+					}
+					mLo := lo + i*morselRows
+					mHi := mLo + morselRows
+					if mHi > hi {
+						mHi = hi
+					}
+					it := &scanIter{
+						in:        ms.src.ScanSlice(ms.s.s.Ordering, mLo, mHi),
+						row:       make(Row, ms.s.width),
+						slotOf:    ms.s.slotOf,
+						checkSlot: ms.s.checkSlot,
+					}
+					n := int64(0)
+					if keys == nil {
+						var out []Row
+						for it.Next() {
+							out = append(out, append(Row(nil), it.Row()...))
+						}
+						flat[i] = out
+						n = int64(len(out))
+					} else {
+						buckets := make([][]keyedRow, nShards)
+						for it.Next() {
+							r := append(Row(nil), it.Row()...)
+							k := hashKey(r, keys)
+							s := fnv32(k) & (nShards - 1)
+							buckets[s] = append(buckets[s], keyedRow{k: k, r: r})
+						}
+						perMorsel[i] = buckets
+						for _, b := range buckets {
+							n += int64(len(b))
+						}
+					}
+					atomic.AddInt64(&rows, n)
+					rt.release()
+				}
+			}()
+		}
+		wg.Wait()
+		if rt.cancelled() {
+			return nil, nil, errClosed
+		}
+		if sm != nil {
+			atomic.AddInt64(&sm.Rows, atomic.LoadInt64(&rows))
+			sm.Wall += time.Since(start)
+			sm.Parallel = true
+		}
+		if keys == nil {
+			var all []Row
+			for _, f := range flat {
+				all = append(all, f...)
+			}
+			return nil, all, nil
+		}
+
+		// Phase 2: one worker per shard inserts that shard's rows,
+		// morsel by morsel in index order, into its private map.
+		t := &shardedTable{shards: make([]mapTable, nShards), mask: nShards - 1}
+		var shardCursor int64
+		wg = sync.WaitGroup{}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if !rt.acquire() {
+						return // run closed
+					}
+					s := int(atomic.AddInt64(&shardCursor, 1)) - 1
+					if s >= int(nShards) {
+						rt.release()
+						return
+					}
+					m := make(mapTable)
+					for i := 0; i < nm; i++ {
+						for _, kr := range perMorsel[i][s] {
+							m[kr.k] = append(m[kr.k], kr.r)
+						}
+					}
+					t.shards[s] = m
+					rt.release()
+				}
+			}()
+		}
+		wg.Wait()
+		if rt.cancelled() {
+			return nil, nil, errClosed
+		}
+		return t, nil, nil
+	}
+}
+
+// seqIter opens a plain sequential iterator over a sub-range, with the
+// scan's analyze instrumentation when active.
+func (ms *morselScan) seqIter(rt *runEnv, lo, hi int, sm *OpMetrics) iterator {
+	it := iterator(&scanIter{
+		in:        ms.src.ScanSlice(ms.s.s.Ordering, lo, hi),
+		row:       make(Row, ms.s.width),
+		slotOf:    ms.s.slotOf,
+		checkSlot: ms.s.checkSlot,
+	})
+	if sm != nil {
+		it = &metricIter{in: it, m: sm}
+	}
+	return it
+}

@@ -1,0 +1,744 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// Options configure one execution run of a compiled plan.
+type Options struct {
+	// Parallelism caps the number of concurrently executing morsel
+	// workers across the whole run (enforced by a shared semaphore).
+	// Values <= 1 select the sequential path; higher values enable
+	// asynchronous hash-join builds and morsel-partitioned build-side
+	// scans. Each hash join additionally runs one lightweight
+	// coordinating goroutine for its build side.
+	Parallelism int
+	// Analyze collects per-operator runtime metrics (EXPLAIN ANALYZE).
+	Analyze bool
+}
+
+// errClosed aborts in-flight work when a run is closed early.
+var errClosed = errors.New("exec: run closed")
+
+// physOp is a physical operator: an immutable compile-time description
+// that instantiates fresh iterator state for every run.
+type physOp interface {
+	// open builds this run's iterator tree. It is called once per run,
+	// from a single goroutine.
+	open(rt *runEnv) iterator
+	// logical returns the algebra node the operator implements, the key
+	// for explain annotations (nil for synthesized operators).
+	logical() algebra.Node
+}
+
+// runEnv is the per-run execution context shared by all operators:
+// cancellation, worker accounting, and the metrics registry.
+type runEnv struct {
+	opts Options
+	// countsOnly collects row counts without per-row timing (the
+	// cardinality-annotation path, where clock reads would dominate).
+	countsOnly bool
+	metrics    Metrics
+	// sem bounds the morsel workers concurrently executing across every
+	// build in the run, so Parallelism caps whole-run CPU use even for
+	// plans with many parallel-eligible joins.
+	sem  chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// acquire takes a worker slot, failing fast on cancellation.
+func (rt *runEnv) acquire() bool {
+	select {
+	case rt.sem <- struct{}{}:
+		return true
+	case <-rt.done:
+		return false
+	}
+}
+
+// release returns a worker slot.
+func (rt *runEnv) release() { <-rt.sem }
+
+// cancelled reports whether the run has been closed.
+func (rt *runEnv) cancelled() bool {
+	select {
+	case <-rt.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown cancels outstanding workers and waits for them to exit, so
+// a closed run never leaks goroutines.
+func (rt *runEnv) shutdown() {
+	rt.once.Do(func() { close(rt.done) })
+	rt.wg.Wait()
+}
+
+// metric returns the metrics slot for a node, or nil when the run is
+// not analyzing. Only call during open (single-goroutine).
+func (rt *runEnv) metric(n algebra.Node) *OpMetrics {
+	if rt.metrics == nil || n == nil {
+		return nil
+	}
+	m, ok := rt.metrics[n]
+	if !ok {
+		m = &OpMetrics{}
+		rt.metrics[n] = m
+	}
+	return m
+}
+
+// wrap adds the analyze instrumentation around an operator's output.
+func (rt *runEnv) wrap(n algebra.Node, it iterator) iterator {
+	m := rt.metric(n)
+	if m == nil {
+		return it
+	}
+	return &metricIter{in: it, m: m, timed: !rt.countsOnly}
+}
+
+// cancelIter aborts a long drain shortly after its run is closed, so
+// Close does not have to wait for an abandoned build to finish.
+type cancelIter struct {
+	in   iterator
+	done <-chan struct{}
+	n    int
+	err  error
+}
+
+func (c *cancelIter) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	if c.n++; c.n&1023 == 0 {
+		select {
+		case <-c.done:
+			c.err = errClosed
+			return false
+		default:
+		}
+	}
+	return c.in.Next()
+}
+
+func (c *cancelIter) Row() Row { return c.in.Row() }
+
+func (c *cancelIter) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.in.Err()
+}
+
+// --- physical operators ---
+
+// emptyOp yields nothing (a scan whose constant is absent).
+type emptyOp struct{ n algebra.Node }
+
+func (o *emptyOp) open(rt *runEnv) iterator { return rt.wrap(o.n, emptyIter{}) }
+func (o *emptyOp) logical() algebra.Node    { return o.n }
+
+// scanOp evaluates one triple pattern over an access path, the constant
+// prefix already resolved to dictionary IDs.
+type scanOp struct {
+	s         *algebra.Scan
+	src       Source
+	prefix    []dict.ID
+	width     int
+	slotOf    []int
+	checkSlot []int
+}
+
+func (o *scanOp) open(rt *runEnv) iterator {
+	return rt.wrap(o.s, o.openRaw())
+}
+
+// openRaw builds the bare scan iterator (morsel workers use it without
+// per-row instrumentation).
+func (o *scanOp) openRaw() iterator {
+	return &scanIter{
+		in:        o.src.Scan(o.s.Ordering, o.prefix),
+		row:       make(Row, o.width),
+		slotOf:    o.slotOf,
+		checkSlot: o.checkSlot,
+	}
+}
+
+func (o *scanOp) logical() algebra.Node { return o.s }
+
+// aggScanOp evaluates a pattern over the aggregated pair index.
+type aggScanOp struct {
+	s      *algebra.Scan
+	agg    AggregatedSource
+	prefix []dict.ID
+	width  int
+	slotOf [2]int
+}
+
+func (o *aggScanOp) open(rt *runEnv) iterator {
+	return rt.wrap(o.s, &aggScanIter{
+		in:     o.agg.ScanPairs(o.s.Ordering, o.prefix),
+		row:    make(Row, o.width),
+		slotOf: o.slotOf,
+	})
+}
+
+func (o *aggScanOp) logical() algebra.Node { return o.s }
+
+// mergeJoinOp joins two inputs sorted on the same variable.
+type mergeJoinOp struct {
+	j      *algebra.Join
+	l, r   physOp
+	slot   int
+	shared []int
+}
+
+func (o *mergeJoinOp) open(rt *runEnv) iterator {
+	it := &mergeJoinIter{
+		l:      &orderCheck{in: o.l.open(rt), slot: o.slot, desc: "merge join left input"},
+		r:      &orderCheck{in: o.r.open(rt), slot: o.slot, desc: "merge join right input"},
+		slot:   o.slot,
+		shared: o.shared,
+	}
+	return rt.wrap(o.j, it)
+}
+
+func (o *mergeJoinOp) logical() algebra.Node { return o.j }
+
+// hashJoinOp hashes its build input and streams the probe input,
+// preserving probe order. It implements inner hash joins, Cartesian
+// products (no keys) and left outer joins (OPTIONAL).
+type hashJoinOp struct {
+	n         algebra.Node
+	build     physOp // hashed side (left for joins, right for OPTIONAL)
+	probe     physOp // streamed side
+	keys      []int  // nil: key-less (cross product / disconnected OPTIONAL)
+	shared    []int
+	cross     bool // Cartesian product
+	leftOuter bool // OPTIONAL semantics
+	// morsel is the partitioned-scan description of the build side, set
+	// when it is a plain scan over a morsel-capable source; parallel
+	// runs then build the table with partitioned workers.
+	morsel *morselScan
+}
+
+func (o *hashJoinOp) open(rt *runEnv) iterator {
+	bf := o.openBuild(rt)
+	if rt.opts.Parallelism > 1 {
+		bf = asyncBuild(rt, bf)
+	}
+	var it iterator
+	if o.leftOuter {
+		it = &leftJoinIter{l: o.probe.open(rt), buildSide: bf, keys: o.keys, shared: o.shared}
+	} else {
+		it = &hashJoinIter{buildSide: bf, r: o.probe.open(rt), keys: o.keys, shared: o.shared, cross: o.cross}
+	}
+	return rt.wrap(o.n, it)
+}
+
+// openBuild assembles the build function: morsel-partitioned when the
+// run is parallel and the build side allows it, a sequential drain of
+// the build subtree otherwise. Analyze runs record build row count and
+// build wall time on the join's metrics.
+func (o *hashJoinOp) openBuild(rt *runEnv) buildFn {
+	parallel := rt.opts.Parallelism > 1 && o.morsel != nil
+	var inner buildFn
+	if parallel {
+		inner = o.morsel.parallelBuild(rt, o.keys, rt.metric(o.morsel.s.s))
+	} else {
+		in := o.build.open(rt)
+		if rt.opts.Parallelism > 1 {
+			in = &cancelIter{in: in, done: rt.done}
+		}
+		inner = seqBuild(in, o.keys)
+	}
+	m := rt.metric(o.n)
+	if m == nil {
+		return inner
+	}
+	return func() (rowTable, []Row, error) {
+		start := time.Now()
+		t, all, err := inner()
+		m.BuildWall = time.Since(start)
+		if t != nil {
+			atomic.StoreInt64(&m.Build, int64(t.size()))
+		} else {
+			atomic.StoreInt64(&m.Build, int64(len(all)))
+		}
+		m.Parallel = parallel
+		return t, all, err
+	}
+}
+
+func (o *hashJoinOp) logical() algebra.Node { return o.n }
+
+// buildResult carries an asynchronous build side to its consumer.
+type buildResult struct {
+	table rowTable
+	all   []Row
+	err   error
+}
+
+// asyncBuild starts the build in a background goroutine at open time,
+// so the build sides of independent joins (and the compile of the probe
+// side) overlap. The result channel is buffered: the builder can always
+// deliver and exit, even when the run is closed before the first Next.
+func asyncBuild(rt *runEnv, f buildFn) buildFn {
+	ch := make(chan buildResult, 1)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t, all, err := f()
+		ch <- buildResult{t, all, err}
+	}()
+	return func() (rowTable, []Row, error) {
+		select {
+		case res := <-ch:
+			return res.table, res.all, res.err
+		case <-rt.done:
+			return nil, nil, errClosed
+		}
+	}
+}
+
+// filterOp applies a comparison FILTER.
+type filterOp struct {
+	f       *algebra.Filter
+	in      physOp
+	d       *dict.Dict
+	op      sparql.CompareOp
+	slot    int
+	rSlot   int
+	rTerm   rdf.Term
+	rID     dict.ID
+	rInDict bool
+}
+
+func (o *filterOp) open(rt *runEnv) iterator {
+	return rt.wrap(o.f, &filterIter{
+		in:      o.in.open(rt),
+		d:       o.d,
+		op:      o.op,
+		slot:    o.slot,
+		rSlot:   o.rSlot,
+		rTerm:   o.rTerm,
+		rID:     o.rID,
+		rInDict: o.rInDict,
+	})
+}
+
+func (o *filterOp) logical() algebra.Node { return o.f }
+
+// projectOp narrows rows to the projection columns. n is nil for the
+// implicit root projection synthesized over plans without one.
+type projectOp struct {
+	n     algebra.Node
+	in    physOp
+	slots []int
+}
+
+func (o *projectOp) open(rt *runEnv) iterator {
+	return rt.wrap(o.n, &projectIter{in: o.in.open(rt), slots: o.slots})
+}
+
+func (o *projectOp) logical() algebra.Node { return o.n }
+
+// --- compilation ---
+
+// Compiled is a physical plan: a logical plan lowered once into a tree
+// of physical operators, reusable across any number of runs.
+type Compiled struct {
+	eng  *Engine
+	plan *algebra.Plan
+	root physOp
+	vars []sparql.Var
+}
+
+// Vars returns the output columns, in row order.
+func (c *Compiled) Vars() []sparql.Var { return c.vars }
+
+// Plan returns the logical plan the physical plan was compiled from.
+func (c *Compiled) Plan() *algebra.Plan { return c.plan }
+
+// Compile validates a logical plan and lowers it to a physical
+// operator tree: access paths are bound (constant prefixes resolved
+// against the dictionary), variables are assigned row slots, join
+// strategies become concrete operators, and a projection is synthesized
+// at the root when the plan has none.
+func (e *Engine) Compile(p *algebra.Plan) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{engine: e, slots: map[sparql.Var]int{}}
+	c.assignSlots(p.Root)
+	root, err := c.compile(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := &Compiled{eng: e, plan: p, root: root}
+	if proj, ok := p.Root.(*algebra.Project); ok {
+		out.vars = c.projectVars(proj)
+	} else {
+		for v := range c.slots {
+			out.vars = append(out.vars, v)
+		}
+		sort.Slice(out.vars, func(i, j int) bool { return out.vars[i] < out.vars[j] })
+		cols := make([]int, len(out.vars))
+		for i, v := range out.vars {
+			cols[i] = c.slots[v]
+		}
+		out.root = &projectOp{in: root, slots: cols}
+	}
+	return out, nil
+}
+
+// compiler lowers algebra nodes to physical operators.
+type compiler struct {
+	engine *Engine
+	slots  map[sparql.Var]int
+}
+
+func (c *compiler) slot(v sparql.Var) int {
+	if s, ok := c.slots[v]; ok {
+		return s
+	}
+	s := len(c.slots)
+	c.slots[v] = s
+	return s
+}
+
+func (c *compiler) assignSlots(n algebra.Node) {
+	if s, ok := n.(*algebra.Scan); ok {
+		for _, v := range s.TP.Vars() {
+			c.slot(v)
+		}
+	}
+	for _, ch := range n.Children() {
+		c.assignSlots(ch)
+	}
+}
+
+func (c *compiler) width() int { return len(c.slots) }
+
+func (c *compiler) compile(n algebra.Node) (physOp, error) {
+	switch n := n.(type) {
+	case *algebra.Scan:
+		return c.compileScan(n)
+	case *algebra.Join:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		shared := make([]int, 0, 4)
+		for _, v := range algebra.SharedVars(n.L, n.R) {
+			shared = append(shared, c.slots[v])
+		}
+		switch n.Method {
+		case algebra.MergeJoin:
+			return &mergeJoinOp{j: n, l: l, r: r, slot: c.slots[n.On[0]], shared: shared}, nil
+		case algebra.HashJoin:
+			keys := make([]int, len(n.On))
+			for i, v := range n.On {
+				keys[i] = c.slots[v]
+			}
+			op := &hashJoinOp{n: n, build: l, probe: r, keys: keys, shared: shared}
+			op.morsel = c.morselFor(l)
+			return op, nil
+		default:
+			op := &hashJoinOp{n: n, build: l, probe: r, cross: true}
+			op.morsel = c.morselFor(l)
+			return op, nil
+		}
+	case *algebra.LeftJoin:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		var keys []int
+		for _, v := range n.On {
+			keys = append(keys, c.slots[v])
+		}
+		shared := make([]int, 0, 4)
+		for _, v := range algebra.SharedVars(n.L, n.R) {
+			shared = append(shared, c.slots[v])
+		}
+		op := &hashJoinOp{n: n, build: r, probe: l, keys: keys, shared: shared, leftOuter: true}
+		op.morsel = c.morselFor(r)
+		return op, nil
+	case *algebra.Filter:
+		in, err := c.compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		f := &filterOp{
+			f:     n,
+			in:    in,
+			d:     c.engine.src.Dict(),
+			op:    n.F.Op,
+			slot:  c.slots[n.F.Left],
+			rSlot: -1,
+		}
+		if n.F.Right.IsVar() {
+			f.rSlot = c.slots[n.F.Right.Var]
+		} else {
+			f.rTerm = n.F.Right.Term
+			f.rID, f.rInDict = c.engine.src.Dict().Lookup(n.F.Right.Term)
+		}
+		return f, nil
+	case *algebra.Project:
+		in, err := c.compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, 0, len(n.Cols)+len(n.Aliases))
+		for _, v := range c.projectVars(n) {
+			src := v
+			if a, ok := n.Aliases[v]; ok {
+				src = a
+			}
+			s, ok := c.slots[src]
+			if !ok {
+				return nil, fmt.Errorf("exec: projection variable ?%s is unbound", v)
+			}
+			cols = append(cols, s)
+		}
+		return &projectOp{n: n, in: in, slots: cols}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// morselFor describes the build side as a partitionable scan, or nil
+// when it is anything else (filters, joins, aggregated scans, or a
+// source without positional ranges).
+func (c *compiler) morselFor(op physOp) *morselScan {
+	s, ok := op.(*scanOp)
+	if !ok {
+		return nil
+	}
+	src, ok := s.src.(MorselSource)
+	if !ok {
+		return nil
+	}
+	return &morselScan{s: s, src: src}
+}
+
+// projectVars returns the output columns of a projection: the declared
+// columns followed by alias names, deduplicated, in stable order.
+func (c *compiler) projectVars(p *algebra.Project) []sparql.Var {
+	var out []sparql.Var
+	seen := map[sparql.Var]bool{}
+	for _, v := range p.Cols {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var aliases []sparql.Var
+	for a := range p.Aliases {
+		if !seen[a] {
+			aliases = append(aliases, a)
+		}
+	}
+	sort.Slice(aliases, func(i, j int) bool { return aliases[i] < aliases[j] })
+	return append(out, aliases...)
+}
+
+func (c *compiler) compileScan(s *algebra.Scan) (physOp, error) {
+	d := c.engine.src.Dict()
+	perm := s.Ordering.Perm()
+
+	// Resolve the constant prefix.
+	var prefix []dict.ID
+	nConst := 0
+	for _, pos := range perm {
+		n := s.TP.Slot(pos)
+		if n.IsVar() {
+			break
+		}
+		id, ok := d.Lookup(n.Term)
+		if !ok {
+			return &emptyOp{n: s}, nil // constant absent: no matches
+		}
+		prefix = append(prefix, id)
+		nConst++
+	}
+
+	if s.Aggregated {
+		return c.compileAggScan(s, prefix, nConst)
+	}
+
+	op := &scanOp{s: s, src: c.engine.src, prefix: prefix, width: c.width()}
+	boundAt := map[sparql.Var]int{}
+	for _, pos := range perm[nConst:] {
+		v := s.TP.Slot(pos).Var
+		if first, dup := boundAt[v]; dup {
+			op.slotOf = append(op.slotOf, -1)
+			op.checkSlot = append(op.checkSlot, first)
+		} else {
+			slot := c.slot(v)
+			boundAt[v] = slot
+			op.slotOf = append(op.slotOf, slot)
+			op.checkSlot = append(op.checkSlot, -1)
+		}
+	}
+	return op, nil
+}
+
+// compileAggScan lowers an aggregated-index scan: only the first two
+// ordering positions are materialised; the third must be a variable and
+// is left unbound (its multiplicity is preserved via the pair counts).
+func (c *compiler) compileAggScan(s *algebra.Scan, prefix []dict.ID, nConst int) (physOp, error) {
+	agg, ok := c.engine.src.(AggregatedSource)
+	if !ok {
+		return nil, fmt.Errorf("exec: %s source has no aggregated indexes for %s", c.engine.src.Name(), s.Label())
+	}
+	perm := s.Ordering.Perm()
+	if last := s.TP.Slot(perm[2]); !last.IsVar() {
+		return nil, fmt.Errorf("exec: aggregated scan with constant third position in %s", s.Label())
+	}
+	op := &aggScanOp{s: s, agg: agg, prefix: prefix, width: c.width(), slotOf: [2]int{-1, -1}}
+	for i := 0; i < 2; i++ {
+		n := s.TP.Slot(perm[i])
+		if i < nConst || !n.IsVar() {
+			continue
+		}
+		op.slotOf[i] = c.slot(n.Var)
+	}
+	return op, nil
+}
+
+// --- runs ---
+
+// Run is one pull-based execution of a compiled plan. Runs are not safe
+// for concurrent use; a run must be Closed (or drained) before its
+// Metrics are read. Rows returned by Row are valid until the next call
+// to Next.
+type Run struct {
+	c        *Compiled
+	rt       *runEnv
+	it       iterator
+	distinct bool
+	ask      bool
+	seen     map[string]bool
+	row      Row
+	err      error
+	done     bool
+	closed   bool
+}
+
+// Run starts a new execution. Parallel runs spawn their build-side
+// workers immediately; call Close to release them when abandoning the
+// run early.
+func (c *Compiled) Run(opts Options) *Run {
+	return c.run(opts, false)
+}
+
+func (c *Compiled) run(opts Options, countsOnly bool) *Run {
+	rt := &runEnv{opts: opts, countsOnly: countsOnly, done: make(chan struct{})}
+	if opts.Parallelism > 1 {
+		rt.sem = make(chan struct{}, opts.Parallelism)
+	}
+	if opts.Analyze {
+		rt.metrics = Metrics{}
+	}
+	r := &Run{c: c, rt: rt, it: c.root.open(rt)}
+	if q := c.plan.Query; q != nil {
+		r.distinct = q.Distinct
+		r.ask = q.Ask
+		if r.distinct {
+			r.seen = map[string]bool{}
+		}
+	}
+	return r
+}
+
+// Next advances to the next row, returning false at the end of the
+// stream or on error.
+func (r *Run) Next() bool {
+	if r.done || r.closed {
+		return false
+	}
+	for r.it.Next() {
+		row := r.it.Row()
+		if r.distinct {
+			k := RowKey(row)
+			if r.seen[k] {
+				continue
+			}
+			r.seen[k] = true
+		}
+		r.row = row
+		if r.ask {
+			r.done = true // ASK needs only existence
+		}
+		return true
+	}
+	r.err = r.it.Err()
+	r.done = true
+	r.rt.shutdown()
+	return false
+}
+
+// Row returns the current row (columns aligned with Vars), valid until
+// the next call to Next.
+func (r *Run) Row() Row { return r.row }
+
+// Vars returns the output columns, in row order.
+func (r *Run) Vars() []sparql.Var { return r.c.vars }
+
+// Terms decodes the current row.
+func (r *Run) Terms() map[sparql.Var]rdf.Term {
+	d := r.c.eng.src.Dict()
+	out := make(map[sparql.Var]rdf.Term, len(r.c.vars))
+	for i, v := range r.c.vars {
+		if id := r.row[i]; id != dict.Invalid {
+			out[v] = d.Term(id)
+		}
+	}
+	return out
+}
+
+// Err returns the first execution error, if any. A run closed before
+// exhaustion reports no error.
+func (r *Run) Err() error {
+	if r.err == errClosed || errors.Is(r.err, errClosed) {
+		return nil
+	}
+	return r.err
+}
+
+// Close cancels the run and waits for every worker it spawned to exit;
+// closing an exhausted or already-closed run is a cheap no-op. It never
+// fails; the error return mirrors io.Closer.
+func (r *Run) Close() error {
+	r.closed = true
+	r.rt.shutdown()
+	return nil
+}
+
+// Metrics returns the per-operator statistics of an analyze run (nil
+// otherwise). Only valid after the run is exhausted or closed.
+func (r *Run) Metrics() Metrics { return r.rt.metrics }

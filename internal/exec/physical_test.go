@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/cdp"
+	"github.com/sparql-hsp/hsp/internal/core"
+	"github.com/sparql-hsp/hsp/internal/rdf3x"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/sqlopt"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+	"github.com/sparql-hsp/hsp/internal/yago"
+)
+
+// drainRun collects a run's rows into a Result for comparison.
+func drainRun(t *testing.T, c *Compiled, opts Options) *Result {
+	t.Helper()
+	run := c.Run(opts)
+	defer run.Close()
+	res := &Result{d: c.eng.src.Dict(), Vars: c.Vars()}
+	for run.Next() {
+		res.Rows = append(res.Rows, append(Row(nil), run.Row()...))
+	}
+	if err := run.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// planners builds one plan per planner for a query over a store.
+func planners(t *testing.T, st *store.Store, text string) map[string]*algebra.Plan {
+	t.Helper()
+	q, err := sparql.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*algebra.Plan{}
+	if p, err := core.NewPlanner().Plan(q); err == nil {
+		out["hsp"] = p
+	} else {
+		t.Fatalf("hsp: %v", err)
+	}
+	if p, err := cdp.New(stats.New(st), cdp.Options{UseAggregatedIndexes: true}).Plan(q); err == nil {
+		out["cdp"] = p
+	} else if err == cdp.ErrCrossProduct {
+		if rw, _ := sparql.RewriteFilters(q); rw != nil {
+			if p, err := cdp.New(stats.New(st), cdp.Options{UseAggregatedIndexes: true}).Plan(rw); err == nil {
+				out["cdp"] = p
+			}
+		}
+	} else {
+		t.Fatalf("cdp: %v", err)
+	}
+	if p, err := sqlopt.New(stats.New(st)).Plan(q); err == nil {
+		out["sql"] = p
+	} else {
+		t.Fatalf("sql: %v", err)
+	}
+	return out
+}
+
+// TestStreamedEqualsMaterialised is the acceptance check: pull-based
+// runs yield exactly the multiset the materialised path yields, for
+// every query of both workload suites, all three planners, both
+// substrates, sequential and parallel.
+func TestStreamedEqualsMaterialised(t *testing.T) {
+	type workload struct {
+		name    string
+		st      *store.Store
+		queries []struct{ Name, Text string }
+	}
+	wls := []workload{
+		{"sp2bench", sp2bench.Generate(30000, 1), sp2bench.Queries()},
+		{"yago", yago.Generate(20000, 1), yago.Queries()},
+	}
+	for _, wl := range wls {
+		rx, err := rdf3x.Build(wl.st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines := map[string]*Engine{
+			"monet": New(ColumnSource{St: wl.st}),
+			"rdf3x": New(RDF3XSource{St: rx}),
+		}
+		for _, q := range wl.queries {
+			for pname, plan := range planners(t, wl.st, q.Text) {
+				for ename, eng := range engines {
+					t.Run(fmt.Sprintf("%s/%s/%s/%s", wl.name, q.Name, pname, ename), func(t *testing.T) {
+						want, err := eng.Execute(plan)
+						if err != nil {
+							t.Fatal(err)
+						}
+						c, err := eng.Compile(plan)
+						if err != nil {
+							t.Fatal(err)
+						}
+						seq := drainRun(t, c, Options{})
+						if seq.String() != want.String() {
+							t.Errorf("sequential stream differs from materialised:\n--- stream\n%s--- materialised\n%s", seq, want)
+						}
+						par := drainRun(t, c, Options{Parallelism: 4})
+						if par.String() != want.String() {
+							t.Errorf("parallel stream differs from materialised:\n--- stream\n%s--- materialised\n%s", par, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// hashJoinFixture builds a store and hand-constructed hash-join plan
+// whose build side is large enough to cross the morsel threshold.
+func hashJoinFixture(t *testing.T, n int) (*store.Store, *algebra.Plan) {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://s/%d> <http://p> <http://o/%d> .\n", i, i%97)
+	}
+	for j := 0; j < 97; j++ {
+		fmt.Fprintf(&b, "<http://o/%d> <http://q> \"v%d\" .\n", j, j%7)
+	}
+	st := buildStore(t, b.String())
+
+	q, err := sparql.Parse(`SELECT ?s ?v WHERE { ?s <http://p> ?o . ?o <http://q> ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left scan sorted on ?s, right on ?o: only a hash join is legal.
+	l, err := algebra.NewScan(q.Patterns[0], store.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := algebra.NewScan(q.Patterns[1], store.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := algebra.NewJoin(algebra.HashJoin, l, r, []sparql.Var{"o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := &algebra.Project{In: j, Cols: []sparql.Var{"s", "v"}}
+	return st, &algebra.Plan{Root: root, Query: q, Planner: "test"}
+}
+
+// TestParallelBuildDeterministic checks the morsel-partitioned build:
+// output must be byte-identical to the sequential run, every time.
+func TestParallelBuildDeterministic(t *testing.T) {
+	st, plan := hashJoinFixture(t, 3*morselRows+123)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainRun(t, c, Options{})
+	if want.Len() == 0 {
+		t.Fatal("fixture produced no rows")
+	}
+	for i := 0; i < 3; i++ {
+		got := drainRun(t, c, Options{Parallelism: 4})
+		if got.Len() != want.Len() {
+			t.Fatalf("run %d: %d rows, want %d", i, got.Len(), want.Len())
+		}
+		for r := range want.Rows {
+			for cidx := range want.Rows[r] {
+				if got.Rows[r][cidx] != want.Rows[r][cidx] {
+					t.Fatalf("run %d: row %d differs: %v vs %v", i, r, got.Rows[r], want.Rows[r])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuildUsed verifies the morsel path actually runs (and is
+// reported) for a big enough build side.
+func TestParallelBuildUsed(t *testing.T) {
+	st, plan := hashJoinFixture(t, 3*morselRows)
+	eng := New(ColumnSource{St: st})
+	out, err := eng.ExplainAnalyze(plan, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parallel") {
+		t.Errorf("EXPLAIN ANALYZE does not report a parallel build:\n%s", out)
+	}
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "build=") {
+		t.Errorf("EXPLAIN ANALYZE missing metrics:\n%s", out)
+	}
+}
+
+// TestRunCloseLeaksNoGoroutines abandons parallel runs mid-stream and
+// checks every worker goroutine exits.
+func TestRunCloseLeaksNoGoroutines(t *testing.T) {
+	st, plan := hashJoinFixture(t, 3*morselRows)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		run := c.Run(Options{Parallelism: 4})
+		run.Next() // pull one row, then walk away
+		run.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCompiledReusable runs one compiled plan many times, interleaving
+// options, verifying runs are independent.
+func TestCompiledReusable(t *testing.T) {
+	st, plan := hashJoinFixture(t, 5000)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainRun(t, c, Options{}).String()
+	for i, o := range []Options{{}, {Parallelism: 2}, {Analyze: true}, {Parallelism: 8, Analyze: true}, {}} {
+		if got := drainRun(t, c, o).String(); got != want {
+			t.Errorf("run %d (%+v) differs", i, o)
+		}
+	}
+}
+
+// TestShardedTable exercises the parallel table directly.
+func TestShardedTable(t *testing.T) {
+	nShards := shardCountFor(4)
+	st := &shardedTable{shards: make([]mapTable, nShards), mask: nShards - 1}
+	for i := range st.shards {
+		st.shards[i] = make(mapTable)
+	}
+	rows := map[string]Row{}
+	for i := 0; i < 1000; i++ {
+		r := Row{uint64(i % 37), uint64(i)}
+		k := hashKey(r, []int{0, 1})
+		rows[k] = r
+		s := fnv32(k) & st.mask
+		st.shards[s][k] = append(st.shards[s][k], r)
+	}
+	if st.size() != 1000 {
+		t.Fatalf("size = %d", st.size())
+	}
+	for k, r := range rows {
+		got := st.lookup(k)
+		if len(got) != 1 || got[0][1] != r[1] {
+			t.Fatalf("lookup(%q) = %v, want %v", k, got, r)
+		}
+	}
+	if got := st.lookup("absent"); got != nil {
+		t.Fatalf("lookup(absent) = %v", got)
+	}
+}
+
+// TestExplainAnalyzeAllPlanners checks per-operator rows and timings
+// appear for every planner's plan shape.
+func TestExplainAnalyzeAllPlanners(t *testing.T) {
+	st := sp2bench.Generate(20000, 1)
+	eng := New(ColumnSource{St: st})
+	text := sp2bench.Queries()[1].Text
+	for name, plan := range planners(t, st, text) {
+		out, err := eng.ExplainAnalyze(plan, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, "rows=") || !strings.Contains(out, "time=") {
+			t.Errorf("%s: missing per-operator metrics:\n%s", name, out)
+		}
+		if !strings.Contains(out, "planner="+plan.Planner) {
+			t.Errorf("%s: missing summary line:\n%s", name, out)
+		}
+	}
+}

@@ -76,6 +76,17 @@ func (c ColumnSource) Count(o store.Ordering, prefix []dict.ID) int {
 	return c.St.Count(o, prefix)
 }
 
+// ScanRange implements MorselSource: scans are contiguous row ranges of
+// the sorted relation, so they split into morsels for free.
+func (c ColumnSource) ScanRange(o store.Ordering, prefix []dict.ID) (lo, hi int) {
+	return c.St.Range(o, prefix)
+}
+
+// ScanSlice implements MorselSource.
+func (c ColumnSource) ScanSlice(o store.Ordering, lo, hi int) TripleIter {
+	return &sliceIter{rel: c.St.Rel(o), perm: o.Perm(), pos: lo, end: hi}
+}
+
 // ScanPairs implements AggregatedSource by grouping the sorted range on
 // the fly. The column store has no materialised aggregated indexes (the
 // speedup belongs to RDF-3X), but plans carrying aggregated scans stay

@@ -584,6 +584,41 @@ func joinPatternCensus(st *store.Store) [sparql.NumJoinKinds]int {
 	return out
 }
 
+// ExplainAnalyzeAll prints an EXPLAIN ANALYZE tree — per-operator row
+// counts, wall times and hash-join build sizes — for every query of
+// both workloads under all three planners, each plan executed on its
+// paper substrate (CDP on the compressed indexes, HSP and SQL on the
+// column store). parallelism > 1 enables concurrent hash-join builds
+// and morsel-partitioned build scans.
+func ExplainAnalyzeAll(e *Env, out io.Writer, parallelism int) error {
+	opts := exec.Options{Parallelism: parallelism}
+	for _, w := range e.Workloads() {
+		fmt.Fprintf(out, "=== EXPLAIN ANALYZE: %s ===\n\n", w.Name)
+		for _, q := range w.Queries {
+			hres, err := planHSP(q.Text)
+			if err != nil {
+				return err
+			}
+			cplan, _, err := planCDP(w, q.Text)
+			if err != nil {
+				return err
+			}
+			splan, err := planSQL(w, q.Text)
+			if err != nil {
+				return err
+			}
+			for _, p := range []*algebra.Plan{hres.Plan, cplan, splan} {
+				tree, err := engineFor(w, p).ExplainAnalyze(p, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%s %s\n%s\n", q.Name, p.Planner, tree)
+			}
+		}
+	}
+	return nil
+}
+
 // All runs every table and figure in paper order.
 func All(e *Env, out io.Writer) error {
 	steps := []func() error{

@@ -275,3 +275,19 @@ func TestDefaultConfig(t *testing.T) {
 		t.Errorf("bad defaults: %+v", cfg)
 	}
 }
+
+// TestExplainAnalyzeAll checks the EXPLAIN ANALYZE report renders
+// per-operator runtime metrics for every planner.
+func TestExplainAnalyzeAll(t *testing.T) {
+	e := smallEnv(t)
+	var b bytes.Buffer
+	if err := ExplainAnalyzeAll(e, &b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"planner=HSP", "planner=CDP", "planner=SQL", "rows=", "time=", "parallelism=2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ExplainAnalyzeAll output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package hsp
+
+import (
+	"fmt"
+
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// ExecOption configures query execution (materialised or streamed).
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	parallelism int
+}
+
+// WithParallelism lets the executor run one query with up to n
+// concurrently executing morsel workers (large hash-join build-side
+// scans split into partitions, bounded across the whole query by a
+// shared semaphore); independent hash-join build sides additionally
+// overlap, one background goroutine each. Results are identical — row
+// for row — to sequential execution. Values below 2 select the
+// sequential path.
+func WithParallelism(n int) ExecOption {
+	return func(c *execConfig) { c.parallelism = n }
+}
+
+func resolveOpts(opts []ExecOption) exec.Options {
+	var c execConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return exec.Options{Parallelism: c.parallelism}
+}
+
+// Rows is a streaming query result: rows are pulled one at a time from
+// the running operator tree instead of being materialised, so results
+// never have to fit in memory. The iteration pattern follows
+// database/sql:
+//
+//	rows, err := db.Stream(query)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Row())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Queries with ORDER BY cannot stream (sorting needs every row) and
+// fall back to a materialised run that is then iterated. A Rows is not
+// safe for concurrent use. Close releases any worker goroutines a
+// parallel run spawned; abandoning an exhausted Rows without Close is
+// harmless.
+type Rows struct {
+	db   *DB
+	vars []string
+
+	// Streaming state: compiled UNION branches, opened lazily so a
+	// branch's workers only start once the previous branch is drained.
+	compiled []*exec.Compiled
+	opts     exec.Options
+	branch   int
+	run      *exec.Run
+	seen     map[string]bool // cross-branch DISTINCT
+	skip     int             // remaining OFFSET rows
+	remain   int             // remaining LIMIT rows (-1: unlimited)
+
+	// Materialised fallback (ORDER BY).
+	res *Result
+	idx int
+
+	row    map[string]Term
+	err    error
+	closed bool
+}
+
+// Stream runs a query with the default planner and engine (HSP on the
+// column substrate) and returns its result as a row stream.
+func (db *DB) Stream(query string, opts ...ExecOption) (*Rows, error) {
+	p, err := db.Plan(query, PlannerHSP)
+	if err != nil {
+		return nil, err
+	}
+	return db.StreamPlan(p, EngineMonet, opts...)
+}
+
+// StreamPlan runs a plan on the chosen engine and returns its result as
+// a row stream. UNION branches are streamed in sequence; DISTINCT
+// deduplicates on the fly; OFFSET and LIMIT are applied to the stream.
+func (db *DB) StreamPlan(p *Plan, e Engine, opts ...ExecOption) (*Rows, error) {
+	if len(p.head.OrderBy) > 0 {
+		// Sorting requires every row: run materialised, stream the rows.
+		res, err := db.Execute(p, e, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{db: db, vars: res.Vars(), res: res}, nil
+	}
+	eng, err := db.engineFor(e)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rows{db: db, opts: resolveOpts(opts), skip: p.head.Offset, remain: -1}
+	if p.head.Limit >= 0 {
+		r.remain = p.head.Limit
+	}
+	if p.head.Distinct && len(p.plans) > 1 {
+		r.seen = map[string]bool{}
+	}
+	var vars []sparql.Var
+	for i, pl := range p.plans {
+		c, err := eng.Compile(pl)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			vars = c.Vars()
+			for _, v := range vars {
+				r.vars = append(r.vars, string(v))
+			}
+		} else if !sameVars(vars, c.Vars()) {
+			return nil, fmt.Errorf("hsp: union branches project different variables: %v vs %v", vars, c.Vars())
+		}
+		r.compiled = append(r.compiled, c)
+	}
+	return r, nil
+}
+
+func sameVars(a, b []sparql.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the projected variable names, without '?'.
+func (r *Rows) Vars() []string { return append([]string(nil), r.vars...) }
+
+// Next advances to the next row, returning false at the end of the
+// stream, after Close, or on error (check Err).
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.res != nil {
+		return r.nextMaterialised()
+	}
+	if r.remain == 0 {
+		r.Close()
+		return false
+	}
+	for {
+		if r.run == nil {
+			if r.branch >= len(r.compiled) {
+				return false
+			}
+			r.run = r.compiled[r.branch].Run(r.opts)
+			r.branch++
+		}
+		if !r.run.Next() {
+			if err := r.run.Err(); err != nil {
+				r.err = err
+				r.Close()
+				return false
+			}
+			r.run.Close()
+			r.run = nil
+			continue
+		}
+		if r.seen != nil {
+			k := exec.RowKey(r.run.Row())
+			if r.seen[k] {
+				continue
+			}
+			r.seen[k] = true
+		}
+		if r.skip > 0 {
+			r.skip--
+			continue
+		}
+		r.decode()
+		if r.remain > 0 {
+			r.remain--
+		}
+		return true
+	}
+}
+
+func (r *Rows) nextMaterialised() bool {
+	if r.idx >= r.res.Len() {
+		return false
+	}
+	r.row = r.res.Row(r.idx)
+	r.idx++
+	return true
+}
+
+// decode converts the run's current row to the public representation.
+func (r *Rows) decode() {
+	out := make(map[string]Term, len(r.vars))
+	for v, t := range r.run.Terms() {
+		out[string(v)] = externTerm(t)
+	}
+	r.row = out
+}
+
+// Row returns the current row as variable→term; valid until the next
+// call to Next.
+func (r *Rows) Row() map[string]Term { return r.row }
+
+// Err returns the first error encountered while streaming, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close stops the stream early, cancelling and waiting out any worker
+// goroutines of a parallel run so none leak. Close is idempotent and
+// always returns nil; it mirrors io.Closer so Rows works with defer.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.run != nil {
+		r.run.Close()
+		r.run = nil
+	}
+	return nil
+}
