@@ -20,6 +20,7 @@ package hsp
 // grow them.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -629,3 +630,55 @@ func BenchmarkExecMaterialised(b *testing.B) { benchStream(b, 1, true) }
 func BenchmarkExecStreamed(b *testing.B) { benchStream(b, 1, false) }
 
 func BenchmarkExecStreamedParallel(b *testing.B) { benchStream(b, 4, false) }
+
+// --- serving path: compiled-plan cache ---
+
+// benchServe measures db.QueryContext over the SP2Bench suite with and
+// without the compiled-plan cache; the delta is the parse + plan +
+// compile work the cache skips on every repeated request.
+func benchServe(b *testing.B, cached bool) {
+	e := getEnv(b)
+	db := &DB{col: e.SP2Bench.Col}
+	ctx := context.Background()
+	var opts []ExecOption
+	if cached {
+		opts = append(opts, WithPlanCache(64))
+	}
+	queries := e.SP2Bench.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := db.QueryContext(ctx, q.Text, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeUncached(b *testing.B) { benchServe(b, false) }
+
+func BenchmarkServeCachedPlan(b *testing.B) { benchServe(b, true) }
+
+// benchCompileQuery isolates the planning pipeline itself: a cache hit
+// must cost a map lookup, not a re-plan.
+func benchCompileQuery(b *testing.B, cached bool) {
+	e := getEnv(b)
+	db := &DB{col: e.SP2Bench.Col}
+	text := e.SP2Bench.Queries[0].Text
+	cfg := configOf(nil)
+	if cached {
+		cfg.planCache = 16
+		if _, err := db.compileQuery(text, cfg); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.compileQuery(text, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanCompileUncached(b *testing.B) { benchCompileQuery(b, false) }
+
+func BenchmarkPlanCompileCached(b *testing.B) { benchCompileQuery(b, true) }

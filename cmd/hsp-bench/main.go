@@ -11,14 +11,23 @@
 // -analyze prints EXPLAIN ANALYZE trees (per-operator row counts, wall
 // times and hash-join build sizes) for every workload query under all
 // three planners; -parallel N runs those executions with N workers.
+//
+// -serving benchmarks the serving path instead: the SP²Bench workload
+// queries are issued -requests times round-robin through the public
+// facade with a compiled-plan cache (-plancache) and a per-request
+// deadline (-timeout), reporting throughput and cache hit rates.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"github.com/sparql-hsp/hsp"
 	"github.com/sparql-hsp/hsp/internal/experiments"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
 )
 
 func main() {
@@ -27,14 +36,24 @@ func main() {
 		figure    = flag.Int("figure", 0, "reproduce one figure (1, 2 or 3)")
 		study     = flag.Bool("study", false, "run the Section 6.2 join-pattern dataset study")
 		analyze   = flag.Bool("analyze", false, "print EXPLAIN ANALYZE for every query under all three planners")
-		parallel  = flag.Int("parallel", 1, "executor workers for -analyze runs")
+		parallel  = flag.Int("parallel", 1, "executor workers for -analyze and -serving runs")
 		all       = flag.Bool("all", false, "reproduce everything in paper order")
 		sp2scale  = flag.Int("sp2scale", 200000, "approximate SP2Bench triple count")
 		yagoscale = flag.Int("yagoscale", 100000, "approximate YAGO triple count")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		runs      = flag.Int("runs", 5, "warm timing runs per query (Tables 7/8)")
+		serving   = flag.Bool("serving", false, "benchmark the serving path (plan cache + context deadlines)")
+		requests  = flag.Int("requests", 1000, "requests to issue in -serving mode")
+		planCache = flag.Int("plancache", 256, "compiled-plan cache capacity in -serving mode (0 = off)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline in -serving mode (0 = none)")
 	)
 	flag.Parse()
+	if *serving {
+		if err := servingBench(os.Stdout, *sp2scale, *seed, *requests, *planCache, *parallel, *timeout); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *table == 0 && *figure == 0 && !*study && !*analyze && !*all {
 		*all = true
 	}
@@ -112,6 +131,48 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// servingBench issues the SP²Bench workload queries round-robin
+// through the public serving path — QueryContext with a per-request
+// deadline and the shared compiled-plan cache — and reports wall time,
+// request throughput and the cache's hit/miss counters. With the cache
+// disabled (-plancache 0) every request re-plans, which isolates the
+// cache's contribution when comparing the two runs.
+func servingBench(out *os.File, scale int, seed int64, requests, planCache, parallel int, timeout time.Duration) error {
+	fmt.Fprintf(os.Stderr, "generating sp2bench scale=%d seed=%d...\n", scale, seed)
+	db := hsp.GenerateSP2Bench(scale, seed)
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", db.NumTriples())
+
+	opts := []hsp.ExecOption{hsp.WithParallelism(parallel)}
+	if planCache > 0 {
+		opts = append(opts, hsp.WithPlanCache(planCache))
+	}
+	queries := sp2bench.Queries()
+	start := time.Now()
+	rows := 0
+	for i := 0; i < requests; i++ {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		res, err := db.QueryContext(ctx, queries[i%len(queries)].Text, opts...)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("request %d (%s): %w", i, queries[i%len(queries)].Name, err)
+		}
+		rows += res.Len()
+	}
+	total := time.Since(start)
+	fmt.Fprintf(out, "serving: %d requests over %d queries in %s (%.0f req/s, %d rows)\n",
+		requests, len(queries), total.Round(time.Millisecond), float64(requests)/total.Seconds(), rows)
+	if planCache > 0 {
+		s := db.PlanCacheStats()
+		fmt.Fprintf(out, "plan cache: hits=%d misses=%d size=%d/%d hit-rate=%.1f%%\n",
+			s.Hits, s.Misses, s.Len, s.Cap, 100*float64(s.Hits)/float64(s.Hits+s.Misses))
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -16,9 +16,17 @@
 // result, -parallel N lets the executor use N concurrent workers, and
 // -analyze prints an EXPLAIN ANALYZE tree (per-operator row counts,
 // wall times and hash-join build sizes) instead of rows.
+//
+// Serving-path flags: -timeout bounds the whole run with a context
+// deadline (a fired deadline aborts sequential and parallel executions
+// mid-pipeline), -plancache N serves the query through an LRU
+// compiled-plan cache of capacity N, and -repeat N runs the query N
+// times — with -plancache, run 2 onwards skips parsing, planning and
+// compilation, and the cache's hit/miss counters are reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,8 +54,14 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream rows instead of materialising the result")
 		parallel  = flag.Int("parallel", 1, "number of concurrent executor workers")
 		maxRows   = flag.Int("maxrows", 20, "result rows to print (0 = all)")
+		timeout   = flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline)")
+		planCache = flag.Int("plancache", 0, "serve through a compiled-plan cache of this capacity (0 = off)")
+		repeat    = flag.Int("repeat", 1, "run the query this many times (pairs with -plancache)")
 	)
 	flag.Parse()
+	if (*plan || *explain) && (*planCache > 0 || *repeat > 1) {
+		fail(fmt.Errorf("-plan/-explain do not execute through the serving path; drop -plancache/-repeat"))
+	}
 
 	db, err := openDB(*data, *snapshot, *gen, *seed)
 	if err != nil {
@@ -75,6 +89,20 @@ func main() {
 		fail(fmt.Errorf("no query given (use -query or -queryfile)"))
 	}
 
+	// The deadline covers the query, not dataset loading or generation,
+	// so start it only once the data is ready.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *planCache > 0 || *repeat > 1 {
+		serve(ctx, db, text, hsp.Planner(*planner), hsp.Engine(*engine), *parallel, *planCache, *repeat, *maxRows, *stream, *analyze)
+		return
+	}
+
 	start := time.Now()
 	p, err := db.Plan(text, hsp.Planner(*planner))
 	if err != nil {
@@ -97,7 +125,7 @@ func main() {
 		return
 	}
 	if *analyze {
-		out, err := db.ExplainAnalyze(p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
+		out, err := db.ExplainAnalyzeContext(ctx, p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
 		if err != nil {
 			fail(err)
 		}
@@ -106,21 +134,70 @@ func main() {
 	}
 
 	if *stream {
-		streamRows(db, p, hsp.Engine(*engine), *parallel, *maxRows)
+		streamRows(ctx, db, p, hsp.Engine(*engine), *parallel, *maxRows)
 		return
 	}
 
 	start = time.Now()
-	res, err := db.Execute(p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
+	res, err := db.ExecuteContext(ctx, p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
 	if err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "executed in %v, %d rows\n", time.Since(start), res.Len())
+	printResult(res, *maxRows)
+}
 
+// serve runs the query through the serving path: query text in,
+// context-bound execution, optionally repeated and served from the
+// compiled-plan cache.
+func serve(ctx context.Context, db *hsp.DB, text string, planner hsp.Planner, engine hsp.Engine, parallel, planCache, repeat, maxRows int, stream, analyze bool) {
+	opts := []hsp.ExecOption{
+		hsp.WithPlanner(planner),
+		hsp.WithEngine(engine),
+		hsp.WithParallelism(parallel),
+	}
+	if planCache > 0 {
+		opts = append(opts, hsp.WithPlanCache(planCache))
+	}
+	for i := 0; i < repeat; i++ {
+		last := i == repeat-1
+		start := time.Now()
+		switch {
+		case analyze:
+			out, err := db.ExplainAnalyzeQuery(ctx, text, opts...)
+			if err != nil {
+				fail(err)
+			}
+			if last {
+				fmt.Print(out)
+			}
+		case stream && last:
+			// Only the last repetition prints rows; earlier ones warm the
+			// cache materialised, cheaper than decoding terms repeatedly.
+			streamQuery(ctx, db, text, opts, maxRows)
+		default:
+			res, err := db.QueryContext(ctx, text, opts...)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "run %d: %v, %d rows\n", i+1, time.Since(start), res.Len())
+			if last && !stream {
+				printResult(res, maxRows)
+			}
+		}
+	}
+	if planCache > 0 {
+		s := db.PlanCacheStats()
+		fmt.Fprintf(os.Stderr, "plan cache: hits=%d misses=%d size=%d/%d\n", s.Hits, s.Misses, s.Len, s.Cap)
+	}
+}
+
+// printResult renders a materialised result, truncated to maxRows.
+func printResult(res *hsp.Result, maxRows int) {
 	fmt.Println(strings.Join(res.Vars(), "\t"))
 	n := res.Len()
-	if *maxRows > 0 && n > *maxRows {
-		n = *maxRows
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
 	}
 	for i := 0; i < n; i++ {
 		row := res.Row(i)
@@ -135,15 +212,31 @@ func main() {
 	}
 }
 
-// streamRows pulls rows one at a time, printing as they arrive; memory
-// stays constant no matter how large the result is.
-func streamRows(db *hsp.DB, p *hsp.Plan, e hsp.Engine, parallel, maxRows int) {
+// streamQuery streams a query text through the serving path.
+func streamQuery(ctx context.Context, db *hsp.DB, text string, opts []hsp.ExecOption, maxRows int) {
 	start := time.Now()
-	rows, err := db.StreamPlan(p, e, hsp.WithParallelism(parallel))
+	rows, err := db.StreamContext(ctx, text, opts...)
 	if err != nil {
 		fail(err)
 	}
 	defer rows.Close()
+	drainRows(rows, maxRows, start)
+}
+
+// streamRows pulls rows one at a time, printing as they arrive; memory
+// stays constant no matter how large the result is.
+func streamRows(ctx context.Context, db *hsp.DB, p *hsp.Plan, e hsp.Engine, parallel, maxRows int) {
+	start := time.Now()
+	rows, err := db.StreamPlanContext(ctx, p, e, hsp.WithParallelism(parallel))
+	if err != nil {
+		fail(err)
+	}
+	defer rows.Close()
+	drainRows(rows, maxRows, start)
+}
+
+// drainRows prints up to maxRows rows from a stream and reports timing.
+func drainRows(rows *hsp.Rows, maxRows int, start time.Time) {
 	vars := rows.Vars()
 	fmt.Println(strings.Join(vars, "\t"))
 	n := 0

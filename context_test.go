@@ -1,0 +1,259 @@
+package hsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+)
+
+// awaitGoroutines polls until the goroutine count drops back to base.
+func awaitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueryContextPreCancelled: a context already cancelled on entry
+// returns context.Canceled from every entry point without planning or
+// executing anything.
+func TestQueryContextPreCancelled(t *testing.T) {
+	db := openSample(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, sampleQuery); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryContext = %v, want context.Canceled", err)
+	}
+	if _, err := db.StreamContext(ctx, sampleQuery); !errors.Is(err, context.Canceled) {
+		t.Errorf("StreamContext = %v, want context.Canceled", err)
+	}
+	if _, err := db.AskContext(ctx, `ASK { ?j <http://purl.org/dc/terms/issued> ?yr }`); !errors.Is(err, context.Canceled) {
+		t.Errorf("AskContext = %v, want context.Canceled", err)
+	}
+	if _, err := db.ExplainAnalyzeQuery(ctx, sampleQuery); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExplainAnalyzeQuery = %v, want context.Canceled", err)
+	}
+	p, err := db.Plan(sampleQuery, PlannerHSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecuteContext(ctx, p, EngineMonet); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecuteContext = %v, want context.Canceled", err)
+	}
+	if _, err := db.StreamPlanContext(ctx, p, EngineMonet); !errors.Is(err, context.Canceled) {
+		t.Errorf("StreamPlanContext = %v, want context.Canceled", err)
+	}
+	if _, err := db.ExplainAnalyzeContext(ctx, p, EngineMonet); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExplainAnalyzeContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamContextCancelMidStream cancels after the first row and
+// verifies the stream stops with ctx's error and releases every worker
+// goroutine — the sequential engine, the morsel-parallel engine, and
+// the RDF-3X substrate.
+func TestStreamContextCancelMidStream(t *testing.T) {
+	db := GenerateSP2Bench(60000, 1)
+	text := sp2bench.Queries()[1].Text
+	cases := []struct {
+		name string
+		opts []ExecOption
+	}{
+		{"sequential", nil},
+		{"parallel", []ExecOption{WithParallelism(4)}},
+		{"rdf3x", []ExecOption{WithEngine(EngineRDF3X)}},
+		{"rdf3x-parallel", []ExecOption{WithEngine(EngineRDF3X), WithParallelism(4)}},
+	}
+	before := runtime.NumGoroutine()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			rows, err := db.StreamContext(ctx, text, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rows.Close()
+			if !rows.Next() {
+				t.Fatalf("no first row: %v", rows.Err())
+			}
+			cancel()
+			for rows.Next() {
+			}
+			if err := rows.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Err() = %v, want context.Canceled", err)
+			}
+		})
+	}
+	awaitGoroutines(t, before)
+}
+
+// TestQueryContextDeadline: an expired deadline aborts materialised
+// runs with context.DeadlineExceeded.
+func TestQueryContextDeadline(t *testing.T) {
+	db := openSample(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	if _, err := db.QueryContext(ctx, sampleQuery); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("QueryContext = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestQueryContextMatchesQuery: the context path returns exactly what
+// the classic path returns, cache on and off, for the whole workload.
+func TestQueryContextMatchesQuery(t *testing.T) {
+	db := GenerateSP2Bench(25000, 1)
+	ctx := context.Background()
+	for _, q := range sp2bench.Queries() {
+		want, err := db.Query(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		got, err := db.QueryContext(ctx, q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: QueryContext differs from Query", q.Name)
+		}
+		cached, err := db.QueryContext(ctx, q.Text, WithPlanCache(64))
+		if err != nil {
+			t.Fatalf("%s (cached): %v", q.Name, err)
+		}
+		if cached.String() != want.String() {
+			t.Errorf("%s: cached QueryContext differs from Query", q.Name)
+		}
+		// Second serve: a guaranteed cache hit must still match.
+		hit, err := db.QueryContext(ctx, q.Text, WithPlanCache(64))
+		if err != nil {
+			t.Fatalf("%s (hit): %v", q.Name, err)
+		}
+		if hit.String() != want.String() {
+			t.Errorf("%s: cache-hit QueryContext differs from Query", q.Name)
+		}
+	}
+	s := db.PlanCacheStats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("PlanCacheStats = %+v, want both hits and misses", s)
+	}
+}
+
+// TestPlanCacheHitInExplainAnalyze: the acceptance check that a
+// repeated query shows a plan-cache hit in EXPLAIN ANALYZE.
+func TestPlanCacheHitInExplainAnalyze(t *testing.T) {
+	db := openSample(t)
+	ctx := context.Background()
+	first, err := db.ExplainAnalyzeQuery(ctx, sampleQuery, WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, "plan cache: miss") {
+		t.Errorf("first run should report a miss:\n%s", first)
+	}
+	second, err := db.ExplainAnalyzeQuery(ctx, sampleQuery, WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second, "plan cache: hit") {
+		t.Errorf("second run should report a hit:\n%s", second)
+	}
+	if !strings.Contains(second, "rows=") || !strings.Contains(second, "time=") {
+		t.Errorf("EXPLAIN ANALYZE lost its per-operator metrics:\n%s", second)
+	}
+}
+
+// TestPlanCacheEviction: a capacity-1 cache serves distinct queries
+// correctly, evicting as it goes.
+func TestPlanCacheEviction(t *testing.T) {
+	db := GenerateSP2Bench(20000, 1)
+	ctx := context.Background()
+	qs := sp2bench.Queries()
+	for round := 0; round < 2; round++ {
+		for _, q := range qs[:3] {
+			if _, err := db.QueryContext(ctx, q.Text, WithPlanCache(1)); err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+		}
+	}
+	s := db.PlanCacheStats()
+	if s.Len != 1 || s.Cap != 1 {
+		t.Errorf("Len/Cap = %d/%d, want 1/1", s.Len, s.Cap)
+	}
+	// Alternating three queries through a one-slot cache: every lookup
+	// must miss.
+	if s.Hits != 0 || s.Misses != 6 {
+		t.Errorf("Hits/Misses = %d/%d, want 0/6", s.Hits, s.Misses)
+	}
+}
+
+// TestPlanCacheConcurrentServing hammers one DB's cached serving path
+// from many goroutines (the -race acceptance check) and verifies every
+// result matches the uncached answer.
+func TestPlanCacheConcurrentServing(t *testing.T) {
+	db := GenerateSP2Bench(20000, 1)
+	qs := sp2bench.Queries()[:4]
+	want := make([]string, len(qs))
+	for i, q := range qs {
+		res, err := db.Query(q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.String()
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (w + i) % len(qs)
+				res, err := db.QueryContext(ctx, qs[qi].Text, WithPlanCache(8), WithParallelism(1+w%3))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if res.String() != want[qi] {
+					errs <- fmt.Errorf("worker %d: %s differs", w, qs[qi].Name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAskContext covers the ASK path under context and cache.
+func TestAskContext(t *testing.T) {
+	db := openSample(t)
+	ctx := context.Background()
+	ask := `ASK { ?j <http://purl.org/dc/terms/issued> "1940" }`
+	for i := 0; i < 2; i++ {
+		ok, err := db.AskContext(ctx, ask, WithPlanCache(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("AskContext = false, want true")
+		}
+	}
+	if _, err := db.AskContext(ctx, sampleQuery); err == nil {
+		t.Error("AskContext accepted a SELECT query")
+	}
+}

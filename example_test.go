@@ -1,9 +1,11 @@
 package hsp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"github.com/sparql-hsp/hsp"
 )
@@ -84,4 +86,74 @@ func ExampleDB_Execute() {
 	// Output:
 	// monet: 2 rows, first Journal 1 (1940)
 	// rdf3x: 2 rows, first Journal 1 (1940)
+}
+
+// Serving path: QueryContext bounds a query with a caller context, so
+// deadlines and client disconnects abort runs mid-pipeline. A context
+// already cancelled on entry fails fast without planning or executing.
+func ExampleDB_QueryContext() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := db.QueryContext(ctx, `
+		SELECT ?yr WHERE { ?j <http://purl.org/dc/elements/1.1/title> "Journal 1 (1940)" .
+		                   ?j <http://purl.org/dc/terms/issued> ?yr . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Row(0)["yr"].Value)
+
+	gone, disconnect := context.WithCancel(context.Background())
+	disconnect() // the client hung up before the query arrived
+	_, err = db.QueryContext(gone, `SELECT ?t WHERE { ?j <http://purl.org/dc/elements/1.1/title> ?t }`)
+	fmt.Println(err)
+	// Output:
+	// 1940
+	// context canceled
+}
+
+// Cancelling a stream's context mid-iteration stops it at the next
+// pull point: Next returns false, Err reports the context's error, and
+// every worker goroutine of a parallel run exits.
+func ExampleDB_StreamContext() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.StreamContext(ctx, `SELECT ?t WHERE { ?j <http://purl.org/dc/elements/1.1/title> ?t }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	rows.Next() // first row delivered
+	cancel()    // client disconnects mid-stream
+	for rows.Next() {
+	}
+	fmt.Println(rows.Err())
+	// Output:
+	// context canceled
+}
+
+// With a plan cache, repeated queries skip parsing, planning and
+// compilation: only the first request misses.
+func ExampleDB_QueryContext_planCache() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := `SELECT ?yr WHERE { ?j <http://purl.org/dc/terms/issued> ?yr }`
+	for i := 0; i < 3; i++ {
+		if _, err := db.QueryContext(context.Background(), query, hsp.WithPlanCache(128)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s := db.PlanCacheStats()
+	fmt.Printf("hits=%d misses=%d cached=%d\n", s.Hits, s.Misses, s.Len)
+	// Output:
+	// hits=2 misses=1 cached=1
 }

@@ -1,0 +1,77 @@
+// Command serving demonstrates the serving path of the hsp facade:
+// context deadlines that abort runaway queries mid-pipeline, client
+// disconnects that stop streams without leaking goroutines, and the
+// compiled-plan cache that lets repeated queries skip parsing,
+// planning and compilation.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+const query = `
+PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bench:   <http://localhost/vocabulary/bench/>
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?yr ?jrnl
+WHERE { ?jrnl rdf:type bench:Journal .
+        ?jrnl dc:title "Journal 1 (1940)" .
+        ?jrnl dcterms:issued ?yr . }`
+
+func main() {
+	db := hsp.GenerateSP2Bench(200000, 1)
+	fmt.Printf("dataset: %d triples\n", db.NumTriples())
+
+	// Serve the same query repeatedly: every request carries a deadline,
+	// and after the first request the plan comes from the cache.
+	opts := []hsp.ExecOption{hsp.WithPlanCache(1024), hsp.WithParallelism(4)}
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		start := time.Now()
+		res, err := db.QueryContext(ctx, query, opts...)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("request %d: %d rows in %v\n", i+1, res.Len(), time.Since(start))
+	}
+	s := db.PlanCacheStats()
+	fmt.Printf("plan cache: hits=%d misses=%d size=%d/%d\n", s.Hits, s.Misses, s.Len, s.Cap)
+
+	// A disconnecting client: cancel the context mid-stream. The run
+	// aborts at the next pull point and Err reports context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.StreamContext(ctx, `
+		PREFIX rdf:   <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX bench: <http://localhost/vocabulary/bench/>
+		SELECT ?article WHERE { ?article rdf:type bench:Article . }`, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		if n++; n == 5 {
+			cancel() // client went away after five rows
+		}
+	}
+	if err := rows.Err(); errors.Is(err, context.Canceled) {
+		fmt.Printf("stream cancelled after %d rows: %v\n", n, err)
+	} else if err != nil {
+		log.Fatal(err)
+	}
+
+	// An already-expired deadline fails fast, without planning at all.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := db.QueryContext(expired, query, opts...); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("expired deadline rejected before execution")
+	}
+}

@@ -24,9 +24,21 @@
 //	defer rows.Close()
 //	for rows.Next() { use(rows.Row()) }
 //	out, _ := db.ExplainAnalyze(plan, hsp.EngineMonet) // EXPLAIN ANALYZE
+//
+// For serving workloads, every execution path has a Context variant
+// that honours cancellation and deadlines, and repeated queries can
+// skip planning entirely via the shared compiled-plan cache:
+//
+//	ctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+//	defer cancel()
+//	res, err := db.QueryContext(ctx, query, hsp.WithPlanCache(1024))
+//
+// See docs/ARCHITECTURE.md for the full pipeline and
+// docs/QUERY_GUIDE.md for which query shapes the heuristics reward.
 package hsp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -131,6 +143,11 @@ type DB struct {
 	rxOnce sync.Once
 	rx     *rdf3x.Store
 	rxErr  error
+
+	// pc is the shared compiled-plan cache, created lazily on the first
+	// query served with WithPlanCache.
+	pcMu sync.Mutex
+	pc   *exec.PlanCache
 }
 
 // DatasetBuilder accumulates triples for a DB.
@@ -420,39 +437,10 @@ func (db *DB) engineFor(e Engine) (*exec.Engine, error) {
 // result: UNION branches are concatenated, then DISTINCT, ORDER BY,
 // OFFSET and LIMIT are applied. Pass WithParallelism to let the
 // executor use concurrent workers; Stream and StreamPlan avoid
-// materialisation entirely.
+// materialisation entirely. ExecuteContext additionally supports
+// cancellation and deadlines.
 func (db *DB) Execute(p *Plan, e Engine, opts ...ExecOption) (*Result, error) {
-	eng, err := db.engineFor(e)
-	if err != nil {
-		return nil, err
-	}
-	eopts := resolveOpts(opts)
-	var acc *exec.Result
-	for _, pl := range p.plans {
-		res, err := eng.ExecuteOpts(pl, eopts)
-		if err != nil {
-			return nil, err
-		}
-		if acc == nil {
-			acc = res
-			continue
-		}
-		if err := acc.Append(res); err != nil {
-			return nil, err
-		}
-	}
-	if p.head.Distinct && len(p.plans) > 1 {
-		acc.Dedup()
-	}
-	if len(p.head.OrderBy) > 0 {
-		if err := acc.SortBy(p.head.OrderBy); err != nil {
-			return nil, err
-		}
-	}
-	if p.head.Offset > 0 || p.head.Limit >= 0 {
-		acc.Slice(p.head.Offset, p.head.Limit)
-	}
-	return &Result{res: acc}, nil
+	return db.ExecuteContext(context.Background(), p, e, opts...)
 }
 
 // Explain executes the plan and renders its operator tree(s) annotated
@@ -501,30 +489,18 @@ func (db *DB) ExplainAnalyze(p *Plan, e Engine, opts ...ExecOption) (string, err
 	return b.String(), nil
 }
 
-// Query is the convenience path: HSP planning on the column substrate.
+// Query is the convenience path: HSP planning on the column substrate
+// (override with WithPlanner/WithEngine). QueryContext additionally
+// supports cancellation, deadlines and the compiled-plan cache.
 func (db *DB) Query(query string, opts ...ExecOption) (*Result, error) {
-	p, err := db.Plan(query, PlannerHSP)
-	if err != nil {
-		return nil, err
-	}
-	return db.Execute(p, EngineMonet, opts...)
+	return db.QueryContext(context.Background(), query, opts...)
 }
 
 // Ask evaluates an ASK query: whether at least one solution exists. The
-// executor stops at the first solution found.
-func (db *DB) Ask(query string) (bool, error) {
-	p, err := db.Plan(query, PlannerHSP)
-	if err != nil {
-		return false, err
-	}
-	if !p.head.Ask {
-		return false, fmt.Errorf("hsp: Ask called with a non-ASK query")
-	}
-	res, err := db.Execute(p, EngineMonet)
-	if err != nil {
-		return false, err
-	}
-	return res.Len() > 0, nil
+// executor stops at the first solution found. AskContext additionally
+// supports cancellation, deadlines and the compiled-plan cache.
+func (db *DB) Ask(query string, opts ...ExecOption) (bool, error) {
+	return db.AskContext(context.Background(), query, opts...)
 }
 
 // Result is a materialised query answer (a multiset of mappings).

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to base,
+// failing the test after the deadline.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunContextPreCancelled verifies an already-cancelled context
+// produces a run that emits nothing, reports the context's error, and
+// never opens the operator tree (no workers, no goroutines).
+func TestRunContextPreCancelled(t *testing.T) {
+	st, plan := hashJoinFixture(t, 2*morselRows)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	for _, par := range []int{1, 4} {
+		run := c.RunContext(ctx, Options{Parallelism: par})
+		if run.Next() {
+			t.Fatalf("parallelism=%d: pre-cancelled run produced a row", par)
+		}
+		if err := run.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: Err() = %v, want context.Canceled", par, err)
+		}
+		run.Close()
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRunContextCancelMidStream cancels between pulls and checks the
+// run stops at the next pull point with the context's error, for both
+// the sequential and the morsel-parallel engine, leak-free.
+func TestRunContextCancelMidStream(t *testing.T) {
+	st, plan := hashJoinFixture(t, 3*morselRows)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for _, par := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		run := c.RunContext(ctx, Options{Parallelism: par})
+		if !run.Next() {
+			t.Fatalf("parallelism=%d: no first row: %v", par, run.Err())
+		}
+		cancel()
+		n := 0
+		for run.Next() {
+			n++
+		}
+		if err := run.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: Err() = %v, want context.Canceled", par, err)
+		}
+		run.Close()
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRunContextDeadline verifies an expired deadline aborts a run with
+// context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	st, plan := hashJoinFixture(t, morselRows)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := c.ExecuteContext(ctx, Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ExecuteContext = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCompletesUncancelled checks a context-bound run that is
+// never cancelled yields exactly the rows of a plain run.
+func TestRunContextCompletesUncancelled(t *testing.T) {
+	st, plan := hashJoinFixture(t, 2*morselRows)
+	eng := New(ColumnSource{St: st})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainRun(t, c, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, par := range []int{1, 4} {
+		got, err := c.ExecuteContext(ctx, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("parallelism=%d: context run differs from plain run", par)
+		}
+	}
+}
+
+// TestExplainAnalyzeContextCancelled verifies the instrumented path
+// propagates the context error too.
+func TestExplainAnalyzeContextCancelled(t *testing.T) {
+	st, plan := hashJoinFixture(t, morselRows)
+	eng := New(ColumnSource{St: st})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.ExplainAnalyzeContext(ctx, plan, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExplainAnalyzeContext = %v, want context.Canceled", err)
+	}
+}

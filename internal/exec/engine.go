@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -174,18 +175,32 @@ func (e *Engine) Execute(p *algebra.Plan) (*Result, error) {
 // ExecuteOpts compiles a plan, runs it to completion and materialises
 // every row. Streaming consumers use Compile and Run directly.
 func (e *Engine) ExecuteOpts(p *algebra.Plan, opts Options) (*Result, error) {
+	return e.ExecuteContext(context.Background(), p, opts)
+}
+
+// ExecuteContext compiles a plan and runs it to completion under ctx:
+// cancellation or a fired deadline aborts the run mid-pipeline and
+// returns the context's error.
+func (e *Engine) ExecuteContext(ctx context.Context, p *algebra.Plan, opts Options) (*Result, error) {
 	c, err := e.Compile(p)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := c.runMaterialised(opts, false)
+	return c.ExecuteContext(ctx, opts)
+}
+
+// ExecuteContext runs the compiled plan to completion under ctx and
+// materialises every row. The compiled plan is immutable and safe for
+// any number of concurrent ExecuteContext and Run calls.
+func (c *Compiled) ExecuteContext(ctx context.Context, opts Options) (*Result, error) {
+	res, _, err := c.runMaterialised(ctx, opts, false)
 	return res, err
 }
 
 // runMaterialised drains one run into a Result. countsOnly collects
 // row counts without per-row timing, for the cardinality paths.
-func (c *Compiled) runMaterialised(opts Options, countsOnly bool) (*Result, Metrics, error) {
-	run := c.run(opts, countsOnly)
+func (c *Compiled) runMaterialised(ctx context.Context, opts Options, countsOnly bool) (*Result, Metrics, error) {
+	run := c.runCtx(ctx, opts, countsOnly)
 	defer run.Close()
 	res := &Result{d: c.eng.src.Dict(), Vars: append([]sparql.Var(nil), c.vars...)}
 	for run.Next() {
@@ -204,7 +219,7 @@ func (e *Engine) ExecuteWithCards(p *algebra.Plan) (*Result, algebra.Cardinaliti
 	if err != nil {
 		return nil, nil, err
 	}
-	res, m, err := c.runMaterialised(Options{Analyze: true}, true)
+	res, m, err := c.runMaterialised(context.Background(), Options{Analyze: true}, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -238,12 +253,26 @@ func (e *Engine) Explain(p *algebra.Plan) (string, error) {
 // and renders the operator tree annotated with observed row counts,
 // wall times and build sizes, preceded by a run summary line.
 func (e *Engine) ExplainAnalyze(p *algebra.Plan, opts Options) (string, error) {
-	opts.Analyze = true
+	return e.ExplainAnalyzeContext(context.Background(), p, opts)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a caller context: a
+// cancelled context aborts the instrumented run and returns its error.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, p *algebra.Plan, opts Options) (string, error) {
 	c, err := e.Compile(p)
 	if err != nil {
 		return "", err
 	}
-	run := c.Run(opts)
+	return c.ExplainAnalyzeContext(ctx, opts)
+}
+
+// ExplainAnalyzeContext runs the compiled plan to completion under ctx
+// with per-operator instrumentation and renders the operator tree
+// annotated with observed row counts, wall times and build sizes,
+// preceded by a run summary line.
+func (c *Compiled) ExplainAnalyzeContext(ctx context.Context, opts Options) (string, error) {
+	opts.Analyze = true
+	run := c.RunContext(ctx, opts)
 	start := time.Now()
 	n := 0
 	for run.Next() {
@@ -260,8 +289,8 @@ func (e *Engine) ExplainAnalyze(p *algebra.Plan, opts Options) (string, error) {
 		par = 1
 	}
 	head := fmt.Sprintf("engine=%s planner=%s rows=%d time=%s parallelism=%d\n",
-		e.src.Name(), p.Planner, n, fmtDuration(total), par)
-	tree := algebra.ExplainWith(p.Root, func(nd algebra.Node) string {
+		c.eng.src.Name(), c.plan.Planner, n, fmtDuration(total), par)
+	tree := algebra.ExplainWith(c.plan.Root, func(nd algebra.Node) string {
 		if om, ok := m[nd]; ok {
 			return om.annotation()
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -56,6 +57,36 @@ type runEnv struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+	// hasCtx marks runs bound to a cancellable context; their operator
+	// outputs are wrapped with periodic cancellation checks.
+	hasCtx bool
+	// ctx is the caller context of a context-bound run, consulted at
+	// pull points so cancellation is observed deterministically even
+	// before the watcher goroutine is scheduled.
+	ctx context.Context
+	// cause is the context error that cancelled the run (stored before
+	// done is closed); nil for plain Close and for exhausted runs.
+	cause atomic.Value
+}
+
+// cancel closes the run's done channel once, recording why. A nil err
+// marks an orderly shutdown (Close or exhaustion); a context error
+// makes Err report the cancellation to the consumer.
+func (rt *runEnv) cancel(err error) {
+	rt.once.Do(func() {
+		if err != nil {
+			rt.cause.Store(err)
+		}
+		close(rt.done)
+	})
+}
+
+// cancelCause returns the context error that aborted the run, if any.
+func (rt *runEnv) cancelCause() error {
+	if e, ok := rt.cause.Load().(error); ok {
+		return e
+	}
+	return nil
 }
 
 // acquire takes a worker slot, failing fast on cancellation.
@@ -71,20 +102,30 @@ func (rt *runEnv) acquire() bool {
 // release returns a worker slot.
 func (rt *runEnv) release() { <-rt.sem }
 
-// cancelled reports whether the run has been closed.
+// cancelled reports whether the run has been closed or its context
+// cancelled. A context cancellation observed here is promoted to the
+// run's cause immediately, without waiting for the watcher goroutine.
 func (rt *runEnv) cancelled() bool {
 	select {
 	case <-rt.done:
 		return true
 	default:
-		return false
 	}
+	if rt.hasCtx {
+		select {
+		case <-rt.ctx.Done():
+			rt.cancel(rt.ctx.Err())
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 // shutdown cancels outstanding workers and waits for them to exit, so
 // a closed run never leaks goroutines.
 func (rt *runEnv) shutdown() {
-	rt.once.Do(func() { close(rt.done) })
+	rt.cancel(nil)
 	rt.wg.Wait()
 }
 
@@ -102,8 +143,15 @@ func (rt *runEnv) metric(n algebra.Node) *OpMetrics {
 	return m
 }
 
-// wrap adds the analyze instrumentation around an operator's output.
+// wrap adds the analyze instrumentation around an operator's output,
+// plus — for context-bound runs — a periodic cancellation check, so a
+// fired deadline aborts the pipeline at every operator pull point even
+// when the consumer is stuck inside one long Next (a selective filter
+// skipping rows, a hash-join build drain).
 func (rt *runEnv) wrap(n algebra.Node, it iterator) iterator {
+	if rt.hasCtx {
+		it = &cancelIter{in: it, done: rt.done}
+	}
 	m := rt.metric(n)
 	if m == nil {
 		return it
@@ -656,7 +704,21 @@ func (c *Compiled) Run(opts Options) *Run {
 	return c.run(opts, false)
 }
 
+// RunContext starts a new execution bound to ctx: when the context is
+// cancelled or its deadline fires, the run aborts cooperatively — at
+// operator pull points and morsel boundaries — and Err returns the
+// context's error. A context that is already cancelled yields a run
+// that emits nothing without opening the operator tree. Close must
+// still be called (or the run drained) to release resources.
+func (c *Compiled) RunContext(ctx context.Context, opts Options) *Run {
+	return c.runCtx(ctx, opts, false)
+}
+
 func (c *Compiled) run(opts Options, countsOnly bool) *Run {
+	return c.runCtx(context.Background(), opts, countsOnly)
+}
+
+func (c *Compiled) runCtx(ctx context.Context, opts Options, countsOnly bool) *Run {
 	rt := &runEnv{opts: opts, countsOnly: countsOnly, done: make(chan struct{})}
 	if opts.Parallelism > 1 {
 		rt.sem = make(chan struct{}, opts.Parallelism)
@@ -664,7 +726,7 @@ func (c *Compiled) run(opts Options, countsOnly bool) *Run {
 	if opts.Analyze {
 		rt.metrics = Metrics{}
 	}
-	r := &Run{c: c, rt: rt, it: c.root.open(rt)}
+	r := &Run{c: c, rt: rt}
 	if q := c.plan.Query; q != nil {
 		r.distinct = q.Distinct
 		r.ask = q.Ask
@@ -672,16 +734,48 @@ func (c *Compiled) run(opts Options, countsOnly bool) *Run {
 			r.seen = map[string]bool{}
 		}
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// Already cancelled: never open the operator tree, so no scan
+			// or build work starts at all.
+			rt.cancel(err)
+			r.it = emptyIter{}
+			r.done = true
+			return r
+		}
+		if d := ctx.Done(); d != nil {
+			rt.hasCtx = true
+			rt.ctx = ctx
+			rt.wg.Add(1)
+			go func() {
+				defer rt.wg.Done()
+				select {
+				case <-d:
+					rt.cancel(ctx.Err())
+				case <-rt.done:
+				}
+			}()
+		}
+	}
+	r.it = c.root.open(rt)
 	return r
 }
 
 // Next advances to the next row, returning false at the end of the
-// stream or on error.
+// stream, on error, or when the run's context is cancelled.
 func (r *Run) Next() bool {
 	if r.done || r.closed {
 		return false
 	}
+	// Pull-point cancellation checks only apply to context-bound runs;
+	// context-less runs observe Close via r.closed and pay nothing here.
+	if r.rt.hasCtx && r.rt.cancelled() {
+		return r.stop()
+	}
 	for r.it.Next() {
+		if r.rt.hasCtx && r.rt.cancelled() {
+			return r.stop()
+		}
 		row := r.it.Row()
 		if r.distinct {
 			k := RowKey(row)
@@ -697,6 +791,13 @@ func (r *Run) Next() bool {
 		return true
 	}
 	r.err = r.it.Err()
+	r.done = true
+	r.rt.shutdown()
+	return false
+}
+
+// stop ends a cancelled run at a pull point, releasing its workers.
+func (r *Run) stop() bool {
 	r.done = true
 	r.rt.shutdown()
 	return false
@@ -721,13 +822,14 @@ func (r *Run) Terms() map[sparql.Var]rdf.Term {
 	return out
 }
 
-// Err returns the first execution error, if any. A run closed before
-// exhaustion reports no error.
+// Err returns the first execution error, if any. A run aborted by its
+// context reports the context's error (context.Canceled or
+// context.DeadlineExceeded); a run closed early by Close reports none.
 func (r *Run) Err() error {
-	if r.err == errClosed || errors.Is(r.err, errClosed) {
-		return nil
+	if r.err != nil && !errors.Is(r.err, errClosed) {
+		return r.err
 	}
-	return r.err
+	return r.rt.cancelCause()
 }
 
 // Close cancels the run and waits for every worker it spawned to exit;

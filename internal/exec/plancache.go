@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheKey identifies one compiled query in a PlanCache. Today a
+// compiled plan is identical for every Parallelism value (workers are a
+// run-time option), so including Parallelism fragments the cache across
+// provisioning tiers; it is kept in the key so the layout survives
+// parallelism-specialised compilation (e.g. pre-partitioned morsel
+// plans) without invalidating persisted stats or callers.
+type CacheKey struct {
+	// Query is the full SPARQL text, byte for byte.
+	Query string
+	// Planner names the optimiser that produced the plan.
+	Planner string
+	// Engine names the storage substrate the plan was compiled against.
+	Engine string
+	// Parallelism is the worker budget the cached entry is served with.
+	Parallelism int
+}
+
+// CacheStats is a point-in-time snapshot of a PlanCache's counters.
+type CacheStats struct {
+	// Hits counts Get calls that found an entry.
+	Hits int64
+	// Misses counts Get calls that found nothing.
+	Misses int64
+	// Len is the current number of cached entries.
+	Len int
+	// Cap is the cache's capacity.
+	Cap int
+}
+
+// PlanCache is a thread-safe LRU cache of compiled query plans for the
+// serving path: parsing, heuristic planning and physical compilation
+// run once per distinct query, and every further request reuses the
+// immutable Compiled artifact. Values are opaque to the cache — the
+// public facade stores its parse+plan+compile bundles — and the cache
+// never copies or mutates them, so cached plans must be safe for
+// concurrent runs (Compiled is).
+type PlanCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	m      map[CacheKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key CacheKey
+	val any
+}
+
+// NewPlanCache returns an empty cache holding at most n entries;
+// capacities below 1 are raised to 1.
+func NewPlanCache(n int) *PlanCache {
+	if n < 1 {
+		n = 1
+	}
+	return &PlanCache{
+		cap: n,
+		ll:  list.New(),
+		m:   make(map[CacheKey]*list.Element, n),
+	}
+}
+
+// Get returns the value cached under k, marking it most recently used,
+// and records a hit or miss.
+func (c *PlanCache) Get(k CacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// Add caches v under k, evicting the least recently used entry when the
+// cache is full. Re-adding an existing key replaces its value.
+func (c *PlanCache) Add(k CacheKey, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		e.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(e)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+}
+
+// Len returns the current number of cached entries.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the cache capacity.
+func (c *PlanCache) Cap() int { return c.cap }
+
+// Stats snapshots the hit/miss counters and occupancy.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Len: c.ll.Len(), Cap: c.cap}
+}

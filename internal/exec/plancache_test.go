@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ck(q string) CacheKey {
+	return CacheKey{Query: q, Planner: "hsp", Engine: "monet"}
+}
+
+// TestPlanCacheLRU checks hit/miss accounting and least-recently-used
+// eviction order.
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	if _, ok := c.Get(ck("a")); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Add(ck("a"), "A")
+	c.Add(ck("b"), "B")
+	if v, ok := c.Get(ck("a")); !ok || v != "A" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// a is now most recently used; adding c must evict b.
+	c.Add(ck("c"), "C")
+	if _, ok := c.Get(ck("b")); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get(ck("a")); !ok {
+		t.Fatal("a was evicted; LRU order wrong")
+	}
+	s := c.Stats()
+	if s.Len != 2 || s.Cap != 2 {
+		t.Fatalf("Stats Len/Cap = %d/%d, want 2/2", s.Len, s.Cap)
+	}
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("Stats Hits/Misses = %d/%d, want 2/2", s.Hits, s.Misses)
+	}
+}
+
+// TestPlanCacheKeyDistinguishes verifies the full key — query, planner,
+// engine, parallelism — separates entries.
+func TestPlanCacheKeyDistinguishes(t *testing.T) {
+	c := NewPlanCache(8)
+	keys := []CacheKey{
+		{Query: "q", Planner: "hsp", Engine: "monet"},
+		{Query: "q", Planner: "cdp", Engine: "monet"},
+		{Query: "q", Planner: "hsp", Engine: "rdf3x"},
+		{Query: "q", Planner: "hsp", Engine: "monet", Parallelism: 4},
+	}
+	for i, k := range keys {
+		c.Add(k, i)
+	}
+	for i, k := range keys {
+		v, ok := c.Get(k)
+		if !ok || v != i {
+			t.Fatalf("Get(%+v) = %v, %v; want %d", k, v, ok, i)
+		}
+	}
+}
+
+// TestPlanCacheReplace re-adds an existing key and expects the value to
+// be replaced without growing the cache.
+func TestPlanCacheReplace(t *testing.T) {
+	c := NewPlanCache(4)
+	c.Add(ck("a"), 1)
+	c.Add(ck("a"), 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double Add", c.Len())
+	}
+	if v, _ := c.Get(ck("a")); v != 2 {
+		t.Fatalf("Get = %v, want 2", v)
+	}
+}
+
+// TestPlanCacheMinimumCapacity checks capacities below 1 are raised.
+func TestPlanCacheMinimumCapacity(t *testing.T) {
+	c := NewPlanCache(0)
+	if c.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", c.Cap())
+	}
+	c.Add(ck("a"), 1)
+	c.Add(ck("b"), 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestPlanCacheConcurrent hammers one cache from many goroutines; run
+// under -race this is the concurrency acceptance test.
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := ck(fmt.Sprintf("q%d", (w+i)%32))
+				if _, ok := c.Get(k); !ok {
+					c.Add(k, w)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Fatalf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*500 {
+		t.Fatalf("Hits+Misses = %d, want %d", s.Hits+s.Misses, 8*500)
+	}
+}

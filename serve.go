@@ -1,0 +1,285 @@
+// Serving path: context-bound execution and the compiled-plan cache.
+//
+// The facade's query-text entry points (Query, Stream, Ask and their
+// Context variants) can serve repeated queries from a shared LRU cache
+// of parse+plan+compile artifacts (see WithPlanCache), and every
+// execution path has a Context variant that aborts runs cooperatively
+// when the caller's context is cancelled or its deadline fires.
+
+package hsp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// compiledQuery is the unit the plan cache stores: one query parsed,
+// planned and compiled — the head carrying the solution modifiers, and
+// one immutable physical plan per UNION branch. Compiled plans are safe
+// for any number of concurrent runs, so one cached entry serves many
+// requests at once.
+type compiledQuery struct {
+	head     *sparql.Query
+	compiled []*exec.Compiled
+	// cacheHit marks entries returned from the plan cache (set on the
+	// per-call copy, never on the cached value itself).
+	cacheHit bool
+}
+
+// planCache returns the DB's shared plan cache, creating it with
+// capacity n on first use.
+func (db *DB) planCache(n int) *exec.PlanCache {
+	db.pcMu.Lock()
+	defer db.pcMu.Unlock()
+	if db.pc == nil {
+		db.pc = exec.NewPlanCache(n)
+	}
+	return db.pc
+}
+
+// PlanCacheStats reports the hit/miss counters and occupancy of the
+// DB's shared compiled-plan cache. It is zero until a query has been
+// served with WithPlanCache.
+type PlanCacheStats struct {
+	// Hits counts lookups answered from the cache (no parsing, planning
+	// or compilation).
+	Hits int64
+	// Misses counts lookups that had to plan and compile.
+	Misses int64
+	// Len is the number of cached plans; Cap the cache capacity.
+	Len, Cap int
+}
+
+// PlanCacheStats snapshots the DB's plan-cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	db.pcMu.Lock()
+	pc := db.pc
+	db.pcMu.Unlock()
+	if pc == nil {
+		return PlanCacheStats{}
+	}
+	s := pc.Stats()
+	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Len: s.Len, Cap: s.Cap}
+}
+
+// compileQuery parses, plans and compiles a query — or, with a plan
+// cache enabled, returns the cached artifact for (query text, planner,
+// engine, parallelism).
+func (db *DB) compileQuery(query string, cfg execConfig) (*compiledQuery, error) {
+	if cfg.planCache <= 0 {
+		return db.compileQueryUncached(query, cfg.planner, cfg.engine)
+	}
+	c := db.planCache(cfg.planCache)
+	key := exec.CacheKey{
+		Query:       query,
+		Planner:     string(cfg.planner),
+		Engine:      string(cfg.engine),
+		Parallelism: cfg.parallelism,
+	}
+	if v, ok := c.Get(key); ok {
+		hit := *v.(*compiledQuery) // shallow copy; head and plans are shared, immutable
+		hit.cacheHit = true
+		return &hit, nil
+	}
+	cq, err := db.compileQueryUncached(query, cfg.planner, cfg.engine)
+	if err != nil {
+		return nil, err
+	}
+	c.Add(key, cq)
+	return cq, nil
+}
+
+// compileQueryUncached runs the full pipeline: parse, plan each UNION
+// branch with the chosen planner, compile each branch against the
+// chosen engine, and validate that branches project the same variables.
+func (db *DB) compileQueryUncached(query string, planner Planner, engine Engine) (*compiledQuery, error) {
+	p, err := db.Plan(query, planner)
+	if err != nil {
+		return nil, err
+	}
+	return db.compilePlan(p, engine)
+}
+
+// compilePlan compiles every UNION branch of a plan against the chosen
+// engine, validating that branches project the same variables — the
+// shared lowering step of the text-based and plan-based entry points.
+func (db *DB) compilePlan(p *Plan, engine Engine) (*compiledQuery, error) {
+	eng, err := db.engineFor(engine)
+	if err != nil {
+		return nil, err
+	}
+	cq := &compiledQuery{head: p.head}
+	var vars []sparql.Var
+	for i, pl := range p.plans {
+		c, err := eng.Compile(pl)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			vars = c.Vars()
+		} else if !sameVars(vars, c.Vars()) {
+			return nil, fmt.Errorf("hsp: union branches project different variables: %v vs %v", vars, c.Vars())
+		}
+		cq.compiled = append(cq.compiled, c)
+	}
+	return cq, nil
+}
+
+// executeCompiled runs every UNION branch under ctx and applies the
+// head's solution modifiers, mirroring Execute.
+func (db *DB) executeCompiled(ctx context.Context, cq *compiledQuery, eopts exec.Options) (*Result, error) {
+	var acc *exec.Result
+	for _, c := range cq.compiled {
+		res, err := c.ExecuteContext(ctx, eopts)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = res
+			continue
+		}
+		if err := acc.Append(res); err != nil {
+			return nil, err
+		}
+	}
+	head := cq.head
+	if head.Distinct && len(cq.compiled) > 1 {
+		acc.Dedup()
+	}
+	if len(head.OrderBy) > 0 {
+		if err := acc.SortBy(head.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if head.Offset > 0 || head.Limit >= 0 {
+		acc.Slice(head.Offset, head.Limit)
+	}
+	return &Result{res: acc}, nil
+}
+
+// QueryContext is Query bound to a caller context: cancelling ctx (or
+// its deadline firing) aborts the run mid-pipeline at the next operator
+// pull point or morsel boundary — sequential and morsel-parallel
+// engines alike — releases every worker goroutine, and returns the
+// context's error. A context already cancelled on entry returns its
+// error without planning or executing anything. With WithPlanCache,
+// repeated queries are served from the DB's shared compiled-plan cache,
+// skipping parsing, planning and compilation; WithPlanner and
+// WithEngine override the defaults (HSP on the column substrate).
+func (db *DB) QueryContext(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := configOf(opts)
+	cq, err := db.compileQuery(query, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return db.executeCompiled(ctx, cq, cfg.execOptions())
+}
+
+// ExecuteContext is Execute bound to a caller context; see QueryContext
+// for the cancellation contract. The plan cache does not apply here —
+// the caller already holds the plan.
+func (db *DB) ExecuteContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cq, err := db.compilePlan(p, e)
+	if err != nil {
+		return nil, err
+	}
+	return db.executeCompiled(ctx, cq, resolveOpts(opts))
+}
+
+// AskContext is Ask bound to a caller context; see QueryContext for the
+// cancellation contract. WithPlanCache, WithPlanner and WithEngine
+// apply as in QueryContext.
+func (db *DB) AskContext(ctx context.Context, query string, opts ...ExecOption) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	cfg := configOf(opts)
+	cq, err := db.compileQuery(query, cfg)
+	if err != nil {
+		return false, err
+	}
+	if !cq.head.Ask {
+		return false, fmt.Errorf("hsp: Ask called with a non-ASK query")
+	}
+	res, err := db.executeCompiled(ctx, cq, cfg.execOptions())
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze bound to a caller context: a
+// cancelled context aborts the instrumented run and returns its error.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	eng, err := db.engineFor(e)
+	if err != nil {
+		return "", err
+	}
+	eopts := resolveOpts(opts)
+	if len(p.plans) == 1 {
+		return eng.ExplainAnalyzeContext(ctx, p.plans[0], eopts)
+	}
+	var b strings.Builder
+	for i, pl := range p.plans {
+		tree, err := eng.ExplainAnalyzeContext(ctx, pl, eopts)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "UNION branch %d:\n%s", i, tree)
+	}
+	return b.String(), nil
+}
+
+// ExplainAnalyzeQuery runs a query text through the same serving path
+// as QueryContext — plan cache included — with per-operator
+// instrumentation, and renders the EXPLAIN ANALYZE tree(s). With
+// WithPlanCache the output is prefixed with a plan-cache line showing
+// whether this compilation was a hit and the cache's cumulative
+// counters:
+//
+//	plan cache: hit hits=3 misses=1 size=1/64
+func (db *DB) ExplainAnalyzeQuery(ctx context.Context, query string, opts ...ExecOption) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	cfg := configOf(opts)
+	cq, err := db.compileQuery(query, cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if cfg.planCache > 0 {
+		s := db.PlanCacheStats()
+		outcome := "miss"
+		if cq.cacheHit {
+			outcome = "hit"
+		}
+		fmt.Fprintf(&b, "plan cache: %s hits=%d misses=%d size=%d/%d\n",
+			outcome, s.Hits, s.Misses, s.Len, s.Cap)
+	}
+	eopts := cfg.execOptions()
+	for i, c := range cq.compiled {
+		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
+		if err != nil {
+			return "", err
+		}
+		if len(cq.compiled) > 1 {
+			fmt.Fprintf(&b, "UNION branch %d:\n", i)
+		}
+		b.WriteString(tree)
+	}
+	return b.String(), nil
+}

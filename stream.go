@@ -1,7 +1,7 @@
 package hsp
 
 import (
-	"fmt"
+	"context"
 
 	"github.com/sparql-hsp/hsp/internal/exec"
 	"github.com/sparql-hsp/hsp/internal/sparql"
@@ -12,6 +12,9 @@ type ExecOption func(*execConfig)
 
 type execConfig struct {
 	parallelism int
+	planCache   int
+	planner     Planner
+	engine      Engine
 }
 
 // WithParallelism lets the executor run one query with up to n
@@ -25,12 +28,60 @@ func WithParallelism(n int) ExecOption {
 	return func(c *execConfig) { c.parallelism = n }
 }
 
-func resolveOpts(opts []ExecOption) exec.Options {
+// WithPlanCache serves the query through the DB's shared compiled-plan
+// cache, sized to hold n plans (LRU evicted). The first request for a
+// query parses, plans and compiles it; every further request with the
+// same text, planner, engine and parallelism reuses the immutable
+// compiled plan, skipping optimisation entirely — the serving fast
+// path. The cache is created on first use with capacity n; later calls
+// reuse the existing cache whatever their n. Only the query-text entry
+// points (Query, QueryContext, Stream, StreamContext, Ask, AskContext,
+// ExplainAnalyzeQuery) consult the cache; plan-based entry points
+// ignore this option. Inspect occupancy and hit rates with
+// PlanCacheStats.
+func WithPlanCache(n int) ExecOption {
+	return func(c *execConfig) { c.planCache = n }
+}
+
+// WithPlanner selects the query optimiser for the query-text entry
+// points (Query, Stream, Ask and their Context variants), which default
+// to PlannerHSP. Plan-based entry points ignore this option — the plan
+// already fixes the planner.
+func WithPlanner(p Planner) ExecOption {
+	return func(c *execConfig) { c.planner = p }
+}
+
+// WithEngine selects the storage substrate for the query-text entry
+// points (Query, Stream, Ask and their Context variants), which default
+// to EngineMonet. Plan-based entry points ignore this option — the
+// engine is an explicit argument there.
+func WithEngine(e Engine) ExecOption {
+	return func(c *execConfig) { c.engine = e }
+}
+
+// configOf folds the option list, filling in the planner and engine
+// defaults (HSP on the column substrate).
+func configOf(opts []ExecOption) execConfig {
 	var c execConfig
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.planner == "" {
+		c.planner = PlannerHSP
+	}
+	if c.engine == "" {
+		c.engine = EngineMonet
+	}
+	return c
+}
+
+// execOptions converts the facade configuration to executor options.
+func (c execConfig) execOptions() exec.Options {
 	return exec.Options{Parallelism: c.parallelism}
+}
+
+func resolveOpts(opts []ExecOption) exec.Options {
+	return configOf(opts).execOptions()
 }
 
 // Rows is a streaming query result: rows are pulled one at a time from
@@ -50,7 +101,9 @@ func resolveOpts(opts []ExecOption) exec.Options {
 // fall back to a materialised run that is then iterated. A Rows is not
 // safe for concurrent use. Close releases any worker goroutines a
 // parallel run spawned; abandoning an exhausted Rows without Close is
-// harmless.
+// harmless. A Rows obtained from StreamContext or StreamPlanContext
+// additionally stops when its context is cancelled: Next returns false
+// and Err returns the context's error.
 type Rows struct {
 	db   *DB
 	vars []string
@@ -58,6 +111,7 @@ type Rows struct {
 	// Streaming state: compiled UNION branches, opened lazily so a
 	// branch's workers only start once the previous branch is drained.
 	compiled []*exec.Compiled
+	ctx      context.Context // caller context each branch run is bound to
 	opts     exec.Options
 	branch   int
 	run      *exec.Run
@@ -75,53 +129,73 @@ type Rows struct {
 }
 
 // Stream runs a query with the default planner and engine (HSP on the
-// column substrate) and returns its result as a row stream.
+// column substrate, overridable with WithPlanner/WithEngine) and
+// returns its result as a row stream.
 func (db *DB) Stream(query string, opts ...ExecOption) (*Rows, error) {
-	p, err := db.Plan(query, PlannerHSP)
+	return db.StreamContext(context.Background(), query, opts...)
+}
+
+// StreamContext is Stream bound to a caller context: cancelling ctx (or
+// its deadline firing) aborts the stream mid-pipeline — sequential and
+// morsel-parallel runs alike — at the next operator pull point or
+// morsel boundary, releases every worker goroutine, and makes Err
+// return the context's error. A context already cancelled on entry
+// returns its error without planning or executing anything. With
+// WithPlanCache, repeated queries skip parsing, planning and
+// compilation via the DB's shared plan cache.
+func (db *DB) StreamContext(ctx context.Context, query string, opts ...ExecOption) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := configOf(opts)
+	cq, err := db.compileQuery(query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return db.StreamPlan(p, EngineMonet, opts...)
+	return db.streamCompiled(ctx, cq, cfg)
 }
 
 // StreamPlan runs a plan on the chosen engine and returns its result as
 // a row stream. UNION branches are streamed in sequence; DISTINCT
 // deduplicates on the fly; OFFSET and LIMIT are applied to the stream.
 func (db *DB) StreamPlan(p *Plan, e Engine, opts ...ExecOption) (*Rows, error) {
-	if len(p.head.OrderBy) > 0 {
-		// Sorting requires every row: run materialised, stream the rows.
-		res, err := db.Execute(p, e, opts...)
+	return db.StreamPlanContext(context.Background(), p, e, opts...)
+}
+
+// StreamPlanContext is StreamPlan bound to a caller context; see
+// StreamContext for the cancellation contract.
+func (db *DB) StreamPlanContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cq, err := db.compilePlan(p, e)
+	if err != nil {
+		return nil, err
+	}
+	return db.streamCompiled(ctx, cq, configOf(opts))
+}
+
+// streamCompiled builds a Rows over compiled UNION branches, falling
+// back to a materialised run for ORDER BY (sorting needs every row).
+func (db *DB) streamCompiled(ctx context.Context, cq *compiledQuery, cfg execConfig) (*Rows, error) {
+	head := cq.head
+	if len(head.OrderBy) > 0 {
+		res, err := db.executeCompiled(ctx, cq, cfg.execOptions())
 		if err != nil {
 			return nil, err
 		}
 		return &Rows{db: db, vars: res.Vars(), res: res}, nil
 	}
-	eng, err := db.engineFor(e)
-	if err != nil {
-		return nil, err
+	r := &Rows{db: db, ctx: ctx, opts: cfg.execOptions(), skip: head.Offset, remain: -1}
+	if head.Limit >= 0 {
+		r.remain = head.Limit
 	}
-	r := &Rows{db: db, opts: resolveOpts(opts), skip: p.head.Offset, remain: -1}
-	if p.head.Limit >= 0 {
-		r.remain = p.head.Limit
-	}
-	if p.head.Distinct && len(p.plans) > 1 {
+	if head.Distinct && len(cq.compiled) > 1 {
 		r.seen = map[string]bool{}
 	}
-	var vars []sparql.Var
-	for i, pl := range p.plans {
-		c, err := eng.Compile(pl)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			vars = c.Vars()
-			for _, v := range vars {
-				r.vars = append(r.vars, string(v))
-			}
-		} else if !sameVars(vars, c.Vars()) {
-			return nil, fmt.Errorf("hsp: union branches project different variables: %v vs %v", vars, c.Vars())
-		}
-		r.compiled = append(r.compiled, c)
+	r.compiled = cq.compiled
+	for _, v := range cq.compiled[0].Vars() {
+		r.vars = append(r.vars, string(v))
 	}
 	return r, nil
 }
@@ -159,7 +233,7 @@ func (r *Rows) Next() bool {
 			if r.branch >= len(r.compiled) {
 				return false
 			}
-			r.run = r.compiled[r.branch].Run(r.opts)
+			r.run = r.compiled[r.branch].RunContext(r.ctx, r.opts)
 			r.branch++
 		}
 		if !r.run.Next() {
