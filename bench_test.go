@@ -682,3 +682,54 @@ func benchCompileQuery(b *testing.B, cached bool) {
 func BenchmarkPlanCompileUncached(b *testing.B) { benchCompileQuery(b, false) }
 
 func BenchmarkPlanCompileCached(b *testing.B) { benchCompileQuery(b, true) }
+
+// --- ORDER BY: spill vs materialise ---
+
+// orderByBenchQuery orders every issued document by year — the widest
+// sorted result the SP2Bench fixture produces, so the spill variant
+// genuinely writes and merges runs.
+const orderByBenchQuery = `
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?doc ?yr
+WHERE { ?doc dcterms:issued ?yr .
+        ?doc dc:title ?title }
+ORDER BY ?yr`
+
+// benchOrderBy is the spill-vs-materialise pair: the same ORDER BY
+// query materialised (Query buffers the whole result), streamed with
+// the default budget (in-memory sort), and streamed with a small
+// budget forcing the external merge-sort path.
+func benchOrderBy(b *testing.B, stream bool, budget int) {
+	e := getEnv(b)
+	db := &DB{col: e.SP2Bench.Col}
+	var opts []ExecOption
+	if budget > 0 {
+		opts = append(opts, WithSortSpill(budget), WithTempDir(b.TempDir()))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !stream {
+			if _, err := db.Query(orderByBenchQuery, opts...); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		rows, err := db.Stream(orderByBenchQuery, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if err := rows.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOrderByMaterialised(b *testing.B) { benchOrderBy(b, false, 0) }
+
+func BenchmarkOrderByStreamedInMemory(b *testing.B) { benchOrderBy(b, true, 0) }
+
+func BenchmarkOrderByStreamedSpill(b *testing.B) { benchOrderBy(b, true, 32<<10) }

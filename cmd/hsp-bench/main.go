@@ -16,6 +16,11 @@
 // queries are issued -requests times round-robin through the public
 // facade with a compiled-plan cache (-plancache) and a per-request
 // deadline (-timeout), reporting throughput and cache hit rates.
+//
+// -spill benchmarks the spill-vs-materialise ORDER BY pair: one large
+// ordered query materialised, streamed with the in-memory sort, and
+// streamed with a small sort budget (-sortspill, bytes) forcing the
+// external merge path, with its EXPLAIN ANALYZE spill counters.
 package main
 
 import (
@@ -46,10 +51,18 @@ func main() {
 		requests  = flag.Int("requests", 1000, "requests to issue in -serving mode")
 		planCache = flag.Int("plancache", 256, "compiled-plan cache capacity in -serving mode (0 = off)")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline in -serving mode (0 = none)")
+		sortSpill = flag.Int("sortspill", 0, "ORDER BY sort memory budget in bytes for -serving/-spill runs (0 = default 64 MiB)")
+		spill     = flag.Bool("spill", false, "benchmark spill-vs-materialise ORDER BY pairs over SP²Bench")
 	)
 	flag.Parse()
+	if *spill {
+		if err := spillBench(os.Stdout, *sp2scale, *seed, *parallel, *sortSpill); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *serving {
-		if err := servingBench(os.Stdout, *sp2scale, *seed, *requests, *planCache, *parallel, *timeout); err != nil {
+		if err := servingBench(os.Stdout, *sp2scale, *seed, *requests, *planCache, *parallel, *timeout, *sortSpill); err != nil {
 			fail(err)
 		}
 		return
@@ -133,13 +146,76 @@ func main() {
 	}
 }
 
+// spillQuery is the ORDER BY workload of -spill: every issued document
+// with its year, ordered by year — large enough at the default scale
+// that a small sort budget spills several runs.
+const spillQuery = `
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?doc ?yr
+WHERE { ?doc dcterms:issued ?yr .
+        ?doc dc:title ?title }
+ORDER BY ?yr`
+
+// spillBench times the spill-vs-materialise ORDER BY pair: the same
+// query materialised (Query buffers everything), streamed with the
+// default in-memory sort budget, and streamed with a deliberately
+// small budget that forces the external merge path — then prints the
+// small-budget EXPLAIN ANALYZE so the spill counters are visible.
+func spillBench(out *os.File, scale int, seed int64, parallel, sortSpill int) error {
+	fmt.Fprintf(os.Stderr, "generating sp2bench scale=%d seed=%d...\n", scale, seed)
+	db := hsp.GenerateSP2Bench(scale, seed)
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", db.NumTriples())
+	if sortSpill <= 0 {
+		sortSpill = 64 << 10 // small enough to spill at any realistic scale
+	}
+	ctx := context.Background()
+
+	start := time.Now()
+	res, err := db.Query(spillQuery, hsp.WithParallelism(parallel))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "materialised:        %8s  %d rows\n", time.Since(start).Round(time.Millisecond), res.Len())
+
+	for _, v := range []struct {
+		name string
+		opts []hsp.ExecOption
+	}{
+		{"streamed in-memory", []hsp.ExecOption{hsp.WithParallelism(parallel)}},
+		{"streamed spilling", []hsp.ExecOption{hsp.WithParallelism(parallel), hsp.WithSortSpill(sortSpill)}},
+	} {
+		start = time.Now()
+		rows, err := db.StreamContext(ctx, spillQuery, v.opts...)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-20s %8s  %d rows\n", v.name+":", time.Since(start).Round(time.Millisecond), n)
+	}
+
+	tree, err := db.ExplainAnalyzeQuery(ctx, spillQuery,
+		hsp.WithParallelism(parallel), hsp.WithSortSpill(sortSpill))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nEXPLAIN ANALYZE (sortspill=%d):\n%s", sortSpill, tree)
+	return nil
+}
+
 // servingBench issues the SP²Bench workload queries round-robin
 // through the public serving path — QueryContext with a per-request
 // deadline and the shared compiled-plan cache — and reports wall time,
 // request throughput and the cache's hit/miss counters. With the cache
 // disabled (-plancache 0) every request re-plans, which isolates the
 // cache's contribution when comparing the two runs.
-func servingBench(out *os.File, scale int, seed int64, requests, planCache, parallel int, timeout time.Duration) error {
+func servingBench(out *os.File, scale int, seed int64, requests, planCache, parallel int, timeout time.Duration, sortSpill int) error {
 	fmt.Fprintf(os.Stderr, "generating sp2bench scale=%d seed=%d...\n", scale, seed)
 	db := hsp.GenerateSP2Bench(scale, seed)
 	fmt.Fprintf(os.Stderr, "loaded %d triples\n", db.NumTriples())
@@ -147,6 +223,9 @@ func servingBench(out *os.File, scale int, seed int64, requests, planCache, para
 	opts := []hsp.ExecOption{hsp.WithParallelism(parallel)}
 	if planCache > 0 {
 		opts = append(opts, hsp.WithPlanCache(planCache))
+	}
+	if sortSpill > 0 {
+		opts = append(opts, hsp.WithSortSpill(sortSpill))
 	}
 	queries := sp2bench.Queries()
 	start := time.Now()

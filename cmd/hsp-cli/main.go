@@ -23,6 +23,11 @@
 // compiled-plan cache of capacity N, and -repeat N runs the query N
 // times — with -plancache, run 2 onwards skips parsing, planning and
 // compilation, and the cache's hit/miss counters are reported.
+//
+// ORDER BY queries stream through a bounded-memory sort: -sortspill N
+// caps the sort buffer at N bytes (spilling sorted runs to temp files
+// beyond it; 0 keeps the 64 MiB default) and -tempdir picks where
+// spilled runs are written.
 package main
 
 import (
@@ -57,6 +62,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline)")
 		planCache = flag.Int("plancache", 0, "serve through a compiled-plan cache of this capacity (0 = off)")
 		repeat    = flag.Int("repeat", 1, "run the query this many times (pairs with -plancache)")
+		sortSpill = flag.Int("sortspill", 0, "ORDER BY sort memory budget in bytes; larger inputs spill sorted runs to disk (0 = default 64 MiB)")
+		tempDir   = flag.String("tempdir", "", "directory for spilled sort runs (default: the OS temp directory)")
 	)
 	flag.Parse()
 	if (*plan || *explain) && (*planCache > 0 || *repeat > 1) {
@@ -98,8 +105,18 @@ func main() {
 		defer cancel()
 	}
 
+	// runOpts are the execution options every path shares: worker
+	// budget and the ORDER BY spill configuration.
+	runOpts := []hsp.ExecOption{hsp.WithParallelism(*parallel)}
+	if *sortSpill > 0 {
+		runOpts = append(runOpts, hsp.WithSortSpill(*sortSpill))
+	}
+	if *tempDir != "" {
+		runOpts = append(runOpts, hsp.WithTempDir(*tempDir))
+	}
+
 	if *planCache > 0 || *repeat > 1 {
-		serve(ctx, db, text, hsp.Planner(*planner), hsp.Engine(*engine), *parallel, *planCache, *repeat, *maxRows, *stream, *analyze)
+		serve(ctx, db, text, hsp.Planner(*planner), hsp.Engine(*engine), runOpts, *planCache, *repeat, *maxRows, *stream, *analyze)
 		return
 	}
 
@@ -125,7 +142,7 @@ func main() {
 		return
 	}
 	if *analyze {
-		out, err := db.ExplainAnalyzeContext(ctx, p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
+		out, err := db.ExplainAnalyzeContext(ctx, p, hsp.Engine(*engine), runOpts...)
 		if err != nil {
 			fail(err)
 		}
@@ -134,12 +151,12 @@ func main() {
 	}
 
 	if *stream {
-		streamRows(ctx, db, p, hsp.Engine(*engine), *parallel, *maxRows)
+		streamRows(ctx, db, p, hsp.Engine(*engine), runOpts, *maxRows)
 		return
 	}
 
 	start = time.Now()
-	res, err := db.ExecuteContext(ctx, p, hsp.Engine(*engine), hsp.WithParallelism(*parallel))
+	res, err := db.ExecuteContext(ctx, p, hsp.Engine(*engine), runOpts...)
 	if err != nil {
 		fail(err)
 	}
@@ -150,12 +167,11 @@ func main() {
 // serve runs the query through the serving path: query text in,
 // context-bound execution, optionally repeated and served from the
 // compiled-plan cache.
-func serve(ctx context.Context, db *hsp.DB, text string, planner hsp.Planner, engine hsp.Engine, parallel, planCache, repeat, maxRows int, stream, analyze bool) {
-	opts := []hsp.ExecOption{
+func serve(ctx context.Context, db *hsp.DB, text string, planner hsp.Planner, engine hsp.Engine, runOpts []hsp.ExecOption, planCache, repeat, maxRows int, stream, analyze bool) {
+	opts := append([]hsp.ExecOption{
 		hsp.WithPlanner(planner),
 		hsp.WithEngine(engine),
-		hsp.WithParallelism(parallel),
-	}
+	}, runOpts...)
 	if planCache > 0 {
 		opts = append(opts, hsp.WithPlanCache(planCache))
 	}
@@ -225,9 +241,9 @@ func streamQuery(ctx context.Context, db *hsp.DB, text string, opts []hsp.ExecOp
 
 // streamRows pulls rows one at a time, printing as they arrive; memory
 // stays constant no matter how large the result is.
-func streamRows(ctx context.Context, db *hsp.DB, p *hsp.Plan, e hsp.Engine, parallel, maxRows int) {
+func streamRows(ctx context.Context, db *hsp.DB, p *hsp.Plan, e hsp.Engine, runOpts []hsp.ExecOption, maxRows int) {
 	start := time.Now()
-	rows, err := db.StreamPlanContext(ctx, p, e, hsp.WithParallelism(parallel))
+	rows, err := db.StreamPlanContext(ctx, p, e, runOpts...)
 	if err != nil {
 		fail(err)
 	}

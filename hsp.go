@@ -468,25 +468,11 @@ func (db *DB) Explain(p *Plan, e Engine) (string, error) {
 // ExplainAnalyze executes the plan with per-operator instrumentation
 // and renders the operator tree(s) annotated with observed row counts,
 // wall times and hash-join build sizes — EXPLAIN ANALYZE. Each UNION
-// branch gets a run summary line followed by its tree.
+// branch gets a run summary line followed by its tree; ORDER BY plans
+// additionally report the streaming sort operator's "sort:" line with
+// its spilled-runs and spilled-bytes counters.
 func (db *DB) ExplainAnalyze(p *Plan, e Engine, opts ...ExecOption) (string, error) {
-	eng, err := db.engineFor(e)
-	if err != nil {
-		return "", err
-	}
-	eopts := resolveOpts(opts)
-	if len(p.plans) == 1 {
-		return eng.ExplainAnalyze(p.plans[0], eopts)
-	}
-	var b strings.Builder
-	for i, pl := range p.plans {
-		tree, err := eng.ExplainAnalyze(pl, eopts)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "UNION branch %d:\n%s", i, tree)
-	}
-	return b.String(), nil
+	return db.ExplainAnalyzeContext(context.Background(), p, e, opts...)
 }
 
 // Query is the convenience path: HSP planning on the column substrate

@@ -82,45 +82,17 @@ func (r *Result) String() string {
 
 // SortBy orders the result rows by the given ORDER BY keys, comparing
 // term texts lexicographically (unbound values sort first). Keys naming
-// variables absent from the projection are rejected.
+// variables absent from the projection are rejected. It shares its
+// comparator (compareRows) with the streaming sort operator, so the
+// materialised and streamed ORDER BY paths order identically by
+// construction.
 func (r *Result) SortBy(keys []sparql.OrderKey) error {
-	cols := make([]int, len(keys))
-	for i, k := range keys {
-		cols[i] = -1
-		for c, v := range r.Vars {
-			if v == k.Var {
-				cols[i] = c
-				break
-			}
-		}
-		if cols[i] < 0 {
-			return fmt.Errorf("exec: ORDER BY variable ?%s is not in the projection", k.Var)
-		}
+	sk, err := resolveSortKeys(r.Vars, keys)
+	if err != nil {
+		return err
 	}
 	sort.SliceStable(r.Rows, func(i, j int) bool {
-		for n, c := range cols {
-			a, b := r.Rows[i][c], r.Rows[j][c]
-			if a == b {
-				continue
-			}
-			var cmp int
-			switch {
-			case a == dict.Invalid:
-				cmp = -1
-			case b == dict.Invalid:
-				cmp = 1
-			default:
-				cmp = strings.Compare(r.d.Term(a).Value, r.d.Term(b).Value)
-			}
-			if cmp == 0 {
-				continue
-			}
-			if keys[n].Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
+		return compareRows(r.d, sk, r.Rows[i], r.Rows[j]) < 0
 	})
 	return nil
 }
@@ -290,6 +262,9 @@ func (c *Compiled) ExplainAnalyzeContext(ctx context.Context, opts Options) (str
 	}
 	head := fmt.Sprintf("engine=%s planner=%s rows=%d time=%s parallelism=%d\n",
 		c.eng.src.Name(), c.plan.Planner, n, fmtDuration(total), par)
+	if st := run.SortStats(); st != nil {
+		head += sortLine(c.sortRoot(), st, run.SortMetrics())
+	}
 	tree := algebra.ExplainWith(c.plan.Root, func(nd algebra.Node) string {
 		if om, ok := m[nd]; ok {
 			return om.annotation()
@@ -297,6 +272,27 @@ func (c *Compiled) ExplainAnalyzeContext(ctx context.Context, opts Options) (str
 		return ""
 	})
 	return head + tree, nil
+}
+
+// sortLine renders the sort operator's EXPLAIN ANALYZE line. The sort
+// is synthesized above the plan root (no algebra node), so it reports
+// on its own line between the run summary and the operator tree:
+//
+//	sort: ?yr desc mode=external budget=4096 spilled runs: 3 spilled bytes: 18204 (rows=1200 time=1.8ms)
+func sortLine(op *sortOp, st *SortStats, m *OpMetrics) string {
+	label := ""
+	if op != nil {
+		label = op.label + " "
+	}
+	s := fmt.Sprintf("sort: %smode=%s budget=%d", label, st.Mode, st.Budget)
+	if st.Mode == "top-k" {
+		s += fmt.Sprintf(" k=%d", st.K)
+	}
+	s += fmt.Sprintf(" spilled runs: %d spilled bytes: %d", st.SpilledRuns, st.SpilledBytes)
+	if m != nil {
+		s += fmt.Sprintf(" (rows=%d time=%s)", m.Rows, fmtDuration(m.Wall))
+	}
+	return s + "\n"
 }
 
 // scanCount returns the full match count of a scan's access path.

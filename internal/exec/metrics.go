@@ -25,6 +25,11 @@ type OpMetrics struct {
 	// Parallel reports whether the operator's build ran on morsel
 	// workers.
 	Parallel bool
+	// SpilledRuns counts sorted runs the operator wrote to temp files
+	// (external sort only; zero for every other operator).
+	SpilledRuns int64
+	// SpilledBytes counts bytes the operator spilled to temp files.
+	SpilledBytes int64
 }
 
 // Metrics maps plan nodes to their observed runtime statistics.

@@ -26,6 +26,13 @@ type Options struct {
 	Parallelism int
 	// Analyze collects per-operator runtime metrics (EXPLAIN ANALYZE).
 	Analyze bool
+	// SortBudget caps the sort operator's in-memory row buffer, in
+	// bytes; input beyond the budget spills to disk as sorted runs that
+	// are merged back streaming. Values <= 0 select DefaultSortBudget.
+	SortBudget int64
+	// TempDir is where the sort operator writes spilled runs; empty
+	// selects the operating system's temp directory.
+	TempDir string
 }
 
 // errClosed aborts in-flight work when a run is closed early.
@@ -67,7 +74,22 @@ type runEnv struct {
 	// cause is the context error that cancelled the run (stored before
 	// done is closed); nil for plain Close and for exhausted runs.
 	cause atomic.Value
+	// cleanups run once after shutdown has stopped every worker:
+	// operators holding external resources (the sort's spilled runs)
+	// register here so an early Close releases them deterministically.
+	cleanups    []func()
+	cleanupOnce sync.Once
+	// sortStats is filled by the sort operator, if the plan has one.
+	sortStats *SortStats
+	// sortM carries the sort operator's metrics on analyze runs (the
+	// sort is synthesized above the plan root, so it has no algebra
+	// node to key the metrics map with).
+	sortM *OpMetrics
 }
+
+// addCleanup registers a resource-release hook run once at shutdown.
+// Only call during open (single-goroutine).
+func (rt *runEnv) addCleanup(f func()) { rt.cleanups = append(rt.cleanups, f) }
 
 // cancel closes the run's done channel once, recording why. A nil err
 // marks an orderly shutdown (Close or exhaustion); a context error
@@ -123,10 +145,16 @@ func (rt *runEnv) cancelled() bool {
 }
 
 // shutdown cancels outstanding workers and waits for them to exit, so
-// a closed run never leaks goroutines.
+// a closed run never leaks goroutines; registered cleanups then release
+// external resources (spilled sort runs) exactly once.
 func (rt *runEnv) shutdown() {
 	rt.cancel(nil)
 	rt.wg.Wait()
+	rt.cleanupOnce.Do(func() {
+		for _, f := range rt.cleanups {
+			f()
+		}
+	})
 }
 
 // metric returns the metrics slot for a node, or nil when the run is
@@ -405,6 +433,70 @@ func (o *projectOp) open(rt *runEnv) iterator {
 
 func (o *projectOp) logical() algebra.Node { return o.n }
 
+// sortOp orders the plan's output rows (ORDER BY). It sits above the
+// root projection, synthesized by Compiled.Sorted rather than compiled
+// from an algebra node, and keys address output columns. Execution
+// picks one of three strategies per run: a bounded top-k heap when the
+// query has a LIMIT whose prefix fits in the sort budget (never
+// spills), a plain stable in-memory sort when the whole input fits,
+// and an external merge sort otherwise — sorted runs spill to temp
+// files and stream back through a k-way merge, so ordered results of
+// any size run in bounded memory.
+type sortOp struct {
+	in    physOp
+	keys  []sortKey
+	label string // rendered ORDER BY keys, for explain output
+	// topK is OFFSET+LIMIT when the query allows the top-k short
+	// circuit (a LIMIT and no DISTINCT), -1 otherwise.
+	topK int
+	// outWidth is the projected row width, sizing the top-k budget
+	// check.
+	outWidth int
+	d        *dict.Dict
+}
+
+func (o *sortOp) open(rt *runEnv) iterator {
+	in := o.in.open(rt)
+	budget := rt.opts.SortBudget
+	if budget <= 0 {
+		budget = DefaultSortBudget
+	}
+	stats := &SortStats{Budget: budget}
+	rt.sortStats = stats
+	var it iterator
+	// Division, not multiplication: a huge LIMIT must not overflow into
+	// a spuriously eligible top-k that buffers without bound.
+	if o.topK >= 0 && int64(o.topK) <= budget/rowFootprint(o.width()) {
+		stats.Mode = "top-k"
+		stats.K = o.topK
+		it = &topKIter{in: in, rt: rt, d: o.d, keys: o.keys, k: o.topK, stats: stats}
+	} else {
+		s := &extSortIter{in: in, rt: rt, d: o.d, keys: o.keys, budget: budget, tempDir: rt.opts.TempDir, stats: stats}
+		rt.addCleanup(s.cleanup)
+		it = s
+	}
+	if rt.metrics != nil {
+		m := &OpMetrics{}
+		rt.sortM = m
+		// Spill counters accumulate in stats during the run; copy them
+		// onto the metrics once the run has shut down (the only point
+		// Metrics may be read).
+		rt.addCleanup(func() {
+			m.SpilledRuns = stats.SpilledRuns
+			m.SpilledBytes = stats.SpilledBytes
+		})
+		it = &metricIter{in: it, m: m, timed: !rt.countsOnly}
+	}
+	if rt.hasCtx {
+		it = &cancelIter{in: it, done: rt.done}
+	}
+	return it
+}
+
+func (o *sortOp) width() int { return o.outWidth }
+
+func (o *sortOp) logical() algebra.Node { return nil }
+
 // --- compilation ---
 
 // Compiled is a physical plan: a logical plan lowered once into a tree
@@ -421,6 +513,69 @@ func (c *Compiled) Vars() []sparql.Var { return c.vars }
 
 // Plan returns the logical plan the physical plan was compiled from.
 func (c *Compiled) Plan() *algebra.Plan { return c.plan }
+
+// Sorted derives a plan whose runs emit rows ordered by the ORDER BY
+// keys, via the streaming sort operator (bounded memory, spilling to
+// disk past the run's SortBudget). topK, when >= 0, is the OFFSET+LIMIT
+// prefix the consumer will keep — runs then take a top-k short circuit
+// that never spills whenever topK rows fit in the budget; pass -1 to
+// sort the full input (required under DISTINCT, which must deduplicate
+// before any limit applies). The receiver is not modified; deriving is
+// O(1) and the result is as reusable and concurrency-safe as the
+// original. Keys naming variables absent from the projection are
+// rejected.
+func (c *Compiled) Sorted(keys []sparql.OrderKey, topK int) (*Compiled, error) {
+	if len(keys) == 0 {
+		return c, nil
+	}
+	sk, err := resolveSortKeys(c.vars, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := *c
+	out.root = &sortOp{
+		in:       c.root,
+		keys:     sk,
+		label:    renderOrderKeys(keys),
+		topK:     topK,
+		outWidth: len(c.vars),
+		d:        c.eng.src.Dict(),
+	}
+	return &out, nil
+}
+
+// sortRoot returns the plan's sort operator, or nil when the plan was
+// not derived with Sorted.
+func (c *Compiled) sortRoot() *sortOp {
+	s, _ := c.root.(*sortOp)
+	return s
+}
+
+// RowComparator returns the ordering the sort operator applies for the
+// given ORDER BY keys, over the plan's output rows — the facade merges
+// per-branch sorted streams of a UNION with it. Keys naming variables
+// absent from the projection are rejected.
+func (c *Compiled) RowComparator(keys []sparql.OrderKey) (func(a, b Row) int, error) {
+	sk, err := resolveSortKeys(c.vars, keys)
+	if err != nil {
+		return nil, err
+	}
+	d := c.eng.src.Dict()
+	return func(a, b Row) int { return compareRows(d, sk, a, b) }, nil
+}
+
+// DecodeRow decodes an output row of the compiled plan to terms,
+// skipping unbound columns. The row must align with Vars.
+func (c *Compiled) DecodeRow(row Row) map[sparql.Var]rdf.Term {
+	d := c.eng.src.Dict()
+	out := make(map[sparql.Var]rdf.Term, len(c.vars))
+	for i, v := range c.vars {
+		if id := row[i]; id != dict.Invalid {
+			out[v] = d.Term(id)
+		}
+	}
+	return out
+}
 
 // Compile validates a logical plan and lowers it to a physical
 // operator tree: access paths are bound (constant prefixes resolved
@@ -812,14 +967,7 @@ func (r *Run) Vars() []sparql.Var { return r.c.vars }
 
 // Terms decodes the current row.
 func (r *Run) Terms() map[sparql.Var]rdf.Term {
-	d := r.c.eng.src.Dict()
-	out := make(map[sparql.Var]rdf.Term, len(r.c.vars))
-	for i, v := range r.c.vars {
-		if id := r.row[i]; id != dict.Invalid {
-			out[v] = d.Term(id)
-		}
-	}
-	return out
+	return r.c.DecodeRow(r.row)
 }
 
 // Err returns the first execution error, if any. A run aborted by its
@@ -844,3 +992,13 @@ func (r *Run) Close() error {
 // Metrics returns the per-operator statistics of an analyze run (nil
 // otherwise). Only valid after the run is exhausted or closed.
 func (r *Run) Metrics() Metrics { return r.rt.metrics }
+
+// SortStats reports how the run's ORDER BY executed — strategy, peak
+// buffer size, spilled runs and bytes — or nil for plans without a
+// sort operator. Counters are complete once the run is exhausted or
+// closed.
+func (r *Run) SortStats() *SortStats { return r.rt.sortStats }
+
+// SortMetrics returns the sort operator's row/time metrics on analyze
+// runs (nil otherwise, and nil for plans without a sort operator).
+func (r *Run) SortMetrics() *OpMetrics { return r.rt.sortM }

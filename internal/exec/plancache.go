@@ -20,6 +20,13 @@ type CacheKey struct {
 	Engine string
 	// Parallelism is the worker budget the cached entry is served with.
 	Parallelism int
+	// SortBudget and TempDir are the spill configuration the entry is
+	// served with. Like Parallelism they are run-time options today —
+	// compiled plans are identical across budgets — but keeping them in
+	// the key lets budget-specialised compilation (e.g. pre-sized sort
+	// buffers) arrive without invalidating callers.
+	SortBudget int64
+	TempDir    string
 }
 
 // CacheStats is a point-in-time snapshot of a PlanCache's counters.

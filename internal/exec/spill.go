@@ -1,0 +1,631 @@
+// External merge sort: the spill-to-disk machinery behind the sort
+// operator. Rows are buffered up to a memory budget, overflowing
+// buffers are sorted and written to temp files as compact varint-coded
+// runs, and the output is a k-way ordered merge of the spilled runs
+// plus the in-memory tail — so ORDER BY streams results of any size in
+// bounded memory. Queries with a LIMIT that fits in the budget take a
+// top-k short circuit that never touches disk.
+
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// DefaultSortBudget is the in-memory buffer budget of the sort
+// operator when the run does not set Options.SortBudget: 64 MiB.
+const DefaultSortBudget = 64 << 20
+
+// spillCheckEvery is how many merge pulls pass between cancellation
+// checks, so a cancelled context deletes the temp files promptly even
+// when the consumer keeps pulling.
+const spillCheckEvery = 256
+
+// SortStats describes how a run executed its ORDER BY: which strategy
+// the sort operator chose and how much it buffered and spilled. A run
+// over a plan without a sort operator has no SortStats.
+type SortStats struct {
+	// Mode is "top-k" (bounded heap, never spills), "in-memory" (the
+	// input fit in the budget) or "external" (spilled runs merged from
+	// disk).
+	Mode string
+	// K is the top-k bound (OFFSET+LIMIT) when Mode is "top-k", 0
+	// otherwise.
+	K int
+	// Budget is the memory budget the sort ran under, in bytes.
+	Budget int64
+	// PeakBytes is the largest estimated size of the in-memory row
+	// buffer at any point of the sort.
+	PeakBytes int64
+	// SpilledRuns counts sorted runs written to temp files.
+	SpilledRuns int64
+	// SpilledBytes counts bytes written to temp files across all runs.
+	SpilledBytes int64
+}
+
+// sortKey is one ORDER BY key resolved to an output-row column.
+type sortKey struct {
+	col  int
+	desc bool
+}
+
+// resolveSortKeys maps ORDER BY keys to output columns, rejecting keys
+// naming variables absent from the projection — the shared resolution
+// step of Compiled.Sorted, Compiled.RowComparator and Result.SortBy,
+// so the streaming and materialised paths cannot drift apart.
+func resolveSortKeys(vars []sparql.Var, keys []sparql.OrderKey) ([]sortKey, error) {
+	sk := make([]sortKey, len(keys))
+	for i, k := range keys {
+		col := -1
+		for j, v := range vars {
+			if v == k.Var {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("exec: ORDER BY variable ?%s is not in the projection", k.Var)
+		}
+		sk[i] = sortKey{col: col, desc: k.Desc}
+	}
+	return sk, nil
+}
+
+// renderOrderKeys renders ORDER BY keys for explain output.
+func renderOrderKeys(keys []sparql.OrderKey) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString("?" + string(k.Var))
+		if k.Desc {
+			b.WriteString(" desc")
+		}
+	}
+	return b.String()
+}
+
+// compareRows orders two rows under the resolved sort keys, with the
+// same semantics as Result.SortBy: term texts compare
+// lexicographically, unbound slots sort first, DESC flips the whole
+// comparison (unbound last).
+func compareRows(d *dict.Dict, keys []sortKey, a, b Row) int {
+	for _, k := range keys {
+		x, y := a[k.col], b[k.col]
+		if x == y {
+			continue
+		}
+		var c int
+		switch {
+		case x == dict.Invalid:
+			c = -1
+		case y == dict.Invalid:
+			c = 1
+		default:
+			c = strings.Compare(d.Term(x).Value, d.Term(y).Value)
+		}
+		if c == 0 {
+			continue
+		}
+		if k.desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// rowFootprint estimates the in-memory size of one buffered row: the
+// slice header plus its backing array.
+func rowFootprint(width int) int64 { return int64(24 + 8*width) }
+
+// --- spilled-run codec ---
+
+// writeRowTo appends one row to a run file, each column as a uvarint
+// (dict IDs are dense and small, so varints keep runs compact; the
+// Invalid sentinel is 0 and encodes in one byte).
+func writeRowTo(w *bufio.Writer, r Row, scratch []byte) error {
+	for _, v := range r {
+		n := binary.PutUvarint(scratch, v)
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spillRun is one sorted run on disk: rows written in sorted order,
+// read back sequentially during the merge.
+type spillRun struct {
+	f     *os.File
+	path  string
+	rows  int
+	width int
+	br    *bufio.Reader
+	read  int
+}
+
+// next reads the run's next row, or reports exhaustion.
+func (s *spillRun) next() (Row, bool, error) {
+	if s.read >= s.rows {
+		return nil, false, nil
+	}
+	r := make(Row, s.width)
+	for i := range r {
+		v, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return nil, false, fmt.Errorf("exec: corrupt sort run %s: %w", s.path, err)
+		}
+		r[i] = v
+	}
+	s.read++
+	return r, true, nil
+}
+
+// remove closes and deletes the run file.
+func (s *spillRun) remove() {
+	if s.f != nil {
+		s.f.Close()
+		os.Remove(s.path)
+		s.f = nil
+	}
+}
+
+// --- k-way merge ---
+
+// mergeItem is one heap entry of the k-way merge: a row plus the index
+// of the source it came from. Sources are numbered in spill order with
+// the in-memory tail last, so tie-breaking on src keeps the merge
+// stable (equal keys emit in input order).
+type mergeItem struct {
+	row Row
+	src int
+}
+
+// mergeHeap is a hand-rolled binary min-heap over (sort key, source
+// index).
+type mergeHeap struct {
+	items []mergeItem
+	less  func(a, b mergeItem) bool
+}
+
+func (h *mergeHeap) push(it mergeItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *mergeHeap) pop() mergeItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *mergeHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(h.items[l], h.items[m]) {
+			m = l
+		}
+		if r < n && h.less(h.items[r], h.items[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+}
+
+// --- external sort iterator ---
+
+// extSortIter sorts its input with bounded memory: rows buffer up to
+// the budget, full buffers spill to disk as sorted runs, and the output
+// is a streaming merge of the spilled runs plus the in-memory tail.
+// Temp files are deleted as soon as the merge exhausts, the run is
+// cancelled (checked at merge pull points), or the run is closed early
+// (via the runEnv cleanup hook).
+type extSortIter struct {
+	in      iterator
+	rt      *runEnv
+	d       *dict.Dict
+	keys    []sortKey
+	budget  int64
+	tempDir string
+	stats   *SortStats
+
+	started bool
+	ended   bool
+	buf     []Row
+	bufSize int64
+	runs    []*spillRun
+
+	// merge state (external mode)
+	heap    *mergeHeap
+	sources []*spillRun // heap src i < len(sources) pulls sources[i]
+
+	// in-memory tail: served after the spilled runs are exhausted in
+	// merge mode, or as the whole output in in-memory mode.
+	memIdx int
+
+	pulls int
+	out   Row
+	err   error
+}
+
+func (s *extSortIter) Next() bool {
+	if s.err != nil || s.ended {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		if !s.build() {
+			return false
+		}
+	}
+	if s.pulls++; s.pulls%spillCheckEvery == 0 && s.rt.cancelled() {
+		s.fail(errClosed)
+		return false
+	}
+	if s.heap != nil {
+		return s.nextMerged()
+	}
+	return s.nextMem()
+}
+
+// build drains the input, spilling sorted runs whenever the buffer
+// exceeds the budget, then prepares the merge (or the in-memory emit
+// path when nothing spilled).
+func (s *extSortIter) build() bool {
+	n := 0
+	for s.in.Next() {
+		if n++; n%spillCheckEvery == 0 && s.rt.cancelled() {
+			s.fail(errClosed)
+			return false
+		}
+		r := append(Row(nil), s.in.Row()...)
+		s.buf = append(s.buf, r)
+		s.bufSize += rowFootprint(len(r))
+		if s.bufSize > s.stats.PeakBytes {
+			s.stats.PeakBytes = s.bufSize
+		}
+		if s.bufSize >= s.budget && len(s.buf) > 1 {
+			if err := s.spill(); err != nil {
+				s.fail(err)
+				return false
+			}
+		}
+	}
+	if err := s.in.Err(); err != nil {
+		s.fail(err)
+		return false
+	}
+	if s.rt.cancelled() {
+		s.fail(errClosed)
+		return false
+	}
+	s.sortBuf()
+	if len(s.runs) == 0 {
+		s.stats.Mode = "in-memory"
+		return true
+	}
+	s.stats.Mode = "external"
+	return s.openMerge()
+}
+
+// sortBuf stably sorts the current buffer, preserving input order on
+// equal keys.
+func (s *extSortIter) sortBuf() {
+	sort.SliceStable(s.buf, func(i, j int) bool {
+		return compareRows(s.d, s.keys, s.buf[i], s.buf[j]) < 0
+	})
+}
+
+// spill sorts the buffer and writes it to a fresh temp file as one run.
+func (s *extSortIter) spill() error {
+	s.sortBuf()
+	dir := s.tempDir
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("exec: sort spill: %w", err)
+		}
+	}
+	f, err := os.CreateTemp(dir, "hsp-sort-*.run")
+	if err != nil {
+		return fmt.Errorf("exec: sort spill: %w", err)
+	}
+	run := &spillRun{f: f, path: f.Name(), rows: len(s.buf)}
+	if len(s.buf) > 0 {
+		run.width = len(s.buf[0])
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	scratch := make([]byte, binary.MaxVarintLen64)
+	for _, r := range s.buf {
+		if err := writeRowTo(w, r, scratch); err != nil {
+			run.remove()
+			return fmt.Errorf("exec: sort spill: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		run.remove()
+		return fmt.Errorf("exec: sort spill: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil {
+		s.stats.SpilledBytes += fi.Size()
+	}
+	s.stats.SpilledRuns++
+	s.runs = append(s.runs, run)
+	s.buf = s.buf[:0]
+	s.bufSize = 0
+	return nil
+}
+
+// openMerge rewinds every spilled run and seeds the merge heap with
+// each source's first row; the sorted in-memory tail is the final
+// source.
+func (s *extSortIter) openMerge() bool {
+	s.sources = s.runs
+	s.heap = &mergeHeap{less: func(a, b mergeItem) bool {
+		c := compareRows(s.d, s.keys, a.row, b.row)
+		if c != 0 {
+			return c < 0
+		}
+		return a.src < b.src
+	}}
+	for _, run := range s.runs {
+		if _, err := run.f.Seek(0, io.SeekStart); err != nil {
+			s.fail(fmt.Errorf("exec: sort merge: %w", err))
+			return false
+		}
+		run.br = bufio.NewReaderSize(run.f, 32<<10)
+	}
+	for i := range s.sources {
+		if !s.refill(i) && s.err != nil {
+			return false
+		}
+	}
+	if s.memIdx < len(s.buf) {
+		s.heap.push(mergeItem{row: s.buf[s.memIdx], src: len(s.sources)})
+		s.memIdx++
+	}
+	return true
+}
+
+// refill pushes source i's next row onto the heap; false when the
+// source is exhausted or errored.
+func (s *extSortIter) refill(i int) bool {
+	r, ok, err := s.sources[i].next()
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	if !ok {
+		return false
+	}
+	s.heap.push(mergeItem{row: r, src: i})
+	return true
+}
+
+// nextMerged pops the globally smallest row and refills from its
+// source.
+func (s *extSortIter) nextMerged() bool {
+	if len(s.heap.items) == 0 {
+		s.finish()
+		return false
+	}
+	it := s.heap.pop()
+	s.out = it.row
+	if it.src < len(s.sources) {
+		if !s.refill(it.src) && s.err != nil {
+			return false
+		}
+	} else if s.memIdx < len(s.buf) {
+		s.heap.push(mergeItem{row: s.buf[s.memIdx], src: len(s.sources)})
+		s.memIdx++
+	}
+	return true
+}
+
+// nextMem serves the in-memory (nothing spilled) path.
+func (s *extSortIter) nextMem() bool {
+	if s.memIdx >= len(s.buf) {
+		s.finish()
+		return false
+	}
+	s.out = s.buf[s.memIdx]
+	s.memIdx++
+	return true
+}
+
+// finish ends an exhausted sort, releasing buffers and temp files.
+func (s *extSortIter) finish() {
+	s.ended = true
+	s.cleanup()
+}
+
+// fail ends the sort with an error, releasing temp files immediately.
+func (s *extSortIter) fail(err error) {
+	s.err = err
+	s.ended = true
+	s.cleanup()
+}
+
+// cleanup deletes every spilled run and drops the buffer. It is
+// idempotent and also registered as a runEnv cleanup hook, so an early
+// Close deletes the temp files even when the merge is never drained.
+func (s *extSortIter) cleanup() {
+	for _, run := range s.runs {
+		run.remove()
+	}
+	s.runs = nil
+	s.sources = nil
+	s.buf = nil
+}
+
+func (s *extSortIter) Row() Row { return s.out }
+
+func (s *extSortIter) Err() error { return s.err }
+
+// --- top-k short circuit ---
+
+// topKRow tags a buffered row with its input sequence number, keeping
+// the bounded heap stable (on equal keys the earlier row wins, matching
+// a stable full sort followed by LIMIT).
+type topKRow struct {
+	row Row
+	seq int64
+}
+
+// topKIter implements ORDER BY ... LIMIT k (k = OFFSET+LIMIT) with a
+// bounded max-heap of the k best rows seen so far: memory stays at k
+// rows no matter the input size, and nothing ever spills. Selected when
+// k rows fit in the sort budget and the query has no DISTINCT (which
+// must deduplicate before the limit applies).
+type topKIter struct {
+	in    iterator
+	rt    *runEnv
+	d     *dict.Dict
+	keys  []sortKey
+	k     int
+	stats *SortStats
+
+	started bool
+	heap    []topKRow // max-heap: worst kept row at the root
+	seq     int64
+	idx     int
+	out     Row
+	err     error
+}
+
+// worse reports whether a should be evicted before b: greater sort key,
+// or equal key and later arrival.
+func (t *topKIter) worse(a, b topKRow) bool {
+	c := compareRows(t.d, t.keys, a.row, b.row)
+	if c != 0 {
+		return c > 0
+	}
+	return a.seq > b.seq
+}
+
+func (t *topKIter) Next() bool {
+	if t.err != nil {
+		return false
+	}
+	if !t.started {
+		t.started = true
+		if !t.build() {
+			return false
+		}
+	}
+	if t.idx >= len(t.heap) {
+		return false
+	}
+	t.out = t.heap[t.idx].row
+	t.idx++
+	return true
+}
+
+// build drains the input through the bounded heap, then sorts the k
+// survivors for in-order emission.
+func (t *topKIter) build() bool {
+	n := 0
+	for t.k > 0 && t.in.Next() {
+		if n++; n%spillCheckEvery == 0 && t.rt.cancelled() {
+			t.err = errClosed
+			return false
+		}
+		t.seq++
+		cand := topKRow{seq: t.seq}
+		if len(t.heap) < t.k {
+			cand.row = append(Row(nil), t.in.Row()...)
+			t.heapPush(cand)
+			continue
+		}
+		cand.row = t.in.Row() // compare in place; copy only if kept
+		if !t.worse(t.heap[0], cand) {
+			continue // the kept worst is still better; drop the candidate
+		}
+		cand.row = append(Row(nil), cand.row...)
+		t.heap[0] = cand
+		t.heapSiftDown(0)
+	}
+	if err := t.in.Err(); err != nil {
+		t.err = err
+		return false
+	}
+	sort.Slice(t.heap, func(i, j int) bool {
+		c := compareRows(t.d, t.keys, t.heap[i].row, t.heap[j].row)
+		if c != 0 {
+			return c < 0
+		}
+		return t.heap[i].seq < t.heap[j].seq
+	})
+	t.stats.PeakBytes = int64(len(t.heap)) * rowFootprint(rowWidth(t.heap))
+	return true
+}
+
+func rowWidth(rows []topKRow) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0].row)
+}
+
+func (t *topKIter) heapPush(r topKRow) {
+	t.heap = append(t.heap, r)
+	i := len(t.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[p]) {
+			break
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+func (t *topKIter) heapSiftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.worse(t.heap[l], t.heap[m]) {
+			m = l
+		}
+		if r < n && t.worse(t.heap[r], t.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.heap[i], t.heap[m] = t.heap[m], t.heap[i]
+		i = m
+	}
+}
+
+func (t *topKIter) Row() Row { return t.out }
+
+func (t *topKIter) Err() error { return t.err }

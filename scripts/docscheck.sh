@@ -47,10 +47,26 @@ for f in hsp.go stream.go serve.go; do
 done
 
 # 3. The handbook exists and README links it.
-for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md; do
+for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md; do
     [ -f "$doc" ] || err "$doc is missing"
     grep -q "$doc" README.md || err "README.md does not link $doc"
 done
+
+# 3a. Every public With* execution option of the facade is mentioned
+#     in README.md or under docs/ — an undocumented knob fails CI.
+for opt in $(grep -ho '^func With[A-Za-z]*' hsp.go stream.go serve.go | awk '{print $2}' | sort -u); do
+    if ! grep -q "$opt" README.md && ! grep -rq "$opt" docs/; then
+        err "public option $opt is not mentioned in README.md or docs/"
+    fi
+done
+
+# 3b. docs/OPERATORS.md documents every physical operator kind in
+#     internal/exec/physical.go (the greppable contract: a new physOp
+#     must be added to the operator reference).
+for op in $(grep -o '^type [a-zA-Z]*Op struct' internal/exec/physical.go | awk '{print $2}' | sort -u); do
+    grep -q "\`$op\`" docs/OPERATORS.md || err "docs/OPERATORS.md does not document operator $op"
+done
+grep -q 'OPERATORS.md' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not cross-link OPERATORS.md"
 
 # 4. Everything README tells the user to run still builds: all examples,
 #    both commands, and each `go run ./path` target named in README.

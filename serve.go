@@ -79,6 +79,8 @@ func (db *DB) compileQuery(query string, cfg execConfig) (*compiledQuery, error)
 		Planner:     string(cfg.planner),
 		Engine:      string(cfg.engine),
 		Parallelism: cfg.parallelism,
+		SortBudget:  cfg.sortBudget,
+		TempDir:     cfg.tempDir,
 	}
 	if v, ok := c.Get(key); ok {
 		hit := *v.(*compiledQuery) // shallow copy; head and plans are shared, immutable
@@ -127,6 +129,35 @@ func (db *DB) compilePlan(p *Plan, engine Engine) (*compiledQuery, error) {
 		cq.compiled = append(cq.compiled, c)
 	}
 	return cq, nil
+}
+
+// sortedBranches derives the streaming form of a compiled query's
+// branches: for ORDER BY queries every branch is wrapped in the sort
+// operator (see exec.Compiled.Sorted) so runs emit rows already
+// ordered, spilling to disk past the sort budget; queries without
+// ORDER BY (and ASK queries, which ignore order) pass through
+// unchanged. Deriving is O(1) per branch, so cached compiled queries
+// stay shared and unmodified. The top-k short circuit engages when the
+// query has a LIMIT and no DISTINCT — DISTINCT must deduplicate before
+// the limit, so it takes the full (spillable) sort.
+func sortedBranches(cq *compiledQuery) ([]*exec.Compiled, error) {
+	head := cq.head
+	if len(head.OrderBy) == 0 || head.Ask {
+		return cq.compiled, nil
+	}
+	topK := -1
+	if head.Limit >= 0 && !head.Distinct {
+		topK = head.Offset + head.Limit
+	}
+	out := make([]*exec.Compiled, len(cq.compiled))
+	for i, c := range cq.compiled {
+		s, err := c.Sorted(head.OrderBy, topK)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
 }
 
 // executeCompiled runs every UNION branch under ctx and applies the
@@ -220,25 +251,31 @@ func (db *DB) AskContext(ctx context.Context, query string, opts ...ExecOption) 
 
 // ExplainAnalyzeContext is ExplainAnalyze bound to a caller context: a
 // cancelled context aborts the instrumented run and returns its error.
+// Plans with ORDER BY run through the streaming sort operator, so the
+// output includes its "sort:" line with the spill counters.
 func (db *DB) ExplainAnalyzeContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	eng, err := db.engineFor(e)
+	cq, err := db.compilePlan(p, e)
+	if err != nil {
+		return "", err
+	}
+	compiled, err := sortedBranches(cq)
 	if err != nil {
 		return "", err
 	}
 	eopts := resolveOpts(opts)
-	if len(p.plans) == 1 {
-		return eng.ExplainAnalyzeContext(ctx, p.plans[0], eopts)
-	}
 	var b strings.Builder
-	for i, pl := range p.plans {
-		tree, err := eng.ExplainAnalyzeContext(ctx, pl, eopts)
+	for i, c := range compiled {
+		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "UNION branch %d:\n%s", i, tree)
+		if len(compiled) > 1 {
+			fmt.Fprintf(&b, "UNION branch %d:\n", i)
+		}
+		b.WriteString(tree)
 	}
 	return b.String(), nil
 }
@@ -270,13 +307,17 @@ func (db *DB) ExplainAnalyzeQuery(ctx context.Context, query string, opts ...Exe
 		fmt.Fprintf(&b, "plan cache: %s hits=%d misses=%d size=%d/%d\n",
 			outcome, s.Hits, s.Misses, s.Len, s.Cap)
 	}
+	compiled, err := sortedBranches(cq)
+	if err != nil {
+		return "", err
+	}
 	eopts := cfg.execOptions()
-	for i, c := range cq.compiled {
+	for i, c := range compiled {
 		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
 		if err != nil {
 			return "", err
 		}
-		if len(cq.compiled) > 1 {
+		if len(compiled) > 1 {
 			fmt.Fprintf(&b, "UNION branch %d:\n", i)
 		}
 		b.WriteString(tree)

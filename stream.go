@@ -13,6 +13,8 @@ type ExecOption func(*execConfig)
 type execConfig struct {
 	parallelism int
 	planCache   int
+	sortBudget  int64
+	tempDir     string
 	planner     Planner
 	engine      Engine
 }
@@ -41,6 +43,27 @@ func WithParallelism(n int) ExecOption {
 // PlanCacheStats.
 func WithPlanCache(n int) ExecOption {
 	return func(c *execConfig) { c.planCache = n }
+}
+
+// WithSortSpill caps the memory the sort operator may buffer for
+// ORDER BY at budgetBytes: streamed queries sort within the budget,
+// spilling sorted runs to temp files and merging them back when the
+// input is larger, so ordered results of any size stream in bounded
+// memory. Queries with a LIMIT whose OFFSET+LIMIT prefix fits in the
+// budget take a top-k short circuit that never touches disk. Values
+// <= 0 select the default budget (64 MiB). The budget applies per
+// query run; materialised entry points (Query, Execute) are
+// unaffected — they buffer the whole result by definition.
+func WithSortSpill(budgetBytes int) ExecOption {
+	return func(c *execConfig) { c.sortBudget = int64(budgetBytes) }
+}
+
+// WithTempDir selects the directory spilled sort runs are written to,
+// creating it if needed; the default is the operating system's temp
+// directory. Temp files are deleted as soon as the sort finishes, the
+// stream is closed, or its context is cancelled.
+func WithTempDir(dir string) ExecOption {
+	return func(c *execConfig) { c.tempDir = dir }
 }
 
 // WithPlanner selects the query optimiser for the query-text entry
@@ -77,7 +100,7 @@ func configOf(opts []ExecOption) execConfig {
 
 // execOptions converts the facade configuration to executor options.
 func (c execConfig) execOptions() exec.Options {
-	return exec.Options{Parallelism: c.parallelism}
+	return exec.Options{Parallelism: c.parallelism, SortBudget: c.sortBudget, TempDir: c.tempDir}
 }
 
 func resolveOpts(opts []ExecOption) exec.Options {
@@ -97,13 +120,16 @@ func resolveOpts(opts []ExecOption) exec.Options {
 //	}
 //	if err := rows.Err(); err != nil { ... }
 //
-// Queries with ORDER BY cannot stream (sorting needs every row) and
-// fall back to a materialised run that is then iterated. A Rows is not
-// safe for concurrent use. Close releases any worker goroutines a
-// parallel run spawned; abandoning an exhausted Rows without Close is
-// harmless. A Rows obtained from StreamContext or StreamPlanContext
-// additionally stops when its context is cancelled: Next returns false
-// and Err returns the context's error.
+// Queries with ORDER BY stream too: the sort operator buffers rows up
+// to a memory budget (WithSortSpill) and spills sorted runs to temp
+// files merged back on the fly, so ordered results of any size arrive
+// in bounded memory; ORDER BY with a small LIMIT short-circuits to a
+// top-k heap that never touches disk. A Rows is not safe for
+// concurrent use. Close releases any worker goroutines a parallel run
+// spawned and deletes any spilled temp files; abandoning an exhausted
+// Rows without Close is harmless. A Rows obtained from StreamContext
+// or StreamPlanContext additionally stops when its context is
+// cancelled: Next returns false and Err returns the context's error.
 type Rows struct {
 	db   *DB
 	vars []string
@@ -119,9 +145,13 @@ type Rows struct {
 	skip     int             // remaining OFFSET rows
 	remain   int             // remaining LIMIT rows (-1: unlimited)
 
-	// Materialised fallback (ORDER BY).
-	res *Result
-	idx int
+	// Ordered-merge state (UNION with ORDER BY): every branch runs
+	// with a sort operator and the streams merge here, smallest row
+	// first.
+	mergeCmp  func(a, b exec.Row) int
+	merge     []*exec.Run
+	heads     []exec.Row // current head row per branch; nil = exhausted
+	mergeDone bool
 
 	row    map[string]Term
 	err    error
@@ -175,27 +205,33 @@ func (db *DB) StreamPlanContext(ctx context.Context, p *Plan, e Engine, opts ...
 	return db.streamCompiled(ctx, cq, configOf(opts))
 }
 
-// streamCompiled builds a Rows over compiled UNION branches, falling
-// back to a materialised run for ORDER BY (sorting needs every row).
+// streamCompiled builds a Rows over compiled UNION branches. ORDER BY
+// streams through the sort operator (per-branch bounded-memory sort;
+// a UNION's sorted branch streams are merged here, smallest row
+// first), so no query shape materialises its result.
 func (db *DB) streamCompiled(ctx context.Context, cq *compiledQuery, cfg execConfig) (*Rows, error) {
 	head := cq.head
-	if len(head.OrderBy) > 0 {
-		res, err := db.executeCompiled(ctx, cq, cfg.execOptions())
-		if err != nil {
-			return nil, err
-		}
-		return &Rows{db: db, vars: res.Vars(), res: res}, nil
+	compiled, err := sortedBranches(cq)
+	if err != nil {
+		return nil, err
 	}
 	r := &Rows{db: db, ctx: ctx, opts: cfg.execOptions(), skip: head.Offset, remain: -1}
 	if head.Limit >= 0 {
 		r.remain = head.Limit
 	}
-	if head.Distinct && len(cq.compiled) > 1 {
+	if head.Distinct && len(compiled) > 1 {
 		r.seen = map[string]bool{}
 	}
-	r.compiled = cq.compiled
-	for _, v := range cq.compiled[0].Vars() {
+	r.compiled = compiled
+	for _, v := range compiled[0].Vars() {
 		r.vars = append(r.vars, string(v))
+	}
+	if len(head.OrderBy) > 0 && len(compiled) > 1 {
+		cmp, err := compiled[0].RowComparator(head.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		r.mergeCmp = cmp
 	}
 	return r, nil
 }
@@ -221,12 +257,12 @@ func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
 	}
-	if r.res != nil {
-		return r.nextMaterialised()
-	}
 	if r.remain == 0 {
 		r.Close()
 		return false
+	}
+	if r.mergeCmp != nil {
+		return r.nextMerged()
 	}
 	for {
 		if r.run == nil {
@@ -265,12 +301,82 @@ func (r *Rows) Next() bool {
 	}
 }
 
-func (r *Rows) nextMaterialised() bool {
-	if r.idx >= r.res.Len() {
+// nextMerged advances the ordered merge over the sorted branch
+// streams of a UNION with ORDER BY: all branches run concurrently and
+// the smallest head row (ties to the earliest branch, matching the
+// stable materialised sort) is emitted next.
+func (r *Rows) nextMerged() bool {
+	if r.mergeDone {
 		return false
 	}
-	r.row = r.res.Row(r.idx)
-	r.idx++
+	if r.merge == nil {
+		r.merge = make([]*exec.Run, len(r.compiled))
+		r.heads = make([]exec.Row, len(r.compiled))
+		for i, c := range r.compiled {
+			r.merge[i] = c.RunContext(r.ctx, r.opts)
+			if !r.advanceBranch(i) && r.err != nil {
+				r.Close()
+				return false
+			}
+		}
+	}
+	for {
+		best := -1
+		for i, h := range r.heads {
+			if h == nil {
+				continue
+			}
+			if best < 0 || r.mergeCmp(h, r.heads[best]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			r.mergeDone = true
+			r.Close()
+			return false
+		}
+		row := r.heads[best]
+		if !r.advanceBranch(best) && r.err != nil {
+			r.Close()
+			return false
+		}
+		if r.seen != nil {
+			k := exec.RowKey(row)
+			if r.seen[k] {
+				continue
+			}
+			r.seen[k] = true
+		}
+		if r.skip > 0 {
+			r.skip--
+			continue
+		}
+		r.row = r.decodeRow(row)
+		if r.remain > 0 {
+			r.remain--
+		}
+		return true
+	}
+}
+
+// advanceBranch pulls branch i's next head row, copying it so it stays
+// valid while other branches advance; exhausted branches close their
+// run immediately.
+func (r *Rows) advanceBranch(i int) bool {
+	run := r.merge[i]
+	if run == nil {
+		return false
+	}
+	if !run.Next() {
+		if err := run.Err(); err != nil && r.err == nil {
+			r.err = err
+		}
+		run.Close()
+		r.merge[i] = nil
+		r.heads[i] = nil
+		return false
+	}
+	r.heads[i] = append(exec.Row(nil), run.Row()...)
 	return true
 }
 
@@ -283,6 +389,15 @@ func (r *Rows) decode() {
 	r.row = out
 }
 
+// decodeRow converts a merged row to the public representation.
+func (r *Rows) decodeRow(row exec.Row) map[string]Term {
+	out := make(map[string]Term, len(r.vars))
+	for v, t := range r.compiled[0].DecodeRow(row) {
+		out[string(v)] = externTerm(t)
+	}
+	return out
+}
+
 // Row returns the current row as variable→term; valid until the next
 // call to Next.
 func (r *Rows) Row() map[string]Term { return r.row }
@@ -291,16 +406,25 @@ func (r *Rows) Row() map[string]Term { return r.row }
 func (r *Rows) Err() error { return r.err }
 
 // Close stops the stream early, cancelling and waiting out any worker
-// goroutines of a parallel run so none leak. Close is idempotent and
-// always returns nil; it mirrors io.Closer so Rows works with defer.
+// goroutines of a parallel run so none leak, and deleting any temp
+// files a spilling sort left behind. Close is idempotent — closing an
+// exhausted or already-closed stream is a cheap no-op — and returns
+// the first error the stream encountered (the same error Err reports),
+// nil on a clean stream, so errors surface even in the common
+// defer-Close pattern.
 func (r *Rows) Close() error {
-	if r.closed {
-		return nil
+	if !r.closed {
+		r.closed = true
+		if r.run != nil {
+			r.run.Close()
+			r.run = nil
+		}
+		for i, run := range r.merge {
+			if run != nil {
+				run.Close()
+				r.merge[i] = nil
+			}
+		}
 	}
-	r.closed = true
-	if r.run != nil {
-		r.run.Close()
-		r.run = nil
-	}
-	return nil
+	return r.err
 }
