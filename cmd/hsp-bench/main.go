@@ -21,6 +21,13 @@
 // ordered query materialised, streamed with the in-memory sort, and
 // streamed with a small sort budget (-sortspill, bytes) forcing the
 // external merge path, with its EXPLAIN ANALYZE spill counters.
+//
+// -prepared benchmarks the prepared-statement serving modes: the same
+// constant-rotating lookup issued -requests times as (1) a prepared
+// statement re-executed with new bindings (plan once, bind many), (2)
+// concrete query texts through the template-keyed plan cache, and (3)
+// concrete texts fully re-planned per request — with the plan cache's
+// hit/miss/template-hit counters.
 package main
 
 import (
@@ -53,8 +60,15 @@ func main() {
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline in -serving mode (0 = none)")
 		sortSpill = flag.Int("sortspill", 0, "ORDER BY sort memory budget in bytes for -serving/-spill runs (0 = default 64 MiB)")
 		spill     = flag.Bool("spill", false, "benchmark spill-vs-materialise ORDER BY pairs over SP²Bench")
+		prepared  = flag.Bool("prepared", false, "benchmark prepared-statement bind-and-run vs plan-cache hit vs full re-plan")
 	)
 	flag.Parse()
+	if *prepared {
+		if err := preparedBench(os.Stdout, *sp2scale, *seed, *requests, *planCache); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *spill {
 		if err := spillBench(os.Stdout, *sp2scale, *seed, *parallel, *sortSpill); err != nil {
 			fail(err)
@@ -207,6 +221,86 @@ func spillBench(out *os.File, scale int, seed int64, parallel, sortSpill int) er
 	}
 	fmt.Fprintf(out, "\nEXPLAIN ANALYZE (sortspill=%d):\n%s", sortSpill, tree)
 	return nil
+}
+
+// preparedBench compares the three ways of serving a repeated query
+// shape whose constants vary per request — the workload prepared
+// statements exist for:
+//
+//	prepared bind:  db.Prepare once, Stmt.Query per request with a new
+//	                binding (no re-parse, no re-plan)
+//	plan cache:     a distinct concrete text per request through
+//	                QueryContext + WithPlanCache; the normalised
+//	                template key makes every variation after the first
+//	                a cache hit (TemplateHits counts them)
+//	re-plan:        the same concrete texts with no cache: the full
+//	                parse+plan+compile pipeline per request
+func preparedBench(out *os.File, scale int, seed int64, requests, planCache int) error {
+	fmt.Fprintf(os.Stderr, "generating sp2bench scale=%d seed=%d...\n", scale, seed)
+	db := hsp.GenerateSP2Bench(scale, seed)
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", db.NumTriples())
+	ctx := context.Background()
+
+	titles, err := db.Query(`
+		PREFIX dc: <http://purl.org/dc/elements/1.1/>
+		SELECT DISTINCT ?t { ?j dc:title ?t } LIMIT 256`)
+	if err != nil {
+		return err
+	}
+	if titles.Len() == 0 {
+		return fmt.Errorf("dataset has no titles to look up")
+	}
+	value := func(i int) string { return titles.Row(i % titles.Len())["t"].Value }
+	concrete := func(i int) string {
+		return fmt.Sprintf(`
+			PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+			PREFIX dcterms: <http://purl.org/dc/terms/>
+			SELECT ?j ?yr WHERE { ?j dc:title "%s" . ?j dcterms:issued ?yr }`, value(i))
+	}
+
+	st, err := db.Prepare(ctx, `
+		PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?j ?yr WHERE { ?j dc:title $title . ?j dcterms:issued ?yr }`)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := st.Query(ctx, hsp.Bind("title", hsp.Literal(value(i)))); err != nil {
+			return err
+		}
+	}
+	report(out, "prepared bind", requests, time.Since(start))
+
+	if planCache <= 0 {
+		planCache = 256
+	}
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := db.QueryContext(ctx, concrete(i), hsp.WithPlanCache(planCache)); err != nil {
+			return err
+		}
+	}
+	report(out, "plan cache", requests, time.Since(start))
+	s := db.PlanCacheStats()
+	fmt.Fprintf(out, "plan cache: hits=%d misses=%d template_hits=%d size=%d/%d\n",
+		s.Hits, s.Misses, s.TemplateHits, s.Len, s.Cap)
+
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := db.QueryContext(ctx, concrete(i)); err != nil {
+			return err
+		}
+	}
+	report(out, "re-plan", requests, time.Since(start))
+	return nil
+}
+
+// report prints one mode's wall time and request throughput.
+func report(out *os.File, name string, requests int, total time.Duration) {
+	fmt.Fprintf(out, "%-14s %8s  %9.0f req/s\n", name+":", total.Round(time.Millisecond), float64(requests)/total.Seconds())
 }
 
 // servingBench issues the SP²Bench workload queries round-robin

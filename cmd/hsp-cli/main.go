@@ -24,6 +24,13 @@
 // times — with -plancache, run 2 onwards skips parsing, planning and
 // compilation, and the cache's hit/miss counters are reported.
 //
+// Queries may hold $name parameter placeholders, bound with repeatable
+// -param flags: -param name=value. Values parse as N-Triples-style
+// terms: <http://…> is an IRI, _:label a blank node, "text" (or any
+// unmarked value) a literal. Parameterized queries are prepared once
+// (db.Prepare) and executed with the bindings; -repeat re-executes the
+// prepared statement without re-parsing or re-planning.
+//
 // ORDER BY queries stream through a bounded-memory sort: -sortspill N
 // caps the sort buffer at N bytes (spilling sorted runs to temp files
 // beyond it; 0 keeps the 64 MiB default) and -tempdir picks where
@@ -65,6 +72,8 @@ func main() {
 		sortSpill = flag.Int("sortspill", 0, "ORDER BY sort memory budget in bytes; larger inputs spill sorted runs to disk (0 = default 64 MiB)")
 		tempDir   = flag.String("tempdir", "", "directory for spilled sort runs (default: the OS temp directory)")
 	)
+	var params paramFlags
+	flag.Var(&params, "param", "bind a query parameter: name=value (repeatable; value is <iri>, _:blank or a literal)")
 	flag.Parse()
 	if (*plan || *explain) && (*planCache > 0 || *repeat > 1) {
 		fail(fmt.Errorf("-plan/-explain do not execute through the serving path; drop -plancache/-repeat"))
@@ -113,6 +122,14 @@ func main() {
 	}
 	if *tempDir != "" {
 		runOpts = append(runOpts, hsp.WithTempDir(*tempDir))
+	}
+
+	if len(params) > 0 {
+		if *plan || *explain {
+			fail(fmt.Errorf("-param requires executing the query; drop -plan/-explain"))
+		}
+		runPrepared(ctx, db, text, hsp.Planner(*planner), hsp.Engine(*engine), runOpts, params.binds(), *planCache, *repeat, *maxRows, *stream, *analyze)
+		return
 	}
 
 	if *planCache > 0 || *repeat > 1 {
@@ -164,6 +181,110 @@ func main() {
 	printResult(res, *maxRows)
 }
 
+// paramFlags collects repeatable -param name=value bindings.
+type paramFlags []hsp.Binding
+
+// String implements flag.Value.
+func (p *paramFlags) String() string {
+	var parts []string
+	for _, b := range *p {
+		parts = append(parts, b.Name+"="+b.Value.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value: name=value, the value in N-Triples-style
+// term syntax (<iri>, _:blank, "literal" or a bare literal).
+func (p *paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("bad -param %q (want name=value)", s)
+	}
+	*p = append(*p, hsp.Bind(name, parseTerm(val)))
+	return nil
+}
+
+// binds returns the collected bindings.
+func (p paramFlags) binds() []hsp.Binding { return p }
+
+// parseTerm interprets a -param value as an RDF term. Quoted literals
+// may carry an @lang or ^^<datatype> suffix, which — matching the
+// N-Triples reader and the SPARQL lexer — is kept verbatim in the
+// literal value ("chat"@en binds the literal `chat@en`).
+func parseTerm(v string) hsp.Term {
+	switch {
+	case strings.HasPrefix(v, "<") && strings.HasSuffix(v, ">"):
+		return hsp.IRI(v[1 : len(v)-1])
+	case strings.HasPrefix(v, "_:"):
+		return hsp.Blank(v[2:])
+	case len(v) >= 2 && strings.HasPrefix(v, `"`):
+		if i := strings.LastIndexByte(v[1:], '"'); i >= 0 {
+			return hsp.Literal(v[1:1+i] + v[i+2:])
+		}
+		return hsp.Literal(v)
+	default:
+		return hsp.Literal(v)
+	}
+}
+
+// runPrepared executes a parameterized query: the statement is prepared
+// once and executed -repeat times with the given bindings, optionally
+// streaming or printing EXPLAIN ANALYZE on the last repetition.
+func runPrepared(ctx context.Context, db *hsp.DB, text string, planner hsp.Planner, engine hsp.Engine, runOpts []hsp.ExecOption, binds []hsp.Binding, planCache, repeat, maxRows int, stream, analyze bool) {
+	opts := append([]hsp.ExecOption{hsp.WithPlanner(planner), hsp.WithEngine(engine)}, runOpts...)
+	if planCache > 0 {
+		opts = append(opts, hsp.WithPlanCache(planCache))
+	}
+	start := time.Now()
+	st, err := db.Prepare(ctx, text, opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+	fmt.Fprintf(os.Stderr, "prepared in %v (parameters: $%s)\n", time.Since(start), strings.Join(st.Params(), ", $"))
+	for i := 0; i < repeat; i++ {
+		last := i == repeat-1
+		start := time.Now()
+		switch {
+		case analyze:
+			out, err := st.ExplainAnalyze(ctx, binds...)
+			if err != nil {
+				fail(err)
+			}
+			if last {
+				fmt.Print(out)
+			}
+		case stream && last:
+			rows, err := st.Stream(ctx, binds...)
+			if err != nil {
+				fail(err)
+			}
+			defer rows.Close()
+			drainRows(rows, maxRows, start)
+		default:
+			res, err := st.Query(ctx, binds...)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "run %d: %v, %d rows\n", i+1, time.Since(start), res.Len())
+			if last && !stream {
+				printResult(res, maxRows)
+			}
+		}
+	}
+	printCacheStats(db, planCache)
+}
+
+// printCacheStats reports the plan cache's counters when caching is on.
+func printCacheStats(db *hsp.DB, planCache int) {
+	if planCache <= 0 {
+		return
+	}
+	s := db.PlanCacheStats()
+	fmt.Fprintf(os.Stderr, "plan cache: hits=%d misses=%d template_hits=%d size=%d/%d\n",
+		s.Hits, s.Misses, s.TemplateHits, s.Len, s.Cap)
+}
+
 // serve runs the query through the serving path: query text in,
 // context-bound execution, optionally repeated and served from the
 // compiled-plan cache.
@@ -202,10 +323,7 @@ func serve(ctx context.Context, db *hsp.DB, text string, planner hsp.Planner, en
 			}
 		}
 	}
-	if planCache > 0 {
-		s := db.PlanCacheStats()
-		fmt.Fprintf(os.Stderr, "plan cache: hits=%d misses=%d size=%d/%d\n", s.Hits, s.Misses, s.Len, s.Cap)
-	}
+	printCacheStats(db, planCache)
 }
 
 // printResult renders a materialised result, truncated to maxRows.

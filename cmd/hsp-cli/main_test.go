@@ -37,6 +37,58 @@ func TestOpenDBFile(t *testing.T) {
 	}
 }
 
+func TestParamFlags(t *testing.T) {
+	var p paramFlags
+	for _, s := range []string{
+		"title=Journal 1 (1940)",
+		`quoted="exact text"`,
+		"ref=<http://ex/a>",
+		"node=_:b1",
+	} {
+		if err := p.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if len(p) != 4 {
+		t.Fatalf("bindings = %d", len(p))
+	}
+	if p[0].Name != "title" || p[0].Value.Kind != "literal" || p[0].Value.Value != "Journal 1 (1940)" {
+		t.Errorf("bare literal = %+v", p[0])
+	}
+	if p[1].Value.Value != "exact text" {
+		t.Errorf("quoted literal = %+v", p[1])
+	}
+	// Language tags and datatypes stay verbatim in the value, matching
+	// the engine's literal encoding.
+	var tagged paramFlags
+	if err := tagged.Set(`t="chat"@en`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tagged.Set(`d="1940"^^<http://www.w3.org/2001/XMLSchema#gYear>`); err != nil {
+		t.Fatal(err)
+	}
+	if tagged[0].Value.Value != "chat@en" {
+		t.Errorf("lang-tagged literal = %+v", tagged[0])
+	}
+	if tagged[1].Value.Value != "1940^^<http://www.w3.org/2001/XMLSchema#gYear>" {
+		t.Errorf("datatyped literal = %+v", tagged[1])
+	}
+	if p[2].Value.Kind != "iri" || p[2].Value.Value != "http://ex/a" {
+		t.Errorf("iri = %+v", p[2])
+	}
+	if p[3].Value.Kind != "blank" || p[3].Value.Value != "b1" {
+		t.Errorf("blank = %+v", p[3])
+	}
+	if p.String() == "" {
+		t.Error("String() empty")
+	}
+	for _, bad := range []string{"novalue", "=x"} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
 func TestOpenDBErrors(t *testing.T) {
 	cases := []struct {
 		data, snap, gen string

@@ -141,6 +141,35 @@ func ExampleDB_StreamContext() {
 
 // With a plan cache, repeated queries skip parsing, planning and
 // compilation: only the first request misses.
+// Prepared statements plan once and bind many: $title is planned as an
+// unbound-but-typed constant, and each execution substitutes its bound
+// value into the compiled plan at run time.
+func ExampleDB_Prepare() {
+	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	stmt, err := db.Prepare(ctx, `
+		PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?yr WHERE { ?j dc:title $title . ?j dcterms:issued ?yr }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, title := range []string{"Journal 1 (1940)", "Journal 1 (1941)"} {
+		res, err := stmt.Query(ctx, hsp.Bind("title", hsp.Literal(title)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(title, "->", res.Row(0)["yr"].Value)
+	}
+	// Output:
+	// Journal 1 (1940) -> 1940
+	// Journal 1 (1941) -> 1941
+}
+
 func ExampleDB_QueryContext_planCache() {
 	db, err := hsp.OpenNTriples(strings.NewReader(exampleData))
 	if err != nil {

@@ -6,11 +6,21 @@
 // programming planner (CDP) over delta-compressed clustered indexes,
 // and a left-deep MonetDB/SQL-style planner.
 //
-// Quick start:
+// Quick start — prepare once, execute many:
 //
 //	db, err := hsp.OpenNTriples(strings.NewReader(data))
-//	res, err := db.Query(`SELECT ?yr WHERE { ?j <dc:title> "Journal 1 (1940)" . ?j <dcterms:issued> ?yr }`)
+//	stmt, err := db.Prepare(ctx, `SELECT ?yr WHERE { ?j <dc:title> $title . ?j <dcterms:issued> ?yr }`)
+//	defer stmt.Close()
+//	res, err := stmt.Query(ctx, hsp.Bind("title", hsp.Literal("Journal 1 (1940)")))
 //	for i := 0; i < res.Len(); i++ { fmt.Println(res.Row(i)) }
+//
+// Prepare parses, plans and compiles the query once; $name placeholders
+// are planned as unbound-but-typed constants and bound per execution
+// with Bind, so re-executing with new values costs a bind, not a
+// re-plan. Stmt carries every verb ctx-first: Query, Stream, Ask and
+// ExplainAnalyze. The one-shot convenience verbs (Query, Stream, Ask,
+// Execute, ExplainAnalyze and their Context twins) are thin shims over
+// the same Prepare + Stmt core.
 //
 // Planner and engine can be chosen independently:
 //
@@ -25,16 +35,20 @@
 //	for rows.Next() { use(rows.Row()) }
 //	out, _ := db.ExplainAnalyze(plan, hsp.EngineMonet) // EXPLAIN ANALYZE
 //
-// For serving workloads, every execution path has a Context variant
-// that honours cancellation and deadlines, and repeated queries can
-// skip planning entirely via the shared compiled-plan cache:
+// For serving workloads, every execution path honours cancellation and
+// deadlines, repeated queries skip planning via the shared
+// compiled-plan cache (keyed by parameterized template, so queries
+// differing only in literal constants share one plan), and per-operator
+// counters can stream to a metrics sink:
 //
 //	ctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
 //	defer cancel()
-//	res, err := db.QueryContext(ctx, query, hsp.WithPlanCache(1024))
+//	res, err := db.QueryContext(ctx, query, hsp.WithPlanCache(1024),
+//		hsp.WithMetricsSink(func(s hsp.OpStats) { observe(s) }))
 //
-// See docs/ARCHITECTURE.md for the full pipeline and
-// docs/QUERY_GUIDE.md for which query shapes the heuristics reward.
+// See docs/API.md for the statement lifecycle and binding semantics,
+// docs/ARCHITECTURE.md for the full pipeline and docs/QUERY_GUIDE.md
+// for which query shapes the heuristics reward.
 package hsp
 
 import (
@@ -477,14 +491,17 @@ func (db *DB) ExplainAnalyze(p *Plan, e Engine, opts ...ExecOption) (string, err
 
 // Query is the convenience path: HSP planning on the column substrate
 // (override with WithPlanner/WithEngine). QueryContext additionally
-// supports cancellation, deadlines and the compiled-plan cache.
+// supports cancellation, deadlines and the compiled-plan cache. Like
+// every legacy verb it is a shim over Prepare + Stmt; prepare the query
+// yourself to execute it repeatedly without re-parsing or re-planning.
 func (db *DB) Query(query string, opts ...ExecOption) (*Result, error) {
 	return db.QueryContext(context.Background(), query, opts...)
 }
 
 // Ask evaluates an ASK query: whether at least one solution exists. The
 // executor stops at the first solution found. AskContext additionally
-// supports cancellation, deadlines and the compiled-plan cache.
+// supports cancellation, deadlines and the compiled-plan cache. It is a
+// shim over Prepare + Stmt.Ask.
 func (db *DB) Ask(query string, opts ...ExecOption) (bool, error) {
 	return db.AskContext(context.Background(), query, opts...)
 }

@@ -522,9 +522,10 @@ func ApplyFilters(n Node, pending []sparql.Filter) (Node, []sparql.Filter) {
 
 // TermID resolves a constant pattern node to its dictionary ID,
 // returning false when the constant does not occur in the data (the
-// pattern then matches nothing).
+// pattern then matches nothing) or is a parameter placeholder (whose
+// value arrives only at execution time).
 func TermID(d *dict.Dict, n sparql.Node) (dict.ID, bool) {
-	if n.IsVar() {
+	if n.IsVar() || n.IsParam() {
 		return dict.Invalid, false
 	}
 	return d.Lookup(n.Term)

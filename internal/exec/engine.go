@@ -169,16 +169,41 @@ func (c *Compiled) ExecuteContext(ctx context.Context, opts Options) (*Result, e
 	return res, err
 }
 
-// runMaterialised drains one run into a Result. countsOnly collects
-// row counts without per-row timing, for the cardinality paths.
-func (c *Compiled) runMaterialised(ctx context.Context, opts Options, countsOnly bool) (*Result, Metrics, error) {
-	run := c.runCtx(ctx, opts, countsOnly)
+// ExecuteStatsContext is ExecuteContext with per-operator
+// instrumentation: it forces Options.Analyze and additionally returns
+// the run's operator statistics (see Run.OpStats), for metrics sinks on
+// the materialised path.
+func (c *Compiled) ExecuteStatsContext(ctx context.Context, opts Options) (*Result, []OpStat, error) {
+	opts.Analyze = true
+	run := c.runCtx(ctx, opts, false)
 	defer run.Close()
+	res, err := c.drainRun(run)
+	if err != nil {
+		return nil, nil, err
+	}
+	run.Close() // counters are final only once the run has shut down
+	return res, run.OpStats(), nil
+}
+
+// drainRun materialises every row of a run; the caller owns Close.
+func (c *Compiled) drainRun(run *Run) (*Result, error) {
 	res := &Result{d: c.eng.src.Dict(), Vars: append([]sparql.Var(nil), c.vars...)}
 	for run.Next() {
 		res.Rows = append(res.Rows, append(Row(nil), run.Row()...))
 	}
 	if err := run.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runMaterialised drains one run into a Result. countsOnly collects
+// row counts without per-row timing, for the cardinality paths.
+func (c *Compiled) runMaterialised(ctx context.Context, opts Options, countsOnly bool) (*Result, Metrics, error) {
+	run := c.runCtx(ctx, opts, countsOnly)
+	defer run.Close()
+	res, err := c.drainRun(run)
+	if err != nil {
 		return nil, nil, err
 	}
 	return res, run.Metrics(), nil
@@ -295,13 +320,15 @@ func sortLine(op *sortOp, st *SortStats, m *OpMetrics) string {
 	return s + "\n"
 }
 
-// scanCount returns the full match count of a scan's access path.
+// scanCount returns the full match count of a scan's access path. For
+// placeholder positions (whose value is unknown here) the count covers
+// the resolvable prefix only — an upper bound for the annotation.
 func (e *Engine) scanCount(s *algebra.Scan) int {
 	d := e.src.Dict()
 	var prefix []dict.ID
 	for _, pos := range s.Ordering.Perm() {
 		n := s.TP.Slot(pos)
-		if n.IsVar() {
+		if n.IsVar() || n.IsParam() {
 			break
 		}
 		id, ok := d.Lookup(n.Term)

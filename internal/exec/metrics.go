@@ -70,6 +70,70 @@ func fmtDuration(d time.Duration) string {
 	}
 }
 
+// OpStat is one operator's observed counters in exported form: the same
+// numbers EXPLAIN ANALYZE prints, for programmatic consumers (metrics
+// sinks) that should not parse strings.
+type OpStat struct {
+	// Op is the operator's label, as printed in the EXPLAIN ANALYZE tree
+	// (e.g. "⋈mj ?jrnl", "σ(POS) [tp0] …", "sort ?yr desc").
+	Op string
+	// Rows is the number of rows the operator emitted.
+	Rows int64
+	// Wall is the cumulative wall time inside the operator's Next calls.
+	Wall time.Duration
+	// Build and BuildWall report a join's build side (rows materialised,
+	// build wall time); Parallel marks a morsel-parallel build.
+	Build     int64
+	BuildWall time.Duration
+	Parallel  bool
+	// SpilledRuns and SpilledBytes report the external sort's disk use.
+	SpilledRuns  int64
+	SpilledBytes int64
+}
+
+// OpStats returns the per-operator statistics of an analyze run, plan
+// tree pre-order with the synthesized sort operator (when present)
+// first. It returns nil for runs without Options.Analyze. Only valid
+// after the run is exhausted or closed.
+func (r *Run) OpStats() []OpStat {
+	m := r.rt.metrics
+	if m == nil {
+		return nil
+	}
+	var out []OpStat
+	if sm := r.rt.sortM; sm != nil {
+		label := "sort"
+		if op := r.c.sortRoot(); op != nil {
+			label += " " + op.label
+		}
+		out = append(out, opStatOf(label, sm))
+	}
+	var walk func(n algebra.Node)
+	walk = func(n algebra.Node) {
+		if om, ok := m[n]; ok {
+			out = append(out, opStatOf(n.Label(), om))
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(r.c.plan.Root)
+	return out
+}
+
+func opStatOf(label string, m *OpMetrics) OpStat {
+	return OpStat{
+		Op:           label,
+		Rows:         atomic.LoadInt64(&m.Rows),
+		Wall:         m.Wall,
+		Build:        atomic.LoadInt64(&m.Build),
+		BuildWall:    m.BuildWall,
+		Parallel:     m.Parallel,
+		SpilledRuns:  m.SpilledRuns,
+		SpilledBytes: m.SpilledBytes,
+	}
+}
+
 // metricIter wraps an operator's output, counting rows and — when
 // timed — timing Next calls. Timing only runs in full analyze mode;
 // the cardinality-annotation path counts without touching the clock.

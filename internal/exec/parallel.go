@@ -104,7 +104,15 @@ func shardCountFor(workers int) uint32 {
 func (ms *morselScan) parallelBuild(rt *runEnv, keys []int, sm *OpMetrics) buildFn {
 	return func() (rowTable, []Row, error) {
 		start := time.Now()
-		lo, hi := ms.src.ScanRange(ms.s.s.Ordering, ms.s.prefix)
+		prefix, ok, err := ms.s.resolvePrefix(rt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			// A bound term absent from the data: the build side is empty.
+			return seqBuild(emptyIter{}, keys)()
+		}
+		lo, hi := ms.src.ScanRange(ms.s.s.Ordering, prefix)
 		if hi-lo < minParallelRows {
 			// Too small to be worth partitioning.
 			t, all, err := seqBuild(ms.seqIter(rt, lo, hi, sm), keys)()

@@ -33,6 +33,30 @@ type Options struct {
 	// TempDir is where the sort operator writes spilled runs; empty
 	// selects the operating system's temp directory.
 	TempDir string
+	// Binds supplies the values of the plan's parameter placeholders
+	// ($name), keyed by placeholder name. Each run resolves the bound
+	// terms against the dictionary once and substitutes the encoded IDs
+	// into the scan prefixes and filter constants of the compiled
+	// operator tree at open time — the compiled plan itself is never
+	// modified, so one plan serves concurrent runs with different
+	// bindings. A run of a plan with placeholders missing from Binds
+	// fails with ErrUnboundParam.
+	Binds map[string]rdf.Term
+}
+
+// ErrUnboundParam reports a run of a parameterized plan that did not
+// bind every placeholder. Use errors.Is to detect it; the error string
+// names the missing placeholder.
+var ErrUnboundParam = errors.New("exec: unbound parameter")
+
+// boundParam is one resolved binding: the term and its dictionary ID
+// (inDict false when the term does not occur in the data — scans with
+// it in their prefix then match nothing, which is the correct multiset
+// semantics, while filters still compare the term's text).
+type boundParam struct {
+	term   rdf.Term
+	id     dict.ID
+	inDict bool
 }
 
 // errClosed aborts in-flight work when a run is closed early.
@@ -85,6 +109,18 @@ type runEnv struct {
 	// sort is synthesized above the plan root, so it has no algebra
 	// node to key the metrics map with).
 	sortM *OpMetrics
+	// binds are the run's resolved parameter bindings: Options.Binds
+	// looked up in the dictionary once, consulted by scans and filters
+	// holding placeholder slots when they open.
+	binds map[string]boundParam
+}
+
+// bind returns the resolved binding of a placeholder. The run
+// constructor validates that every placeholder of the plan is bound, so
+// a miss here is a programming error surfaced as an erroring iterator.
+func (rt *runEnv) bind(name string) (boundParam, bool) {
+	b, ok := rt.binds[name]
+	return b, ok
 }
 
 // addCleanup registers a resource-release hook run once at shutdown.
@@ -228,26 +264,79 @@ type emptyOp struct{ n algebra.Node }
 func (o *emptyOp) open(rt *runEnv) iterator { return rt.wrap(o.n, emptyIter{}) }
 func (o *emptyOp) logical() algebra.Node    { return o.n }
 
-// scanOp evaluates one triple pattern over an access path, the constant
-// prefix already resolved to dictionary IDs.
+// prefixParam marks one placeholder slot of a scan's constant prefix:
+// prefix[idx] is substituted with the binding of the named parameter
+// when a run opens.
+type prefixParam struct {
+	idx  int
+	name string
+}
+
+// errIter carries an open-time error into the pull protocol.
+type errIter struct{ err error }
+
+func (e errIter) Next() bool { return false }
+func (e errIter) Row() Row   { return nil }
+func (e errIter) Err() error { return e.err }
+
+// scanOp evaluates one triple pattern over an access path. Constant
+// prefix positions are resolved to dictionary IDs at compile time;
+// placeholder positions (params) are filled in from the run's bindings
+// when the scan opens, so one compiled scan serves every binding.
 type scanOp struct {
 	s         *algebra.Scan
 	src       Source
 	prefix    []dict.ID
+	params    []prefixParam
 	width     int
 	slotOf    []int
 	checkSlot []int
 }
 
+// resolveParams returns a scan's binary-search prefix under the run's
+// bindings: the compiled prefix when it has no placeholder holes, else
+// a copy with every hole filled from the bindings. ok=false means a
+// bound term does not occur in the data: the scan matches nothing (not
+// an error).
+func resolveParams(rt *runEnv, prefix []dict.ID, params []prefixParam) ([]dict.ID, bool, error) {
+	if len(params) == 0 {
+		return prefix, true, nil
+	}
+	out := append([]dict.ID(nil), prefix...)
+	for _, p := range params {
+		b, ok := rt.bind(p.name)
+		if !ok {
+			return nil, false, fmt.Errorf("%w $%s", ErrUnboundParam, p.name)
+		}
+		if !b.inDict {
+			return nil, false, nil
+		}
+		out[p.idx] = b.id
+	}
+	return out, true, nil
+}
+
+// resolvePrefix resolves this scan's prefix under the run's bindings.
+func (o *scanOp) resolvePrefix(rt *runEnv) ([]dict.ID, bool, error) {
+	return resolveParams(rt, o.prefix, o.params)
+}
+
 func (o *scanOp) open(rt *runEnv) iterator {
-	return rt.wrap(o.s, o.openRaw())
+	return rt.wrap(o.s, o.openRaw(rt))
 }
 
 // openRaw builds the bare scan iterator (morsel workers use it without
 // per-row instrumentation).
-func (o *scanOp) openRaw() iterator {
+func (o *scanOp) openRaw(rt *runEnv) iterator {
+	prefix, ok, err := o.resolvePrefix(rt)
+	if err != nil {
+		return errIter{err}
+	}
+	if !ok {
+		return emptyIter{}
+	}
 	return &scanIter{
-		in:        o.src.Scan(o.s.Ordering, o.prefix),
+		in:        o.src.Scan(o.s.Ordering, prefix),
 		row:       make(Row, o.width),
 		slotOf:    o.slotOf,
 		checkSlot: o.checkSlot,
@@ -257,17 +346,27 @@ func (o *scanOp) openRaw() iterator {
 func (o *scanOp) logical() algebra.Node { return o.s }
 
 // aggScanOp evaluates a pattern over the aggregated pair index.
+// Placeholder prefix positions resolve from the run's bindings like
+// scanOp's.
 type aggScanOp struct {
 	s      *algebra.Scan
 	agg    AggregatedSource
 	prefix []dict.ID
+	params []prefixParam
 	width  int
 	slotOf [2]int
 }
 
 func (o *aggScanOp) open(rt *runEnv) iterator {
+	prefix, ok, err := resolveParams(rt, o.prefix, o.params)
+	if err != nil {
+		return rt.wrap(o.s, errIter{err})
+	}
+	if !ok {
+		return rt.wrap(o.s, emptyIter{})
+	}
 	return rt.wrap(o.s, &aggScanIter{
-		in:     o.agg.ScanPairs(o.s.Ordering, o.prefix),
+		in:     o.agg.ScanPairs(o.s.Ordering, prefix),
 		row:    make(Row, o.width),
 		slotOf: o.slotOf,
 	})
@@ -391,7 +490,9 @@ func asyncBuild(rt *runEnv, f buildFn) buildFn {
 	}
 }
 
-// filterOp applies a comparison FILTER.
+// filterOp applies a comparison FILTER. A placeholder right side
+// (rParam non-empty) resolves its constant from the run's bindings at
+// open time.
 type filterOp struct {
 	f       *algebra.Filter
 	in      physOp
@@ -399,21 +500,30 @@ type filterOp struct {
 	op      sparql.CompareOp
 	slot    int
 	rSlot   int
+	rParam  string
 	rTerm   rdf.Term
 	rID     dict.ID
 	rInDict bool
 }
 
 func (o *filterOp) open(rt *runEnv) iterator {
+	rTerm, rID, rInDict := o.rTerm, o.rID, o.rInDict
+	if o.rParam != "" {
+		b, ok := rt.bind(o.rParam)
+		if !ok {
+			return rt.wrap(o.f, errIter{fmt.Errorf("%w $%s", ErrUnboundParam, o.rParam)})
+		}
+		rTerm, rID, rInDict = b.term, b.id, b.inDict
+	}
 	return rt.wrap(o.f, &filterIter{
 		in:      o.in.open(rt),
 		d:       o.d,
 		op:      o.op,
 		slot:    o.slot,
 		rSlot:   o.rSlot,
-		rTerm:   o.rTerm,
-		rID:     o.rID,
-		rInDict: o.rInDict,
+		rTerm:   rTerm,
+		rID:     rID,
+		rInDict: rInDict,
 	})
 }
 
@@ -502,14 +612,20 @@ func (o *sortOp) logical() algebra.Node { return nil }
 // Compiled is a physical plan: a logical plan lowered once into a tree
 // of physical operators, reusable across any number of runs.
 type Compiled struct {
-	eng  *Engine
-	plan *algebra.Plan
-	root physOp
-	vars []sparql.Var
+	eng    *Engine
+	plan   *algebra.Plan
+	root   physOp
+	vars   []sparql.Var
+	params []string
 }
 
 // Vars returns the output columns, in row order.
 func (c *Compiled) Vars() []sparql.Var { return c.vars }
+
+// Params returns the names of the plan's parameter placeholders, in
+// first compilation order; every one must appear in Options.Binds for a
+// run to start. Empty for plans without placeholders.
+func (c *Compiled) Params() []string { return c.params }
 
 // Plan returns the logical plan the physical plan was compiled from.
 func (c *Compiled) Plan() *algebra.Plan { return c.plan }
@@ -586,13 +702,13 @@ func (e *Engine) Compile(p *algebra.Plan) (*Compiled, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	c := &compiler{engine: e, slots: map[sparql.Var]int{}}
+	c := &compiler{engine: e, slots: map[sparql.Var]int{}, seenParams: map[string]bool{}}
 	c.assignSlots(p.Root)
 	root, err := c.compile(p.Root)
 	if err != nil {
 		return nil, err
 	}
-	out := &Compiled{eng: e, plan: p, root: root}
+	out := &Compiled{eng: e, plan: p, root: root, params: c.params}
 	if proj, ok := p.Root.(*algebra.Project); ok {
 		out.vars = c.projectVars(proj)
 	} else {
@@ -611,8 +727,18 @@ func (e *Engine) Compile(p *algebra.Plan) (*Compiled, error) {
 
 // compiler lowers algebra nodes to physical operators.
 type compiler struct {
-	engine *Engine
-	slots  map[sparql.Var]int
+	engine     *Engine
+	slots      map[sparql.Var]int
+	params     []string
+	seenParams map[string]bool
+}
+
+// param records a placeholder the plan depends on.
+func (c *compiler) param(name string) {
+	if !c.seenParams[name] {
+		c.seenParams[name] = true
+		c.params = append(c.params, name)
+	}
 }
 
 func (c *compiler) slot(v sparql.Var) int {
@@ -703,9 +829,13 @@ func (c *compiler) compile(n algebra.Node) (physOp, error) {
 			slot:  c.slots[n.F.Left],
 			rSlot: -1,
 		}
-		if n.F.Right.IsVar() {
+		switch {
+		case n.F.Right.IsVar():
 			f.rSlot = c.slots[n.F.Right.Var]
-		} else {
+		case n.F.Right.IsParam():
+			f.rParam = n.F.Right.Param
+			c.param(f.rParam)
+		default:
 			f.rTerm = n.F.Right.Term
 			f.rID, f.rInDict = c.engine.src.Dict().Lookup(n.F.Right.Term)
 		}
@@ -773,13 +903,23 @@ func (c *compiler) compileScan(s *algebra.Scan) (physOp, error) {
 	d := c.engine.src.Dict()
 	perm := s.Ordering.Perm()
 
-	// Resolve the constant prefix.
+	// Resolve the constant prefix. Placeholder positions are left as
+	// holes, recorded in params and filled from the run's bindings when
+	// the scan opens.
 	var prefix []dict.ID
+	var params []prefixParam
 	nConst := 0
 	for _, pos := range perm {
 		n := s.TP.Slot(pos)
 		if n.IsVar() {
 			break
+		}
+		if n.IsParam() {
+			params = append(params, prefixParam{idx: nConst, name: n.Param})
+			c.param(n.Param)
+			prefix = append(prefix, dict.Invalid)
+			nConst++
+			continue
 		}
 		id, ok := d.Lookup(n.Term)
 		if !ok {
@@ -790,10 +930,10 @@ func (c *compiler) compileScan(s *algebra.Scan) (physOp, error) {
 	}
 
 	if s.Aggregated {
-		return c.compileAggScan(s, prefix, nConst)
+		return c.compileAggScan(s, prefix, params, nConst)
 	}
 
-	op := &scanOp{s: s, src: c.engine.src, prefix: prefix, width: c.width()}
+	op := &scanOp{s: s, src: c.engine.src, prefix: prefix, params: params, width: c.width()}
 	boundAt := map[sparql.Var]int{}
 	for _, pos := range perm[nConst:] {
 		v := s.TP.Slot(pos).Var
@@ -813,7 +953,7 @@ func (c *compiler) compileScan(s *algebra.Scan) (physOp, error) {
 // compileAggScan lowers an aggregated-index scan: only the first two
 // ordering positions are materialised; the third must be a variable and
 // is left unbound (its multiplicity is preserved via the pair counts).
-func (c *compiler) compileAggScan(s *algebra.Scan, prefix []dict.ID, nConst int) (physOp, error) {
+func (c *compiler) compileAggScan(s *algebra.Scan, prefix []dict.ID, params []prefixParam, nConst int) (physOp, error) {
 	agg, ok := c.engine.src.(AggregatedSource)
 	if !ok {
 		return nil, fmt.Errorf("exec: %s source has no aggregated indexes for %s", c.engine.src.Name(), s.Label())
@@ -822,7 +962,7 @@ func (c *compiler) compileAggScan(s *algebra.Scan, prefix []dict.ID, nConst int)
 	if last := s.TP.Slot(perm[2]); !last.IsVar() {
 		return nil, fmt.Errorf("exec: aggregated scan with constant third position in %s", s.Label())
 	}
-	op := &aggScanOp{s: s, agg: agg, prefix: prefix, width: c.width(), slotOf: [2]int{-1, -1}}
+	op := &aggScanOp{s: s, agg: agg, prefix: prefix, params: params, width: c.width(), slotOf: [2]int{-1, -1}}
 	for i := 0; i < 2; i++ {
 		n := s.TP.Slot(perm[i])
 		if i < nConst || !n.IsVar() {
@@ -882,6 +1022,26 @@ func (c *Compiled) runCtx(ctx context.Context, opts Options, countsOnly bool) *R
 		rt.metrics = Metrics{}
 	}
 	r := &Run{c: c, rt: rt}
+	// Bind step: resolve every placeholder binding against the
+	// dictionary once per run, then validate the plan's placeholders are
+	// all covered — before any operator opens or worker starts.
+	if len(opts.Binds) > 0 {
+		d := c.eng.src.Dict()
+		rt.binds = make(map[string]boundParam, len(opts.Binds))
+		for name, t := range opts.Binds {
+			id, inDict := d.Lookup(t)
+			rt.binds[name] = boundParam{term: t, id: id, inDict: inDict}
+		}
+	}
+	for _, name := range c.params {
+		if _, ok := rt.binds[name]; !ok {
+			rt.cancel(nil)
+			r.it = emptyIter{}
+			r.err = fmt.Errorf("%w $%s", ErrUnboundParam, name)
+			r.done = true
+			return r
+		}
+	}
 	if q := c.plan.Query; q != nil {
 		r.distinct = q.Distinct
 		r.ask = q.Ask

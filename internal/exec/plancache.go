@@ -35,6 +35,11 @@ type CacheStats struct {
 	Hits int64
 	// Misses counts Get calls that found nothing.
 	Misses int64
+	// TemplateHits counts the subset of Hits where the caller's query
+	// text differed from the cached entry's normalised template — hits
+	// that text keying would have missed (constant-only variations of a
+	// cached query shape). Recorded by MarkTemplateHit.
+	TemplateHits int64
 	// Len is the current number of cached entries.
 	Len int
 	// Cap is the cache's capacity.
@@ -49,19 +54,36 @@ type CacheStats struct {
 // never copies or mutates them, so cached plans must be safe for
 // concurrent runs (Compiled is).
 type PlanCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	m      map[CacheKey]*list.Element
-	hits   int64
-	misses int64
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	m            map[CacheKey]*list.Element
+	aliases      map[CacheKey]aliasVal
+	hits         int64
+	misses       int64
+	templateHits int64
 }
 
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
 	key CacheKey
 	val any
+	// aliases lists the alias keys pointing at this entry, so eviction
+	// removes them together.
+	aliases []CacheKey
 }
+
+// aliasVal is one alias-index slot: the entry it rides on (for LRU
+// touching and lifetime) and the alias's own value.
+type aliasVal struct {
+	e   *list.Element
+	val any
+}
+
+// maxAliases caps the alias keys one entry may accumulate: hot
+// repeated texts get the fast exact-key path, an unbounded long tail
+// of constant variations does not grow the index without limit.
+const maxAliases = 8
 
 // NewPlanCache returns an empty cache holding at most n entries;
 // capacities below 1 are raised to 1.
@@ -70,9 +92,10 @@ func NewPlanCache(n int) *PlanCache {
 		n = 1
 	}
 	return &PlanCache{
-		cap: n,
-		ll:  list.New(),
-		m:   make(map[CacheKey]*list.Element, n),
+		cap:     n,
+		ll:      list.New(),
+		m:       make(map[CacheKey]*list.Element, n),
+		aliases: make(map[CacheKey]aliasVal, n),
 	}
 }
 
@@ -91,22 +114,113 @@ func (c *PlanCache) Get(k CacheKey) (any, bool) {
 	return e.Value.(*cacheEntry).val, true
 }
 
-// Add caches v under k, evicting the least recently used entry when the
-// cache is full. Re-adding an existing key replaces its value.
+// Add caches v under k, evicting the least recently used entry (and
+// its aliases) when the cache is full. Re-adding an existing key
+// replaces its value and drops its aliases — they may embed the old
+// value.
 func (c *PlanCache) Add(k CacheKey, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[k]; ok {
-		e.Value.(*cacheEntry).val = v
+		ent := e.Value.(*cacheEntry)
+		ent.val = v
+		c.dropAliases(ent)
 		c.ll.MoveToFront(e)
 		return
 	}
 	for c.ll.Len() >= c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.m, last.Value.(*cacheEntry).key)
+		ent := last.Value.(*cacheEntry)
+		delete(c.m, ent.key)
+		c.dropAliases(ent)
 	}
 	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+}
+
+// dropAliases removes an entry's alias-index slots. Callers hold mu.
+func (c *PlanCache) dropAliases(ent *cacheEntry) {
+	for _, a := range ent.aliases {
+		delete(c.aliases, a)
+	}
+	ent.aliases = nil
+}
+
+// AddAlias indexes the entry cached under k by an additional alias key
+// — the exact-text fast path in front of template normalisation. The
+// alias carries its own value v (the caller's view of the shared
+// entry), lives exactly as long as the entry, does not consume LRU
+// capacity, and is dropped silently when the entry is absent or
+// already carries maxAliases aliases.
+func (c *PlanCache) AddAlias(alias, k CacheKey, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		return
+	}
+	c.addAliasLocked(alias, e, v)
+}
+
+// addAliasLocked registers alias → v on an entry. Callers hold mu.
+func (c *PlanCache) addAliasLocked(alias CacheKey, e *list.Element, v any) {
+	ent := e.Value.(*cacheEntry)
+	if len(ent.aliases) >= maxAliases {
+		return
+	}
+	if _, dup := c.aliases[alias]; dup {
+		return
+	}
+	ent.aliases = append(ent.aliases, alias)
+	c.aliases[alias] = aliasVal{e: e, val: v}
+}
+
+// GetServe is Get with the serving path's hit bookkeeping folded into
+// one critical section: on a hit, templateHit(v) reporting true bumps
+// the template-hit counter, and the alias key is registered to
+// aliasVal(v) (see AddAlias). Both callbacks run under the cache lock
+// and must be cheap and must not call back into the cache.
+func (c *PlanCache) GetServe(k, alias CacheKey, templateHit func(any) bool, aliasVal func(any) any) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	v := e.Value.(*cacheEntry).val
+	if templateHit(v) {
+		c.templateHits++
+	}
+	c.addAliasLocked(alias, e, aliasVal(v))
+	return v, true
+}
+
+// GetAlias returns the value stored under an alias key, marking the
+// underlying entry most recently used. A found alias counts as a hit;
+// a missing one counts nothing — the caller falls through to the
+// normalised Get, which records the lookup's outcome.
+func (c *PlanCache) GetAlias(alias CacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.aliases[alias]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(a.e)
+	return a.val, true
+}
+
+// MarkTemplateHit records that the latest hit was served through a
+// normalised template key to a query whose raw text differed from the
+// template — i.e. a hit that byte-exact text keying would have missed.
+func (c *PlanCache) MarkTemplateHit() {
+	c.mu.Lock()
+	c.templateHits++
+	c.mu.Unlock()
 }
 
 // Len returns the current number of cached entries.
@@ -123,5 +237,5 @@ func (c *PlanCache) Cap() int { return c.cap }
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Len: c.ll.Len(), Cap: c.cap}
+	return CacheStats{Hits: c.hits, Misses: c.misses, TemplateHits: c.templateHits, Len: c.ll.Len(), Cap: c.cap}
 }

@@ -22,10 +22,19 @@ const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
 // Var is a SPARQL variable name, stored without the leading '?'.
 type Var string
 
-// Node is one slot of a triple pattern: either a variable or an RDF term.
+// Node is one slot of a triple pattern: a variable, an RDF term, or a
+// parameter placeholder ($name) whose value is supplied at execution
+// time.
 type Node struct {
 	Var  Var      // non-empty iff the slot holds a variable
-	Term rdf.Term // the constant, when Var is empty
+	Term rdf.Term // the constant, when Var and Param are empty
+	// Param is a placeholder name (written $name), non-empty iff the
+	// slot is a parameter: a constant whose concrete value arrives only
+	// when the query is executed with bindings. Planners treat the slot
+	// as an unbound-but-typed constant — Term.Kind carries the expected
+	// kind of the bound value (Term.Value stays empty), so syntactic
+	// heuristics that distinguish literal from IRI constants still apply.
+	Param string
 }
 
 // NewVarNode returns a variable slot.
@@ -34,13 +43,26 @@ func NewVarNode(v Var) Node { return Node{Var: v} }
 // NewTermNode returns a constant slot.
 func NewTermNode(t rdf.Term) Node { return Node{Term: t} }
 
+// NewParamNode returns a parameter slot expecting a value of the given
+// kind (the kind steers syntactic planning heuristics only; any kind of
+// term may be bound at execution time).
+func NewParamNode(name string, kind rdf.TermKind) Node {
+	return Node{Param: name, Term: rdf.Term{Kind: kind}}
+}
+
 // IsVar reports whether the slot holds a variable.
 func (n Node) IsVar() bool { return n.Var != "" }
+
+// IsParam reports whether the slot holds a parameter placeholder.
+func (n Node) IsParam() bool { return n.Param != "" }
 
 // String renders the slot in SPARQL syntax.
 func (n Node) String() string {
 	if n.IsVar() {
 		return "?" + string(n.Var)
+	}
+	if n.IsParam() {
+		return "$" + n.Param
 	}
 	return n.Term.String()
 }
@@ -234,6 +256,41 @@ func (q *Query) Vars() []Var {
 				seen[v] = true
 				out = append(out, v)
 			}
+		}
+	}
+	return out
+}
+
+// Params returns the distinct parameter placeholder names of the query
+// — every UNION branch, OPTIONAL group and FILTER included — in first
+// appearance order (patterns before filters, branch by branch).
+func (q *Query) Params() []string {
+	var out []string
+	seen := map[string]bool{}
+	note := func(n Node) {
+		if n.IsParam() && !seen[n.Param] {
+			seen[n.Param] = true
+			out = append(out, n.Param)
+		}
+	}
+	for _, br := range q.Branches() {
+		for _, tp := range br.Patterns {
+			note(tp.S)
+			note(tp.P)
+			note(tp.O)
+		}
+		for _, g := range br.Optionals {
+			for _, tp := range g.Patterns {
+				note(tp.S)
+				note(tp.P)
+				note(tp.O)
+			}
+			for _, f := range g.Filters {
+				note(f.Right)
+			}
+		}
+		for _, f := range br.Filters {
+			note(f.Right)
 		}
 	}
 	return out

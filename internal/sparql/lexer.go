@@ -11,7 +11,8 @@ type tokenKind uint8
 const (
 	tEOF     tokenKind = iota
 	tKeyword           // SELECT, WHERE, FILTER, PREFIX, DISTINCT
-	tVar               // ?name or $name (value without sigil)
+	tVar               // ?name (value without sigil)
+	tParam             // $name parameter placeholder (value without sigil)
 	tIRI               // <...> (value without brackets)
 	tPName             // prefix:local or prefix: (kept verbatim)
 	tString            // "..." with escapes resolved; @lang/^^<dt> kept verbatim
@@ -39,6 +40,8 @@ func (t token) String() string {
 		return "end of input"
 	case tVar:
 		return "?" + t.val
+	case tParam:
+		return "$" + t.val
 	case tIRI:
 		return "<" + t.val + ">"
 	default:
@@ -128,13 +131,22 @@ func (l *lexer) next() (token, error) {
 	case c == '*':
 		l.pos++
 		return token{tStar, "*", start}, nil
-	case c == '?' || c == '$':
+	case c == '?':
 		l.pos++
 		v := l.ident()
 		if v == "" {
 			return token{}, l.errf(start, "empty variable name")
 		}
 		return token{tVar, v, start}, nil
+	case c == '$':
+		// '$name' is a parameter placeholder: a constant bound at
+		// execution time (prepared statements), not a variable.
+		l.pos++
+		v := l.ident()
+		if v == "" {
+			return token{}, l.errf(start, "empty parameter name")
+		}
+		return token{tParam, v, start}, nil
 	case c == '<':
 		// Either an IRI (<non-space up to '>') or a comparison operator.
 		if end := l.iriEnd(); end >= 0 {

@@ -1,0 +1,242 @@
+package sparql
+
+import (
+	"fmt"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// Template is the parameterized form of a query: every parameter
+// placeholder renamed to a canonical positional name ($p0, $p1, …) and
+// every literal constant lifted into a fresh placeholder. Queries that
+// differ only in their literal constants — the dominant variation of
+// repeated serving workloads — normalise to the same template, so one
+// cached plan serves all of them.
+type Template struct {
+	// Query is the normalised query: placeholders canonical, literal
+	// constants replaced by typed placeholders.
+	Query *Query
+	// Text is the canonical rendering of Query, the plan-cache key.
+	Text string
+	// Rename maps the original placeholder names to their canonical
+	// names ($title → $p2); callers translate user bindings through it.
+	Rename map[string]string
+	// Binds holds the lifted literal constants, keyed by canonical
+	// placeholder name; they are merged under every execution of the
+	// template so results match the original query exactly.
+	Binds map[string]rdf.Term
+}
+
+// paramizer assigns canonical placeholder names in appearance order.
+type paramizer struct {
+	next   int
+	rename map[string]string
+	binds  map[string]rdf.Term
+}
+
+func (pz *paramizer) fresh() string {
+	name := fmt.Sprintf("p%d", pz.next)
+	pz.next++
+	return name
+}
+
+// node normalises one slot: named placeholders are renamed (stably —
+// every occurrence of the same name shares one canonical name, and one
+// bound value), literal constants are lifted into fresh placeholders
+// typed as literals so the syntactic heuristics (H4's literal-object
+// preference) rank the template exactly like the original query. IRI
+// constants stay: predicates steer heuristic and access-path choices
+// (the rdf:type exception of H1), so lifting them would change plan
+// structure, not just plan constants. Placeholder kinds are forced to
+// the canonical positional kind (kind), never taken from the input:
+// the template's rendered text is the plan-cache key and does not
+// encode kinds, so templates must be kind-canonical by construction —
+// otherwise two same-text templates could carry different kinds and
+// the cached plan would depend on arrival order.
+func (pz *paramizer) node(n Node, kind rdf.TermKind) Node {
+	switch {
+	case n.IsParam():
+		canon, ok := pz.rename[n.Param]
+		if !ok {
+			canon = pz.fresh()
+			pz.rename[n.Param] = canon
+		}
+		return NewParamNode(canon, kind)
+	case !n.IsVar() && n.Term.Kind == rdf.Literal:
+		canon := pz.fresh()
+		pz.binds[canon] = n.Term
+		return NewParamNode(canon, rdf.Literal)
+	default:
+		return n
+	}
+}
+
+func (pz *paramizer) patterns(ps []TriplePattern) {
+	for i, tp := range ps {
+		tp.S = pz.node(tp.S, rdf.IRI)
+		tp.P = pz.node(tp.P, rdf.IRI)
+		tp.O = pz.node(tp.O, rdf.Literal)
+		ps[i] = tp
+	}
+}
+
+// Parameterize normalises a query into its template. The input is not
+// modified. Every named placeholder of the original query appears in
+// Rename; every lifted literal appears in Binds. Executing the template
+// with Binds (plus values for the renamed placeholders) yields exactly
+// the original query's results.
+func Parameterize(q *Query) *Template {
+	out := q.Clone()
+	pz := &paramizer{rename: map[string]string{}, binds: map[string]rdf.Term{}}
+	for _, br := range out.Branches() {
+		pz.patterns(br.Patterns)
+		for gi := range br.Optionals {
+			pz.patterns(br.Optionals[gi].Patterns)
+			for fi, f := range br.Optionals[gi].Filters {
+				br.Optionals[gi].Filters[fi].Right = pz.node(f.Right, rdf.Literal)
+			}
+		}
+		for fi, f := range br.Filters {
+			br.Filters[fi].Right = pz.node(f.Right, rdf.Literal)
+		}
+	}
+	return &Template{Query: out, Text: out.String(), Rename: pz.rename, Binds: pz.binds}
+}
+
+// CheckBindKinds validates that bound terms satisfy the RDF data model
+// at every position their placeholder occupies: no literal subjects and
+// only IRI predicates. Filter right-hand sides accept any kind. Missing
+// bindings are not reported here (the executor rejects them).
+func CheckBindKinds(q *Query, binds map[string]rdf.Term) error {
+	check := func(tp TriplePattern) error {
+		if tp.S.IsParam() {
+			if t, ok := binds[tp.S.Param]; ok && t.Kind == rdf.Literal {
+				return fmt.Errorf("sparql: parameter $%s binds literal %s in subject position", tp.S.Param, t)
+			}
+		}
+		if tp.P.IsParam() {
+			if t, ok := binds[tp.P.Param]; ok && t.Kind != rdf.IRI {
+				return fmt.Errorf("sparql: parameter $%s binds non-IRI %s in predicate position", tp.P.Param, t)
+			}
+		}
+		return nil
+	}
+	for _, br := range q.Branches() {
+		for _, tp := range br.Patterns {
+			if err := check(tp); err != nil {
+				return err
+			}
+		}
+		for _, g := range br.Optionals {
+			for _, tp := range g.Patterns {
+				if err := check(tp); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BindsChangeSelectivityClass reports whether the bindings change the
+// applicability of the syntactic selection heuristics the query was
+// planned under — the signal for a statement to fall back to a one-off
+// re-plan with the constants substituted. Today one case exists: a
+// predicate-position placeholder bound to rdf:type, which HEURISTIC 1's
+// exception demotes (rdf:type "should not be considered as selective")
+// while the template was planned assuming an ordinary predicate.
+func BindsChangeSelectivityClass(q *Query, binds map[string]rdf.Term) bool {
+	hit := func(tp TriplePattern) bool {
+		if !tp.P.IsParam() {
+			return false
+		}
+		t, ok := binds[tp.P.Param]
+		return ok && t.Kind == rdf.IRI && t.Value == RDFType
+	}
+	for _, br := range q.Branches() {
+		for _, tp := range br.Patterns {
+			if hit(tp) {
+				return true
+			}
+		}
+		for _, g := range br.Optionals {
+			for _, tp := range g.Patterns {
+				if hit(tp) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// BindParams substitutes concrete terms for every parameter placeholder
+// of the query, returning a placeholder-free copy. Every placeholder
+// must have a binding, and bound terms must satisfy the RDF data model
+// at the positions the placeholder occupies (no literal subjects, IRI
+// predicates). The input is not modified.
+func BindParams(q *Query, binds map[string]rdf.Term) (*Query, error) {
+	out := q.Clone()
+	var subst func(n Node, pos string) (Node, error)
+	subst = func(n Node, pos string) (Node, error) {
+		if !n.IsParam() {
+			return n, nil
+		}
+		t, ok := binds[n.Param]
+		if !ok {
+			return Node{}, fmt.Errorf("sparql: no binding for parameter $%s", n.Param)
+		}
+		switch pos {
+		case "subject":
+			if t.Kind == rdf.Literal {
+				return Node{}, fmt.Errorf("sparql: parameter $%s binds literal %s in subject position", n.Param, t)
+			}
+		case "predicate":
+			if t.Kind != rdf.IRI {
+				return Node{}, fmt.Errorf("sparql: parameter $%s binds non-IRI %s in predicate position", n.Param, t)
+			}
+		}
+		return NewTermNode(t), nil
+	}
+	patterns := func(ps []TriplePattern) error {
+		for i, tp := range ps {
+			var err error
+			if tp.S, err = subst(tp.S, "subject"); err != nil {
+				return err
+			}
+			if tp.P, err = subst(tp.P, "predicate"); err != nil {
+				return err
+			}
+			if tp.O, err = subst(tp.O, "object"); err != nil {
+				return err
+			}
+			ps[i] = tp
+		}
+		return nil
+	}
+	for _, br := range out.Branches() {
+		if err := patterns(br.Patterns); err != nil {
+			return nil, err
+		}
+		for gi := range br.Optionals {
+			if err := patterns(br.Optionals[gi].Patterns); err != nil {
+				return nil, err
+			}
+			for fi, f := range br.Optionals[gi].Filters {
+				n, err := subst(f.Right, "object")
+				if err != nil {
+					return nil, err
+				}
+				br.Optionals[gi].Filters[fi].Right = n
+			}
+		}
+		for fi, f := range br.Filters {
+			n, err := subst(f.Right, "object")
+			if err != nil {
+				return nil, err
+			}
+			br.Filters[fi].Right = n
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+func TestParameterizeLiftsLiterals(t *testing.T) {
+	a := MustParse(`SELECT ?j { ?j <http://ex/title> "Journal 1 (1940)" . ?j <http://ex/issued> ?yr . FILTER (?yr < "1950") }`)
+	b := MustParse(`SELECT ?j { ?j <http://ex/title> "Journal 2 (1965)" . ?j <http://ex/issued> ?yr . FILTER (?yr < "2000") }`)
+	ta, tb := Parameterize(a), Parameterize(b)
+	if ta.Text != tb.Text {
+		t.Errorf("constant-only variations normalise differently:\n%s\nvs\n%s", ta.Text, tb.Text)
+	}
+	if len(ta.Binds) != 2 {
+		t.Fatalf("lifted binds = %v, want 2 literals", ta.Binds)
+	}
+	if ta.Binds["p0"] != rdf.NewLiteral("Journal 1 (1940)") {
+		t.Errorf("first lifted literal = %v", ta.Binds["p0"])
+	}
+	// The lifted placeholder keeps the literal kind so H4 still sees a
+	// literal object.
+	if o := ta.Query.Patterns[0].O; !o.IsParam() || o.Term.Kind != rdf.Literal {
+		t.Errorf("lifted object slot = %+v, want literal-typed parameter", o)
+	}
+	// IRI constants are not lifted.
+	if p := ta.Query.Patterns[0].P; p.IsParam() {
+		t.Errorf("predicate IRI was lifted: %+v", p)
+	}
+}
+
+func TestParameterizeRenamesStably(t *testing.T) {
+	q := MustParse(`SELECT ?a ?b { ?a <http://ex/p> $v . ?b <http://ex/q> $v . ?a <http://ex/r> $w }`)
+	tpl := Parameterize(q)
+	if tpl.Rename["v"] == "" || tpl.Rename["w"] == "" || tpl.Rename["v"] == tpl.Rename["w"] {
+		t.Fatalf("rename = %v", tpl.Rename)
+	}
+	// Both occurrences of $v share one canonical name.
+	o0 := tpl.Query.Patterns[0].O
+	o1 := tpl.Query.Patterns[1].O
+	if o0.Param != o1.Param || o0.Param != tpl.Rename["v"] {
+		t.Errorf("occurrences of $v renamed inconsistently: %q vs %q", o0.Param, o1.Param)
+	}
+	if q.Patterns[0].O.Param != "v" {
+		t.Error("Parameterize modified its input")
+	}
+}
+
+func TestParameterizeUnionAndOptional(t *testing.T) {
+	q := MustParse(`SELECT ?s {
+		{ ?s <http://ex/p> "x" } UNION { ?s <http://ex/q> "y" }
+	}`)
+	tpl := Parameterize(q)
+	if len(tpl.Binds) != 2 {
+		t.Fatalf("binds across UNION branches = %v", tpl.Binds)
+	}
+	br := tpl.Query.Branches()
+	if !br[0].Patterns[0].O.IsParam() || !br[1].Patterns[0].O.IsParam() {
+		t.Error("UNION branch literals not lifted")
+	}
+
+	q2 := MustParse(`SELECT ?s { ?s <http://ex/p> ?v OPTIONAL { ?s <http://ex/name> "n" } }`)
+	tpl2 := Parameterize(q2)
+	if !tpl2.Query.Optionals[0].Patterns[0].O.IsParam() {
+		t.Error("OPTIONAL literal not lifted")
+	}
+}
+
+func TestBindParams(t *testing.T) {
+	q := MustParse(`SELECT ?x { ?x <http://ex/p> $val . FILTER (?x != $other) }`)
+	bound, err := BindParams(q, map[string]rdf.Term{
+		"val":   rdf.NewLiteral("v"),
+		"other": rdf.NewIRI("http://ex/a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Patterns[0].O.Term != rdf.NewLiteral("v") {
+		t.Errorf("object = %+v", bound.Patterns[0].O)
+	}
+	if bound.Filters[0].Right.Term != rdf.NewIRI("http://ex/a") {
+		t.Errorf("filter right = %+v", bound.Filters[0].Right)
+	}
+	if q.Patterns[0].O.Param != "val" {
+		t.Error("BindParams modified its input")
+	}
+
+	if _, err := BindParams(q, map[string]rdf.Term{"val": rdf.NewLiteral("v")}); err == nil {
+		t.Error("missing binding accepted")
+	}
+	q2 := MustParse(`SELECT ?x { $s <http://ex/p> ?x }`)
+	if _, err := BindParams(q2, map[string]rdf.Term{"s": rdf.NewLiteral("bad")}); err == nil {
+		t.Error("literal bound in subject position accepted")
+	}
+	q3 := MustParse(`SELECT ?x { ?x $p ?y }`)
+	if _, err := BindParams(q3, map[string]rdf.Term{"p": rdf.NewLiteral("bad")}); err == nil {
+		t.Error("literal bound in predicate position accepted")
+	}
+	if b, err := BindParams(q3, map[string]rdf.Term{"p": rdf.NewIRI("http://ex/p")}); err != nil || b.Patterns[0].P.Term.Value != "http://ex/p" {
+		t.Errorf("IRI predicate binding failed: %v %v", b, err)
+	}
+	if strings.Contains(q3.String(), "http://ex/p") {
+		t.Error("input mutated by predicate binding")
+	}
+}

@@ -102,6 +102,9 @@ func (p *parser) query() (*Query, error) {
 					return nil, err
 				}
 			}
+			if p.tok.kind == tParam {
+				return nil, p.lex.errf(p.tok.pos, "parameter $%s cannot be projected (parameters are constants bound at execution time; use ?%s for a variable)", p.tok.val, p.tok.val)
+			}
 			if len(q.Projection) == 0 {
 				return nil, p.lex.errf(p.tok.pos, "SELECT clause lists no variables")
 			}
@@ -257,6 +260,8 @@ func (p *parser) orderKeys(q *Query) error {
 			if err := p.advance(); err != nil {
 				return err
 			}
+		case p.tok.kind == tParam:
+			return p.lex.errf(p.tok.pos, "parameter $%s cannot be an ORDER BY key (parameters are constants bound at execution time)", p.tok.val)
 		default:
 			if len(q.OrderBy) == 0 {
 				return p.lex.errf(p.tok.pos, "ORDER BY lists no keys")
@@ -364,22 +369,28 @@ func (p *parser) optionalGroup(nextID *int) (Group, error) {
 }
 
 func (p *parser) triplePattern(id int) (TriplePattern, error) {
-	s, err := p.patternNode()
+	// Parameters are typed by position: subjects and predicates expect
+	// IRIs, objects most often bind literals — the kind is a planning
+	// hint (HEURISTIC 4 ranks literal objects), not a restriction on
+	// what may be bound.
+	s, err := p.patternNode(rdf.IRI)
 	if err != nil {
 		return TriplePattern{}, err
 	}
-	pr, err := p.patternNode()
+	pr, err := p.patternNode(rdf.IRI)
 	if err != nil {
 		return TriplePattern{}, err
 	}
-	o, err := p.patternNode()
+	o, err := p.patternNode(rdf.Literal)
 	if err != nil {
 		return TriplePattern{}, err
 	}
 	return TriplePattern{S: s, P: pr, O: o, ID: id}, nil
 }
 
-func (p *parser) patternNode() (Node, error) {
+// patternNode parses one term slot; paramKind types any $name
+// parameter found there (see triplePattern).
+func (p *parser) patternNode(paramKind rdf.TermKind) (Node, error) {
 	tok := p.tok
 	switch tok.kind {
 	case tVar:
@@ -411,6 +422,11 @@ func (p *parser) patternNode() (Node, error) {
 			return Node{}, err
 		}
 		return NewTermNode(rdf.NewLiteral(tok.val)), nil
+	case tParam:
+		if err := p.advance(); err != nil {
+			return Node{}, err
+		}
+		return NewParamNode(tok.val, paramKind), nil
 	default:
 		return Node{}, p.lex.errf(tok.pos, "expected term or variable, found %s", tok)
 	}
@@ -462,7 +478,7 @@ func (p *parser) filter() (Filter, error) {
 	if err := p.advance(); err != nil {
 		return Filter{}, err
 	}
-	rhs, err := p.patternNode()
+	rhs, err := p.patternNode(rdf.Literal)
 	if err != nil {
 		return Filter{}, err
 	}

@@ -69,13 +69,56 @@ func TestParseShorthands(t *testing.T) {
 	}
 }
 
-func TestParseDistinctAndDollarVars(t *testing.T) {
-	q, err := Parse(`SELECT DISTINCT $x { $x <http://ex/p> "v" }`)
+func TestParseDistinct(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?x { ?x <http://ex/p> "v" }`)
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
 	if !q.Distinct || len(q.Projection) != 1 || q.Projection[0] != "x" {
 		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	q, err := Parse(`SELECT ?x {
+		?x <http://ex/p> $val .
+		$subj <http://ex/q> ?x .
+		FILTER (?x != $other)
+	}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	o := q.Patterns[0].O
+	if !o.IsParam() || o.IsVar() || o.Param != "val" {
+		t.Errorf("object slot = %+v, want parameter $val", o)
+	}
+	if s := q.Patterns[1].S; !s.IsParam() || s.Param != "subj" {
+		t.Errorf("subject slot = %+v, want parameter $subj", s)
+	}
+	if r := q.Filters[0].Right; !r.IsParam() || r.Param != "other" {
+		t.Errorf("filter right = %+v, want parameter $other", r)
+	}
+	if got := q.Params(); len(got) != 3 || got[0] != "val" || got[1] != "subj" || got[2] != "other" {
+		t.Errorf("Params() = %v", got)
+	}
+	if o.String() != "$val" {
+		t.Errorf("param renders as %q", o.String())
+	}
+	if !strings.Contains(q.String(), "$val") {
+		t.Errorf("query rendering drops the parameter:\n%s", q)
+	}
+}
+
+func TestParseParamErrors(t *testing.T) {
+	bad := map[string]string{
+		"projected param":  `SELECT $x { ?s ?p $x }`,
+		"order by param":   `SELECT ?s { ?s ?p $x } ORDER BY $x`,
+		"empty param name": `SELECT ?s { ?s ?p $ }`,
+	}
+	for name, qs := range bad {
+		if _, err := Parse(qs); err == nil {
+			t.Errorf("%s: accepted %q", name, qs)
+		}
 	}
 }
 

@@ -148,7 +148,9 @@ func (cs *CharacteristicSets) StarCard(d *dict.Dict, tps []sparql.TriplePattern)
 	var subj sparql.Var
 	var preds []dict.ID
 	for _, tp := range tps {
-		if !tp.S.IsVar() || tp.P.IsVar() || !tp.O.IsVar() {
+		if !tp.S.IsVar() || tp.P.IsVar() || tp.P.IsParam() || !tp.O.IsVar() {
+			// Parameter predicates have no known value to look up; fall
+			// back to the independence assumption.
 			return 0, false
 		}
 		if subj == "" {

@@ -63,13 +63,17 @@ func OrderingFor(tp sparql.TriplePattern, v sparql.Var) store.Ordering {
 }
 
 // prefixIDs resolves tp's constants (in ordering sequence) to IDs,
-// reporting ok=false when a constant does not occur in the data.
+// reporting ok=false when a constant does not occur in the data or is a
+// parameter placeholder (whose value is unknown at planning time).
 func (e *Estimator) prefixIDs(tp sparql.TriplePattern, o store.Ordering) ([]dict.ID, bool) {
 	var prefix []dict.ID
 	for _, pos := range o.Perm() {
 		n := tp.Slot(pos)
 		if n.IsVar() {
 			break
+		}
+		if n.IsParam() {
+			return nil, false
 		}
 		id, found := e.p.Dict().Lookup(n.Term)
 		if !found {
@@ -80,35 +84,87 @@ func (e *Estimator) prefixIDs(tp sparql.TriplePattern, o store.Ordering) ([]dict
 	return prefix, true
 }
 
+// paramFree replaces each parameter slot of tp with a synthetic
+// variable, returning the rewritten pattern and the synthetic variables.
+// Placeholder values are unknown at planning time, so estimates treat
+// each as an average value of its position: the selection count over all
+// values divided by the number of distinct values there.
+func paramFree(tp sparql.TriplePattern) (sparql.TriplePattern, []sparql.Var) {
+	var pvars []sparql.Var
+	for _, pos := range []store.Pos{store.S, store.P, store.O} {
+		n := tp.Slot(pos)
+		if !n.IsParam() {
+			continue
+		}
+		// '$' cannot occur in parsed variable names, so synthetic names
+		// never collide with the query's own variables.
+		v := sparql.Var("$" + n.Param + "@" + pos.String())
+		tp = tp.WithSlot(pos, sparql.NewVarNode(v))
+		pvars = append(pvars, v)
+	}
+	return tp, pvars
+}
+
+// hasParams reports whether any slot of tp is a parameter placeholder.
+func hasParams(tp sparql.TriplePattern) bool {
+	return tp.S.IsParam() || tp.P.IsParam() || tp.O.IsParam()
+}
+
 // PatternCard returns the exact number of triples matching a pattern
-// (RDF-3X answers this from its aggregated/one-value indexes).
+// (RDF-3X answers this from its aggregated/one-value indexes). Patterns
+// holding parameter placeholders are estimated instead: the count with
+// the placeholder unbound, divided by the distinct values of that
+// position — the expected size for an average bound value.
 func (e *Estimator) PatternCard(tp sparql.TriplePattern) int {
 	key := "c" + tp.String()
 	if c, ok := e.cards[key]; ok {
 		return c
 	}
-	o := OrderingFor(tp, "")
 	c := 0
-	if prefix, ok := e.prefixIDs(tp, o); ok {
-		c = e.p.Count(o, prefix)
-		// A repeated variable (?x p ?x) halves nothing we can compute
-		// cheaply; keep the upper bound.
+	if hasParams(tp) {
+		free, pvars := paramFree(tp)
+		c = e.PatternCard(free)
+		for _, pv := range pvars {
+			if d := e.PatternDistinct(free, pv); d > 1 {
+				c /= d
+			}
+		}
+		if c < 1 {
+			c = 1
+		}
+	} else {
+		o := OrderingFor(tp, "")
+		if prefix, ok := e.prefixIDs(tp, o); ok {
+			c = e.p.Count(o, prefix)
+			// A repeated variable (?x p ?x) halves nothing we can compute
+			// cheaply; keep the upper bound.
+		}
 	}
 	e.cards[key] = c
 	return c
 }
 
 // PatternDistinct returns the exact number of distinct bindings of v in
-// the pattern's matches.
+// the pattern's matches. For patterns holding parameter placeholders it
+// returns the distinct count with the placeholders unbound, capped by
+// the pattern's estimated cardinality.
 func (e *Estimator) PatternDistinct(tp sparql.TriplePattern, v sparql.Var) int {
 	key := "d" + string(v) + "|" + tp.String()
 	if c, ok := e.cards[key]; ok {
 		return c
 	}
-	o := OrderingFor(tp, v)
 	c := 0
-	if prefix, ok := e.prefixIDs(tp, o); ok {
-		c = e.p.DistinctInRange(o, prefix)
+	if hasParams(tp) {
+		free, _ := paramFree(tp)
+		c = e.PatternDistinct(free, v)
+		if card := e.PatternCard(tp); c > card {
+			c = card
+		}
+	} else {
+		o := OrderingFor(tp, v)
+		if prefix, ok := e.prefixIDs(tp, o); ok {
+			c = e.p.DistinctInRange(o, prefix)
+		}
 	}
 	e.cards[key] = c
 	return c

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# apicheck.sh — public-API surface gate for CI.
+#
+# Renders the root package's exported surface with `go doc -all .`,
+# strips the free-form comment prose down to declaration lines, and
+# diffs the result against the committed golden file
+# docs/api-surface.txt. Any change to exported types, functions,
+# methods or constants therefore fails CI until the golden file is
+# regenerated — API surface changes must be deliberate.
+#
+#   scripts/apicheck.sh          # check (CI mode)
+#   scripts/apicheck.sh -update  # regenerate docs/api-surface.txt
+set -u
+cd "$(dirname "$0")/.."
+golden=docs/api-surface.txt
+
+# surface prints the exported declaration lines of the root package:
+# every line of `go doc -all .` that starts a top-level declaration
+# (func/type/const/var at column 0 — functions, methods, type heads)
+# plus tab-indented lines (struct fields and const/var group members;
+# go doc indents those with a tab, comment prose with spaces). Comment
+# prose is dropped so doc-only edits never trip the gate.
+surface() {
+    go doc -all . | grep -E -e '^(func|type|const|var) ' -e "$(printf '^\t')" \
+        | grep -v "$(printf '^\t//')" \
+        | sed 's/[[:space:]]*$//'
+}
+
+if [ "${1:-}" = "-update" ]; then
+    surface > "$golden"
+    echo "apicheck: wrote $(wc -l < "$golden") surface lines to $golden"
+    exit 0
+fi
+
+if [ ! -f "$golden" ]; then
+    echo "apicheck: $golden missing — run scripts/apicheck.sh -update" >&2
+    exit 1
+fi
+
+if ! diff -u "$golden" <(surface); then
+    echo "apicheck: FAILED — public API surface differs from $golden" >&2
+    echo "apicheck: if the change is intended, run scripts/apicheck.sh -update and commit" >&2
+    exit 1
+fi
+echo "apicheck: OK ($(wc -l < "$golden") surface lines)"

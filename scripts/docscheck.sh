@@ -33,7 +33,7 @@ done
 # 2. Exported identifiers in the public API files carry doc comments:
 #    a top-level `func|type|const|var Exported…` must be directly
 #    preceded by a comment line.
-for f in hsp.go stream.go serve.go; do
+for f in hsp.go stream.go serve.go stmt.go; do
     awk -v file="$f" '
         /^(func|type|const|var) [A-Z]/ || /^func \([a-z]+ \*?[A-Z][A-Za-z]*\) [A-Z]/ {
             if (prev !~ /^\/\//) {
@@ -47,18 +47,26 @@ for f in hsp.go stream.go serve.go; do
 done
 
 # 3. The handbook exists and README links it.
-for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md; do
+for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md docs/API.md; do
     [ -f "$doc" ] || err "$doc is missing"
     grep -q "$doc" README.md || err "README.md does not link $doc"
 done
 
 # 3a. Every public With* execution option of the facade is mentioned
 #     in README.md or under docs/ — an undocumented knob fails CI.
-for opt in $(grep -ho '^func With[A-Za-z]*' hsp.go stream.go serve.go | awk '{print $2}' | sort -u); do
+for opt in $(grep -ho '^func With[A-Za-z]*' hsp.go stream.go serve.go stmt.go | awk '{print $2}' | sort -u); do
     if ! grep -q "$opt" README.md && ! grep -rq "$opt" docs/; then
         err "public option $opt is not mentioned in README.md or docs/"
     fi
 done
+
+# 3c. The prepared-statement surface is documented: Bind and
+#     WithMetricsSink must appear in docs/API.md (the statement
+#     handbook), and the migration table must exist.
+for sym in 'hsp.Bind(' WithMetricsSink; do
+    grep -q "$sym" docs/API.md || err "docs/API.md does not document $sym"
+done
+grep -qi 'migration table' docs/API.md || err "docs/API.md lost its migration table"
 
 # 3b. docs/OPERATORS.md documents every physical operator kind in
 #     internal/exec/physical.go (the greppable contract: a new physOp

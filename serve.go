@@ -1,10 +1,10 @@
 // Serving path: context-bound execution and the compiled-plan cache.
 //
-// The facade's query-text entry points (Query, Stream, Ask and their
-// Context variants) can serve repeated queries from a shared LRU cache
-// of parse+plan+compile artifacts (see WithPlanCache), and every
-// execution path has a Context variant that aborts runs cooperatively
-// when the caller's context is cancelled or its deadline fires.
+// All execution — legacy verbs and prepared statements alike — funnels
+// through one core: compileQuery/compilePlan lower a query to immutable
+// compiled branches (plan-cache aware, keyed by the normalised
+// parameterized template), and executeCompiled/streamCompiled run them
+// under the caller's context with the execution's parameter bindings.
 
 package hsp
 
@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf"
 	"github.com/sparql-hsp/hsp/internal/sparql"
 )
 
@@ -25,8 +26,24 @@ import (
 type compiledQuery struct {
 	head     *sparql.Query
 	compiled []*exec.Compiled
-	// cacheHit marks entries returned from the plan cache (set on the
-	// per-call copy, never on the cached value itself).
+	// raw is the query text the entry was compiled from, for detecting
+	// template hits (a hit whose incoming text differs from raw was
+	// served by normalisation, not byte-exact text keying).
+	raw string
+}
+
+// preparedQuery binds a compiledQuery to one caller's view of it: the
+// caller's placeholder names (params, in declaration order), their
+// translation to the compiled template's canonical names (rename), and
+// the literal constants the normalisation lifted out of the caller's
+// text (autoBinds, merged into every execution). The compiledQuery may
+// be shared through the plan cache; everything else is per-caller.
+type preparedQuery struct {
+	cq        *compiledQuery
+	params    []string
+	rename    map[string]string
+	autoBinds map[string]rdf.Term
+	// cacheHit marks prepared queries served from the plan cache.
 	cacheHit bool
 }
 
@@ -45,11 +62,16 @@ func (db *DB) planCache(n int) *exec.PlanCache {
 // DB's shared compiled-plan cache. It is zero until a query has been
 // served with WithPlanCache.
 type PlanCacheStats struct {
-	// Hits counts lookups answered from the cache (no parsing, planning
-	// or compilation).
+	// Hits counts lookups answered from the cache (no planning or
+	// compilation).
 	Hits int64
 	// Misses counts lookups that had to plan and compile.
 	Misses int64
+	// TemplateHits counts the subset of Hits proving the template
+	// normalisation: the incoming query text differed from the cached
+	// entry's (a constant-only variation, or a renamed placeholder), so
+	// byte-exact text keying would have re-planned.
+	TemplateHits int64
 	// Len is the number of cached plans; Cap the cache capacity.
 	Len, Cap int
 }
@@ -63,47 +85,94 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 		return PlanCacheStats{}
 	}
 	s := pc.Stats()
-	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Len: s.Len, Cap: s.Cap}
+	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, TemplateHits: s.TemplateHits, Len: s.Len, Cap: s.Cap}
 }
 
-// compileQuery parses, plans and compiles a query — or, with a plan
-// cache enabled, returns the cached artifact for (query text, planner,
-// engine, parallelism).
-func (db *DB) compileQuery(query string, cfg execConfig) (*compiledQuery, error) {
-	if cfg.planCache <= 0 {
-		return db.compileQueryUncached(query, cfg.planner, cfg.engine)
+// compileQuery parses, plans and compiles a query. With a plan cache
+// enabled the cache key is the query's normalised parameterized
+// template — placeholder names canonicalised, literal constants lifted
+// into typed placeholders — so queries differing only in their literal
+// constants share one compiled plan (the template-thrash fix); the
+// lifted constants ride along as autoBinds and are substituted when the
+// plan runs. Byte-identical repeats — the dominant serving pattern —
+// hit an exact-text alias of the template entry without even parsing.
+func (db *DB) compileQuery(query string, cfg execConfig) (*preparedQuery, error) {
+	var c *exec.PlanCache
+	var aliasKey exec.CacheKey
+	if cfg.planCache > 0 {
+		c = db.planCache(cfg.planCache)
+		// "\x00raw\x00" keeps the alias namespace disjoint from rendered
+		// template texts, which never contain NUL bytes.
+		aliasKey = cfg.cacheKey("\x00raw\x00" + query)
+		if v, ok := c.GetAlias(aliasKey); ok {
+			pq := *(v.(*preparedQuery)) // shallow copy; all fields shared, immutable
+			pq.cacheHit = true
+			return &pq, nil
+		}
 	}
-	c := db.planCache(cfg.planCache)
-	key := exec.CacheKey{
-		Query:       query,
-		Planner:     string(cfg.planner),
-		Engine:      string(cfg.engine),
-		Parallelism: cfg.parallelism,
-		SortBudget:  cfg.sortBudget,
-		TempDir:     cfg.tempDir,
-	}
-	if v, ok := c.Get(key); ok {
-		hit := *v.(*compiledQuery) // shallow copy; head and plans are shared, immutable
-		hit.cacheHit = true
-		return &hit, nil
-	}
-	cq, err := db.compileQueryUncached(query, cfg.planner, cfg.engine)
+	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	if c == nil {
+		p, err := db.planParsed(q, cfg.planner)
+		if err != nil {
+			return nil, err
+		}
+		cq, err := db.compilePlan(p, cfg.engine)
+		if err != nil {
+			return nil, err
+		}
+		cq.raw = query
+		return &preparedQuery{cq: cq, params: q.Params()}, nil
+	}
+	tpl := sparql.Parameterize(q)
+	pq := &preparedQuery{params: q.Params(), rename: tpl.Rename, autoBinds: tpl.Binds}
+	key := cfg.cacheKey(tpl.Text)
+	v, ok := c.GetServe(key, aliasKey,
+		func(v any) bool { return v.(*compiledQuery).raw != query },
+		func(v any) any { cp := *pq; cp.cq = v.(*compiledQuery); return &cp })
+	if ok {
+		pq.cq = v.(*compiledQuery)
+		pq.cacheHit = true
+		return pq, nil
+	}
+	p, err := db.planParsed(tpl.Query, cfg.planner)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := db.compilePlan(p, cfg.engine)
+	if err != nil {
+		return nil, err
+	}
+	cq.raw = query
+	pq.cq = cq
 	c.Add(key, cq)
-	return cq, nil
+	c.AddAlias(aliasKey, key, pq.shared())
+	return pq, nil
 }
 
-// compileQueryUncached runs the full pipeline: parse, plan each UNION
-// branch with the chosen planner, compile each branch against the
-// chosen engine, and validate that branches project the same variables.
-func (db *DB) compileQueryUncached(query string, planner Planner, engine Engine) (*compiledQuery, error) {
-	p, err := db.Plan(query, planner)
-	if err != nil {
-		return nil, err
+// cacheKey builds the plan-cache key for a query (or alias) text under
+// this configuration's option fields.
+func (c execConfig) cacheKey(text string) exec.CacheKey {
+	return exec.CacheKey{
+		Query:       text,
+		Planner:     string(c.planner),
+		Engine:      string(c.engine),
+		Parallelism: c.parallelism,
+		SortBudget:  c.sortBudget,
+		TempDir:     c.tempDir,
 	}
-	return db.compilePlan(p, engine)
+}
+
+// shared returns the immutable form of a preparedQuery stored under
+// its raw-text alias: byte-identical repeat queries parse to the same
+// rename and autoBinds, so the whole view can be reused — copied per
+// caller so cacheHit marking never mutates the cached value.
+func (pq *preparedQuery) shared() *preparedQuery {
+	cp := *pq
+	cp.cacheHit = false
+	return &cp
 }
 
 // compilePlan compiles every UNION branch of a plan against the chosen
@@ -160,12 +229,25 @@ func sortedBranches(cq *compiledQuery) ([]*exec.Compiled, error) {
 	return out, nil
 }
 
-// executeCompiled runs every UNION branch under ctx and applies the
-// head's solution modifiers, mirroring Execute.
-func (db *DB) executeCompiled(ctx context.Context, cq *compiledQuery, eopts exec.Options) (*Result, error) {
+// executeCompiled is the materialised execution core: it runs every
+// UNION branch under ctx with the given parameter bindings, applies the
+// head's solution modifiers, and — when a metrics sink is configured —
+// feeds each branch run's per-operator counters to the sink as the run
+// closes.
+func (db *DB) executeCompiled(ctx context.Context, cq *compiledQuery, cfg execConfig, binds map[string]rdf.Term) (*Result, error) {
+	eopts := cfg.execOptions()
+	eopts.Binds = binds
 	var acc *exec.Result
 	for _, c := range cq.compiled {
-		res, err := c.ExecuteContext(ctx, eopts)
+		var res *exec.Result
+		var err error
+		if cfg.metricsSink != nil {
+			var stats []exec.OpStat
+			res, stats, err = c.ExecuteStatsContext(ctx, eopts)
+			emitOpStats(cfg.metricsSink, stats)
+		} else {
+			res, err = c.ExecuteContext(ctx, eopts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -198,86 +280,64 @@ func (db *DB) executeCompiled(ctx context.Context, cq *compiledQuery, eopts exec
 // engines alike — releases every worker goroutine, and returns the
 // context's error. A context already cancelled on entry returns its
 // error without planning or executing anything. With WithPlanCache,
-// repeated queries are served from the DB's shared compiled-plan cache,
-// skipping parsing, planning and compilation; WithPlanner and
-// WithEngine override the defaults (HSP on the column substrate).
+// repeated queries are served from the DB's shared compiled-plan cache
+// under their normalised template key, skipping planning and
+// compilation; WithPlanner and WithEngine override the defaults (HSP on
+// the column substrate). It is a shim over Prepare + Stmt.Query — the
+// single execution core; use Prepare directly to also skip re-parsing
+// on repeated executions and to bind $name parameters.
 func (db *DB) QueryContext(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cfg := configOf(opts)
-	cq, err := db.compileQuery(query, cfg)
+	st, err := db.Prepare(ctx, query, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return db.executeCompiled(ctx, cq, cfg.execOptions())
+	defer st.Close()
+	return st.Query(ctx)
 }
 
 // ExecuteContext is Execute bound to a caller context; see QueryContext
 // for the cancellation contract. The plan cache does not apply here —
-// the caller already holds the plan.
+// the caller already holds the plan. It is a shim over the prepared
+// statement core (the plan is wrapped, not re-planned).
 func (db *DB) ExecuteContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cq, err := db.compilePlan(p, e)
+	st, err := db.prepareFromPlan(p, e, opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.executeCompiled(ctx, cq, resolveOpts(opts))
+	defer st.Close()
+	return st.Query(ctx)
 }
 
 // AskContext is Ask bound to a caller context; see QueryContext for the
 // cancellation contract. WithPlanCache, WithPlanner and WithEngine
-// apply as in QueryContext.
+// apply as in QueryContext. It is a shim over Prepare + Stmt.Ask.
 func (db *DB) AskContext(ctx context.Context, query string, opts ...ExecOption) (bool, error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
-	cfg := configOf(opts)
-	cq, err := db.compileQuery(query, cfg)
+	st, err := db.Prepare(ctx, query, opts...)
 	if err != nil {
 		return false, err
 	}
-	if !cq.head.Ask {
-		return false, fmt.Errorf("hsp: Ask called with a non-ASK query")
-	}
-	res, err := db.executeCompiled(ctx, cq, cfg.execOptions())
-	if err != nil {
-		return false, err
-	}
-	return res.Len() > 0, nil
+	defer st.Close()
+	return st.Ask(ctx)
 }
 
 // ExplainAnalyzeContext is ExplainAnalyze bound to a caller context: a
 // cancelled context aborts the instrumented run and returns its error.
 // Plans with ORDER BY run through the streaming sort operator, so the
-// output includes its "sort:" line with the spill counters.
+// output includes its "sort:" line with the spill counters. It is a
+// shim over the prepared statement core.
 func (db *DB) ExplainAnalyzeContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	cq, err := db.compilePlan(p, e)
+	st, err := db.prepareFromPlan(p, e, opts)
 	if err != nil {
 		return "", err
 	}
-	compiled, err := sortedBranches(cq)
-	if err != nil {
-		return "", err
-	}
-	eopts := resolveOpts(opts)
-	var b strings.Builder
-	for i, c := range compiled {
-		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
-		if err != nil {
-			return "", err
-		}
-		if len(compiled) > 1 {
-			fmt.Fprintf(&b, "UNION branch %d:\n", i)
-		}
-		b.WriteString(tree)
-	}
-	return b.String(), nil
+	defer st.Close()
+	return st.ExplainAnalyze(ctx)
 }
 
 // ExplainAnalyzeQuery runs a query text through the same serving path
@@ -285,42 +345,30 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, p *Plan, e Engine, opts
 // instrumentation, and renders the EXPLAIN ANALYZE tree(s). With
 // WithPlanCache the output is prefixed with a plan-cache line showing
 // whether this compilation was a hit and the cache's cumulative
-// counters:
+// counters (template_hits counts hits served to query texts differing
+// from the cached template's):
 //
-//	plan cache: hit hits=3 misses=1 size=1/64
+//	plan cache: hit hits=3 misses=1 template_hits=2 size=1/64
 func (db *DB) ExplainAnalyzeQuery(ctx context.Context, query string, opts ...ExecOption) (string, error) {
-	if err := ctx.Err(); err != nil {
-		return "", err
-	}
-	cfg := configOf(opts)
-	cq, err := db.compileQuery(query, cfg)
+	st, err := db.Prepare(ctx, query, opts...)
 	if err != nil {
 		return "", err
 	}
+	defer st.Close()
 	var b strings.Builder
-	if cfg.planCache > 0 {
+	if st.cfg.planCache > 0 {
 		s := db.PlanCacheStats()
 		outcome := "miss"
-		if cq.cacheHit {
+		if st.pq.cacheHit {
 			outcome = "hit"
 		}
-		fmt.Fprintf(&b, "plan cache: %s hits=%d misses=%d size=%d/%d\n",
-			outcome, s.Hits, s.Misses, s.Len, s.Cap)
+		fmt.Fprintf(&b, "plan cache: %s hits=%d misses=%d template_hits=%d size=%d/%d\n",
+			outcome, s.Hits, s.Misses, s.TemplateHits, s.Len, s.Cap)
 	}
-	compiled, err := sortedBranches(cq)
+	tree, err := st.ExplainAnalyze(ctx)
 	if err != nil {
 		return "", err
 	}
-	eopts := cfg.execOptions()
-	for i, c := range compiled {
-		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
-		if err != nil {
-			return "", err
-		}
-		if len(compiled) > 1 {
-			fmt.Fprintf(&b, "UNION branch %d:\n", i)
-		}
-		b.WriteString(tree)
-	}
+	b.WriteString(tree)
 	return b.String(), nil
 }

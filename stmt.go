@@ -1,0 +1,288 @@
+// Prepared statements: the single execution core of the facade.
+//
+// db.Prepare parses, plans and compiles a query once (plan-cache aware)
+// and returns a *Stmt carrying every execution verb with ctx-first
+// signatures. Queries may hold $name parameter placeholders, bound per
+// execution with hsp.Bind; re-executing a prepared statement with new
+// bindings re-parses and re-plans nothing — the bind step substitutes
+// dictionary-encoded IDs into the compiled operator tree when the run
+// opens. Every legacy facade verb (Query, Stream, Ask, Execute,
+// ExplainAnalyze and their Context variants) is a thin shim over
+// Prepare + Stmt.
+
+package hsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// ErrStmtClosed is returned by every method of a Stmt after Close.
+var ErrStmtClosed = errors.New("hsp: statement closed")
+
+// Binding supplies the value of one $name parameter placeholder for a
+// single execution of a prepared statement. Construct bindings with
+// Bind.
+type Binding struct {
+	// Name is the placeholder name, without the '$'.
+	Name string
+	// Value is the RDF term bound to the placeholder.
+	Value Term
+}
+
+// Bind binds the parameter $name to an RDF term for one execution:
+//
+//	res, err := stmt.Query(ctx, hsp.Bind("title", hsp.Literal("Journal 1 (1940)")))
+func Bind(name string, v Term) Binding { return Binding{Name: name, Value: v} }
+
+// Stmt is a prepared statement: a query parsed, planned and compiled
+// once, executable any number of times — concurrently, and with
+// different parameter bindings per execution. A Stmt is safe for
+// concurrent use; Close marks it unusable (it frees no resources — the
+// compiled plan may still back in-flight streams and the shared plan
+// cache) and further calls return ErrStmtClosed.
+type Stmt struct {
+	db     *DB
+	cfg    execConfig
+	pq     *preparedQuery
+	query  string
+	closed atomic.Bool
+}
+
+// Prepare parses, plans and compiles a query once, returning a
+// statement whose verbs execute it without re-parsing or re-planning.
+// The query may contain $name parameter placeholders in any constant
+// position (triple pattern subjects, predicates and objects, and FILTER
+// right-hand sides); each execution supplies their values with Bind.
+// Placeholders are planned as unbound-but-typed constants, so the plan
+// is a template valid for every binding. WithPlanner, WithEngine and
+// the execution options apply as in QueryContext; with WithPlanCache
+// the compiled plan is shared through the DB's plan cache under its
+// normalised template key, so statements differing only in literal
+// constants reuse one plan. A context already cancelled on entry
+// returns its error without doing anything.
+func (db *DB) Prepare(ctx context.Context, query string, opts ...ExecOption) (*Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := configOf(opts)
+	pq, err := db.compileQuery(query, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, cfg: cfg, pq: pq, query: query}, nil
+}
+
+// prepareFromPlan wraps an already-planned query as a statement — the
+// shared lowering of the plan-based legacy verbs (Execute, StreamPlan,
+// ExplainAnalyze), so they run through the same core as Prepare.
+func (db *DB) prepareFromPlan(p *Plan, e Engine, opts []ExecOption) (*Stmt, error) {
+	cq, err := db.compilePlan(p, e)
+	if err != nil {
+		return nil, err
+	}
+	cfg := configOf(opts)
+	cfg.engine = e
+	pq := &preparedQuery{cq: cq, params: p.head.Params()}
+	return &Stmt{db: db, cfg: cfg, pq: pq, query: p.head.String()}, nil
+}
+
+// Params returns the statement's parameter placeholder names in
+// declaration order; every one must be bound on each execution.
+func (s *Stmt) Params() []string { return append([]string(nil), s.pq.params...) }
+
+// Close marks the statement closed: subsequent calls return
+// ErrStmtClosed. Close is idempotent and never fails. It does not
+// interrupt executions already in flight, and streams obtained before
+// Close remain valid — compiled plans are immutable and shared (the
+// plan cache may continue serving the same plan to other statements).
+func (s *Stmt) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// guard validates the statement and context before an execution.
+func (s *Stmt) guard(ctx context.Context) error {
+	if s.closed.Load() {
+		return ErrStmtClosed
+	}
+	return ctx.Err()
+}
+
+// Query executes the statement under ctx with the given bindings and
+// materialises the result, applying DISTINCT, ORDER BY, OFFSET and
+// LIMIT. Cancellation follows the QueryContext contract. Every
+// placeholder of the statement must be bound exactly once.
+func (s *Stmt) Query(ctx context.Context, binds ...Binding) (*Result, error) {
+	if err := s.guard(ctx); err != nil {
+		return nil, err
+	}
+	cq, eb, err := s.bindFor(binds)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.executeCompiled(ctx, cq, s.cfg, eb)
+}
+
+// Stream executes the statement under ctx with the given bindings and
+// returns the result as a row stream (see Rows); ORDER BY streams
+// through the bounded-memory sort. Cancellation follows the
+// StreamContext contract. The returned stream stays valid after the
+// statement is closed.
+func (s *Stmt) Stream(ctx context.Context, binds ...Binding) (*Rows, error) {
+	if err := s.guard(ctx); err != nil {
+		return nil, err
+	}
+	cq, eb, err := s.bindFor(binds)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.streamCompiled(ctx, cq, s.cfg, eb)
+}
+
+// Ask executes a prepared ASK statement under ctx with the given
+// bindings: whether at least one solution exists. Preparing a non-ASK
+// query and calling Ask is an error.
+func (s *Stmt) Ask(ctx context.Context, binds ...Binding) (bool, error) {
+	if err := s.guard(ctx); err != nil {
+		return false, err
+	}
+	if !s.pq.cq.head.Ask {
+		return false, fmt.Errorf("hsp: Ask called with a non-ASK query")
+	}
+	cq, eb, err := s.bindFor(binds)
+	if err != nil {
+		return false, err
+	}
+	res, err := s.db.executeCompiled(ctx, cq, s.cfg, eb)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// ExplainAnalyze executes the statement under ctx with the given
+// bindings and per-operator instrumentation, and renders the EXPLAIN
+// ANALYZE tree(s): observed row counts, wall times, hash-join build
+// sizes, and the sort operator's spill counters for ORDER BY plans.
+func (s *Stmt) ExplainAnalyze(ctx context.Context, binds ...Binding) (string, error) {
+	if err := s.guard(ctx); err != nil {
+		return "", err
+	}
+	cq, eb, err := s.bindFor(binds)
+	if err != nil {
+		return "", err
+	}
+	compiled, err := sortedBranches(cq)
+	if err != nil {
+		return "", err
+	}
+	eopts := s.cfg.execOptions()
+	eopts.Binds = eb
+	var b strings.Builder
+	for i, c := range compiled {
+		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
+		if err != nil {
+			return "", err
+		}
+		if len(compiled) > 1 {
+			fmt.Fprintf(&b, "UNION branch %d:\n", i)
+		}
+		b.WriteString(tree)
+	}
+	return b.String(), nil
+}
+
+// bindFor resolves the user bindings of one execution: placeholder
+// names are translated to their compiled (template-canonical) names,
+// merged with the template's lifted constants, and validated — every
+// placeholder bound exactly once, no unknown names, and bound terms
+// satisfying the RDF data model at the positions they fill. In the rare
+// case where a binding changes the applicability of the planner's
+// syntactic selection heuristics (today: a predicate-position
+// placeholder bound to rdf:type, which HEURISTIC 1 demotes), the
+// statement falls back to a one-off re-plan with the constants
+// substituted, so plan quality never silently degrades; every other
+// execution reuses the compiled template untouched.
+func (s *Stmt) bindFor(binds []Binding) (*compiledQuery, map[string]rdf.Term, error) {
+	pq := s.pq
+	if len(binds) == 0 && len(pq.params) == 0 && len(pq.autoBinds) == 0 {
+		return pq.cq, nil, nil
+	}
+	known := make(map[string]bool, len(pq.params))
+	for _, p := range pq.params {
+		known[p] = true
+	}
+	eb := make(map[string]rdf.Term, len(binds)+len(pq.autoBinds))
+	for name, t := range pq.autoBinds {
+		eb[name] = t
+	}
+	seen := make(map[string]bool, len(binds))
+	for _, b := range binds {
+		if !known[b.Name] {
+			return nil, nil, fmt.Errorf("hsp: unknown parameter $%s (statement parameters: %s)", b.Name, paramList(pq.params))
+		}
+		if seen[b.Name] {
+			return nil, nil, fmt.Errorf("hsp: parameter $%s bound twice", b.Name)
+		}
+		seen[b.Name] = true
+		canon := b.Name
+		if pq.rename != nil {
+			canon = pq.rename[b.Name]
+		}
+		eb[canon] = b.Value.internal()
+	}
+	var missing []string
+	for _, p := range pq.params {
+		if !seen[p] {
+			missing = append(missing, "$"+p)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, nil, fmt.Errorf("hsp: unbound parameter %s (bind parameters with hsp.Bind; if a variable was meant, write '?' instead of '$')", strings.Join(missing, ", "))
+	}
+	head := pq.cq.head
+	if err := sparql.CheckBindKinds(head, eb); err != nil {
+		return nil, nil, fmt.Errorf("hsp: %w", err)
+	}
+	if sparql.BindsChangeSelectivityClass(head, eb) {
+		cq, err := s.db.replanBound(head, eb, s.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cq, nil, nil
+	}
+	return pq.cq, eb, nil
+}
+
+// replanBound substitutes the bindings into the statement's query and
+// runs the full plan+compile pipeline once — the fallback for bindings
+// that change selection applicability.
+func (db *DB) replanBound(head *sparql.Query, eb map[string]rdf.Term, cfg execConfig) (*compiledQuery, error) {
+	bound, err := sparql.BindParams(head, eb)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.planParsed(bound, cfg.planner)
+	if err != nil {
+		return nil, err
+	}
+	return db.compilePlan(p, cfg.engine)
+}
+
+func paramList(ps []string) string {
+	if len(ps) == 0 {
+		return "none"
+	}
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = "$" + p
+	}
+	return strings.Join(out, ", ")
+}

@@ -2,8 +2,10 @@ package hsp
 
 import (
 	"context"
+	"time"
 
 	"github.com/sparql-hsp/hsp/internal/exec"
+	"github.com/sparql-hsp/hsp/internal/rdf"
 	"github.com/sparql-hsp/hsp/internal/sparql"
 )
 
@@ -17,6 +19,60 @@ type execConfig struct {
 	tempDir     string
 	planner     Planner
 	engine      Engine
+	metricsSink func(OpStats)
+}
+
+// OpStats carries one operator's observed execution counters — the same
+// numbers EXPLAIN ANALYZE prints, delivered programmatically through
+// WithMetricsSink so production callers get per-operator observability
+// without parsing strings.
+type OpStats struct {
+	// Op is the operator's label as printed in EXPLAIN ANALYZE trees
+	// (e.g. "⋈mj ?jrnl", "σ(POS) [tp0] …", "sort ?yr desc").
+	Op string
+	// Rows is the number of rows the operator emitted.
+	Rows int64
+	// Wall is the cumulative wall time spent inside the operator.
+	Wall time.Duration
+	// Build and BuildWall report a hash join's build side: rows
+	// materialised and build wall time. Parallel marks a morsel-parallel
+	// build.
+	Build     int64
+	BuildWall time.Duration
+	Parallel  bool
+	// SpilledRuns and SpilledBytes report the external sort's disk use
+	// (ORDER BY past the sort budget); zero for every other operator.
+	SpilledRuns  int64
+	SpilledBytes int64
+}
+
+// WithMetricsSink registers a callback receiving per-operator execution
+// statistics: after each run of the query finishes (materialised
+// execution, or each branch stream of a Rows closing), sink is invoked
+// once per operator, plan-tree pre-order, with the counters EXPLAIN
+// ANALYZE prints. The option implies per-operator instrumentation, so
+// runs pay the same overhead as EXPLAIN ANALYZE; the sink is called
+// from the goroutine that closes the run and must not block. It applies
+// to Query, Stream and their Context variants, and to Stmt.Query and
+// Stmt.Stream.
+func WithMetricsSink(sink func(OpStats)) ExecOption {
+	return func(c *execConfig) { c.metricsSink = sink }
+}
+
+// emitOpStats forwards a finished run's operator counters to the sink.
+func emitOpStats(sink func(OpStats), stats []exec.OpStat) {
+	for _, s := range stats {
+		sink(OpStats{
+			Op:           s.Op,
+			Rows:         s.Rows,
+			Wall:         s.Wall,
+			Build:        s.Build,
+			BuildWall:    s.BuildWall,
+			Parallel:     s.Parallel,
+			SpilledRuns:  s.SpilledRuns,
+			SpilledBytes: s.SpilledBytes,
+		})
+	}
 }
 
 // WithParallelism lets the executor run one query with up to n
@@ -32,14 +88,19 @@ func WithParallelism(n int) ExecOption {
 
 // WithPlanCache serves the query through the DB's shared compiled-plan
 // cache, sized to hold n plans (LRU evicted). The first request for a
-// query parses, plans and compiles it; every further request with the
-// same text, planner, engine and parallelism reuses the immutable
-// compiled plan, skipping optimisation entirely — the serving fast
-// path. The cache is created on first use with capacity n; later calls
-// reuse the existing cache whatever their n. Only the query-text entry
-// points (Query, QueryContext, Stream, StreamContext, Ask, AskContext,
-// ExplainAnalyzeQuery) consult the cache; plan-based entry points
-// ignore this option. Inspect occupancy and hit rates with
+// query shape parses, plans and compiles it; every further request with
+// the same template, planner, engine and parallelism reuses the
+// immutable compiled plan, skipping optimisation entirely — the serving
+// fast path. Cache keys are normalised parameterized templates:
+// placeholder names are canonicalised and literal constants lifted into
+// typed placeholders, so queries differing only in a literal (or in
+// placeholder spelling) share one entry — PlanCacheStats.TemplateHits
+// counts the hits byte-exact text keying would have missed. The cache
+// is created on first use with capacity n; later calls reuse the
+// existing cache whatever their n. Only the query-text entry points
+// (Prepare, Query, QueryContext, Stream, StreamContext, Ask,
+// AskContext, ExplainAnalyzeQuery) consult the cache; plan-based entry
+// points ignore this option. Inspect occupancy and hit rates with
 // PlanCacheStats.
 func WithPlanCache(n int) ExecOption {
 	return func(c *execConfig) { c.planCache = n }
@@ -153,6 +214,10 @@ type Rows struct {
 	heads     []exec.Row // current head row per branch; nil = exhausted
 	mergeDone bool
 
+	// sink receives per-operator counters as each branch run closes
+	// (WithMetricsSink); nil when no sink is configured.
+	sink func(OpStats)
+
 	row    map[string]Term
 	err    error
 	closed bool
@@ -173,16 +238,16 @@ func (db *DB) Stream(query string, opts ...ExecOption) (*Rows, error) {
 // returns its error without planning or executing anything. With
 // WithPlanCache, repeated queries skip parsing, planning and
 // compilation via the DB's shared plan cache.
+// It is a shim over Prepare + Stmt.Stream — the single execution core;
+// use Prepare directly to also skip re-parsing on repeated executions
+// and to bind $name parameters.
 func (db *DB) StreamContext(ctx context.Context, query string, opts ...ExecOption) (*Rows, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cfg := configOf(opts)
-	cq, err := db.compileQuery(query, cfg)
+	st, err := db.Prepare(ctx, query, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return db.streamCompiled(ctx, cq, cfg)
+	defer st.Close()
+	return st.Stream(ctx)
 }
 
 // StreamPlan runs a plan on the chosen engine and returns its result as
@@ -193,29 +258,39 @@ func (db *DB) StreamPlan(p *Plan, e Engine, opts ...ExecOption) (*Rows, error) {
 }
 
 // StreamPlanContext is StreamPlan bound to a caller context; see
-// StreamContext for the cancellation contract.
+// StreamContext for the cancellation contract. It is a shim over the
+// prepared statement core (the plan is wrapped, not re-planned).
 func (db *DB) StreamPlanContext(ctx context.Context, p *Plan, e Engine, opts ...ExecOption) (*Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cq, err := db.compilePlan(p, e)
+	st, err := db.prepareFromPlan(p, e, opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.streamCompiled(ctx, cq, configOf(opts))
+	defer st.Close()
+	return st.Stream(ctx)
 }
 
-// streamCompiled builds a Rows over compiled UNION branches. ORDER BY
-// streams through the sort operator (per-branch bounded-memory sort;
-// a UNION's sorted branch streams are merged here, smallest row
-// first), so no query shape materialises its result.
-func (db *DB) streamCompiled(ctx context.Context, cq *compiledQuery, cfg execConfig) (*Rows, error) {
+// streamCompiled builds a Rows over compiled UNION branches with the
+// execution's parameter bindings. ORDER BY streams through the sort
+// operator (per-branch bounded-memory sort; a UNION's sorted branch
+// streams are merged here, smallest row first), so no query shape
+// materialises its result.
+func (db *DB) streamCompiled(ctx context.Context, cq *compiledQuery, cfg execConfig, binds map[string]rdf.Term) (*Rows, error) {
 	head := cq.head
 	compiled, err := sortedBranches(cq)
 	if err != nil {
 		return nil, err
 	}
-	r := &Rows{db: db, ctx: ctx, opts: cfg.execOptions(), skip: head.Offset, remain: -1}
+	eopts := cfg.execOptions()
+	eopts.Binds = binds
+	if cfg.metricsSink != nil {
+		// The sink needs per-operator counters, so sink-observed streams
+		// run instrumented like EXPLAIN ANALYZE.
+		eopts.Analyze = true
+	}
+	r := &Rows{db: db, ctx: ctx, opts: eopts, sink: cfg.metricsSink, skip: head.Offset, remain: -1}
 	if head.Limit >= 0 {
 		r.remain = head.Limit
 	}
@@ -278,7 +353,7 @@ func (r *Rows) Next() bool {
 				r.Close()
 				return false
 			}
-			r.run.Close()
+			r.finishRun(r.run)
 			r.run = nil
 			continue
 		}
@@ -371,7 +446,7 @@ func (r *Rows) advanceBranch(i int) bool {
 		if err := run.Err(); err != nil && r.err == nil {
 			r.err = err
 		}
-		run.Close()
+		r.finishRun(run)
 		r.merge[i] = nil
 		r.heads[i] = nil
 		return false
@@ -416,15 +491,25 @@ func (r *Rows) Close() error {
 	if !r.closed {
 		r.closed = true
 		if r.run != nil {
-			r.run.Close()
+			r.finishRun(r.run)
 			r.run = nil
 		}
 		for i, run := range r.merge {
 			if run != nil {
-				run.Close()
+				r.finishRun(run)
 				r.merge[i] = nil
 			}
 		}
 	}
 	return r.err
+}
+
+// finishRun closes a branch run and then — once its workers have
+// stopped and its counters are final — forwards the per-operator
+// statistics to the metrics sink, if one is configured.
+func (r *Rows) finishRun(run *exec.Run) {
+	run.Close()
+	if r.sink != nil {
+		emitOpStats(r.sink, run.OpStats())
+	}
 }
