@@ -638,7 +638,7 @@ func BenchmarkExecStreamedParallel(b *testing.B) { benchStream(b, 4, false) }
 // compile work the cache skips on every repeated request.
 func benchServe(b *testing.B, cached bool) {
 	e := getEnv(b)
-	db := &DB{col: e.SP2Bench.Col}
+	db := newDB(e.SP2Bench.Col)
 	ctx := context.Background()
 	var opts []ExecOption
 	if cached {
@@ -665,18 +665,18 @@ func BenchmarkServeCachedPlan(b *testing.B) { benchServe(b, true) }
 // Prepare+Stmt skips the lookup too (see BenchmarkPreparedBind).
 func benchCompileQuery(b *testing.B, cached bool) {
 	e := getEnv(b)
-	db := &DB{col: e.SP2Bench.Col}
+	db := newDB(e.SP2Bench.Col)
 	text := e.SP2Bench.Queries[0].Text
 	cfg := configOf(nil)
 	if cached {
 		cfg.planCache = 16
-		if _, err := db.compileQuery(text, cfg); err != nil { // warm the cache
+		if _, err := db.compileQuery(db.loadState(), text, cfg); err != nil { // warm the cache
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.compileQuery(text, cfg); err != nil {
+		if _, err := db.compileQuery(db.loadState(), text, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -705,7 +705,7 @@ ORDER BY ?yr`
 // budget forcing the external merge-sort path.
 func benchOrderBy(b *testing.B, stream bool, budget int) {
 	e := getEnv(b)
-	db := &DB{col: e.SP2Bench.Col}
+	db := newDB(e.SP2Bench.Col)
 	var opts []ExecOption
 	if budget > 0 {
 		opts = append(opts, WithSortSpill(budget), WithTempDir(b.TempDir()))
@@ -785,7 +785,7 @@ func BenchmarkPreparedBind(b *testing.B) {
 	}
 
 	b.Run("Bind", func(b *testing.B) {
-		db := &DB{col: e.SP2Bench.Col}
+		db := newDB(e.SP2Bench.Col)
 		titles := preparedBenchValues(b, db)
 		st, err := db.Prepare(ctx, preparedBenchTemplate)
 		if err != nil {
@@ -801,7 +801,7 @@ func BenchmarkPreparedBind(b *testing.B) {
 		}
 	})
 	b.Run("PlanCacheHit", func(b *testing.B) {
-		db := &DB{col: e.SP2Bench.Col}
+		db := newDB(e.SP2Bench.Col)
 		titles := preparedBenchValues(b, db)
 		if _, err := db.QueryContext(ctx, concrete(titles[0]), WithPlanCache(256)); err != nil {
 			b.Fatal(err) // warm the template entry
@@ -815,13 +815,55 @@ func BenchmarkPreparedBind(b *testing.B) {
 		}
 	})
 	b.Run("Replan", func(b *testing.B) {
-		db := &DB{col: e.SP2Bench.Col}
+		db := newDB(e.SP2Bench.Col)
 		titles := preparedBenchValues(b, db)
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.QueryContext(ctx, concrete(titles[i%len(titles)])); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPreparedQueryMany measures the batched-execution
+// amortisation: QueryMany resolves each distinct bound term against
+// the pinned snapshot's dictionary once per batch, so rotating through
+// a small value set pays one lookup per value instead of one per
+// execution. LoopQuery is the unbatched reference issuing the same
+// executions through Stmt.Query.
+func BenchmarkPreparedQueryMany(b *testing.B) {
+	e := getEnv(b)
+	ctx := context.Background()
+	const batchSize = 64
+	db := newDB(e.SP2Bench.Col)
+	titles := preparedBenchValues(b, db)
+	st, err := db.Prepare(ctx, preparedBenchTemplate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	batches := make([]Binds, batchSize)
+	for i := range batches {
+		batches[i] = Binds{Bind("title", Literal(titles[i%len(titles)]))}
+	}
+
+	b.Run("QueryMany", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.QueryMany(ctx, batches); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LoopQuery", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, batch := range batches {
+				if _, err := st.Query(ctx, batch...); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

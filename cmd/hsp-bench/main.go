@@ -28,6 +28,12 @@
 // concrete query texts through the template-keyed plan cache, and (3)
 // concrete texts fully re-planned per request — with the plan cache's
 // hit/miss/template-hit counters.
+//
+// -mutate benchmarks the live-dataset path: read throughput through
+// the plan cache against a quiescent dataset versus under a background
+// writer committing insert/delete transactions of -batch triples,
+// reporting commits, the final epoch and the cache's epoch
+// invalidations.
 package main
 
 import (
@@ -61,8 +67,16 @@ func main() {
 		sortSpill = flag.Int("sortspill", 0, "ORDER BY sort memory budget in bytes for -serving/-spill runs (0 = default 64 MiB)")
 		spill     = flag.Bool("spill", false, "benchmark spill-vs-materialise ORDER BY pairs over SP²Bench")
 		prepared  = flag.Bool("prepared", false, "benchmark prepared-statement bind-and-run vs plan-cache hit vs full re-plan")
+		mutate    = flag.Bool("mutate", false, "benchmark read throughput while a background writer commits transactions")
+		batch     = flag.Int("batch", 256, "triples per background commit in -mutate mode")
 	)
 	flag.Parse()
+	if *mutate {
+		if err := mutateBench(os.Stdout, *sp2scale, *seed, *requests, *planCache, *parallel, *batch); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *prepared {
 		if err := preparedBench(os.Stdout, *sp2scale, *seed, *requests, *planCache); err != nil {
 			fail(err)
@@ -301,6 +315,109 @@ func preparedBench(out *os.File, scale int, seed int64, requests, planCache int)
 // report prints one mode's wall time and request throughput.
 func report(out *os.File, name string, requests int, total time.Duration) {
 	fmt.Fprintf(out, "%-14s %8s  %9.0f req/s\n", name+":", total.Round(time.Millisecond), float64(requests)/total.Seconds())
+}
+
+// mutateBench measures the read path under live writes: the SP²Bench
+// workload queries are issued round-robin through the serving path
+// (plan cache on) twice — once against a quiescent dataset, once while
+// a background writer continuously commits transactions that insert a
+// batch of fresh triples and then delete it again. Readers never block
+// on the writer (they pin MVCC snapshots), so the two throughputs
+// should stay in the same ballpark; the report includes the number of
+// commits, the final epoch and the plan cache's invalidation count —
+// every commit invalidates the cached plans of the previous epoch
+// lazily, which is the serving cost mutation actually pays.
+func mutateBench(out *os.File, scale int, seed int64, requests, planCache, parallel, batch int) error {
+	fmt.Fprintf(os.Stderr, "generating sp2bench scale=%d seed=%d...\n", scale, seed)
+	db := hsp.GenerateSP2Bench(scale, seed)
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", db.NumTriples())
+	if planCache <= 0 {
+		planCache = 256
+	}
+	opts := []hsp.ExecOption{hsp.WithParallelism(parallel), hsp.WithPlanCache(planCache)}
+	queries := sp2bench.Queries()
+	ctx := context.Background()
+
+	readAll := func() (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			if _, err := db.QueryContext(ctx, queries[i%len(queries)].Text, opts...); err != nil {
+				return 0, fmt.Errorf("request %d (%s): %w", i, queries[i%len(queries)].Name, err)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	quiet, err := readAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "quiescent: %d requests in %s (%.0f req/s)\n",
+		requests, quiet.Round(time.Millisecond), float64(requests)/quiet.Seconds())
+
+	// Background writer: insert one fixed batch, commit, delete it,
+	// commit, forever — the dataset oscillates around its base size and
+	// the shared dictionary stops growing after the first cycle (fresh
+	// IRIs per cycle would leak terms into the append-only dictionary
+	// for the whole measurement and skew the comparison).
+	stop := make(chan struct{})
+	writerDone := make(chan int)
+	go func() {
+		commits := 0
+		defer func() { writerDone <- commits }()
+		for {
+			for _, insert := range []bool{true, false} {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				txn, err := db.Update(ctx)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mutate writer: Update: %v\n", err)
+					return
+				}
+				for i := 0; i < batch; i++ {
+					tr := hsp.Triple{
+						S: hsp.IRI(fmt.Sprintf("http://mutate/s%d", i)),
+						P: hsp.IRI("http://mutate/p"),
+						O: hsp.Literal(fmt.Sprintf("v%d", i)),
+					}
+					if insert {
+						err = txn.Insert(tr)
+					} else {
+						err = txn.Delete(tr)
+					}
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "mutate writer: buffering: %v\n", err)
+						txn.Rollback()
+						return
+					}
+				}
+				if _, err := txn.Commit(ctx); err != nil {
+					fmt.Fprintf(os.Stderr, "mutate writer: Commit: %v\n", err)
+					txn.Rollback()
+					return
+				}
+				commits++
+			}
+		}
+	}()
+
+	mutating, err := readAll()
+	close(stop)
+	commits := <-writerDone
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mutating:  %d requests in %s (%.0f req/s) under %d commits (%.0f commits/s)\n",
+		requests, mutating.Round(time.Millisecond), float64(requests)/mutating.Seconds(),
+		commits, float64(commits)/mutating.Seconds())
+	s := db.PlanCacheStats()
+	fmt.Fprintf(out, "final epoch=%d triples=%d\n", db.Epoch(), db.NumTriples())
+	fmt.Fprintf(out, "plan cache: hits=%d misses=%d template_hits=%d invalidations=%d size=%d/%d\n",
+		s.Hits, s.Misses, s.TemplateHits, s.Invalidations, s.Len, s.Cap)
+	return nil
 }
 
 // servingBench issues the SP²Bench workload queries round-robin

@@ -35,6 +35,13 @@
 // caps the sort buffer at N bytes (spilling sorted runs to temp files
 // beyond it; 0 keeps the 64 MiB default) and -tempdir picks where
 // spilled runs are written.
+//
+// Live-dataset flags: -update file.nt inserts the file's statements and
+// -delete file.nt removes them, both applied as one transaction before
+// the query runs; the commit's new epoch and effective insert/delete
+// counts are printed. Combined with -writesnapshot the mutated dataset
+// (and its epoch) is persisted. With neither -query nor -queryfile a
+// pure mutation run exits after committing.
 package main
 
 import (
@@ -71,6 +78,8 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "run the query this many times (pairs with -plancache)")
 		sortSpill = flag.Int("sortspill", 0, "ORDER BY sort memory budget in bytes; larger inputs spill sorted runs to disk (0 = default 64 MiB)")
 		tempDir   = flag.String("tempdir", "", "directory for spilled sort runs (default: the OS temp directory)")
+		update    = flag.String("update", "", "N-Triples file whose statements are inserted in a transaction before querying")
+		deleteNT  = flag.String("delete", "", "N-Triples file whose statements are deleted in a transaction before querying")
 	)
 	var params paramFlags
 	flag.Var(&params, "param", "bind a query parameter: name=value (repeatable; value is <iri>, _:blank or a literal)")
@@ -84,6 +93,16 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "dataset: %d triples\n", db.NumTriples())
+
+	// Mutations run before -writesnapshot so an updated dataset can be
+	// persisted (the snapshot carries the new epoch).
+	mutated := false
+	if *update != "" || *deleteNT != "" {
+		if err := applyMutation(db, *update, *deleteNT); err != nil {
+			fail(err)
+		}
+		mutated = true
+	}
 
 	if *writeSnap != "" {
 		if err := db.SaveFile(*writeSnap); err != nil {
@@ -102,6 +121,9 @@ func main() {
 		text = string(b)
 	}
 	if text == "" {
+		if mutated {
+			return // a pure mutation run needs no query
+		}
 		fail(fmt.Errorf("no query given (use -query or -queryfile)"))
 	}
 
@@ -390,6 +412,53 @@ func drainRows(rows *hsp.Rows, maxRows int, start time.Time) {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "streamed %d rows in %v\n", n, time.Since(start))
+}
+
+// applyMutation applies one transaction before querying: the -update
+// file's statements are inserted, the -delete file's removed, and the
+// commit's outcome (new epoch, effective insert/delete counts, dataset
+// size, merge wall time) is reported.
+func applyMutation(db *hsp.DB, updateFile, deleteFile string) error {
+	txn, err := db.Update(context.Background())
+	if err != nil {
+		return err
+	}
+	defer txn.Rollback() // no-op once committed
+	if updateFile != "" {
+		f, err := os.Open(updateFile)
+		if err != nil {
+			return err
+		}
+		err = txn.LoadNTriples(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-update %s: %w", updateFile, err)
+		}
+	}
+	if deleteFile != "" {
+		f, err := os.Open(deleteFile)
+		if err != nil {
+			return err
+		}
+		ts, err := hsp.ReadNTriples(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-delete %s: %w", deleteFile, err)
+		}
+		for _, tr := range ts {
+			if err := txn.Delete(tr); err != nil {
+				return err
+			}
+		}
+	}
+	ins, dels := txn.Pending()
+	cs, err := txn.Commit(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "commit: epoch=%d inserted=%d deleted=%d (requested +%d -%d) triples=%d in %v\n",
+		cs.Epoch, cs.Inserted, cs.Deleted, ins, dels, cs.Triples, cs.Wall.Round(time.Microsecond))
+	return nil
 }
 
 func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {

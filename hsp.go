@@ -46,6 +46,16 @@
 //	res, err := db.QueryContext(ctx, query, hsp.WithPlanCache(1024),
 //		hsp.WithMetricsSink(func(s hsp.OpStats) { observe(s) }))
 //
+// Datasets are live: the DB serves immutable MVCC snapshots and a
+// transactional writer publishes successors under increasing epochs.
+// Readers pin the snapshot they started with — streams, statements and
+// plans are never disturbed by commits — and the plan cache
+// invalidates stale epochs lazily:
+//
+//	txn, err := db.Update(ctx)
+//	txn.Insert(hsp.Triple{S: hsp.IRI("s"), P: hsp.IRI("p"), O: hsp.Literal("o")})
+//	stats, err := txn.Commit(ctx) // stats.Epoch, stats.Inserted, ...
+//
 // See docs/API.md for the statement lifecycle and binding semantics,
 // docs/ARCHITECTURE.md for the full pipeline and docs/QUERY_GUIDE.md
 // for which query shapes the heuristics reward.
@@ -58,6 +68,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sparql-hsp/hsp/internal/algebra"
 	"github.com/sparql-hsp/hsp/internal/cdp"
@@ -150,19 +161,70 @@ func externTerm(t rdf.Term) Term {
 // Triple is an RDF statement of the public API.
 type Triple struct{ S, P, O Term }
 
-// DB is an immutable, queryable RDF dataset. All methods are safe for
-// concurrent use.
+// DB is a live, queryable RDF dataset built on MVCC snapshots: the
+// handle always points at an immutable snapshot of the data, and the
+// transactional update path (Update → Txn → Commit) publishes
+// successor snapshots atomically under monotonically increasing
+// epochs. Reads pin the snapshot they were compiled against — a
+// prepared statement, plan or open result stream keeps reading exactly
+// the data it started with, however many commits land meanwhile — so
+// readers never block on writers and writers never corrupt readers.
+// All methods are safe for concurrent use.
 type DB struct {
-	col    *store.Store
-	rxOnce sync.Once
-	rx     *rdf3x.Store
-	rxErr  error
+	// state is the current snapshot bundle, swapped atomically by
+	// Txn.Commit; every read path captures it once and works against
+	// that capture.
+	state atomic.Pointer[dbState]
+
+	// writer serialises transactions: Update acquires the slot,
+	// Commit/Rollback release it.
+	writer chan struct{}
 
 	// pc is the shared compiled-plan cache, created lazily on the first
-	// query served with WithPlanCache.
+	// query served with WithPlanCache. It is shared across snapshots:
+	// entries are epoch-tagged and invalidated lazily after commits.
 	pcMu sync.Mutex
 	pc   *exec.PlanCache
 }
+
+// dbState bundles everything derived from one snapshot: the snapshot
+// itself, the lazily built RDF-3X index set over it, and the
+// cross-planning statistics memo feeding the cost-based planners.
+type dbState struct {
+	snap   *store.Snapshot
+	rxOnce sync.Once
+	rx     *rdf3x.Store
+	rxErr  error
+	memo   *stats.Memo
+}
+
+// rdf3xStore builds the state's compressed index set on first use.
+func (st *dbState) rdf3xStore() (*rdf3x.Store, error) {
+	st.rxOnce.Do(func() {
+		st.rx, st.rxErr = rdf3x.Build(st.snap.Store())
+	})
+	return st.rx, st.rxErr
+}
+
+// newDB wraps a freshly built store as a DB at epoch 0.
+func newDB(col *store.Store) *DB {
+	return newDBAt(store.NewSnapshot(col, 0))
+}
+
+// newDBAt wraps a snapshot (possibly reloaded mid-lineage) as a DB.
+func newDBAt(snap *store.Snapshot) *DB {
+	db := &DB{writer: make(chan struct{}, 1)}
+	db.state.Store(&dbState{snap: snap, memo: stats.NewMemo()})
+	return db
+}
+
+// loadState captures the current snapshot bundle.
+func (db *DB) loadState() *dbState { return db.state.Load() }
+
+// Epoch returns the version of the dataset the DB currently serves.
+// Epochs start at 0 (or at a reloaded snapshot's saved epoch) and
+// increase by one with every effective commit.
+func (db *DB) Epoch() uint64 { return db.loadState().snap.Epoch() }
 
 // DatasetBuilder accumulates triples for a DB.
 type DatasetBuilder struct {
@@ -198,9 +260,25 @@ func (d *DatasetBuilder) LoadNTriples(r io.Reader) error {
 }
 
 // Build finalises the dataset: the six orderings are sorted and
-// duplicates removed.
+// duplicates removed. The DB starts at epoch 0; grow or shrink it
+// later with Update.
 func (d *DatasetBuilder) Build() *DB {
-	return &DB{col: d.b.Build()}
+	return newDB(d.b.Build())
+}
+
+// ReadNTriples parses every statement of an N-Triples stream into
+// public Triple values — the helper CLI and server callers use to feed
+// Txn.Insert or Txn.Delete from a file.
+func ReadNTriples(r io.Reader) ([]Triple, error) {
+	ts, err := rdf.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Triple, len(ts))
+	for i, t := range ts {
+		out[i] = Triple{S: externTerm(t.S), P: externTerm(t.P), O: externTerm(t.O)}
+	}
+	return out, nil
 }
 
 // OpenNTriples builds a DB from an N-Triples stream.
@@ -222,11 +300,13 @@ func OpenNTriplesFile(path string) (*DB, error) {
 	return OpenNTriples(f)
 }
 
-// Save writes a compact, checksummed binary snapshot of the dataset.
-// Snapshots load much faster than re-parsing N-Triples (only the
-// dictionary and one sorted relation are stored; the other orderings
-// are rebuilt).
-func (db *DB) Save(w io.Writer) error { return db.col.Save(w) }
+// Save writes a compact, checksummed binary snapshot of the dataset —
+// the snapshot the DB currently serves, together with its epoch, so a
+// reloaded dataset resumes its version lineage instead of silently
+// resetting epoch-keyed plan-cache entries to epoch 0. Snapshots load
+// much faster than re-parsing N-Triples (only the dictionary and one
+// sorted relation are stored; the other orderings are rebuilt).
+func (db *DB) Save(w io.Writer) error { return db.loadState().snap.Save(w) }
 
 // SaveFile writes a snapshot to a file.
 func (db *DB) SaveFile(path string) error {
@@ -241,13 +321,15 @@ func (db *DB) SaveFile(path string) error {
 	return f.Close()
 }
 
-// OpenSnapshot rebuilds a DB from a snapshot written by Save.
+// OpenSnapshot rebuilds a DB from a snapshot written by Save, resuming
+// at the epoch the snapshot was saved at (0 for files written before
+// epochs existed).
 func OpenSnapshot(r io.Reader) (*DB, error) {
-	st, err := store.Load(r)
+	snap, err := store.LoadSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{col: st}, nil
+	return newDBAt(snap), nil
 }
 
 // OpenSnapshotFile rebuilds a DB from a snapshot file.
@@ -263,38 +345,36 @@ func OpenSnapshotFile(path string) (*DB, error) {
 // GenerateSP2Bench builds a DB with approximately scale triples of
 // SP²Bench-shaped synthetic data (the paper's synthetic workload).
 func GenerateSP2Bench(scale int, seed int64) *DB {
-	return &DB{col: sp2bench.Generate(scale, seed)}
+	return newDB(sp2bench.Generate(scale, seed))
 }
 
 // GenerateYAGO builds a DB with approximately scale triples of
 // YAGO-shaped synthetic data (the paper's real-world workload shape).
 func GenerateYAGO(scale int, seed int64) *DB {
-	return &DB{col: yago.Generate(scale, seed)}
+	return newDB(yago.Generate(scale, seed))
 }
 
-// NumTriples returns the number of distinct triples.
-func (db *DB) NumTriples() int { return db.col.NumTriples() }
-
-// rdf3xStore builds the compressed index set on first use.
-func (db *DB) rdf3xStore() (*rdf3x.Store, error) {
-	db.rxOnce.Do(func() {
-		db.rx, db.rxErr = rdf3x.Build(db.col)
-	})
-	return db.rx, db.rxErr
-}
+// NumTriples returns the number of distinct triples in the snapshot
+// the DB currently serves.
+func (db *DB) NumTriples() int { return db.loadState().snap.NumTriples() }
 
 // Plan parses and optimises a SPARQL join query with the chosen
-// planner. UNION queries yield one sub-plan per branch.
+// planner. UNION queries yield one sub-plan per branch. The plan is
+// pinned to the snapshot current at planning time: its statistics,
+// compilation and executions all read that snapshot, even after later
+// commits.
 func (db *DB) Plan(query string, p Planner) (*Plan, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.planParsed(q, p)
+	return db.planParsed(db.loadState(), q, p)
 }
 
-func (db *DB) planParsed(q *sparql.Query, p Planner) (*Plan, error) {
-	out := &Plan{db: db, head: q}
+func (db *DB) planParsed(state *dbState, q *sparql.Query, p Planner) (*Plan, error) {
+	col := state.snap.Store()
+	est := func() *stats.Estimator { return stats.NewShared(col, state.memo) }
+	out := &Plan{db: db, state: state, head: q}
 	for _, branch := range q.Branches() {
 		switch p {
 		case PlannerHSP, "":
@@ -307,7 +387,7 @@ func (db *DB) planParsed(q *sparql.Query, p Planner) (*Plan, error) {
 			}
 			out.plans = append(out.plans, res.Plan)
 		case PlannerHybrid:
-			res, err := core.NewPlannerWith(core.Options{Stats: stats.New(db.col)}).PlanDetailed(branch)
+			res, err := core.NewPlannerWith(core.Options{Stats: est()}).PlanDetailed(branch)
 			if err != nil {
 				return nil, err
 			}
@@ -316,13 +396,13 @@ func (db *DB) planParsed(q *sparql.Query, p Planner) (*Plan, error) {
 			}
 			out.plans = append(out.plans, res.Plan)
 		case PlannerCDP:
-			pl, err := cdp.New(stats.New(db.col), cdp.Options{UseAggregatedIndexes: true}).Plan(branch)
+			pl, err := cdp.New(est(), cdp.Options{UseAggregatedIndexes: true}).Plan(branch)
 			if err != nil {
 				return nil, err
 			}
 			out.plans = append(out.plans, pl)
 		case PlannerSQL:
-			pl, err := sqlopt.New(stats.New(db.col)).Plan(branch)
+			pl, err := sqlopt.New(est()).Plan(branch)
 			if err != nil {
 				return nil, err
 			}
@@ -335,13 +415,18 @@ func (db *DB) planParsed(q *sparql.Query, p Planner) (*Plan, error) {
 }
 
 // Plan is an optimised, executable query plan: one operator tree per
-// UNION branch (a single tree for queries without UNION).
+// UNION branch (a single tree for queries without UNION). A plan is
+// pinned to the MVCC snapshot it was planned against.
 type Plan struct {
 	db    *DB
+	state *dbState        // the snapshot bundle the plan is pinned to
 	head  *sparql.Query   // the full parsed query, carrying the modifiers
 	plans []*algebra.Plan // one per UNION branch
 	hsp   *core.Result    // first branch detail, HSP/hybrid plans only
 }
+
+// Epoch returns the dataset epoch the plan is pinned to.
+func (p *Plan) Epoch() uint64 { return p.state.snap.Epoch() }
 
 // Planner returns which planner produced the plan.
 func (p *Plan) Planner() string { return p.plans[0].Planner }
@@ -431,17 +516,18 @@ func (p *Plan) MergeVariables() [][]string {
 	return out
 }
 
-// engineFor resolves the execution source.
-func (db *DB) engineFor(e Engine) (*exec.Engine, error) {
+// engineFor resolves the execution source over one snapshot bundle;
+// the returned engine is pinned to that snapshot's data and epoch.
+func engineFor(state *dbState, e Engine) (*exec.Engine, error) {
 	switch e {
 	case EngineMonet, "":
-		return exec.New(exec.ColumnSource{St: db.col}), nil
+		return exec.NewAt(exec.ColumnSource{St: state.snap.Store()}, state.snap.Epoch()), nil
 	case EngineRDF3X:
-		rx, err := db.rdf3xStore()
+		rx, err := state.rdf3xStore()
 		if err != nil {
 			return nil, err
 		}
-		return exec.New(exec.RDF3XSource{St: rx}), nil
+		return exec.NewAt(exec.RDF3XSource{St: rx}, state.snap.Epoch()), nil
 	default:
 		return nil, fmt.Errorf("hsp: unknown engine %q", e)
 	}
@@ -461,7 +547,7 @@ func (db *DB) Execute(p *Plan, e Engine, opts ...ExecOption) (*Result, error) {
 // with observed per-operator cardinalities, the format of the paper's
 // plan figures.
 func (db *DB) Explain(p *Plan, e Engine) (string, error) {
-	eng, err := db.engineFor(e)
+	eng, err := engineFor(p.state, e)
 	if err != nil {
 		return "", err
 	}

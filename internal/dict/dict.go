@@ -7,10 +7,19 @@
 // ID. The dictionary records each term's kind so the planner can apply
 // HEURISTIC 4 (literal objects are more selective than URI objects)
 // without string inspection.
+//
+// The dictionary is append-only and built for MVCC sharing: every
+// snapshot of a live dataset holds the same *Dict, which only ever
+// grows. ID-to-term reads (Term, Kind, Len) are wait-free — they load
+// an atomically published slice header and never take a lock — so
+// readers decoding query results never block on a committing writer;
+// term-to-ID reads (Lookup) share a read lock that writers hold only
+// for the brief moment a genuinely new term is appended.
 package dict
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/sparql-hsp/hsp/internal/rdf"
 )
@@ -22,12 +31,20 @@ type ID = uint64
 const Invalid ID = 0
 
 // Dict is a bidirectional term dictionary. It is safe for concurrent
-// readers; Encode (which may mutate) takes an exclusive lock, so mixed
-// concurrent encoding and lookup is also safe.
+// use: Encode (which may append) serialises writers, ID-to-term reads
+// are lock-free against the published slice, and term-to-ID lookups
+// take a read lock. Existing IDs are never reassigned or removed, so
+// data structures built against the dictionary stay valid as it grows.
 type Dict struct {
-	mu    sync.RWMutex
-	ids   map[termKey]ID
-	terms []rdf.Term // terms[i] is the term for ID i+1
+	mu  sync.RWMutex
+	ids map[termKey]ID
+	// terms holds the published ID-to-term mapping: terms[i] is the term
+	// for ID i+1. Writers append under mu and publish a new slice header
+	// with an atomic store; readers load the header without locking and
+	// can trust every element below its length (elements are written
+	// before the header that includes them is published, and published
+	// elements are never overwritten).
+	terms atomic.Pointer[[]rdf.Term]
 }
 
 // termKey keeps IRIs and literals with identical spellings distinct.
@@ -38,15 +55,16 @@ type termKey struct {
 
 // New returns an empty dictionary.
 func New() *Dict {
-	return &Dict{ids: make(map[termKey]ID)}
+	d := &Dict{ids: make(map[termKey]ID)}
+	d.terms.Store(new([]rdf.Term))
+	return d
 }
 
+// loadTerms returns the published ID-to-term slice, wait-free.
+func (d *Dict) loadTerms() []rdf.Term { return *d.terms.Load() }
+
 // Len returns the number of distinct terms in the dictionary.
-func (d *Dict) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.terms)
-}
+func (d *Dict) Len() int { return len(d.loadTerms()) }
 
 // Encode returns the ID for t, assigning a fresh one if t is new.
 func (d *Dict) Encode(t rdf.Term) ID {
@@ -62,8 +80,12 @@ func (d *Dict) Encode(t rdf.Term) ID {
 	if id, ok := d.ids[k]; ok {
 		return id
 	}
-	d.terms = append(d.terms, t)
-	id = ID(len(d.terms))
+	// Append-only growth: the element is written first, then the longer
+	// header is published atomically, so concurrent lock-free readers
+	// see either the old length or a fully initialised new element.
+	terms := append(d.loadTerms(), t)
+	d.terms.Store(&terms)
+	id = ID(len(terms))
 	d.ids[k] = id
 	return id
 }
@@ -79,22 +101,16 @@ func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
 // Term returns the term for a valid ID. It panics on Invalid or
 // out-of-range IDs, which always indicate an engine bug.
 func (d *Dict) Term(id ID) rdf.Term {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if id == Invalid || int(id) > len(d.terms) {
+	terms := d.loadTerms()
+	if id == Invalid || int(id) > len(terms) {
 		panic("dict: invalid ID")
 	}
-	return d.terms[id-1]
+	return terms[id-1]
 }
 
 // Kind returns the term kind for a valid ID.
 func (d *Dict) Kind(id ID) rdf.TermKind {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if id == Invalid || int(id) > len(d.terms) {
-		panic("dict: invalid ID")
-	}
-	return d.terms[id-1].Kind
+	return d.Term(id).Kind
 }
 
 // IsLiteral reports whether id denotes a literal term. Used by H4.

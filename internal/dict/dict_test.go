@@ -117,3 +117,54 @@ func TestConcurrentEncode(t *testing.T) {
 		t.Errorf("Len = %d, want %d", d.Len(), terms)
 	}
 }
+
+// TestConcurrentGrowthReaders is the MVCC-sharing scenario: snapshot
+// readers decode established IDs (wait-free Term/Kind/Len and locked
+// Lookup) while a committing writer appends new terms. Run with -race.
+func TestConcurrentGrowthReaders(t *testing.T) {
+	d := New()
+	const pre = 512
+	for i := 0; i < pre; i++ {
+		d.Encode(rdf.NewIRI(fmt.Sprintf("pre%d", i)))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ID(i%pre + 1)
+				want := rdf.NewIRI(fmt.Sprintf("pre%d", i%pre))
+				if got := d.Term(id); got != want {
+					t.Errorf("Term(%d) = %v, want %v", id, got, want)
+					return
+				}
+				if got, ok := d.Lookup(want); !ok || got != id {
+					t.Errorf("Lookup(%v) = (%d,%v), want (%d,true)", want, got, ok, id)
+					return
+				}
+				if n := d.Len(); n < pre {
+					t.Errorf("Len shrank to %d", n)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 4096; i++ {
+		id := d.Encode(rdf.NewLiteral(fmt.Sprintf("new%d", i)))
+		if got := d.Term(id); got != rdf.NewLiteral(fmt.Sprintf("new%d", i)) {
+			t.Fatalf("writer read back %v for new%d", got, i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if d.Len() != pre+4096 {
+		t.Errorf("Len = %d, want %d", d.Len(), pre+4096)
+	}
+}

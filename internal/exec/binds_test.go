@@ -84,6 +84,44 @@ func TestBindMissingParam(t *testing.T) {
 	run.Close()
 }
 
+// TestBindResolved exercises the batched fast path: Options.Resolved
+// (pre-resolved via ResolveBinds/ResolveTerm) must behave exactly like
+// Options.Binds — same rows, same absent-term emptiness, same
+// missing-parameter error — without touching the dictionary at run
+// start.
+func TestBindResolved(t *testing.T) {
+	st := buildStore(t, journalDoc)
+	_, p := hspPlan(t, bindQuery)
+	c, err := New(ColumnSource{st}).Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, title := range []string{"Journal 1 (1940)", "Journal 1 (1941)", "No Such Journal"} {
+		binds := map[string]rdf.Term{"title": rdf.NewLiteral(title)}
+		want, err := c.ExecuteContext(context.Background(), Options{Binds: binds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ExecuteContext(context.Background(), Options{Resolved: c.ResolveBinds(binds)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%q: resolved path differs:\n%s\nvs\n%s", title, got, want)
+		}
+	}
+	// ResolveTerm matches ResolveBinds entry for entry.
+	term := rdf.NewLiteral("Journal 1 (1940)")
+	if rb := c.ResolveTerm(term); rb != c.ResolveBinds(map[string]rdf.Term{"x": term})["x"] {
+		t.Error("ResolveTerm differs from ResolveBinds")
+	}
+	// Missing parameters still fail before the tree opens.
+	_, err = c.ExecuteContext(context.Background(), Options{Resolved: ResolvedBinds{"other": {}}})
+	if !errors.Is(err, ErrUnboundParam) {
+		t.Fatalf("err = %v, want ErrUnboundParam", err)
+	}
+}
+
 func TestBindFilterParam(t *testing.T) {
 	st := buildStore(t, journalDoc)
 	_, p := hspPlan(t, `
@@ -198,8 +236,8 @@ func TestOpStats(t *testing.T) {
 func TestPlanCacheTemplateHits(t *testing.T) {
 	pc := NewPlanCache(4)
 	k := CacheKey{Query: "tpl"}
-	pc.Add(k, 1)
-	if _, ok := pc.Get(k); !ok {
+	pc.Add(k, 1, 0)
+	if _, ok := pc.Get(k, 0); !ok {
 		t.Fatal("miss")
 	}
 	pc.MarkTemplateHit()

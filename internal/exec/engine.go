@@ -13,16 +13,28 @@ import (
 	"github.com/sparql-hsp/hsp/internal/sparql"
 )
 
-// Engine executes logical plans against a storage substrate.
+// Engine executes logical plans against a storage substrate. An engine
+// built with NewAt is pinned to one MVCC snapshot of a live dataset:
+// every plan it compiles, and every run of those plans, reads exactly
+// that snapshot's data however many commits land meanwhile.
 type Engine struct {
-	src Source
+	src   Source
+	epoch uint64
 }
 
-// New returns an engine over the given source.
+// New returns an engine over the given source, at epoch 0.
 func New(src Source) *Engine { return &Engine{src: src} }
+
+// NewAt returns an engine over the given source pinned to the dataset
+// epoch the source was captured at. The epoch identifies the snapshot
+// in plan-cache keysets and EXPLAIN ANALYZE output.
+func NewAt(src Source, epoch uint64) *Engine { return &Engine{src: src, epoch: epoch} }
 
 // Source returns the engine's substrate.
 func (e *Engine) Source() Source { return e.src }
+
+// Epoch returns the dataset epoch the engine is pinned to.
+func (e *Engine) Epoch() uint64 { return e.epoch }
 
 // Result is a materialised query answer: a multiset of mappings from
 // the projected variables to dictionary-encoded terms.
@@ -285,8 +297,8 @@ func (c *Compiled) ExplainAnalyzeContext(ctx context.Context, opts Options) (str
 	if par < 1 {
 		par = 1
 	}
-	head := fmt.Sprintf("engine=%s planner=%s rows=%d time=%s parallelism=%d\n",
-		c.eng.src.Name(), c.plan.Planner, n, fmtDuration(total), par)
+	head := fmt.Sprintf("engine=%s planner=%s rows=%d time=%s parallelism=%d epoch=%d\n",
+		c.eng.src.Name(), c.plan.Planner, n, fmtDuration(total), par, c.eng.epoch)
 	if st := run.SortStats(); st != nil {
 		head += sortLine(c.sortRoot(), st, run.SortMetrics())
 	}

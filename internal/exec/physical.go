@@ -42,6 +42,51 @@ type Options struct {
 	// bindings. A run of a plan with placeholders missing from Binds
 	// fails with ErrUnboundParam.
 	Binds map[string]rdf.Term
+	// Resolved supplies pre-resolved parameter bindings (terms already
+	// looked up in the dictionary via Compiled.ResolveBinds), skipping
+	// the per-run dictionary resolution — the batched-execution fast
+	// path. When non-nil it takes precedence over Binds; the run reads
+	// it directly, so the caller must not mutate it while the run is
+	// open.
+	Resolved ResolvedBinds
+}
+
+// ResolvedBind is one parameter binding resolved against the plan's
+// dictionary: the bound term, its ID, and whether the term occurs in
+// the data at all (scans with an absent term in their prefix match
+// nothing; filters still compare the term's text).
+type ResolvedBind struct {
+	Term   rdf.Term
+	ID     dict.ID
+	InDict bool
+}
+
+// ResolvedBinds maps placeholder names to pre-resolved bindings. Build
+// one with Compiled.ResolveBinds and pass it as Options.Resolved to
+// amortise dictionary lookups across a batch of runs.
+type ResolvedBinds map[string]ResolvedBind
+
+// ResolveBinds looks every binding up in the plan's dictionary once,
+// for batched executions: resolve a batch's terms up front (reusing
+// entries across executions whose bindings repeat), then start each
+// run with Options.Resolved instead of Options.Binds.
+func (c *Compiled) ResolveBinds(binds map[string]rdf.Term) ResolvedBinds {
+	if len(binds) == 0 {
+		return nil
+	}
+	out := make(ResolvedBinds, len(binds))
+	for name, t := range binds {
+		out[name] = c.ResolveTerm(t)
+	}
+	return out
+}
+
+// ResolveTerm resolves one term against the plan's dictionary — the
+// building block batched callers use to memoise lookups for terms that
+// repeat across a batch's executions.
+func (c *Compiled) ResolveTerm(t rdf.Term) ResolvedBind {
+	id, inDict := c.eng.src.Dict().Lookup(t)
+	return ResolvedBind{Term: t, ID: id, InDict: inDict}
 }
 
 // ErrUnboundParam reports a run of a parameterized plan that did not
@@ -111,16 +156,38 @@ type runEnv struct {
 	sortM *OpMetrics
 	// binds are the run's resolved parameter bindings: Options.Binds
 	// looked up in the dictionary once, consulted by scans and filters
-	// holding placeholder slots when they open.
-	binds map[string]boundParam
+	// holding placeholder slots when they open. resolved carries
+	// Options.Resolved verbatim instead — the batched path skips even
+	// the per-run conversion map; at most one of the two is non-nil.
+	binds    map[string]boundParam
+	resolved ResolvedBinds
+	// epoch is the dataset epoch of the snapshot the run is pinned to —
+	// the compiled plan's engine epoch, fixed for the run's whole
+	// lifetime however many commits land meanwhile.
+	epoch uint64
 }
 
 // bind returns the resolved binding of a placeholder. The run
 // constructor validates that every placeholder of the plan is bound, so
 // a miss here is a programming error surfaced as an erroring iterator.
 func (rt *runEnv) bind(name string) (boundParam, bool) {
-	b, ok := rt.binds[name]
-	return b, ok
+	if rt.binds != nil {
+		b, ok := rt.binds[name]
+		return b, ok
+	}
+	b, ok := rt.resolved[name]
+	return boundParam{term: b.Term, id: b.ID, inDict: b.InDict}, ok
+}
+
+// hasBind reports whether a placeholder is covered by the run's
+// bindings, whichever form they arrived in.
+func (rt *runEnv) hasBind(name string) bool {
+	if rt.binds != nil {
+		_, ok := rt.binds[name]
+		return ok
+	}
+	_, ok := rt.resolved[name]
+	return ok
 }
 
 // addCleanup registers a resource-release hook run once at shutdown.
@@ -1014,7 +1081,7 @@ func (c *Compiled) run(opts Options, countsOnly bool) *Run {
 }
 
 func (c *Compiled) runCtx(ctx context.Context, opts Options, countsOnly bool) *Run {
-	rt := &runEnv{opts: opts, countsOnly: countsOnly, done: make(chan struct{})}
+	rt := &runEnv{opts: opts, countsOnly: countsOnly, done: make(chan struct{}), epoch: c.eng.epoch}
 	if opts.Parallelism > 1 {
 		rt.sem = make(chan struct{}, opts.Parallelism)
 	}
@@ -1023,9 +1090,12 @@ func (c *Compiled) runCtx(ctx context.Context, opts Options, countsOnly bool) *R
 	}
 	r := &Run{c: c, rt: rt}
 	// Bind step: resolve every placeholder binding against the
-	// dictionary once per run, then validate the plan's placeholders are
-	// all covered — before any operator opens or worker starts.
-	if len(opts.Binds) > 0 {
+	// dictionary once per run (pre-resolved batched bindings skip the
+	// lookups), then validate the plan's placeholders are all covered —
+	// before any operator opens or worker starts.
+	if len(opts.Resolved) > 0 {
+		rt.resolved = opts.Resolved
+	} else if len(opts.Binds) > 0 {
 		d := c.eng.src.Dict()
 		rt.binds = make(map[string]boundParam, len(opts.Binds))
 		for name, t := range opts.Binds {
@@ -1034,7 +1104,7 @@ func (c *Compiled) runCtx(ctx context.Context, opts Options, countsOnly bool) *R
 		}
 	}
 	for _, name := range c.params {
-		if _, ok := rt.binds[name]; !ok {
+		if !rt.hasBind(name) {
 			rt.cancel(nil)
 			r.it = emptyIter{}
 			r.err = fmt.Errorf("%w $%s", ErrUnboundParam, name)
@@ -1162,3 +1232,9 @@ func (r *Run) SortStats() *SortStats { return r.rt.sortStats }
 // SortMetrics returns the sort operator's row/time metrics on analyze
 // runs (nil otherwise, and nil for plans without a sort operator).
 func (r *Run) SortMetrics() *OpMetrics { return r.rt.sortM }
+
+// Epoch returns the dataset epoch the run is pinned to: the snapshot
+// its compiled plan was built against. The pin holds for the run's
+// whole lifetime — commits published after the run started never
+// change what it reads.
+func (r *Run) Epoch() uint64 { return r.rt.epoch }

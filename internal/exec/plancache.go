@@ -40,6 +40,11 @@ type CacheStats struct {
 	// that text keying would have missed (constant-only variations of a
 	// cached query shape). Recorded by MarkTemplateHit.
 	TemplateHits int64
+	// Invalidations counts entries dropped lazily because a lookup
+	// arrived with a newer dataset epoch than the entry was compiled at
+	// — the MVCC staleness guard. Every invalidation also counts as a
+	// miss (the caller re-plans against the current snapshot).
+	Invalidations int64
 	// Len is the current number of cached entries.
 	Len int
 	// Cap is the cache's capacity.
@@ -53,21 +58,36 @@ type CacheStats struct {
 // public facade stores its parse+plan+compile bundles — and the cache
 // never copies or mutates them, so cached plans must be safe for
 // concurrent runs (Compiled is).
+//
+// The cache is shared across MVCC snapshots of a live dataset: every
+// entry records the dataset epoch it was compiled at, lookups carry the
+// caller's current epoch, and a hit whose entry is from an older epoch
+// is invalidated lazily — the entry is dropped, Invalidations counts
+// it, and the lookup reports a miss so the caller re-plans against the
+// current snapshot. A stale compiled plan is therefore never served.
 type PlanCache struct {
-	mu           sync.Mutex
-	cap          int
-	ll           *list.List // front = most recently used
-	m            map[CacheKey]*list.Element
-	aliases      map[CacheKey]aliasVal
-	hits         int64
-	misses       int64
-	templateHits int64
+	mu            sync.Mutex
+	cap           int
+	ll            *list.List // front = most recently used
+	m             map[CacheKey]*list.Element
+	aliases       map[CacheKey]aliasVal
+	hits          int64
+	misses        int64
+	templateHits  int64
+	invalidations int64
+	// maxEpoch is the newest epoch any entry was added at — the cache's
+	// notion of "current". Adds from older epochs (stragglers racing a
+	// commit) are dropped so they can never evict current plans.
+	maxEpoch uint64
 }
 
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
 	key CacheKey
 	val any
+	// epoch is the dataset epoch the entry was compiled at; lookups from
+	// newer epochs invalidate the entry instead of hitting it.
+	epoch uint64
 	// aliases lists the alias keys pointing at this entry, so eviction
 	// removes them together.
 	aliases []CacheKey
@@ -99,9 +119,15 @@ func NewPlanCache(n int) *PlanCache {
 	}
 }
 
-// Get returns the value cached under k, marking it most recently used,
-// and records a hit or miss.
-func (c *PlanCache) Get(k CacheKey) (any, bool) {
+// Get returns the value cached under k for the caller's dataset epoch,
+// marking it most recently used, and records a hit or miss. An entry
+// compiled at an older epoch than the caller's is invalidated
+// (dropped, counted in Invalidations) and reported as a miss; an entry
+// from a newer epoch — an in-flight request still pinned to a
+// superseded snapshot racing a commit — is left in place and reported
+// as a plain miss, so stragglers never evict the current epoch's
+// plans.
+func (c *PlanCache) Get(k CacheKey, epoch uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[k]
@@ -109,21 +135,56 @@ func (c *PlanCache) Get(k CacheKey) (any, bool) {
 		c.misses++
 		return nil, false
 	}
+	ent := e.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		c.mismatch(e, ent, epoch)
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(e)
-	return e.Value.(*cacheEntry).val, true
+	return ent.val, true
 }
 
-// Add caches v under k, evicting the least recently used entry (and
-// its aliases) when the cache is full. Re-adding an existing key
-// replaces its value and drops its aliases — they may embed the old
-// value.
-func (c *PlanCache) Add(k CacheKey, v any) {
+// mismatch books an epoch-mismatched lookup as a miss, dropping the
+// entry only when it is the stale side (older than the caller).
+// Callers hold mu.
+func (c *PlanCache) mismatch(e *list.Element, ent *cacheEntry, epoch uint64) {
+	if ent.epoch < epoch {
+		c.invalidateEntry(e, ent)
+	}
+	c.misses++
+}
+
+// invalidateEntry drops a stale entry (aliases included) and counts
+// the invalidation — the one place epoch-staleness eviction happens.
+// Callers hold mu.
+func (c *PlanCache) invalidateEntry(e *list.Element, ent *cacheEntry) {
+	c.ll.Remove(e)
+	delete(c.m, ent.key)
+	c.dropAliases(ent)
+	c.invalidations++
+}
+
+// Add caches v under k at the given dataset epoch, evicting the least
+// recently used entry (and its aliases) when the cache is full.
+// Re-adding an existing key replaces its value and epoch and drops its
+// aliases — they may embed the old value. Stragglers are rejected
+// entirely: an Add from an epoch older than the newest the cache has
+// seen (a request re-planning against a superseded snapshot while
+// commits race past it) inserts nothing, so it can neither displace a
+// current-epoch entry under its key nor evict one from a full cache;
+// the straggler's own execution still uses the plan it built.
+func (c *PlanCache) Add(k CacheKey, v any, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if epoch < c.maxEpoch {
+		return
+	}
+	c.maxEpoch = epoch
 	if e, ok := c.m[k]; ok {
 		ent := e.Value.(*cacheEntry)
 		ent.val = v
+		ent.epoch = epoch
 		c.dropAliases(ent)
 		c.ll.MoveToFront(e)
 		return
@@ -135,7 +196,7 @@ func (c *PlanCache) Add(k CacheKey, v any) {
 		delete(c.m, ent.key)
 		c.dropAliases(ent)
 	}
-	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, val: v, epoch: epoch})
 }
 
 // dropAliases removes an entry's alias-index slots. Callers hold mu.
@@ -150,13 +211,15 @@ func (c *PlanCache) dropAliases(ent *cacheEntry) {
 // — the exact-text fast path in front of template normalisation. The
 // alias carries its own value v (the caller's view of the shared
 // entry), lives exactly as long as the entry, does not consume LRU
-// capacity, and is dropped silently when the entry is absent or
+// capacity, and is dropped silently when the entry is absent, was
+// compiled at a different epoch than the caller's view (a straggler
+// must not attach a superseded view to the current epoch's entry), or
 // already carries maxAliases aliases.
-func (c *PlanCache) AddAlias(alias, k CacheKey, v any) {
+func (c *PlanCache) AddAlias(alias, k CacheKey, v any, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[k]
-	if !ok {
+	if !ok || e.Value.(*cacheEntry).epoch != epoch {
 		return
 	}
 	c.addAliasLocked(alias, e, v)
@@ -179,8 +242,9 @@ func (c *PlanCache) addAliasLocked(alias CacheKey, e *list.Element, v any) {
 // one critical section: on a hit, templateHit(v) reporting true bumps
 // the template-hit counter, and the alias key is registered to
 // aliasVal(v) (see AddAlias). Both callbacks run under the cache lock
-// and must be cheap and must not call back into the cache.
-func (c *PlanCache) GetServe(k, alias CacheKey, templateHit func(any) bool, aliasVal func(any) any) (any, bool) {
+// and must be cheap and must not call back into the cache. Stale-epoch
+// entries are invalidated and reported as misses, like Get.
+func (c *PlanCache) GetServe(k, alias CacheKey, epoch uint64, templateHit func(any) bool, aliasVal func(any) any) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[k]
@@ -188,9 +252,14 @@ func (c *PlanCache) GetServe(k, alias CacheKey, templateHit func(any) bool, alia
 		c.misses++
 		return nil, false
 	}
+	ent := e.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		c.mismatch(e, ent, epoch)
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(e)
-	v := e.Value.(*cacheEntry).val
+	v := ent.val
 	if templateHit(v) {
 		c.templateHits++
 	}
@@ -198,15 +267,28 @@ func (c *PlanCache) GetServe(k, alias CacheKey, templateHit func(any) bool, alia
 	return v, true
 }
 
-// GetAlias returns the value stored under an alias key, marking the
-// underlying entry most recently used. A found alias counts as a hit;
-// a missing one counts nothing — the caller falls through to the
-// normalised Get, which records the lookup's outcome.
-func (c *PlanCache) GetAlias(alias CacheKey) (any, bool) {
+// GetAlias returns the value stored under an alias key for the
+// caller's dataset epoch, marking the underlying entry most recently
+// used. A found alias counts as a hit; an alias whose entry is from an
+// older epoch invalidates the entry (alias included) without counting
+// a miss here, and one from a newer epoch is simply skipped — in both
+// of the latter cases, as for a missing alias, the caller falls
+// through to the normalised Get, which records the lookup's outcome.
+func (c *PlanCache) GetAlias(alias CacheKey, epoch uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a, ok := c.aliases[alias]
 	if !ok {
+		return nil, false
+	}
+	ent := a.e.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		// The fall-through Get books the miss; record only the
+		// invalidation here (stale entries only), so one mismatched
+		// lookup is not double-counted.
+		if ent.epoch < epoch {
+			c.invalidateEntry(a.e, ent)
+		}
 		return nil, false
 	}
 	c.hits++
@@ -237,5 +319,12 @@ func (c *PlanCache) Cap() int { return c.cap }
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, TemplateHits: c.templateHits, Len: c.ll.Len(), Cap: c.cap}
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		TemplateHits:  c.templateHits,
+		Invalidations: c.invalidations,
+		Len:           c.ll.Len(),
+		Cap:           c.cap,
+	}
 }

@@ -14,20 +14,20 @@ func ck(q string) CacheKey {
 // eviction order.
 func TestPlanCacheLRU(t *testing.T) {
 	c := NewPlanCache(2)
-	if _, ok := c.Get(ck("a")); ok {
+	if _, ok := c.Get(ck("a"), 0); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.Add(ck("a"), "A")
-	c.Add(ck("b"), "B")
-	if v, ok := c.Get(ck("a")); !ok || v != "A" {
+	c.Add(ck("a"), "A", 0)
+	c.Add(ck("b"), "B", 0)
+	if v, ok := c.Get(ck("a"), 0); !ok || v != "A" {
 		t.Fatalf("Get(a) = %v, %v", v, ok)
 	}
 	// a is now most recently used; adding c must evict b.
-	c.Add(ck("c"), "C")
-	if _, ok := c.Get(ck("b")); ok {
+	c.Add(ck("c"), "C", 0)
+	if _, ok := c.Get(ck("b"), 0); ok {
 		t.Fatal("b survived eviction; LRU order wrong")
 	}
-	if _, ok := c.Get(ck("a")); !ok {
+	if _, ok := c.Get(ck("a"), 0); !ok {
 		t.Fatal("a was evicted; LRU order wrong")
 	}
 	s := c.Stats()
@@ -50,10 +50,10 @@ func TestPlanCacheKeyDistinguishes(t *testing.T) {
 		{Query: "q", Planner: "hsp", Engine: "monet", Parallelism: 4},
 	}
 	for i, k := range keys {
-		c.Add(k, i)
+		c.Add(k, i, 0)
 	}
 	for i, k := range keys {
-		v, ok := c.Get(k)
+		v, ok := c.Get(k, 0)
 		if !ok || v != i {
 			t.Fatalf("Get(%+v) = %v, %v; want %d", k, v, ok, i)
 		}
@@ -64,12 +64,12 @@ func TestPlanCacheKeyDistinguishes(t *testing.T) {
 // be replaced without growing the cache.
 func TestPlanCacheReplace(t *testing.T) {
 	c := NewPlanCache(4)
-	c.Add(ck("a"), 1)
-	c.Add(ck("a"), 2)
+	c.Add(ck("a"), 1, 0)
+	c.Add(ck("a"), 2, 0)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d after double Add", c.Len())
 	}
-	if v, _ := c.Get(ck("a")); v != 2 {
+	if v, _ := c.Get(ck("a"), 0); v != 2 {
 		t.Fatalf("Get = %v, want 2", v)
 	}
 }
@@ -80,10 +80,101 @@ func TestPlanCacheMinimumCapacity(t *testing.T) {
 	if c.Cap() != 1 {
 		t.Fatalf("Cap = %d, want 1", c.Cap())
 	}
-	c.Add(ck("a"), 1)
-	c.Add(ck("b"), 2)
+	c.Add(ck("a"), 1, 0)
+	c.Add(ck("b"), 2, 0)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestPlanCacheEpochInvalidation is the MVCC staleness guard: an entry
+// compiled at an older dataset epoch is never served to a newer-epoch
+// lookup — it is dropped lazily, counted in Invalidations, and the
+// lookup misses so the caller re-plans.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	c := NewPlanCache(8)
+	c.Add(ck("q"), "old", 1)
+	if v, ok := c.Get(ck("q"), 1); !ok || v != "old" {
+		t.Fatalf("same-epoch Get = %v, %v", v, ok)
+	}
+	if _, ok := c.Get(ck("q"), 2); ok {
+		t.Fatal("stale-epoch entry was served")
+	}
+	s := c.Stats()
+	if s.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", s.Invalidations)
+	}
+	if s.Len != 0 {
+		t.Fatalf("stale entry not dropped: Len = %d", s.Len)
+	}
+	// Re-adding at the new epoch serves again.
+	c.Add(ck("q"), "new", 2)
+	if v, ok := c.Get(ck("q"), 2); !ok || v != "new" {
+		t.Fatalf("new-epoch Get = %v, %v", v, ok)
+	}
+
+	// Aliases invalidate with their entry.
+	c.Add(ck("t"), "tpl", 2)
+	c.AddAlias(ck("alias"), ck("t"), "view", 2)
+	if v, ok := c.GetAlias(ck("alias"), 2); !ok || v != "view" {
+		t.Fatalf("same-epoch GetAlias = %v, %v", v, ok)
+	}
+	if _, ok := c.GetAlias(ck("alias"), 3); ok {
+		t.Fatal("stale-epoch alias was served")
+	}
+	if _, ok := c.Get(ck("t"), 3); ok {
+		t.Fatal("stale entry survived alias invalidation")
+	}
+	if s := c.Stats(); s.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d, want 2", s.Invalidations)
+	}
+}
+
+// TestPlanCacheStragglerKeepsFreshEntries: an in-flight request pinned
+// to a superseded epoch must neither be served the newer entry, nor
+// evict it, nor displace it with its own re-planned stale entry — so a
+// commit racing slow requests never makes the cache thrash.
+func TestPlanCacheStragglerKeepsFreshEntries(t *testing.T) {
+	c := NewPlanCache(8)
+	c.Add(ck("q"), "fresh", 5)
+
+	// Older-epoch lookup: plain miss, no invalidation, entry retained.
+	if _, ok := c.Get(ck("q"), 4); ok {
+		t.Fatal("newer entry served to an older-epoch caller")
+	}
+	s := c.Stats()
+	if s.Invalidations != 0 || s.Misses != 1 || s.Len != 1 {
+		t.Fatalf("straggler lookup stats = %+v", s)
+	}
+
+	// The straggler re-plans and re-adds at its old epoch: ignored.
+	c.Add(ck("q"), "stale", 4)
+	if v, ok := c.Get(ck("q"), 5); !ok || v != "fresh" {
+		t.Fatalf("current epoch lost its entry: %v, %v", v, ok)
+	}
+
+	// Even under a *different* key and a full cache, a stale Add must
+	// not evict current-epoch entries.
+	full := NewPlanCache(1)
+	full.Add(ck("hot"), "fresh", 9)
+	full.Add(ck("other"), "stale", 8)
+	if v, ok := full.Get(ck("hot"), 9); !ok || v != "fresh" {
+		t.Fatalf("stale Add evicted the current entry from a full cache: %v, %v", v, ok)
+	}
+
+	// A straggler alias must not attach its view to the fresh entry.
+	c.AddAlias(ck("a"), ck("q"), "stale-view", 4)
+	if _, ok := c.GetAlias(ck("a"), 5); ok {
+		t.Fatal("stale view attached to the fresh entry")
+	}
+
+	// Older-epoch alias lookups also leave the fresh entry alone.
+	c.AddAlias(ck("a"), ck("q"), "view", 5)
+	if _, ok := c.GetAlias(ck("a"), 4); ok {
+		t.Fatal("fresh alias served to an older-epoch caller")
+	}
+	if v, ok := c.GetAlias(ck("a"), 5); !ok || v != "view" {
+		t.Fatalf("fresh alias lost: %v, %v", v, ok)
 	}
 }
 
@@ -98,8 +189,8 @@ func TestPlanCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				k := ck(fmt.Sprintf("q%d", (w+i)%32))
-				if _, ok := c.Get(k); !ok {
-					c.Add(k, w)
+				if _, ok := c.Get(k, 0); !ok {
+					c.Add(k, w, 0)
 				}
 			}
 		}(w)

@@ -103,39 +103,51 @@ func Parameterize(q *Query) *Template {
 	return &Template{Query: out, Text: out.String(), Rename: pz.rename, Binds: pz.binds}
 }
 
+// ForEachPattern visits every triple pattern of the query — all UNION
+// branches, base patterns and OPTIONAL groups alike — until fn returns
+// false. It is the one traversal parameter-validation facts are
+// derived from (CheckBindKinds, BindsChangeSelectivityClass, and the
+// facade's batched-execution fast path), so a new pattern container
+// only has to be added here.
+func ForEachPattern(q *Query, fn func(TriplePattern) bool) {
+	for _, br := range q.Branches() {
+		for _, tp := range br.Patterns {
+			if !fn(tp) {
+				return
+			}
+		}
+		for _, g := range br.Optionals {
+			for _, tp := range g.Patterns {
+				if !fn(tp) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // CheckBindKinds validates that bound terms satisfy the RDF data model
 // at every position their placeholder occupies: no literal subjects and
 // only IRI predicates. Filter right-hand sides accept any kind. Missing
 // bindings are not reported here (the executor rejects them).
 func CheckBindKinds(q *Query, binds map[string]rdf.Term) error {
-	check := func(tp TriplePattern) error {
+	var err error
+	ForEachPattern(q, func(tp TriplePattern) bool {
 		if tp.S.IsParam() {
 			if t, ok := binds[tp.S.Param]; ok && t.Kind == rdf.Literal {
-				return fmt.Errorf("sparql: parameter $%s binds literal %s in subject position", tp.S.Param, t)
+				err = fmt.Errorf("sparql: parameter $%s binds literal %s in subject position", tp.S.Param, t)
+				return false
 			}
 		}
 		if tp.P.IsParam() {
 			if t, ok := binds[tp.P.Param]; ok && t.Kind != rdf.IRI {
-				return fmt.Errorf("sparql: parameter $%s binds non-IRI %s in predicate position", tp.P.Param, t)
+				err = fmt.Errorf("sparql: parameter $%s binds non-IRI %s in predicate position", tp.P.Param, t)
+				return false
 			}
 		}
-		return nil
-	}
-	for _, br := range q.Branches() {
-		for _, tp := range br.Patterns {
-			if err := check(tp); err != nil {
-				return err
-			}
-		}
-		for _, g := range br.Optionals {
-			for _, tp := range g.Patterns {
-				if err := check(tp); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
+		return true
+	})
+	return err
 }
 
 // BindsChangeSelectivityClass reports whether the bindings change the
@@ -146,28 +158,17 @@ func CheckBindKinds(q *Query, binds map[string]rdf.Term) error {
 // exception demotes (rdf:type "should not be considered as selective")
 // while the template was planned assuming an ordinary predicate.
 func BindsChangeSelectivityClass(q *Query, binds map[string]rdf.Term) bool {
-	hit := func(tp TriplePattern) bool {
-		if !tp.P.IsParam() {
-			return false
-		}
-		t, ok := binds[tp.P.Param]
-		return ok && t.Kind == rdf.IRI && t.Value == RDFType
-	}
-	for _, br := range q.Branches() {
-		for _, tp := range br.Patterns {
-			if hit(tp) {
-				return true
+	hit := false
+	ForEachPattern(q, func(tp TriplePattern) bool {
+		if tp.P.IsParam() {
+			if t, ok := binds[tp.P.Param]; ok && t.Kind == rdf.IRI && t.Value == RDFType {
+				hit = true
+				return false
 			}
 		}
-		for _, g := range br.Optionals {
-			for _, tp := range g.Patterns {
-				if hit(tp) {
-					return true
-				}
-			}
-		}
-	}
-	return false
+		return true
+	})
+	return hit
 }
 
 // BindParams substitutes concrete terms for every parameter placeholder

@@ -1,0 +1,124 @@
+// Cross-planning statistics memoisation for live datasets.
+//
+// An Estimator's cache lives for one planning session; a Memo lives for
+// one dataset snapshot and is shared by every planning against it, so
+// the cost-based planners (CDP, SQL, hybrid) stop re-deriving the same
+// selection counts query after query. On commit the memo is not thrown
+// away: CarryOver inspects the transaction's delta and retains every
+// entry whose underlying index range the delta cannot have touched,
+// dropping only the entries it may have — incremental refresh instead
+// of a cold start, so selectivity estimates track the live data at a
+// fraction of the recomputation cost.
+
+package stats
+
+import (
+	"sync"
+
+	"github.com/sparql-hsp/hsp/internal/dict"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// Memo is a concurrency-safe cache of index-derived statistics
+// (selection cardinalities and distinct counts) pinned to one dataset
+// snapshot. Entries record the ordering and constant prefix they were
+// answered from, which is what lets CarryOver decide whether a commit's
+// delta could have changed them. Share one Memo across plannings with
+// NewShared.
+type Memo struct {
+	mu sync.RWMutex
+	m  map[string]memoEntry
+}
+
+// memoEntry is one cached statistic with its provenance: the value was
+// computed over the triples of ordering o whose leading components
+// equal prefix.
+type memoEntry struct {
+	val    int
+	o      store.Ordering
+	prefix []dict.ID
+}
+
+// NewMemo returns an empty statistics memo.
+func NewMemo() *Memo {
+	return &Memo{m: make(map[string]memoEntry)}
+}
+
+// get returns the memoised value for a key.
+func (m *Memo) get(key string) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.m[key]
+	return e.val, ok
+}
+
+// put memoises a value with the index range it was answered from.
+func (m *Memo) put(key string, val int, o store.Ordering, prefix []dict.ID) {
+	m.mu.Lock()
+	m.m[key] = memoEntry{val: val, o: o, prefix: append([]dict.ID(nil), prefix...)}
+	m.mu.Unlock()
+}
+
+// Len returns the number of memoised statistics.
+func (m *Memo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
+}
+
+// carryOverMaxDelta bounds the per-entry delta scan: past this many
+// changed triples a fresh memo is cheaper than checking every entry
+// against every triple, so CarryOver starts cold instead.
+const carryOverMaxDelta = 512
+
+// CarryOver derives the successor snapshot's memo from this one after a
+// commit: entries whose (ordering, prefix) range no delta triple falls
+// into are retained verbatim — the delta cannot have changed a count it
+// never touched — and entries the delta may have changed are dropped,
+// to be re-derived lazily from the new snapshot's indexes. Deltas
+// larger than an internal bound return an empty memo (a cold start
+// beats a quadratic scan). The receiver is not modified and remains
+// correct for the predecessor snapshot.
+func (m *Memo) CarryOver(inserted, deleted []store.Triple) *Memo {
+	next := NewMemo()
+	delta := len(inserted) + len(deleted)
+	if delta == 0 || delta > carryOverMaxDelta {
+		if delta == 0 {
+			m.mu.RLock()
+			for k, e := range m.m {
+				next.m[k] = e
+			}
+			m.mu.RUnlock()
+		}
+		return next
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+entries:
+	for k, e := range m.m {
+		perm := e.o.Perm()
+		for _, t := range inserted {
+			if prefixMatches(t, perm, e.prefix) {
+				continue entries
+			}
+		}
+		for _, t := range deleted {
+			if prefixMatches(t, perm, e.prefix) {
+				continue entries
+			}
+		}
+		next.m[k] = e
+	}
+	return next
+}
+
+// prefixMatches reports whether triple t (canonical s,p,o layout) falls
+// into the index range of ordering perm with the given constant prefix.
+func prefixMatches(t store.Triple, perm [3]store.Pos, prefix []dict.ID) bool {
+	for i, want := range prefix {
+		if t.Get(perm[i]) != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package stats_test
+
+import (
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/stats"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+// memoStore builds a small store: three subjects carrying p1, one of
+// them also p2.
+func memoStore(t *testing.T) *store.Store {
+	t.Helper()
+	b := store.NewBuilder(nil)
+	add := func(s, p, o string) {
+		b.Add(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewLiteral(o)})
+	}
+	add("s1", "p1", "a")
+	add("s2", "p1", "b")
+	add("s3", "p1", "c")
+	add("s1", "p2", "x")
+	return b.Build()
+}
+
+func pat(t *testing.T, text string) sparql.TriplePattern {
+	t.Helper()
+	q, err := sparql.Parse("SELECT ?s WHERE { " + text + " }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Patterns[0]
+}
+
+func TestMemoSharedAcrossSessions(t *testing.T) {
+	st := memoStore(t)
+	m := stats.NewMemo()
+	tp := pat(t, `?s <p1> ?o`)
+
+	e1 := stats.NewShared(st, m)
+	if got := e1.PatternCard(tp); got != 3 {
+		t.Fatalf("card = %d, want 3", got)
+	}
+	if m.Len() == 0 {
+		t.Fatal("memo not fed")
+	}
+	// A second planning session reuses the memo (same answer, no state
+	// shared through the estimator itself).
+	e2 := stats.NewShared(st, m)
+	if got := e2.PatternCard(tp); got != 3 {
+		t.Fatalf("memoised card = %d, want 3", got)
+	}
+}
+
+func TestMemoCarryOver(t *testing.T) {
+	st := memoStore(t)
+	m := stats.NewMemo()
+	e := stats.NewShared(st, m)
+	p1 := pat(t, `?s <p1> ?o`)
+	p2 := pat(t, `?s <p2> ?o`)
+	e.PatternCard(p1)
+	e.PatternCard(p2)
+	e.PatternDistinct(p1, "s")
+	before := m.Len()
+	if before < 3 {
+		t.Fatalf("memo holds %d entries, want >= 3", before)
+	}
+
+	d := st.Dict()
+	id := func(term rdf.Term) uint64 {
+		v, ok := d.Lookup(term)
+		if !ok {
+			t.Fatalf("term %v not in dict", term)
+		}
+		return v
+	}
+	// A delta touching only p2 must keep every p1-derived entry and drop
+	// the p2 count.
+	delta := []store.Triple{{id(rdf.NewIRI("s2")), id(rdf.NewIRI("p2")), id(rdf.NewLiteral("x"))}}
+	next := m.CarryOver(delta, nil)
+	if next.Len() != before-1 {
+		t.Fatalf("carry-over kept %d of %d entries, want %d", next.Len(), before, before-1)
+	}
+
+	// An empty delta carries everything over; a huge one starts cold.
+	if full := m.CarryOver(nil, nil); full.Len() != before {
+		t.Fatalf("empty delta kept %d, want %d", full.Len(), before)
+	}
+	big := make([]store.Triple, 600)
+	for i := range big {
+		big[i] = store.Triple{uint64(i + 1), uint64(i + 1), uint64(i + 1)}
+	}
+	if cold := m.CarryOver(big, nil); cold.Len() != 0 {
+		t.Fatalf("oversized delta kept %d entries, want 0", cold.Len())
+	}
+
+	// The retained entries answer correctly for the successor store.
+	e3 := stats.NewShared(st, next)
+	if got := e3.PatternCard(p1); got != 3 {
+		t.Fatalf("carried-over card = %d, want 3", got)
+	}
+}

@@ -25,14 +25,24 @@ type Provider interface {
 }
 
 // Estimator caches pattern statistics for one query planning session.
+// With a shared Memo (NewShared) index-derived statistics additionally
+// persist across sessions pinned to the same dataset snapshot.
 type Estimator struct {
 	p     Provider
 	cards map[string]int
+	memo  *Memo
 }
 
 // New returns an estimator over a provider.
 func New(p Provider) *Estimator {
 	return &Estimator{p: p, cards: map[string]int{}}
+}
+
+// NewShared returns an estimator over a provider that reads and feeds
+// the given cross-planning memo. The memo must be pinned to the same
+// dataset snapshot as the provider; pass nil to behave like New.
+func NewShared(p Provider, m *Memo) *Estimator {
+	return &Estimator{p: p, cards: map[string]int{}, memo: m}
 }
 
 // Provider returns the underlying statistics provider.
@@ -135,13 +145,33 @@ func (e *Estimator) PatternCard(tp sparql.TriplePattern) int {
 	} else {
 		o := OrderingFor(tp, "")
 		if prefix, ok := e.prefixIDs(tp, o); ok {
-			c = e.p.Count(o, prefix)
-			// A repeated variable (?x p ?x) halves nothing we can compute
-			// cheaply; keep the upper bound.
+			if v, hit := e.memoGet(key); hit {
+				c = v
+			} else {
+				c = e.p.Count(o, prefix)
+				// A repeated variable (?x p ?x) halves nothing we can
+				// compute cheaply; keep the upper bound.
+				e.memoPut(key, c, o, prefix)
+			}
 		}
 	}
 	e.cards[key] = c
 	return c
+}
+
+// memoGet consults the shared cross-planning memo, if one is attached.
+func (e *Estimator) memoGet(key string) (int, bool) {
+	if e.memo == nil {
+		return 0, false
+	}
+	return e.memo.get(key)
+}
+
+// memoPut feeds the shared cross-planning memo, if one is attached.
+func (e *Estimator) memoPut(key string, val int, o store.Ordering, prefix []dict.ID) {
+	if e.memo != nil {
+		e.memo.put(key, val, o, prefix)
+	}
 }
 
 // PatternDistinct returns the exact number of distinct bindings of v in
@@ -163,7 +193,12 @@ func (e *Estimator) PatternDistinct(tp sparql.TriplePattern, v sparql.Var) int {
 	} else {
 		o := OrderingFor(tp, v)
 		if prefix, ok := e.prefixIDs(tp, o); ok {
-			c = e.p.DistinctInRange(o, prefix)
+			if mv, hit := e.memoGet(key); hit {
+				c = mv
+			} else {
+				c = e.p.DistinctInRange(o, prefix)
+				e.memoPut(key, c, o, prefix)
+			}
 		}
 	}
 	e.cards[key] = c

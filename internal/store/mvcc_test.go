@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// buildStore encodes triples given as (s,p,o) value numbers.
+func buildStore(t *testing.T, triples [][3]int) *Store {
+	t.Helper()
+	b := NewBuilder(nil)
+	for _, tr := range triples {
+		b.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("s%d", tr[0])),
+			P: rdf.NewIRI(fmt.Sprintf("p%d", tr[1])),
+			O: rdf.NewLiteral(fmt.Sprintf("o%d", tr[2])),
+		})
+	}
+	return b.Build()
+}
+
+// encode returns the store's dictionary IDs for an (s,p,o) value tuple,
+// encoding fresh terms as needed.
+func encode(st *Store, tr [3]int) Triple {
+	d := st.Dict()
+	return Triple{
+		d.Encode(rdf.NewIRI(fmt.Sprintf("s%d", tr[0]))),
+		d.Encode(rdf.NewIRI(fmt.Sprintf("p%d", tr[1]))),
+		d.Encode(rdf.NewLiteral(fmt.Sprintf("o%d", tr[2]))),
+	}
+}
+
+// assertEqualsRebuild checks every ordering of got against a from-scratch
+// rebuild of the expected triple set.
+func assertEqualsRebuild(t *testing.T, got *Store, want []Triple) {
+	t.Helper()
+	b := NewBuilder(got.Dict())
+	for _, tr := range want {
+		b.AddIDs(tr[S], tr[P], tr[O])
+	}
+	ref := b.Build()
+	for o := Ordering(0); o < NumOrderings; o++ {
+		g, w := got.Rel(o), ref.Rel(o)
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d triples, want %d", o, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s[%d] = %v, want %v", o, i, g[i], w[i])
+			}
+		}
+	}
+	for _, p := range []struct {
+		pos Pos
+	}{{S}, {P}, {O}} {
+		if g, w := got.DistinctValues(p.pos), ref.DistinctValues(p.pos); g != w {
+			t.Fatalf("distinct[%s] = %d, want %d", p.pos, g, w)
+		}
+	}
+}
+
+func TestSnapshotApplyInsertDelete(t *testing.T) {
+	st := buildStore(t, [][3]int{{1, 1, 1}, {1, 1, 2}, {2, 1, 1}, {2, 2, 3}})
+	snap := NewSnapshot(st, 7)
+
+	ins := []Triple{
+		encode(st, [3]int{3, 1, 1}), // new subject
+		encode(st, [3]int{1, 1, 1}), // already present: no-op
+		encode(st, [3]int{1, 3, 9}), // new predicate and object
+	}
+	dels := []Triple{
+		encode(st, [3]int{2, 2, 3}), // present: removed
+		encode(st, [3]int{9, 9, 9}), // absent: no-op
+	}
+	next, stats, err := snap.Apply(context.Background(), Delta{Inserts: ins, Deletes: dels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 2 || stats.Deleted != 1 {
+		t.Fatalf("stats = %+v, want Inserted=2 Deleted=1", stats)
+	}
+	if next.Epoch() != 8 {
+		t.Fatalf("epoch = %d, want 8", next.Epoch())
+	}
+	want := []Triple{
+		encode(st, [3]int{1, 1, 1}),
+		encode(st, [3]int{1, 1, 2}),
+		encode(st, [3]int{2, 1, 1}),
+		encode(st, [3]int{3, 1, 1}),
+		encode(st, [3]int{1, 3, 9}),
+	}
+	assertEqualsRebuild(t, next.Store(), want)
+
+	// The predecessor is untouched.
+	if snap.NumTriples() != 4 || snap.Epoch() != 7 {
+		t.Fatalf("base snapshot mutated: %d triples at epoch %d", snap.NumTriples(), snap.Epoch())
+	}
+	if !snap.Store().Contains(encode(st, [3]int{2, 2, 3})) {
+		t.Fatal("base snapshot lost a deleted triple")
+	}
+	if next.Store().Dict() != snap.Store().Dict() {
+		t.Fatal("successor does not share the dictionary")
+	}
+}
+
+func TestSnapshotApplyNoOpKeepsEpoch(t *testing.T) {
+	st := buildStore(t, [][3]int{{1, 1, 1}})
+	snap := NewSnapshot(st, 3)
+	next, stats, err := snap.Apply(context.Background(), Delta{
+		Inserts: []Triple{encode(st, [3]int{1, 1, 1})},
+		Deletes: []Triple{encode(st, [3]int{5, 5, 5})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Changed() {
+		t.Fatalf("no-op delta reported changes: %+v", stats)
+	}
+	if next != snap {
+		t.Fatal("no-op apply did not return the receiver")
+	}
+}
+
+func TestSnapshotApplyDeleteWinsWithinDelta(t *testing.T) {
+	st := buildStore(t, [][3]int{{1, 1, 1}})
+	snap := NewSnapshot(st, 0)
+	tr := encode(st, [3]int{4, 4, 4})
+	next, stats, err := snap.Apply(context.Background(), Delta{Inserts: []Triple{tr}, Deletes: []Triple{tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 0 || next.Store().Contains(tr) {
+		t.Fatal("delete did not win over same-delta insert")
+	}
+}
+
+func TestSnapshotApplyCancelled(t *testing.T) {
+	st := buildStore(t, [][3]int{{1, 1, 1}})
+	snap := NewSnapshot(st, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := snap.Apply(ctx, Delta{Inserts: []Triple{encode(st, [3]int{2, 2, 2})}}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if snap.NumTriples() != 1 {
+		t.Fatal("cancelled apply mutated the snapshot")
+	}
+}
+
+// TestMergeRunsKWay exercises the k-way path directly: several sorted
+// delta runs merged with a base in one pass, equal across sources.
+func TestMergeRunsKWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func(n int) []Triple {
+		out := make([]Triple, n)
+		for i := range out {
+			out[i] = Triple{uint64(rng.Intn(20) + 1), uint64(rng.Intn(5) + 1), uint64(rng.Intn(20) + 1)}
+		}
+		return out
+	}
+	for _, o := range []Ordering{SPO, POS, OPS} {
+		base := mk(200)
+		sort.Slice(base, func(i, j int) bool { return less(o, base[i], base[j]) })
+		base = dedupUnder(o, base)
+		var runs [][]Triple
+		all := append([]Triple(nil), base...)
+		for k := 0; k < 4; k++ {
+			run := mk(50)
+			sort.Slice(run, func(i, j int) bool { return less(o, run[i], run[j]) })
+			run = dedupUnder(o, run)
+			runs = append(runs, run)
+			all = append(all, run...)
+		}
+		dels := map[Triple]struct{}{all[0]: {}, all[len(all)/2]: {}}
+
+		got, err := mergeRuns(context.Background(), o, base, dels, runs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: set union minus deletes, sorted under o.
+		set := map[Triple]struct{}{}
+		for _, tr := range all {
+			if _, gone := dels[tr]; !gone {
+				set[tr] = struct{}{}
+			}
+		}
+		want := make([]Triple, 0, len(set))
+		for tr := range set {
+			want = append(want, tr)
+		}
+		sort.Slice(want, func(i, j int) bool { return less(o, want[i], want[j]) })
+		if len(got) != len(want) {
+			t.Fatalf("%s: merged %d triples, want %d", o, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v, want %v", o, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// dedupUnder removes adjacent duplicates of a slice sorted under o.
+func dedupUnder(o Ordering, ts []Triple) []Triple {
+	if len(ts) == 0 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[i-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}
+
+func TestSnapshotEpochRoundTrip(t *testing.T) {
+	st := buildStore(t, [][3]int{{1, 1, 1}, {2, 1, 2}})
+	snap := NewSnapshot(st, 42)
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epoch() != 42 {
+		t.Fatalf("epoch = %d, want 42", loaded.Epoch())
+	}
+	if loaded.NumTriples() != 2 {
+		t.Fatalf("triples = %d, want 2", loaded.NumTriples())
+	}
+
+	// Epoch-less v1 files still load, at epoch 0.
+	buf.Reset()
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Epoch() != 0 {
+		t.Fatalf("v1 epoch = %d, want 0", v1.Epoch())
+	}
+}

@@ -17,20 +17,40 @@ import (
 // stored, delta-compressed like the RDF-3X leaves. The payload is
 // integrity-checked with CRC-32.
 //
-//	magic "HSPSNP01"
+//	magic "HSPSNP01" | "HSPSNP02"
+//	(HSPSNP02 only) uvarint epoch
 //	uvarint dictLen
 //	dictLen × (kind byte, uvarint len, value bytes)   — IDs 1..dictLen in order
 //	uvarint numTriples
 //	numTriples × gap-compressed (s,p,o)
 //	4-byte little-endian CRC-32 (IEEE) of everything above
-const snapshotMagic = "HSPSNP01"
+//
+// HSPSNP02 adds the snapshot's epoch directly after the magic, so a
+// saved live dataset reloads at the version it was saved at instead of
+// silently resetting epoch-keyed plan-cache entries to epoch 0; both
+// versions load.
+const (
+	snapshotMagic   = "HSPSNP01"
+	snapshotMagicV2 = "HSPSNP02"
+)
 
-// Save writes a snapshot of the store to w.
+// Save writes an epoch-less (HSPSNP01) snapshot of the store to w.
+// Prefer Snapshot.Save for live datasets — it round-trips the epoch.
 func (s *Store) Save(w io.Writer) error {
+	return s.save(w, 0, snapshotMagic)
+}
+
+// Save writes an HSPSNP02 snapshot carrying the snapshot's epoch, so
+// LoadSnapshot resumes the version lineage where it left off.
+func (s *Snapshot) Save(w io.Writer) error {
+	return s.st.save(w, s.epoch, snapshotMagicV2)
+}
+
+func (s *Store) save(w io.Writer, epoch uint64, magic string) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -38,6 +58,11 @@ func (s *Store) Save(w io.Writer) error {
 		n := binary.PutUvarint(scratch[:], v)
 		_, err := bw.Write(scratch[:n])
 		return err
+	}
+	if magic == snapshotMagicV2 {
+		if err := writeUvarint(epoch); err != nil {
+			return err
+		}
 	}
 
 	d := s.Dict()
@@ -97,11 +122,23 @@ func (s *Store) Save(w io.Writer) error {
 	return err
 }
 
-// Load reads a snapshot written by Save and rebuilds the store
-// (including all six orderings). The whole snapshot is read into memory
-// first — the store itself is memory-resident, so this adds no
-// asymptotic cost — and the checksum verified before parsing.
+// Load reads a snapshot written by either Save and rebuilds the store
+// (including all six orderings), dropping any stored epoch. The whole
+// snapshot is read into memory first — the store itself is
+// memory-resident, so this adds no asymptotic cost — and the checksum
+// verified before parsing.
 func Load(r io.Reader) (*Store, error) {
+	snap, err := LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Store(), nil
+}
+
+// LoadSnapshot reads a snapshot written by Store.Save or Snapshot.Save
+// and rebuilds it with its epoch: HSPSNP02 files resume at the epoch
+// they were saved at, epoch-less HSPSNP01 files load at epoch 0.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading snapshot: %w", err)
@@ -119,7 +156,15 @@ func Load(r io.Reader) (*Store, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	var epoch uint64
+	switch string(magic) {
+	case snapshotMagic:
+	case snapshotMagicV2:
+		epoch, err = binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot epoch: %w", err)
+		}
+	default:
 		return nil, fmt.Errorf("store: not a snapshot file (bad magic %q)", magic)
 	}
 
@@ -208,5 +253,5 @@ func Load(r io.Reader) (*Store, error) {
 	if br.Len() != 0 {
 		return nil, fmt.Errorf("store: snapshot has %d trailing bytes", br.Len())
 	}
-	return b.Build(), nil
+	return NewSnapshot(b.Build(), epoch), nil
 }

@@ -33,7 +33,7 @@ done
 # 2. Exported identifiers in the public API files carry doc comments:
 #    a top-level `func|type|const|var Exported…` must be directly
 #    preceded by a comment line.
-for f in hsp.go stream.go serve.go stmt.go; do
+for f in hsp.go stream.go serve.go stmt.go txn.go; do
     awk -v file="$f" '
         /^(func|type|const|var) [A-Z]/ || /^func \([a-z]+ \*?[A-Z][A-Za-z]*\) [A-Z]/ {
             if (prev !~ /^\/\//) {
@@ -54,7 +54,7 @@ done
 
 # 3a. Every public With* execution option of the facade is mentioned
 #     in README.md or under docs/ — an undocumented knob fails CI.
-for opt in $(grep -ho '^func With[A-Za-z]*' hsp.go stream.go serve.go stmt.go | awk '{print $2}' | sort -u); do
+for opt in $(grep -ho '^func With[A-Za-z]*' hsp.go stream.go serve.go stmt.go txn.go | awk '{print $2}' | sort -u); do
     if ! grep -q "$opt" README.md && ! grep -rq "$opt" docs/; then
         err "public option $opt is not mentioned in README.md or docs/"
     fi
@@ -67,6 +67,16 @@ for sym in 'hsp.Bind(' WithMetricsSink; do
     grep -q "$sym" docs/API.md || err "docs/API.md does not document $sym"
 done
 grep -qi 'migration table' docs/API.md || err "docs/API.md lost its migration table"
+
+# 3d. The live-dataset surface is documented: the Txn verbs, epochs and
+#     batched execution must appear in docs/API.md's lifecycle section,
+#     and ARCHITECTURE.md must explain the MVCC snapshot design.
+grep -qi 'dataset lifecycle' docs/API.md || err "docs/API.md lost its dataset lifecycle section"
+for sym in 'db.Update(' 'Commit(' 'Rollback(' 'LoadNTriples(' 'Epoch()' 'QueryMany(' Invalidations ErrTxnDone; do
+    grep -q "$sym" docs/API.md || err "docs/API.md does not document $sym"
+done
+grep -qi 'MVCC' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not explain MVCC snapshots"
+grep -q 'epoch' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not mention epochs"
 
 # 3b. docs/OPERATORS.md documents every physical operator kind in
 #     internal/exec/physical.go (the greppable contract: a new physOp

@@ -72,6 +72,12 @@ type PlanCacheStats struct {
 	// entry's (a constant-only variation, or a renamed placeholder), so
 	// byte-exact text keying would have re-planned.
 	TemplateHits int64
+	// Invalidations counts cached plans dropped lazily because they
+	// were compiled at an older dataset epoch than the request's — the
+	// MVCC staleness guard: a plan cached before a commit is never
+	// served to a post-commit execution. Each invalidation also counts
+	// as a miss.
+	Invalidations int64
 	// Len is the number of cached plans; Cap the cache capacity.
 	Len, Cap int
 }
@@ -85,18 +91,29 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 		return PlanCacheStats{}
 	}
 	s := pc.Stats()
-	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, TemplateHits: s.TemplateHits, Len: s.Len, Cap: s.Cap}
+	return PlanCacheStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		TemplateHits:  s.TemplateHits,
+		Invalidations: s.Invalidations,
+		Len:           s.Len,
+		Cap:           s.Cap,
+	}
 }
 
-// compileQuery parses, plans and compiles a query. With a plan cache
-// enabled the cache key is the query's normalised parameterized
-// template — placeholder names canonicalised, literal constants lifted
-// into typed placeholders — so queries differing only in their literal
-// constants share one compiled plan (the template-thrash fix); the
-// lifted constants ride along as autoBinds and are substituted when the
-// plan runs. Byte-identical repeats — the dominant serving pattern —
-// hit an exact-text alias of the template entry without even parsing.
-func (db *DB) compileQuery(query string, cfg execConfig) (*preparedQuery, error) {
+// compileQuery parses, plans and compiles a query against one captured
+// snapshot bundle. With a plan cache enabled the cache key is the
+// query's normalised parameterized template — placeholder names
+// canonicalised, literal constants lifted into typed placeholders — so
+// queries differing only in their literal constants share one compiled
+// plan (the template-thrash fix); the lifted constants ride along as
+// autoBinds and are substituted when the plan runs. Byte-identical
+// repeats — the dominant serving pattern — hit an exact-text alias of
+// the template entry without even parsing. Every cache interaction
+// carries the capture's epoch: entries compiled against an older
+// snapshot are invalidated lazily instead of being served stale.
+func (db *DB) compileQuery(state *dbState, query string, cfg execConfig) (*preparedQuery, error) {
+	epoch := state.snap.Epoch()
 	var c *exec.PlanCache
 	var aliasKey exec.CacheKey
 	if cfg.planCache > 0 {
@@ -104,7 +121,7 @@ func (db *DB) compileQuery(query string, cfg execConfig) (*preparedQuery, error)
 		// "\x00raw\x00" keeps the alias namespace disjoint from rendered
 		// template texts, which never contain NUL bytes.
 		aliasKey = cfg.cacheKey("\x00raw\x00" + query)
-		if v, ok := c.GetAlias(aliasKey); ok {
+		if v, ok := c.GetAlias(aliasKey, epoch); ok {
 			pq := *(v.(*preparedQuery)) // shallow copy; all fields shared, immutable
 			pq.cacheHit = true
 			return &pq, nil
@@ -115,11 +132,11 @@ func (db *DB) compileQuery(query string, cfg execConfig) (*preparedQuery, error)
 		return nil, err
 	}
 	if c == nil {
-		p, err := db.planParsed(q, cfg.planner)
+		p, err := db.planParsed(state, q, cfg.planner)
 		if err != nil {
 			return nil, err
 		}
-		cq, err := db.compilePlan(p, cfg.engine)
+		cq, err := compilePlan(p, cfg.engine)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +146,7 @@ func (db *DB) compileQuery(query string, cfg execConfig) (*preparedQuery, error)
 	tpl := sparql.Parameterize(q)
 	pq := &preparedQuery{params: q.Params(), rename: tpl.Rename, autoBinds: tpl.Binds}
 	key := cfg.cacheKey(tpl.Text)
-	v, ok := c.GetServe(key, aliasKey,
+	v, ok := c.GetServe(key, aliasKey, epoch,
 		func(v any) bool { return v.(*compiledQuery).raw != query },
 		func(v any) any { cp := *pq; cp.cq = v.(*compiledQuery); return &cp })
 	if ok {
@@ -137,18 +154,18 @@ func (db *DB) compileQuery(query string, cfg execConfig) (*preparedQuery, error)
 		pq.cacheHit = true
 		return pq, nil
 	}
-	p, err := db.planParsed(tpl.Query, cfg.planner)
+	p, err := db.planParsed(state, tpl.Query, cfg.planner)
 	if err != nil {
 		return nil, err
 	}
-	cq, err := db.compilePlan(p, cfg.engine)
+	cq, err := compilePlan(p, cfg.engine)
 	if err != nil {
 		return nil, err
 	}
 	cq.raw = query
 	pq.cq = cq
-	c.Add(key, cq)
-	c.AddAlias(aliasKey, key, pq.shared())
+	c.Add(key, cq, epoch)
+	c.AddAlias(aliasKey, key, pq.shared(), epoch)
 	return pq, nil
 }
 
@@ -176,10 +193,11 @@ func (pq *preparedQuery) shared() *preparedQuery {
 }
 
 // compilePlan compiles every UNION branch of a plan against the chosen
-// engine, validating that branches project the same variables — the
-// shared lowering step of the text-based and plan-based entry points.
-func (db *DB) compilePlan(p *Plan, engine Engine) (*compiledQuery, error) {
-	eng, err := db.engineFor(engine)
+// engine over the plan's pinned snapshot, validating that branches
+// project the same variables — the shared lowering step of the
+// text-based and plan-based entry points.
+func compilePlan(p *Plan, engine Engine) (*compiledQuery, error) {
+	eng, err := engineFor(p.state, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +255,13 @@ func sortedBranches(cq *compiledQuery) ([]*exec.Compiled, error) {
 func (db *DB) executeCompiled(ctx context.Context, cq *compiledQuery, cfg execConfig, binds map[string]rdf.Term) (*Result, error) {
 	eopts := cfg.execOptions()
 	eopts.Binds = binds
+	return db.executeCompiledOpts(ctx, cq, cfg, eopts)
+}
+
+// executeCompiledOpts is executeCompiled with the executor options
+// already assembled — the entry point for batched executions carrying
+// pre-resolved bindings (see Stmt.QueryMany).
+func (db *DB) executeCompiledOpts(ctx context.Context, cq *compiledQuery, cfg execConfig, eopts exec.Options) (*Result, error) {
 	var acc *exec.Result
 	for _, c := range cq.compiled {
 		var res *exec.Result
@@ -346,9 +371,10 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, p *Plan, e Engine, opts
 // WithPlanCache the output is prefixed with a plan-cache line showing
 // whether this compilation was a hit and the cache's cumulative
 // counters (template_hits counts hits served to query texts differing
-// from the cached template's):
+// from the cached template's; invalidations counts stale-epoch entries
+// dropped after commits; epoch is the dataset version served):
 //
-//	plan cache: hit hits=3 misses=1 template_hits=2 size=1/64
+//	plan cache: hit hits=3 misses=1 template_hits=2 invalidations=0 epoch=2 size=1/64
 func (db *DB) ExplainAnalyzeQuery(ctx context.Context, query string, opts ...ExecOption) (string, error) {
 	st, err := db.Prepare(ctx, query, opts...)
 	if err != nil {
@@ -362,8 +388,8 @@ func (db *DB) ExplainAnalyzeQuery(ctx context.Context, query string, opts ...Exe
 		if st.pq.cacheHit {
 			outcome = "hit"
 		}
-		fmt.Fprintf(&b, "plan cache: %s hits=%d misses=%d template_hits=%d size=%d/%d\n",
-			outcome, s.Hits, s.Misses, s.TemplateHits, s.Len, s.Cap)
+		fmt.Fprintf(&b, "plan cache: %s hits=%d misses=%d template_hits=%d invalidations=%d epoch=%d size=%d/%d\n",
+			outcome, s.Hits, s.Misses, s.TemplateHits, s.Invalidations, st.Epoch(), s.Len, s.Cap)
 	}
 	tree, err := st.ExplainAnalyze(ctx)
 	if err != nil {

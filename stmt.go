@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"github.com/sparql-hsp/hsp/internal/exec"
 	"github.com/sparql-hsp/hsp/internal/rdf"
 	"github.com/sparql-hsp/hsp/internal/sparql"
 )
@@ -43,12 +44,16 @@ func Bind(name string, v Term) Binding { return Binding{Name: name, Value: v} }
 
 // Stmt is a prepared statement: a query parsed, planned and compiled
 // once, executable any number of times — concurrently, and with
-// different parameter bindings per execution. A Stmt is safe for
-// concurrent use; Close marks it unusable (it frees no resources — the
-// compiled plan may still back in-flight streams and the shared plan
-// cache) and further calls return ErrStmtClosed.
+// different parameter bindings per execution. A Stmt is pinned to the
+// MVCC snapshot it was prepared against: every execution reads exactly
+// that snapshot's data, however many commits land on the DB meanwhile
+// (re-prepare to pick up a newer epoch). A Stmt is safe for concurrent
+// use; Close marks it unusable (it frees no resources — the compiled
+// plan may still back in-flight streams and the shared plan cache) and
+// further calls return ErrStmtClosed.
 type Stmt struct {
 	db     *DB
+	state  *dbState // the snapshot bundle the statement is pinned to
 	cfg    execConfig
 	pq     *preparedQuery
 	query  string
@@ -61,37 +66,45 @@ type Stmt struct {
 // position (triple pattern subjects, predicates and objects, and FILTER
 // right-hand sides); each execution supplies their values with Bind.
 // Placeholders are planned as unbound-but-typed constants, so the plan
-// is a template valid for every binding. WithPlanner, WithEngine and
-// the execution options apply as in QueryContext; with WithPlanCache
-// the compiled plan is shared through the DB's plan cache under its
-// normalised template key, so statements differing only in literal
-// constants reuse one plan. A context already cancelled on entry
-// returns its error without doing anything.
+// is a template valid for every binding. The statement pins the DB's
+// current snapshot. WithPlanner, WithEngine and the execution options
+// apply as in QueryContext; with WithPlanCache the compiled plan is
+// shared through the DB's plan cache under its normalised template key
+// and the snapshot's epoch, so statements differing only in literal
+// constants reuse one plan and stale-epoch plans are never reused. A
+// context already cancelled on entry returns its error without doing
+// anything.
 func (db *DB) Prepare(ctx context.Context, query string, opts ...ExecOption) (*Stmt, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cfg := configOf(opts)
-	pq, err := db.compileQuery(query, cfg)
+	state := db.loadState()
+	pq, err := db.compileQuery(state, query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, cfg: cfg, pq: pq, query: query}, nil
+	return &Stmt{db: db, state: state, cfg: cfg, pq: pq, query: query}, nil
 }
 
 // prepareFromPlan wraps an already-planned query as a statement — the
 // shared lowering of the plan-based legacy verbs (Execute, StreamPlan,
-// ExplainAnalyze), so they run through the same core as Prepare.
+// ExplainAnalyze), so they run through the same core as Prepare. The
+// statement inherits the plan's snapshot pin.
 func (db *DB) prepareFromPlan(p *Plan, e Engine, opts []ExecOption) (*Stmt, error) {
-	cq, err := db.compilePlan(p, e)
+	cq, err := compilePlan(p, e)
 	if err != nil {
 		return nil, err
 	}
 	cfg := configOf(opts)
 	cfg.engine = e
 	pq := &preparedQuery{cq: cq, params: p.head.Params()}
-	return &Stmt{db: db, cfg: cfg, pq: pq, query: p.head.String()}, nil
+	return &Stmt{db: db, state: p.state, cfg: cfg, pq: pq, query: p.head.String()}, nil
 }
+
+// Epoch returns the dataset epoch the statement is pinned to: the
+// version current when it was prepared.
+func (s *Stmt) Epoch() uint64 { return s.state.snap.Epoch() }
 
 // Params returns the statement's parameter placeholder names in
 // declaration order; every one must be bound on each execution.
@@ -128,6 +141,161 @@ func (s *Stmt) Query(ctx context.Context, binds ...Binding) (*Result, error) {
 		return nil, err
 	}
 	return s.db.executeCompiled(ctx, cq, s.cfg, eb)
+}
+
+// Binds is one execution's parameter bindings within a batch passed to
+// QueryMany.
+type Binds []Binding
+
+// QueryMany executes the statement once per batch entry, in order, and
+// returns one materialised result per entry — the batched sibling of
+// Query. The bind step is amortised across the batch: validation state
+// (parameter names, their positional kind constraints, the template's
+// lifted constants) is derived once per call, and each distinct bound
+// term is resolved against the pinned snapshot's dictionary once,
+// however many executions bind it — so large batches rotating through
+// a small value set pay one dictionary lookup per value instead of one
+// per execution (see BenchmarkPreparedQueryMany). Results and errors
+// are identical to calling Query once per entry; the first failing
+// execution aborts the batch and returns its error. Cancellation
+// follows the QueryContext contract, checked between and within
+// executions.
+func (s *Stmt) QueryMany(ctx context.Context, batches []Binds) ([]*Result, error) {
+	if err := s.guard(ctx); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(batches))
+	if len(batches) == 0 {
+		return results, nil
+	}
+	pq := s.pq
+	c0 := pq.cq.compiled[0]
+	subjP, predP := paramPositionSets(pq.cq.head)
+	known := make(map[string]bool, len(pq.params))
+	for _, p := range pq.params {
+		known[p] = true
+	}
+	// The template's lifted constants resolve once for the whole batch.
+	var auto exec.ResolvedBinds
+	for name, t := range pq.autoBinds {
+		if auto == nil {
+			auto = make(exec.ResolvedBinds, len(pq.autoBinds))
+		}
+		auto[name] = c0.ResolveTerm(t)
+	}
+	// memo caches each distinct bound term's dictionary resolution for
+	// the whole batch.
+	memo := make(map[Term]exec.ResolvedBind)
+
+	for _, batch := range batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, ok, err := s.queryBatchFast(ctx, batch, known, subjP, predP, auto, memo)
+		if !ok && err == nil {
+			// Irregular batch (validation problem, or a binding changing
+			// selection applicability): the per-execution path produces
+			// the canonical error or the re-planned execution.
+			res, err = s.Query(ctx, batch...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// queryBatchFast executes one batch entry on the amortised path. It
+// reports ok=false (and no error) for batches needing the full
+// per-execution path: wrong binding count, unknown or duplicate names,
+// kind violations (for the canonical error message), or a binding that
+// changes the plan's selection applicability (predicate-position
+// rdf:type, which must re-plan). known holds the statement's declared
+// parameter names — a binding naming anything else (even a template's
+// internal canonical name) defers to Query's validation, keeping the
+// two paths' error behaviour identical.
+func (s *Stmt) queryBatchFast(ctx context.Context, batch Binds, known, subjP, predP map[string]bool, auto exec.ResolvedBinds, memo map[Term]exec.ResolvedBind) (*Result, bool, error) {
+	pq := s.pq
+	if len(batch) != len(pq.params) {
+		return nil, false, nil
+	}
+	resolved := make(exec.ResolvedBinds, len(auto)+len(batch))
+	for name, rb := range auto {
+		resolved[name] = rb
+	}
+	for _, b := range batch {
+		if !known[b.Name] {
+			return nil, false, nil
+		}
+		canon := b.Name
+		if pq.rename != nil {
+			if c, ok := pq.rename[b.Name]; ok {
+				canon = c
+			}
+		}
+		if _, dup := resolved[canon]; dup {
+			return nil, false, nil
+		}
+		switch {
+		case subjP[canon] && b.Value.Kind == "literal":
+			return nil, false, nil
+		case predP[canon] && b.Value.Kind != "iri":
+			return nil, false, nil
+		case predP[canon] && b.Value.Value == sparql.RDFType:
+			return nil, false, nil // re-plan fallback
+		}
+		rb, ok := memo[b.Value]
+		if !ok {
+			rb = c0ResolveTerm(pq, b.Value)
+			memo[b.Value] = rb
+		}
+		resolved[canon] = rb
+	}
+	// Unknown names surface here: every statement parameter is covered
+	// only if all len(batch) bindings named real parameters.
+	for _, p := range pq.params {
+		canon := p
+		if pq.rename != nil {
+			if c, ok := pq.rename[p]; ok {
+				canon = c
+			}
+		}
+		if _, ok := resolved[canon]; !ok {
+			return nil, false, nil
+		}
+	}
+	eopts := s.cfg.execOptions()
+	eopts.Resolved = resolved
+	res, err := s.db.executeCompiledOpts(ctx, pq.cq, s.cfg, eopts)
+	return res, true, err
+}
+
+// c0ResolveTerm resolves one public term against the statement's
+// pinned dictionary.
+func c0ResolveTerm(pq *preparedQuery, t Term) exec.ResolvedBind {
+	return pq.cq.compiled[0].ResolveTerm(t.internal())
+}
+
+// paramPositionSets walks the parsed query once (the shared
+// sparql.ForEachPattern traversal that also backs CheckBindKinds and
+// BindsChangeSelectivityClass, so the fast path cannot diverge from
+// them) and returns the canonical parameter names appearing in subject
+// position (must not bind literals) and predicate position (must bind
+// IRIs; rdf:type triggers the re-plan fallback) — the per-batch kind
+// validation then touches only the bindings, not the query.
+func paramPositionSets(q *sparql.Query) (subj, pred map[string]bool) {
+	subj, pred = map[string]bool{}, map[string]bool{}
+	sparql.ForEachPattern(q, func(tp sparql.TriplePattern) bool {
+		if tp.S.IsParam() {
+			subj[tp.S.Param] = true
+		}
+		if tp.P.IsParam() {
+			pred[tp.P.Param] = true
+		}
+		return true
+	})
+	return subj, pred
 }
 
 // Stream executes the statement under ctx with the given bindings and
@@ -252,7 +420,7 @@ func (s *Stmt) bindFor(binds []Binding) (*compiledQuery, map[string]rdf.Term, er
 		return nil, nil, fmt.Errorf("hsp: %w", err)
 	}
 	if sparql.BindsChangeSelectivityClass(head, eb) {
-		cq, err := s.db.replanBound(head, eb, s.cfg)
+		cq, err := s.db.replanBound(s.state, head, eb, s.cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -262,18 +430,19 @@ func (s *Stmt) bindFor(binds []Binding) (*compiledQuery, map[string]rdf.Term, er
 }
 
 // replanBound substitutes the bindings into the statement's query and
-// runs the full plan+compile pipeline once — the fallback for bindings
-// that change selection applicability.
-func (db *DB) replanBound(head *sparql.Query, eb map[string]rdf.Term, cfg execConfig) (*compiledQuery, error) {
+// runs the full plan+compile pipeline once against the statement's
+// pinned snapshot — the fallback for bindings that change selection
+// applicability.
+func (db *DB) replanBound(state *dbState, head *sparql.Query, eb map[string]rdf.Term, cfg execConfig) (*compiledQuery, error) {
 	bound, err := sparql.BindParams(head, eb)
 	if err != nil {
 		return nil, err
 	}
-	p, err := db.planParsed(bound, cfg.planner)
+	p, err := db.planParsed(state, bound, cfg.planner)
 	if err != nil {
 		return nil, err
 	}
-	return db.compilePlan(p, cfg.engine)
+	return compilePlan(p, cfg.engine)
 }
 
 func paramList(ps []string) string {
