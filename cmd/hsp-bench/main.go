@@ -34,6 +34,13 @@
 // writer committing insert/delete transactions of -batch triples,
 // reporting commits, the final epoch and the cache's epoch
 // invalidations.
+//
+// -scaling benchmarks pipeline parallelism: every query of both
+// workload suites is streamed at parallelism 1, 2, 4 and 8, and the
+// best-of--runs wall time, speedup over sequential and per-worker
+// efficiency are written as a JSON trajectory to -benchout
+// (BENCH_parallel.json) so parallel performance is tracked across
+// revisions.
 package main
 
 import (
@@ -69,8 +76,16 @@ func main() {
 		prepared  = flag.Bool("prepared", false, "benchmark prepared-statement bind-and-run vs plan-cache hit vs full re-plan")
 		mutate    = flag.Bool("mutate", false, "benchmark read throughput while a background writer commits transactions")
 		batch     = flag.Int("batch", 256, "triples per background commit in -mutate mode")
+		scaling   = flag.Bool("scaling", false, "benchmark parallel scaling: both suites at parallelism 1/2/4/8")
+		benchout  = flag.String("benchout", "BENCH_parallel.json", "output file for -scaling results")
 	)
 	flag.Parse()
+	if *scaling {
+		if err := scalingBench(os.Stdout, *benchout, *sp2scale, *yagoscale, *seed, *runs); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *mutate {
 		if err := mutateBench(os.Stdout, *sp2scale, *seed, *requests, *planCache, *parallel, *batch); err != nil {
 			fail(err)

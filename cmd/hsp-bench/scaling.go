@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+	"github.com/sparql-hsp/hsp/internal/yago"
+)
+
+// scalingLevels are the worker counts the -scaling mode sweeps.
+var scalingLevels = []int{1, 2, 4, 8}
+
+// scalingEntry is one (query, parallelism) measurement of the -scaling
+// sweep, serialised into BENCH_parallel.json so parallel performance is
+// tracked as a trajectory across revisions.
+type scalingEntry struct {
+	Workload    string  `json:"workload"`
+	Query       string  `json:"query"`
+	Parallelism int     `json:"parallelism"`
+	Rows        int     `json:"rows"`
+	NS          int64   `json:"ns"`
+	Speedup     float64 `json:"speedup"`    // t(1) / t(p)
+	Efficiency  float64 `json:"efficiency"` // speedup / p
+}
+
+// scalingReport is the BENCH_parallel.json document.
+type scalingReport struct {
+	SP2BenchScale int            `json:"sp2bench_scale"`
+	YAGOScale     int            `json:"yago_scale"`
+	Seed          int64          `json:"seed"`
+	Runs          int            `json:"runs"`
+	Results       []scalingEntry `json:"results"`
+}
+
+// scalingBench runs both workload suites at parallelism 1/2/4/8 through
+// the streaming facade, records the best of -runs warm timings per
+// level, verifies every level returns the same row count, and writes
+// the speedup/efficiency trajectory to path as JSON (plus a table on
+// out). Exchange scattering uses the default threshold, so the numbers
+// reflect what production runs would see.
+func scalingBench(out *os.File, path string, sp2scale, yagoscale int, seed int64, runs int) error {
+	type workload struct {
+		name    string
+		db      *hsp.DB
+		queries []struct{ Name, Text string }
+	}
+	fmt.Fprintf(os.Stderr, "generating datasets (sp2bench=%d, yago=%d, seed=%d)...\n", sp2scale, yagoscale, seed)
+	wls := []workload{
+		{"sp2bench", hsp.GenerateSP2Bench(sp2scale, seed), sp2bench.Queries()},
+		{"yago", hsp.GenerateYAGO(yagoscale, seed), yago.Queries()},
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	rep := scalingReport{SP2BenchScale: sp2scale, YAGOScale: yagoscale, Seed: seed, Runs: runs}
+	fmt.Fprintf(out, "%-10s %-8s %12s %10s %10s %10s %8s\n",
+		"workload", "query", "parallelism", "rows", "best", "speedup", "eff")
+	for _, wl := range wls {
+		for _, q := range wl.queries {
+			var t1 time.Duration
+			for _, par := range scalingLevels {
+				best, rows, err := timeStream(wl.db, q.Text, par, runs)
+				if err != nil {
+					return fmt.Errorf("%s/%s parallelism=%d: %w", wl.name, q.Name, par, err)
+				}
+				if par == 1 {
+					t1 = best
+				}
+				speedup := float64(t1) / float64(best)
+				eff := speedup / float64(par)
+				rep.Results = append(rep.Results, scalingEntry{
+					Workload:    wl.name,
+					Query:       q.Name,
+					Parallelism: par,
+					Rows:        rows,
+					NS:          best.Nanoseconds(),
+					Speedup:     speedup,
+					Efficiency:  eff,
+				})
+				fmt.Fprintf(out, "%-10s %-8s %12d %10d %10s %9.2fx %7.0f%%\n",
+					wl.name, q.Name, par, rows, best.Round(time.Microsecond), speedup, 100*eff)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %d measurements to %s\n", len(rep.Results), path)
+	return nil
+}
+
+// timeStream drains a streamed run of the query `runs` times at the
+// given parallelism (after one warm-up), returning the best wall time
+// and the row count; row counts that vary across drains are an error.
+func timeStream(db *hsp.DB, text string, parallelism, runs int) (time.Duration, int, error) {
+	drain := func() (time.Duration, int, error) {
+		rows, err := db.Stream(text, hsp.WithParallelism(parallelism))
+		if err != nil {
+			return 0, 0, err
+		}
+		n := 0
+		start := time.Now()
+		for rows.Next() {
+			n++
+		}
+		elapsed := time.Since(start)
+		if err := rows.Close(); err != nil {
+			return 0, 0, err
+		}
+		return elapsed, n, nil
+	}
+	if _, _, err := drain(); err != nil { // warm-up
+		return 0, 0, err
+	}
+	var best time.Duration
+	var rows int
+	for i := 0; i < runs; i++ {
+		d, n, err := drain()
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			rows = n
+		} else if n != rows {
+			return 0, 0, fmt.Errorf("row count varies across runs: %d vs %d", n, rows)
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, rows, nil
+}

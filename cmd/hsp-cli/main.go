@@ -15,7 +15,10 @@
 // -stream pulls rows from the running plan instead of materialising the
 // result, -parallel N lets the executor use N concurrent workers, and
 // -analyze prints an EXPLAIN ANALYZE tree (per-operator row counts,
-// wall times and hash-join build sizes) instead of rows.
+// wall times and hash-join build sizes) instead of rows. On a parallel
+// run, pipelines whose scan meets -exchangethreshold rows scatter
+// across the workers, and the -analyze tree grows an exchange: line
+// with per-worker row counts and the skew ratio of the partitioning.
 //
 // Serving-path flags: -timeout bounds the whole run with a context
 // deadline (a fired deadline aborts sequential and parallel executions
@@ -72,6 +75,7 @@ func main() {
 		plan      = flag.Bool("plan", false, "print the plan without executing")
 		stream    = flag.Bool("stream", false, "stream rows instead of materialising the result")
 		parallel  = flag.Int("parallel", 1, "number of concurrent executor workers")
+		exchRows  = flag.Int("exchangethreshold", 0, "minimum scan rows before a parallel run scatters a pipeline across workers (0 = default 4096)")
 		maxRows   = flag.Int("maxrows", 20, "result rows to print (0 = all)")
 		timeout   = flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline)")
 		planCache = flag.Int("plancache", 0, "serve through a compiled-plan cache of this capacity (0 = off)")
@@ -137,8 +141,11 @@ func main() {
 	}
 
 	// runOpts are the execution options every path shares: worker
-	// budget and the ORDER BY spill configuration.
+	// budget, the exchange cutover and the ORDER BY spill configuration.
 	runOpts := []hsp.ExecOption{hsp.WithParallelism(*parallel)}
+	if *exchRows > 0 {
+		runOpts = append(runOpts, hsp.WithExchangeThreshold(*exchRows))
+	}
 	if *sortSpill > 0 {
 		runOpts = append(runOpts, hsp.WithSortSpill(*sortSpill))
 	}

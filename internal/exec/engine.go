@@ -302,6 +302,9 @@ func (c *Compiled) ExplainAnalyzeContext(ctx context.Context, opts Options) (str
 	if st := run.SortStats(); st != nil {
 		head += sortLine(c.sortRoot(), st, run.SortMetrics())
 	}
+	for _, ex := range run.ExchangeStats() {
+		head += exchangeLine(ex)
+	}
 	tree := algebra.ExplainWith(c.plan.Root, func(nd algebra.Node) string {
 		if om, ok := m[nd]; ok {
 			return om.annotation()
@@ -330,6 +333,25 @@ func sortLine(op *sortOp, st *SortStats, m *OpMetrics) string {
 		s += fmt.Sprintf(" (rows=%d time=%s)", m.Rows, fmtDuration(m.Wall))
 	}
 	return s + "\n"
+}
+
+// exchangeLine renders one exchange's EXPLAIN ANALYZE line. Like the
+// sort, exchanges are synthesized (no algebra node), so each reports on
+// its own line between the run summary and the operator tree:
+//
+//	exchange: σ(POS) [tp1] workers=4 morsels=12 rows=4231 per-worker=[1058 1061 1055 1057] skew=1.01
+func exchangeLine(ex *ExchangeStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exchange: %s workers=%d morsels=%d rows=%d per-worker=[",
+		ex.Label, ex.Workers, ex.Morsels, ex.Rows())
+	for i, n := range ex.WorkerRows {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	fmt.Fprintf(&b, "] skew=%.2f\n", ex.Skew())
+	return b.String()
 }
 
 // scanCount returns the full match count of a scan's access path. For

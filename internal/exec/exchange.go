@@ -1,0 +1,508 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+)
+
+// DefaultExchangeThreshold is the minimum base-scan row count (after
+// prefix restriction) at which a parallel run scatters a pipeline over
+// exchange workers. Below it the chain runs sequentially: worker
+// startup, row copying and gather reordering would cost more than one
+// core saves on so little input.
+const DefaultExchangeThreshold = 4096
+
+// scatterOp describes the parallel decomposition of one morsel-shardable
+// pipeline chain: a positional scan over a MorselSource partitioned into
+// morsels, and the stage operators (filters, projections, hash-join
+// probes) every worker replays over its own morsels. The stages hold the
+// original compiled operators — workers instantiate fresh iterator state
+// per morsel from them, while hash tables are built once and shared
+// read-only across workers.
+type scatterOp struct {
+	base   *morselScan
+	stages []physOp // bottom-up: stages[0] consumes the scan
+}
+
+// gatherOp is the exchange operator the placement pass inserts at the
+// root of a shardable chain: it scatters the base scan across workers
+// (scatterOp) and merges their per-morsel outputs back into a single
+// stream in morsel-index order, so a parallel run emits byte-identical
+// rows in the same order as the sequential run. inner is the original
+// chain root, used verbatim when the run is sequential or the input is
+// below the exchange threshold.
+type gatherOp struct {
+	inner   physOp
+	scatter *scatterOp
+}
+
+func (o *gatherOp) logical() algebra.Node { return o.inner.logical() }
+
+// stageFn instantiates one worker-side stage iterator over its input.
+type stageFn func(in iterator) iterator
+
+func (o *gatherOp) open(rt *runEnv) iterator {
+	if rt.opts.Parallelism <= 1 {
+		return o.inner.open(rt)
+	}
+	s := o.scatter.base.s
+	prefix, ok, err := s.resolvePrefix(rt)
+	if err != nil {
+		return rt.wrap(o.logical(), errIter{err})
+	}
+	lo, hi := 0, 0
+	if ok {
+		lo, hi = o.scatter.base.src.ScanRange(s.s.Ordering, prefix)
+	}
+	threshold := rt.opts.ExchangeThreshold
+	if threshold <= 0 {
+		threshold = DefaultExchangeThreshold
+	}
+	if hi-lo < threshold {
+		return o.inner.open(rt)
+	}
+	stages, resolves, err := o.buildStages(rt)
+	if err != nil {
+		return rt.wrap(o.logical(), errIter{err})
+	}
+	nm := (hi - lo + morselRows - 1) / morselRows
+	workers := rt.opts.Parallelism
+	if workers > nm {
+		workers = nm
+	}
+	st := &ExchangeStats{
+		Label:      s.s.Label(),
+		Workers:    workers,
+		Morsels:    nm,
+		WorkerRows: make([]int64, workers),
+	}
+	rt.exchanges = append(rt.exchanges, st)
+	var scanM *OpMetrics
+	if m := rt.metric(s.s); m != nil {
+		m.Parallel = true
+		scanM = m
+	}
+	g := &gatherIter{
+		rt:       rt,
+		sc:       o.scatter,
+		lo:       lo,
+		hi:       hi,
+		nm:       nm,
+		workers:  workers,
+		stages:   stages,
+		resolves: resolves,
+		scanM:    scanM,
+		st:       st,
+	}
+	return rt.wrap(o.logical(), g)
+}
+
+// buildStages lowers the chain's stage operators into per-worker
+// iterator constructors, resolving everything that must happen once per
+// run — parameter bindings, hash-table builds — on the open path.
+// Builds start asynchronously here and are shared across all workers
+// (memoBuild); the returned resolves block until every table is ready.
+func (o *gatherOp) buildStages(rt *runEnv) ([]stageFn, []func() error, error) {
+	stages := make([]stageFn, len(o.scatter.stages))
+	var resolves []func() error
+	for i, op := range o.scatter.stages {
+		top := i == len(o.scatter.stages)-1
+		switch op := op.(type) {
+		case *filterOp:
+			rTerm, rID, rInDict := op.rTerm, op.rID, op.rInDict
+			if op.rParam != "" {
+				b, ok := rt.bind(op.rParam)
+				if !ok {
+					return nil, nil, fmt.Errorf("%w $%s", ErrUnboundParam, op.rParam)
+				}
+				rTerm, rID, rInDict = b.term, b.id, b.inDict
+			}
+			f, m := op, chainMetric(rt, op.f, top)
+			stages[i] = func(in iterator) iterator {
+				it := iterator(&filterIter{
+					in: in, d: f.d, op: f.op, slot: f.slot, rSlot: f.rSlot,
+					rTerm: rTerm, rID: rID, rInDict: rInDict,
+				})
+				return countRows(it, m)
+			}
+		case *projectOp:
+			p, m := op, chainMetric(rt, op.n, top)
+			stages[i] = func(in iterator) iterator {
+				return countRows(&projectIter{in: in, slots: p.slots}, m)
+			}
+		case *hashJoinOp:
+			j, m := op, chainMetric(rt, op.n, top)
+			shared := memoBuild(asyncBuild(rt, op.openBuild(rt)))
+			resolves = append(resolves, func() error {
+				_, _, err := shared()
+				return err
+			})
+			stages[i] = func(in iterator) iterator {
+				var it iterator
+				if j.leftOuter {
+					it = &leftJoinIter{l: in, buildSide: shared, keys: j.keys, shared: j.shared}
+				} else {
+					it = &hashJoinIter{buildSide: shared, r: in, keys: j.keys, shared: j.shared}
+				}
+				return countRows(it, m)
+			}
+		default:
+			return nil, nil, fmt.Errorf("exec: internal: %T cannot run inside an exchange", op)
+		}
+	}
+	return stages, resolves, nil
+}
+
+// chainMetric returns the analyze counter an in-chain stage feeds, nil
+// for the chain root (the gather's own wrapper counts it) and on
+// non-analyze runs. Stage counters are shared across workers and only
+// ever receive atomic row-count increments — per-row timing would race.
+func chainMetric(rt *runEnv, n algebra.Node, top bool) *OpMetrics {
+	if top {
+		return nil
+	}
+	m := rt.metric(n)
+	if m != nil {
+		m.Parallel = true
+	}
+	return m
+}
+
+// countRows adds the concurrency-safe (count-only) metrics wrapper.
+func countRows(it iterator, m *OpMetrics) iterator {
+	if m == nil {
+		return it
+	}
+	return &metricIter{in: it, m: m}
+}
+
+// memoBuild shares one build result across every worker sub-pipeline:
+// the underlying build runs once, concurrent callers block until it is
+// ready, and the resulting tables are immutable thereafter.
+func memoBuild(f buildFn) buildFn {
+	var (
+		once sync.Once
+		t    rowTable
+		all  []Row
+		err  error
+	)
+	return func() (rowTable, []Row, error) {
+		once.Do(func() { t, all, err = f() })
+		return t, all, err
+	}
+}
+
+// morselOut is one morsel's fully-processed output, sent from a worker
+// to the gather.
+type morselOut struct {
+	idx  int
+	rows []Row
+	err  error
+}
+
+// gatherIter merges worker outputs back into one deterministic stream.
+//
+// Scheduling: workers claim morsels from a shared atomic cursor, run the
+// whole stage chain over each morsel, and deliver the buffered result.
+// The gather releases results strictly in morsel-index order, holding
+// out-of-order arrivals in a pending map. A credit window of 2×workers
+// bounds the morsels in flight (buffered, pending or in the channel), so
+// gather memory stays proportional to workers × morsel output, not to
+// the input size. Workers take rt.sem only while computing a morsel —
+// never while blocked on a credit, a build, or a delivery — so exchanges
+// sharing the run's semaphore with morsel builds and sibling exchanges
+// cannot deadlock.
+type gatherIter struct {
+	rt       *runEnv
+	sc       *scatterOp
+	lo, hi   int
+	nm       int
+	workers  int
+	stages   []stageFn
+	resolves []func() error
+	scanM    *OpMetrics
+	st       *ExchangeStats
+
+	started bool
+	cursor  int64
+	out     chan morselOut
+	credits chan struct{}
+	pending map[int][]Row
+	nextIdx int
+	cur     []Row
+	ci      int
+	row     Row
+	err     error
+}
+
+// start resolves every shared hash-table build, then launches the
+// workers. It runs on the consumer goroutine, which holds no semaphore
+// slot — so the builds it waits on can use the run's full parallelism.
+func (g *gatherIter) start() {
+	g.started = true
+	for _, res := range g.resolves {
+		if err := res(); err != nil {
+			g.err = err
+			g.rt.noteErr(err)
+			return
+		}
+	}
+	window := 2 * g.workers
+	g.out = make(chan morselOut, window)
+	g.credits = make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		g.credits <- struct{}{}
+	}
+	g.pending = make(map[int][]Row, window)
+	for w := 0; w < g.workers; w++ {
+		g.rt.wg.Add(1)
+		go g.worker(w)
+	}
+}
+
+func (g *gatherIter) worker(w int) {
+	defer g.rt.wg.Done()
+	for {
+		select {
+		case <-g.credits:
+		case <-g.rt.done:
+			return
+		}
+		i := int(atomic.AddInt64(&g.cursor, 1)) - 1
+		if i >= g.nm {
+			return
+		}
+		if !g.rt.acquire() {
+			return
+		}
+		rows, err := g.runMorsel(i)
+		g.rt.release()
+		if err != nil {
+			g.rt.noteErr(err)
+		} else {
+			atomic.AddInt64(&g.st.WorkerRows[w], int64(len(rows)))
+		}
+		select {
+		case g.out <- morselOut{idx: i, rows: rows, err: err}:
+		case <-g.rt.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// runMorsel replays the whole stage chain over one morsel of the base
+// scan, buffering the output. Rows are copied out of the chain — stage
+// iterators reuse their row storage across Next calls. Cancellation is
+// polled every 1024 output rows, the worker-side pull point.
+func (g *gatherIter) runMorsel(i int) ([]Row, error) {
+	s := g.sc.base.s
+	mLo := g.lo + i*morselRows
+	mHi := mLo + morselRows
+	if mHi > g.hi {
+		mHi = g.hi
+	}
+	it := countRows(&scanIter{
+		in:        g.sc.base.src.ScanSlice(s.s.Ordering, mLo, mHi),
+		row:       make(Row, s.width),
+		slotOf:    s.slotOf,
+		checkSlot: s.checkSlot,
+	}, g.scanM)
+	for _, stage := range g.stages {
+		it = stage(it)
+	}
+	var rows []Row
+	n := 0
+	for it.Next() {
+		rows = append(rows, append(Row(nil), it.Row()...))
+		if n++; n&1023 == 0 && g.rt.cancelled() {
+			return nil, errClosed
+		}
+	}
+	return rows, it.Err()
+}
+
+func (g *gatherIter) Next() bool {
+	if g.err != nil {
+		return false
+	}
+	if !g.started {
+		g.start()
+		if g.err != nil {
+			return false
+		}
+	}
+	for {
+		if g.ci < len(g.cur) {
+			g.row = g.cur[g.ci]
+			g.ci++
+			return true
+		}
+		if g.nextIdx >= g.nm {
+			return false
+		}
+		if rows, ok := g.pending[g.nextIdx]; ok {
+			delete(g.pending, g.nextIdx)
+			g.nextIdx++
+			g.cur, g.ci = rows, 0
+			// Hand the consumed morsel's credit back so a worker can
+			// claim the next one. Token conservation keeps the channel
+			// under capacity; the default arm is a safety net only.
+			select {
+			case g.credits <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		select {
+		case m := <-g.out:
+			if m.err != nil {
+				g.err = m.err
+				return false
+			}
+			g.pending[m.idx] = m.rows
+		case <-g.rt.done:
+			g.err = errClosed
+			return false
+		}
+	}
+}
+
+func (g *gatherIter) Row() Row   { return g.row }
+func (g *gatherIter) Err() error { return g.err }
+
+// ExchangeStats reports one exchange's scatter/gather execution: how
+// many workers ran, how many morsels the base scan split into, and the
+// per-worker output row counts the skew ratio derives from. Counters
+// are complete once the run is exhausted or closed.
+type ExchangeStats struct {
+	// Label is the base scan's label, identifying which pipeline chain
+	// the exchange parallelised.
+	Label string
+	// Workers is the number of worker goroutines the gather launched
+	// (min of the run's Parallelism and the morsel count).
+	Workers int
+	// Morsels is the number of morsels the base scan was split into.
+	Morsels int
+	// WorkerRows is the output row count per worker. Read with
+	// atomic.LoadInt64 while the run is live.
+	WorkerRows []int64
+}
+
+// Rows returns the exchange's total output row count.
+func (st *ExchangeStats) Rows() int64 {
+	var n int64
+	for i := range st.WorkerRows {
+		n += atomic.LoadInt64(&st.WorkerRows[i])
+	}
+	return n
+}
+
+// Skew returns the load imbalance across workers: the busiest worker's
+// row count over the mean (1.0 = perfectly balanced). Exchanges that
+// emitted no rows report 1.0.
+func (st *ExchangeStats) Skew() float64 {
+	total := st.Rows()
+	if total == 0 || len(st.WorkerRows) == 0 {
+		return 1
+	}
+	var max int64
+	for i := range st.WorkerRows {
+		if v := atomic.LoadInt64(&st.WorkerRows[i]); v > max {
+			max = v
+		}
+	}
+	return float64(max) * float64(len(st.WorkerRows)) / float64(total)
+}
+
+// ExchangeStats returns the scatter/gather statistics of the run's
+// exchange operators, in open order; empty when the run was sequential
+// or every chain fell below the exchange threshold. Counters are
+// complete once the run is exhausted or closed.
+func (r *Run) ExchangeStats() []*ExchangeStats { return r.rt.exchanges }
+
+// --- placement ---
+
+// placeExchanges walks a compiled operator tree and wraps every maximal
+// morsel-shardable chain — a MorselSource scan feeding filters,
+// projections and keyed hash-join probe sides — in a gatherOp, the
+// compile-time half of exchange placement. Whether an exchange actually
+// runs is decided per run: Options.Parallelism gates it entirely and
+// Options.ExchangeThreshold skips inputs too small to amortise worker
+// startup, so one compiled plan serves every provisioning tier.
+func placeExchanges(op physOp) physOp {
+	if base, stages, ok := chainOf(op); ok && worthExchanging(stages) {
+		// Build sides hang off the chain sideways; they may contain
+		// shardable chains of their own.
+		for _, st := range stages {
+			if hj, isJoin := st.(*hashJoinOp); isJoin {
+				hj.build = placeExchanges(hj.build)
+			}
+		}
+		return &gatherOp{inner: op, scatter: &scatterOp{base: base, stages: stages}}
+	}
+	switch o := op.(type) {
+	case *mergeJoinOp:
+		o.l = placeExchanges(o.l)
+		o.r = placeExchanges(o.r)
+	case *hashJoinOp:
+		o.build = placeExchanges(o.build)
+		o.probe = placeExchanges(o.probe)
+	case *filterOp:
+		o.in = placeExchanges(o.in)
+	case *projectOp:
+		o.in = placeExchanges(o.in)
+	case *sortOp:
+		o.in = placeExchanges(o.in)
+	}
+	return op
+}
+
+// chainOf reports whether op roots a morsel-shardable chain, returning
+// the base scan and the stage operators bottom-up. Hash joins join a
+// chain through their probe side only, and only when keyed: key-less
+// builds (cross products, disconnected OPTIONALs) multiply every probe
+// morsel by the whole build side, which would break the gather's
+// per-morsel memory bound.
+func chainOf(op physOp) (*morselScan, []physOp, bool) {
+	switch o := op.(type) {
+	case *scanOp:
+		if src, ok := o.src.(MorselSource); ok {
+			return &morselScan{s: o, src: src}, nil, true
+		}
+	case *filterOp:
+		if base, stages, ok := chainOf(o.in); ok {
+			return base, append(stages, o), true
+		}
+	case *projectOp:
+		if base, stages, ok := chainOf(o.in); ok {
+			return base, append(stages, o), true
+		}
+	case *hashJoinOp:
+		if len(o.keys) == 0 {
+			break
+		}
+		if base, stages, ok := chainOf(o.probe); ok {
+			return base, append(stages, o), true
+		}
+	}
+	return nil, nil, false
+}
+
+// worthExchanging requires the chain to contain real per-row compute (a
+// filter or a join probe). A bare scan→project chain is copy-dominated:
+// scattering it buys no speedup and pays the gather's buffering.
+func worthExchanging(stages []physOp) bool {
+	for _, st := range stages {
+		switch st.(type) {
+		case *filterOp, *hashJoinOp:
+			return true
+		}
+	}
+	return false
+}

@@ -89,11 +89,19 @@ type OpStat struct {
 	// SpilledRuns and SpilledBytes report the external sort's disk use.
 	SpilledRuns  int64
 	SpilledBytes int64
+	// Workers, Skew and WorkerRows report an exchange entry's
+	// scatter/gather execution: worker count, load-imbalance ratio
+	// (busiest worker over mean, 1.0 = balanced) and per-worker output
+	// row counts. Zero-valued for every other operator.
+	Workers    int
+	Skew       float64
+	WorkerRows []int64
 }
 
 // OpStats returns the per-operator statistics of an analyze run, plan
-// tree pre-order with the synthesized sort operator (when present)
-// first. It returns nil for runs without Options.Analyze. Only valid
+// tree pre-order with the synthesized operators first: the sort (when
+// present), then one "exchange" entry per scatter/gather the run
+// executed. It returns nil for runs without Options.Analyze. Only valid
 // after the run is exhausted or closed.
 func (r *Run) OpStats() []OpStat {
 	m := r.rt.metrics
@@ -107,6 +115,16 @@ func (r *Run) OpStats() []OpStat {
 			label += " " + op.label
 		}
 		out = append(out, opStatOf(label, sm))
+	}
+	for _, ex := range r.rt.exchanges {
+		out = append(out, OpStat{
+			Op:         "exchange " + ex.Label,
+			Rows:       ex.Rows(),
+			Parallel:   true,
+			Workers:    ex.Workers,
+			Skew:       ex.Skew(),
+			WorkerRows: append([]int64(nil), ex.WorkerRows...),
+		})
 	}
 	var walk func(n algebra.Node)
 	walk = func(n algebra.Node) {

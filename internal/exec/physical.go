@@ -20,10 +20,18 @@ type Options struct {
 	// Parallelism caps the number of concurrently executing morsel
 	// workers across the whole run (enforced by a shared semaphore).
 	// Values <= 1 select the sequential path; higher values enable
-	// asynchronous hash-join builds and morsel-partitioned build-side
-	// scans. Each hash join additionally runs one lightweight
-	// coordinating goroutine for its build side.
+	// asynchronous hash-join builds, morsel-partitioned build-side
+	// scans, and whole-pipeline exchanges: morsel-shardable chains
+	// (scan→filter→probe over a positional source) scatter across
+	// workers and gather back in deterministic scan order. Each hash
+	// join additionally runs one lightweight coordinating goroutine for
+	// its build side.
 	Parallelism int
+	// ExchangeThreshold is the minimum base-scan row count at which a
+	// parallel run scatters a pipeline chain over exchange workers;
+	// chains over smaller inputs run sequentially. Values <= 0 select
+	// DefaultExchangeThreshold. Only meaningful with Parallelism > 1.
+	ExchangeThreshold int
 	// Analyze collects per-operator runtime metrics (EXPLAIN ANALYZE).
 	Analyze bool
 	// SortBudget caps the sort operator's in-memory row buffer, in
@@ -165,6 +173,26 @@ type runEnv struct {
 	// the compiled plan's engine epoch, fixed for the run's whole
 	// lifetime however many commits land meanwhile.
 	epoch uint64
+	// exchanges collects the scatter/gather statistics of the run's
+	// exchange operators, appended when they open (single-goroutine)
+	// and filled by their workers.
+	exchanges []*ExchangeStats
+	// workerErr holds the first real error a background worker hit
+	// (build goroutines, exchange workers), so it survives to Err even
+	// when the consumer never pulls the row that would surface it.
+	workerErr atomic.Value
+	errOnce   sync.Once
+}
+
+// noteErr records the first real error a background worker hit and
+// aborts the run, so sibling workers stop instead of computing results
+// nobody will consume. Cancellation noise (errClosed) is not an error.
+func (rt *runEnv) noteErr(err error) {
+	if err == nil || errors.Is(err, errClosed) {
+		return
+	}
+	rt.errOnce.Do(func() { rt.workerErr.Store(err) })
+	rt.cancel(err)
 }
 
 // bind returns the resolved binding of a placeholder. The run
@@ -521,7 +549,9 @@ func (o *hashJoinOp) openBuild(rt *runEnv) buildFn {
 		} else {
 			atomic.StoreInt64(&m.Build, int64(len(all)))
 		}
-		m.Parallel = parallel
+		if parallel {
+			m.Parallel = true
+		}
 		return t, all, err
 	}
 }
@@ -545,6 +575,11 @@ func asyncBuild(rt *runEnv, f buildFn) buildFn {
 	go func() {
 		defer rt.wg.Done()
 		t, all, err := f()
+		if err != nil {
+			// Record before delivering: the error must reach Err even
+			// when the consumer closes the run without ever pulling.
+			rt.noteErr(err)
+		}
 		ch <- buildResult{t, all, err}
 	}()
 	return func() (rowTable, []Row, error) {
@@ -789,6 +824,10 @@ func (e *Engine) Compile(p *algebra.Plan) (*Compiled, error) {
 		}
 		out.root = &projectOp{in: root, slots: cols}
 	}
+	// Exchange placement: wrap morsel-shardable pipeline chains so
+	// parallel runs can scatter them across workers. Sequential runs
+	// pass straight through the wrappers.
+	out.root = placeExchanges(out.root)
 	return out, nil
 }
 
@@ -1202,10 +1241,16 @@ func (r *Run) Terms() map[sparql.Var]rdf.Term {
 
 // Err returns the first execution error, if any. A run aborted by its
 // context reports the context's error (context.Canceled or
-// context.DeadlineExceeded); a run closed early by Close reports none.
+// context.DeadlineExceeded); a run closed early by Close reports none —
+// unless a background worker (a hash-join build, an exchange worker)
+// had already failed, in which case that error is reported even though
+// the consumer never pulled the row that would have surfaced it.
 func (r *Run) Err() error {
 	if r.err != nil && !errors.Is(r.err, errClosed) {
 		return r.err
+	}
+	if e, ok := r.rt.workerErr.Load().(error); ok {
+		return e
 	}
 	return r.rt.cancelCause()
 }

@@ -27,6 +27,13 @@ type CacheKey struct {
 	// buffers) arrive without invalidating callers.
 	SortBudget int64
 	TempDir    string
+	// ExchangeThreshold is the exchange cutover the cached entry is
+	// served with. Exchange placement is compiled unconditionally and
+	// gated per run, so plans are identical across thresholds today;
+	// the key keeps the slot so threshold-specialised placement (e.g.
+	// pruning exchanges statically known to fall below the cutover) can
+	// arrive without invalidating callers.
+	ExchangeThreshold int
 }
 
 // CacheStats is a point-in-time snapshot of a PlanCache's counters.

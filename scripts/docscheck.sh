@@ -79,12 +79,19 @@ grep -qi 'MVCC' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not expla
 grep -q 'epoch' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not mention epochs"
 
 # 3b. docs/OPERATORS.md documents every physical operator kind in
-#     internal/exec/physical.go (the greppable contract: a new physOp
-#     must be added to the operator reference).
-for op in $(grep -o '^type [a-zA-Z]*Op struct' internal/exec/physical.go | awk '{print $2}' | sort -u); do
+#     internal/exec/physical.go and exchange.go (the greppable
+#     contract: a new physOp must be added to the operator reference).
+for op in $(grep -oh '^type [a-zA-Z]*Op struct' internal/exec/physical.go internal/exec/exchange.go | awk '{print $2}' | sort -u); do
     grep -q "\`$op\`" docs/OPERATORS.md || err "docs/OPERATORS.md does not document operator $op"
 done
 grep -q 'OPERATORS.md' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not cross-link OPERATORS.md"
+
+# 3e. The exchange surface is documented: OPERATORS.md explains the
+#     exchange: analyze line and ARCHITECTURE.md has the pipeline-
+#     parallelism section with the worker/gather diagram.
+grep -q 'exchange:' docs/OPERATORS.md || err "docs/OPERATORS.md does not document the exchange: analyze line"
+grep -qi 'pipeline parallelism' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md lost its pipeline-parallelism section"
+grep -q 'WithExchangeThreshold' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not mention WithExchangeThreshold"
 
 # 4. Everything README tells the user to run still builds: all examples,
 #    both commands, and each `go run ./path` target named in README.

@@ -173,12 +173,13 @@ func (db *DB) compileQuery(state *dbState, query string, cfg execConfig) (*prepa
 // this configuration's option fields.
 func (c execConfig) cacheKey(text string) exec.CacheKey {
 	return exec.CacheKey{
-		Query:       text,
-		Planner:     string(c.planner),
-		Engine:      string(c.engine),
-		Parallelism: c.parallelism,
-		SortBudget:  c.sortBudget,
-		TempDir:     c.tempDir,
+		Query:             text,
+		Planner:           string(c.planner),
+		Engine:            string(c.engine),
+		Parallelism:       c.parallelism,
+		ExchangeThreshold: c.exchangeThreshold,
+		SortBudget:        c.sortBudget,
+		TempDir:           c.tempDir,
 	}
 }
 

@@ -13,13 +13,14 @@ import (
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	parallelism int
-	planCache   int
-	sortBudget  int64
-	tempDir     string
-	planner     Planner
-	engine      Engine
-	metricsSink func(OpStats)
+	parallelism       int
+	exchangeThreshold int
+	planCache         int
+	sortBudget        int64
+	tempDir           string
+	planner           Planner
+	engine            Engine
+	metricsSink       func(OpStats)
 }
 
 // OpStats carries one operator's observed execution counters — the same
@@ -44,6 +45,13 @@ type OpStats struct {
 	// (ORDER BY past the sort budget); zero for every other operator.
 	SpilledRuns  int64
 	SpilledBytes int64
+	// Workers, Skew and WorkerRows report an exchange entry's
+	// scatter/gather execution: worker count, load-imbalance ratio
+	// (busiest worker over the mean, 1.0 = balanced) and per-worker
+	// output row counts. Zero-valued for every other operator.
+	Workers    int
+	Skew       float64
+	WorkerRows []int64
 }
 
 // WithMetricsSink registers a callback receiving per-operator execution
@@ -71,19 +79,35 @@ func emitOpStats(sink func(OpStats), stats []exec.OpStat) {
 			Parallel:     s.Parallel,
 			SpilledRuns:  s.SpilledRuns,
 			SpilledBytes: s.SpilledBytes,
+			Workers:      s.Workers,
+			Skew:         s.Skew,
+			WorkerRows:   s.WorkerRows,
 		})
 	}
 }
 
 // WithParallelism lets the executor run one query with up to n
-// concurrently executing morsel workers (large hash-join build-side
-// scans split into partitions, bounded across the whole query by a
-// shared semaphore); independent hash-join build sides additionally
-// overlap, one background goroutine each. Results are identical — row
-// for row — to sequential execution. Values below 2 select the
-// sequential path.
+// concurrently executing morsel workers, bounded across the whole query
+// by a shared semaphore. Large hash-join build-side scans split into
+// partitions; whole pipeline chains — a scan feeding filters and
+// hash-join probes — scatter across workers through exchange operators
+// and gather back in scan order (see WithExchangeThreshold for the
+// cutover); independent hash-join build sides additionally overlap, one
+// background goroutine each. Results are identical — row for row — to
+// sequential execution at every parallelism level. Values below 2
+// select the sequential path.
 func WithParallelism(n int) ExecOption {
 	return func(c *execConfig) { c.parallelism = n }
+}
+
+// WithExchangeThreshold sets the minimum base-scan row count (after
+// constant-prefix restriction) at which a parallel run scatters a
+// pipeline chain over exchange workers; chains over smaller inputs run
+// sequentially, since worker startup and gather buffering would cost
+// more than one extra core saves. Values <= 0 select the default
+// (4096 rows). Only meaningful together with WithParallelism(n >= 2).
+func WithExchangeThreshold(rows int) ExecOption {
+	return func(c *execConfig) { c.exchangeThreshold = rows }
 }
 
 // WithPlanCache serves the query through the DB's shared compiled-plan
@@ -161,7 +185,12 @@ func configOf(opts []ExecOption) execConfig {
 
 // execOptions converts the facade configuration to executor options.
 func (c execConfig) execOptions() exec.Options {
-	return exec.Options{Parallelism: c.parallelism, SortBudget: c.sortBudget, TempDir: c.tempDir}
+	return exec.Options{
+		Parallelism:       c.parallelism,
+		ExchangeThreshold: c.exchangeThreshold,
+		SortBudget:        c.sortBudget,
+		TempDir:           c.tempDir,
+	}
 }
 
 func resolveOpts(opts []ExecOption) exec.Options {
@@ -504,11 +533,16 @@ func (r *Rows) Close() error {
 	return r.err
 }
 
-// finishRun closes a branch run and then — once its workers have
-// stopped and its counters are final — forwards the per-operator
+// finishRun closes a branch run, adopts any error the run accumulated —
+// including errors background workers hit that the consumer never
+// pulled far enough to observe — and then, once the run's workers have
+// stopped and its counters are final, forwards the per-operator
 // statistics to the metrics sink, if one is configured.
 func (r *Rows) finishRun(run *exec.Run) {
 	run.Close()
+	if err := run.Err(); err != nil && r.err == nil {
+		r.err = err
+	}
 	if r.sink != nil {
 		emitOpStats(r.sink, run.OpStats())
 	}
