@@ -41,6 +41,13 @@
 // efficiency are written as a JSON trajectory to -benchout
 // (BENCH_parallel.json) so parallel performance is tracked across
 // revisions.
+//
+// -serve-load benchmarks the hspserve HTTP protocol server: -clients
+// closed-loop workers issue -requests requests twice, first as full
+// query text on /sparql (parsed server-side per request) and then
+// through the statement registry by digest (registered once, bound per
+// request), reporting client-observed throughput and p50/p95/p99
+// latency for both modes as JSON to -benchout (BENCH_serve.json).
 package main
 
 import (
@@ -77,11 +84,23 @@ func main() {
 		mutate    = flag.Bool("mutate", false, "benchmark read throughput while a background writer commits transactions")
 		batch     = flag.Int("batch", 256, "triples per background commit in -mutate mode")
 		scaling   = flag.Bool("scaling", false, "benchmark parallel scaling: both suites at parallelism 1/2/4/8")
-		benchout  = flag.String("benchout", "BENCH_parallel.json", "output file for -scaling results")
+		serveLoad = flag.Bool("serve-load", false, "benchmark the HTTP protocol server: cold query text vs execute-by-digest")
+		clients   = flag.Int("clients", 8, "closed-loop client workers in -serve-load mode")
+		benchout  = flag.String("benchout", "", "output file for -scaling (default BENCH_parallel.json) and -serve-load (default BENCH_serve.json) results")
 	)
 	flag.Parse()
 	if *scaling {
-		if err := scalingBench(os.Stdout, *benchout, *sp2scale, *yagoscale, *seed, *runs); err != nil {
+		out := *benchout
+		if out == "" {
+			out = "BENCH_parallel.json"
+		}
+		if err := scalingBench(os.Stdout, out, *sp2scale, *yagoscale, *seed, *runs); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *serveLoad {
+		if err := serveLoadBench(os.Stdout, *benchout, *sp2scale, *seed, *requests, *clients, *planCache); err != nil {
 			fail(err)
 		}
 		return

@@ -1,0 +1,252 @@
+// The -serve-load mode: closed-loop HTTP load against the hspserve
+// protocol server, comparing the two ways a client can run the same
+// parameterized workload — sending the full query text to /sparql every
+// time (cold: the server re-parses per request, plan cache softening
+// the planning cost) versus registering the statement once and
+// executing it by digest with binds (warm: no parsing anywhere on the
+// hot path). Client-observed latency quantiles and throughput for both
+// modes are written to -benchout (default BENCH_serve.json) so the
+// serving economics are tracked as a trajectory across revisions.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/hspserve"
+)
+
+// serveLoadQuery is the workload statement: a parameterized journal
+// lookup with a realistic prefix block, so the cold path pays a
+// representative parse per request.
+const serveLoadQuery = `
+PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bench:   <http://localhost/vocabulary/bench/>
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?jrnl ?yr
+WHERE { ?jrnl rdf:type bench:Journal .
+        ?jrnl dc:title $title .
+        ?jrnl dcterms:issued ?yr . }`
+
+// serveLoadTitle is the bind every request uses (SP1's journal, so each
+// execution returns exactly one row and latency measures the serving
+// path, not result transfer).
+const serveLoadTitle = `Journal 1 (1940)`
+
+// serveModeResult is one mode's measurement in BENCH_serve.json.
+type serveModeResult struct {
+	Mode     string  `json:"mode"` // "cold-text" or "warm-digest"
+	Requests int     `json:"requests"`
+	Errors   int64   `json:"errors"`
+	WallNS   int64   `json:"wall_ns"`
+	RPS      float64 `json:"rps"`
+	P50NS    int64   `json:"p50_ns"`
+	P95NS    int64   `json:"p95_ns"`
+	P99NS    int64   `json:"p99_ns"`
+}
+
+// serveLoadReport is the BENCH_serve.json document.
+type serveLoadReport struct {
+	SP2BenchScale int               `json:"sp2bench_scale"`
+	Seed          int64             `json:"seed"`
+	Clients       int               `json:"clients"`
+	PlanCache     int               `json:"plan_cache"`
+	Modes         []serveModeResult `json:"modes"`
+}
+
+// serveLoadBench starts an hspserve server on a loopback port and
+// drives it with clients closed-loop workers: first the cold mode
+// (full query text per request), then the warm mode (register once,
+// execute by digest), requests each, after a short warmup. Results are
+// printed as a table on out and written to path as JSON.
+func serveLoadBench(out *os.File, path string, sp2scale int, seed int64, requests, clients, planCache int) error {
+	if path == "" {
+		path = "BENCH_serve.json"
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	fmt.Fprintf(os.Stderr, "generating dataset (sp2bench=%d, seed=%d)...\n", sp2scale, seed)
+	db := hsp.GenerateSP2Bench(sp2scale, seed)
+	srv, err := hspserve.New(hspserve.Config{
+		DB:          db,
+		MaxInFlight: clients * 2,
+		PlanCache:   planCache,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+
+	// Cold: the full query text (constant inlined) on /sparql, parsed
+	// server-side per request.
+	coldQuery := strings.Replace(serveLoadQuery, "$title", fmt.Sprintf("%q", serveLoadTitle), 1)
+	coldURL := base + "/sparql?query=" + url.QueryEscape(coldQuery)
+
+	// Warm: register the parameterized statement once, execute by
+	// digest with a bind per request.
+	form := url.Values{"query": {serveLoadQuery}}
+	resp, err := client.PostForm(base+"/statements", form)
+	if err != nil {
+		return err
+	}
+	var reg hspserve.RegisterResult
+	err = json.NewDecoder(resp.Body).Decode(&reg)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("registering statement: %w", err)
+	}
+	warmURL := base + "/statements/" + reg.Digest + "?title=" + url.QueryEscape(fmt.Sprintf("%q", serveLoadTitle))
+
+	rep := serveLoadReport{SP2BenchScale: sp2scale, Seed: seed, Clients: clients, PlanCache: planCache}
+	fmt.Fprintf(out, "serve-load: %d requests x %d clients over %s\n", requests, clients, base)
+	fmt.Fprintf(out, "%-12s %10s %8s %12s %12s %12s %12s\n",
+		"mode", "requests", "errors", "req/s", "p50", "p95", "p99")
+	for _, mode := range []struct {
+		name string
+		url  string
+	}{
+		{"cold-text", coldURL},
+		{"warm-digest", warmURL},
+	} {
+		res, err := closedLoop(client, mode.url, requests, clients)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		res.Mode = mode.name
+		rep.Modes = append(rep.Modes, res)
+		fmt.Fprintf(out, "%-12s %10d %8d %12.0f %12s %12s %12s\n",
+			res.Mode, res.Requests, res.Errors, res.RPS,
+			time.Duration(res.P50NS), time.Duration(res.P95NS), time.Duration(res.P99NS))
+	}
+
+	if len(rep.Modes) == 2 {
+		cold, warm := rep.Modes[0], rep.Modes[1]
+		if warm.P50NS > 0 {
+			fmt.Fprintf(out, "warm-digest p50 speedup over cold-text: %.2fx\n",
+				float64(cold.P50NS)/float64(warm.P50NS))
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// closedLoop issues total requests against u from n workers, each
+// sending its next request as soon as the previous one finished, after
+// a short untimed warmup. Per-request latencies feed the quantiles.
+func closedLoop(client *http.Client, u string, total, n int) (serveModeResult, error) {
+	warmup := n * 4
+	if warmup > total {
+		warmup = total
+	}
+	run := func(count int, record bool, lats *[][]time.Duration, errs *atomic.Int64) error {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errc := make(chan error, n)
+		for w := 0; w < n; w++ {
+			wlats := &(*lats)[w]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(count) {
+					start := time.Now()
+					resp, err := client.Get(u)
+					if err != nil {
+						select {
+						case errc <- err:
+						default:
+						}
+						return
+					}
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cerr != nil || resp.StatusCode != http.StatusOK {
+						errs.Add(1)
+					}
+					if record {
+						*wlats = append(*wlats, time.Since(start))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	lats := make([][]time.Duration, n)
+	var errs atomic.Int64
+	if err := run(warmup, false, &lats, &errs); err != nil {
+		return serveModeResult{}, err
+	}
+	errs.Store(0)
+	start := time.Now()
+	if err := run(total, true, &lats, &errs); err != nil {
+		return serveModeResult{}, err
+	}
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(p*float64(len(all)-1))].Nanoseconds()
+	}
+	return serveModeResult{
+		Requests: len(all),
+		Errors:   errs.Load(),
+		WallNS:   wall.Nanoseconds(),
+		RPS:      float64(len(all)) / wall.Seconds(),
+		P50NS:    q(0.50),
+		P95NS:    q(0.95),
+		P99NS:    q(0.99),
+	}, nil
+}

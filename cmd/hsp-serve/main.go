@@ -1,0 +1,162 @@
+// Command hsp-serve runs the SPARQL 1.1 Protocol HTTP server of the
+// hspserve package over a loaded, generated, or snapshot-restored
+// dataset.
+//
+// Usage:
+//
+//	hsp-serve -data file.nt          -listen :8080
+//	hsp-serve -gen sp2bench:1000000  -maxinflight 32 -maxquerytime 10s
+//	hsp-serve -snapshot data.hsp     -plancache 4096 -registrycap 512
+//
+// The server exposes the protocol surface documented in docs/SERVING.md:
+// /sparql (query via GET or POST, SPARQL JSON or TSV results streamed),
+// /statements (the server-side prepared-statement registry — register a
+// query, execute it by digest), /update (transactional N-Triples
+// writes), /metrics and /healthz.
+//
+// Admission flags (-maxinflight, -maxqueue, -queuewait) bound the
+// concurrently executing queries; overflow is answered 503 with
+// Retry-After. -maxquerytime caps every execution (and client ?timeout=
+// values). -parallel enables intra-query parallelism on every served
+// execution and -opmetrics per-operator instrumentation aggregated into
+// /metrics (at EXPLAIN ANALYZE overhead per run).
+//
+// On SIGINT or SIGTERM the server stops admitting requests, drains
+// in-flight result streams for up to -draintimeout, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/hspserve"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve HTTP on")
+		data     = flag.String("data", "", "N-Triples file to load")
+		snapshot = flag.String("snapshot", "", "snapshot file to restore (see hsp.OpenSnapshotFile)")
+		gen      = flag.String("gen", "", "generate a dataset instead: sp2bench:N or yago:N")
+		seed     = flag.Int64("seed", 1, "generator seed for -gen")
+
+		maxInFlight  = flag.Int("maxinflight", 0, "max concurrently executing queries (0 = default 64)")
+		maxQueue     = flag.Int("maxqueue", 0, "max queries queued for a slot (0 = maxinflight)")
+		queueWait    = flag.Duration("queuewait", 0, "max time a query may queue (0 = default 100ms)")
+		maxQueryTime = flag.Duration("maxquerytime", 0, "per-query execution deadline (0 = default 30s)")
+		registryCap  = flag.Int("registrycap", 0, "statement registry capacity (0 = default 256)")
+		planCache    = flag.Int("plancache", 0, "compiled-plan cache capacity (0 = default 1024, negative disables)")
+		opMetrics    = flag.Bool("opmetrics", false, "per-operator instrumentation on every query (EXPLAIN ANALYZE overhead)")
+		parallel     = flag.Int("parallel", 0, "intra-query parallelism for every served execution")
+		drain        = flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight streams")
+	)
+	flag.Parse()
+
+	db, err := openDB(*data, *snapshot, *gen, *seed)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("hsp-serve: dataset ready: %d triples, epoch %d", db.NumTriples(), db.Epoch())
+
+	cfg := hspserve.Config{
+		DB:           db,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
+		MaxQueryTime: *maxQueryTime,
+		RegistryCap:  *registryCap,
+		PlanCache:    *planCache,
+		OpMetrics:    *opMetrics,
+	}
+	if *parallel > 1 {
+		cfg.Options = append(cfg.Options, hsp.WithParallelism(*parallel))
+	}
+	srv, err := hspserve.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hsp-serve: listening on %s", *listen)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case s := <-sig:
+		log.Printf("hsp-serve: %v: draining (up to %s)", s, *drain)
+	}
+
+	// Stop admitting, drain open result streams, then close the
+	// listener. srv.Shutdown drains at the protocol layer (in-flight
+	// queries and their streams); httpSrv.Shutdown closes idle
+	// connections afterwards.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("hsp-serve: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hsp-serve: http shutdown: %v", err)
+	}
+	log.Printf("hsp-serve: bye")
+}
+
+// openDB resolves the mutually exclusive dataset flags.
+func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
+	n := 0
+	for _, s := range []string{data, snapshot, gen} {
+		if s != "" {
+			n++
+		}
+	}
+	if n > 1 {
+		return nil, fmt.Errorf("use only one of -data, -snapshot or -gen")
+	}
+	switch {
+	case data != "":
+		return hsp.OpenNTriplesFile(data)
+	case snapshot != "":
+		return hsp.OpenSnapshotFile(snapshot)
+	case gen != "":
+		name, scaleStr, ok := strings.Cut(gen, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -gen %q (want sp2bench:N or yago:N)", gen)
+		}
+		scale, err := strconv.Atoi(scaleStr)
+		if err != nil || scale <= 0 {
+			return nil, fmt.Errorf("bad -gen scale %q", scaleStr)
+		}
+		switch name {
+		case "sp2bench":
+			return hsp.GenerateSP2Bench(scale, seed), nil
+		case "yago":
+			return hsp.GenerateYAGO(scale, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown generator %q", name)
+		}
+	default:
+		return nil, fmt.Errorf("no dataset given (use -data, -snapshot or -gen)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hsp-serve:", err)
+	os.Exit(1)
+}

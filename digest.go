@@ -1,0 +1,36 @@
+// Query normalisation hooks for network front-ends.
+//
+// A server keying state by query text — the hspserve statement
+// registry, a response cache, a federation peer — needs a stable
+// identity for "the same query spelled differently". QueryDigest
+// provides it: the query is parsed and re-rendered in the parser's
+// canonical SPARQL form (whitespace, prefix expansion and pattern
+// punctuation normalised away; constants and parameter names kept —
+// two queries differing in a literal are different queries), and the
+// canonical text is hashed.
+
+package hsp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"github.com/sparql-hsp/hsp/internal/sparql"
+)
+
+// QueryDigest parses a SPARQL query and returns the hex-encoded
+// SHA-256 digest of its canonical rendering — a stable, spelling-
+// independent identity for the query. Two texts digest equally exactly
+// when they parse to the same canonical form: comments, whitespace,
+// PREFIX shorthand and pattern ordering punctuation do not matter,
+// while constants, parameter names, modifiers and pattern order do.
+// A query that does not parse returns the parse error. The hspserve
+// statement registry keys registered statements by this digest.
+func QueryDigest(query string) (string, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(q.String()))
+	return hex.EncodeToString(sum[:]), nil
+}

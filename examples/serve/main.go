@@ -1,0 +1,120 @@
+// Command serve demonstrates the SPARQL protocol server end to end,
+// in one process: it mounts hspserve over a generated SP²Bench dataset
+// on an ephemeral port, then acts as its own HTTP client — a streamed
+// query, a registered statement executed by digest (surviving a
+// transactional /update that moves the dataset epoch), and the
+// /metrics counters — before draining the server with Shutdown.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/hspserve"
+)
+
+const query = `
+PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bench:   <http://localhost/vocabulary/bench/>
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?yr ?jrnl
+WHERE { ?jrnl rdf:type bench:Journal .
+        ?jrnl dc:title "Journal 1 (1940)" .
+        ?jrnl dcterms:issued ?yr . }`
+
+// paramQuery is registered once and executed by digest with a $title
+// bind per call — the server-side prepared-statement path.
+const paramQuery = `
+PREFIX dc:      <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT ?j ?yr WHERE { ?j dc:title $title . ?j dcterms:issued ?yr }`
+
+func main() {
+	db := hsp.GenerateSP2Bench(200000, 1)
+	srv, err := hspserve.New(hspserve.Config{DB: db, MaxQueryTime: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d triples at %s\n", db.NumTriples(), base)
+
+	// 1. A query over GET, TSV results streamed straight off the run.
+	resp, err := http.Get(base + "/sparql?format=tsv&query=" + url.QueryEscape(query))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("GET /sparql (epoch %s):\n%s", resp.Header.Get("X-HSP-Epoch"), body)
+
+	// 2. Register a parameterized statement; the digest is its handle.
+	form := url.Values{"query": {paramQuery}}
+	resp, err = http.PostForm(base+"/statements", form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reg hspserve.RegisterResult
+	json.NewDecoder(resp.Body).Decode(&reg)
+	resp.Body.Close()
+	fmt.Printf("registered statement %s (params %v)\n", reg.Digest[:12], reg.Params)
+
+	execute := func(title string) {
+		u := base + "/statements/" + reg.Digest + "?format=tsv&title=" + url.QueryEscape(`"`+title+`"`)
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("execute $title=%q (epoch %s): %s", title, resp.Header.Get("X-HSP-Epoch"),
+			strings.TrimPrefix(string(body), "?j\t?yr\n"))
+	}
+	execute("Journal 1 (1940)")
+
+	// 3. A transactional write moves the epoch; the registered statement
+	// re-prepares lazily and serves the new snapshot.
+	nt := `<http://example.org/j99> <http://purl.org/dc/elements/1.1/title> "Fresh Journal" .
+<http://example.org/j99> <http://purl.org/dc/terms/issued> "2026" .
+`
+	resp, err = http.Post(base+"/update", "application/n-triples", strings.NewReader(nt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var up hspserve.UpdateResult
+	json.NewDecoder(resp.Body).Decode(&up)
+	resp.Body.Close()
+	fmt.Printf("update committed: epoch %d, +%d triples\n", up.Epoch, up.Inserted)
+	execute("Fresh Journal")
+
+	// 4. The server's own counters.
+	stats := srv.Stats()
+	fmt.Printf("metrics: %d queries, %d executes, registry %d/%d (%d reprepare), plan cache %d hits\n",
+		stats.Routes["query"].Requests, stats.Routes["execute"].Requests,
+		stats.Registry.Len, stats.Registry.Cap, stats.Registry.Reprepares,
+		stats.PlanCache.Hits)
+
+	// 5. Drain and exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	httpSrv.Shutdown(ctx)
+	fmt.Println("drained, bye")
+}

@@ -1,0 +1,91 @@
+// Admission control: a semaphore of execution slots fronted by a
+// bounded, time-limited wait queue. The gate sheds load the moment the
+// queue is full or a waiter has queued too long — a 503 with
+// Retry-After is cheaper for everyone than a request that times out
+// holding memory — while short bursts ride out the queue without
+// being rejected.
+
+package hspserve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded is returned by gate.acquire when the request should be
+// rejected with 503 + Retry-After: the queue is full or the waiter
+// queued past the configured wait bound.
+var errOverloaded = errors.New("hspserve: overloaded")
+
+// gate is the admission controller: slots is the in-flight semaphore,
+// waiters counts queued requests against maxQueue, and queueWait bounds
+// each waiter's time in the queue.
+type gate struct {
+	slots     chan struct{}
+	waiters   atomic.Int64
+	maxQueue  int64
+	queueWait time.Duration
+}
+
+func newGate(maxInFlight, maxQueue int, queueWait time.Duration) *gate {
+	return &gate{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// acquire takes an execution slot, queueing up to the gate's wait
+// bound when all slots are busy. It returns errOverloaded when the
+// request should be shed, or ctx's error if the caller gave up first.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.waiters.Add(1) > g.maxQueue {
+		g.waiters.Add(-1)
+		return errOverloaded
+	}
+	defer g.waiters.Add(-1)
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the slot taken by a successful acquire.
+func (g *gate) release() { <-g.slots }
+
+// stats snapshots the gate for /metrics.
+func (g *gate) stats(rejected int64) AdmissionStats {
+	return AdmissionStats{
+		InFlight: int64(len(g.slots)),
+		Waiting:  g.waiters.Load(),
+		Capacity: cap(g.slots),
+		Queue:    int(g.maxQueue),
+		Rejected: rejected,
+	}
+}
+
+// AdmissionStats reports the admission gate's state in Stats.
+type AdmissionStats struct {
+	// InFlight is the number of queries holding execution slots;
+	// Waiting the number queued for one.
+	InFlight int64 `json:"in_flight"`
+	Waiting  int64 `json:"waiting"`
+	// Capacity and Queue are the configured slot and queue bounds.
+	Capacity int `json:"capacity"`
+	Queue    int `json:"queue"`
+	// Rejected counts requests shed with 503 since the server started.
+	Rejected int64 `json:"rejected"`
+}

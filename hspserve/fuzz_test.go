@@ -1,0 +1,112 @@
+// Native fuzz targets for the protocol front door and the registry's
+// digest keying, seeded with both workload suites. The query-parameter
+// fuzzer asserts the server answers arbitrary input with a sane status
+// and never panics or hangs past its deadline; the digest fuzzer
+// asserts hsp.QueryDigest is deterministic, well-formed, and stable
+// under re-registration of whitespace-perturbed spellings.
+
+package hspserve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/hspserve"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+	"github.com/sparql-hsp/hsp/internal/yago"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *hspserve.Server
+)
+
+// fuzzServer is one tiny server shared by the whole fuzz process:
+// small dataset, tight deadline, so hostile queries bound their cost.
+func fuzzServer(f *testing.F) *hspserve.Server {
+	f.Helper()
+	fuzzOnce.Do(func() {
+		s, err := hspserve.New(hspserve.Config{
+			DB:           hsp.GenerateSP2Bench(100, 1),
+			MaxQueryTime: 200 * time.Millisecond,
+		})
+		if err != nil {
+			f.Fatalf("New: %v", err)
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv
+}
+
+// seedQueries feeds both workload suites to a fuzz target.
+func seedQueries(f *testing.F) {
+	for _, q := range sp2bench.Queries() {
+		f.Add(q.Text)
+	}
+	for _, q := range yago.Queries() {
+		f.Add(q.Text)
+	}
+	f.Add("")
+	f.Add("SELECT WHERE {")
+	f.Add("SELECT ?s WHERE { ?s ?p $v . }")
+	f.Add("ASK { ?s ?p ?o . }")
+}
+
+// FuzzServeQueryParam throws arbitrary query text at GET /sparql: any
+// outcome but a panic, a hang, or a nonsense status is acceptable, and
+// every 200 JSON body must parse.
+func FuzzServeQueryParam(f *testing.F) {
+	seedQueries(f)
+	s := fuzzServer(f)
+	f.Fuzz(func(t *testing.T, query string) {
+		req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(query), nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusGatewayTimeout,
+			http.StatusServiceUnavailable, http.StatusInternalServerError:
+		default:
+			t.Fatalf("unexpected status %d for query %q:\n%s", rec.Code, query, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/sparql-results+json") {
+			var doc map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("200 body is not valid JSON (%v) for query %q:\n%s", err, query, rec.Body.String())
+			}
+		}
+	})
+}
+
+// FuzzRegisterDigest exercises hsp.QueryDigest as the registry key:
+// for any input it either rejects (parse error) or yields a 64-hex
+// digest that is deterministic and fixed under whitespace perturbation
+// of the query text — the property the registry's spelling-independent
+// keying rests on.
+func FuzzRegisterDigest(f *testing.F) {
+	seedQueries(f)
+	f.Fuzz(func(t *testing.T, query string) {
+		d1, err := hsp.QueryDigest(query)
+		if err != nil {
+			return // unparseable input is rejected, never hashed
+		}
+		if len(d1) != 64 || strings.Trim(d1, "0123456789abcdef") != "" {
+			t.Fatalf("digest %q is not 64 lowercase hex", d1)
+		}
+		d2, err := hsp.QueryDigest(query)
+		if err != nil || d2 != d1 {
+			t.Fatalf("digest not deterministic: %q then %q (err %v)", d1, d2, err)
+		}
+		// Whitespace perturbations of a parseable query keep its key.
+		d3, err := hsp.QueryDigest("  \n" + query + "\n\t ")
+		if err != nil || d3 != d1 {
+			t.Fatalf("digest not spelling-independent: %q vs %q (err %v)", d1, d3, err)
+		}
+	})
+}

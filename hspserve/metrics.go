@@ -1,0 +1,179 @@
+// Observability: per-route request/latency/in-flight counters, the
+// aggregated per-operator execution totals fed by hsp.WithMetricsSink,
+// and the Stats snapshot /metrics serialises. Latency quantiles are
+// computed over a fixed-size ring of recent observations — constant
+// memory, no histogram tuning, accurate enough to steer admission
+// settings.
+
+package hspserve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+// latRingSize is the number of recent latencies kept per route for the
+// quantile snapshot.
+const latRingSize = 512
+
+// routeMetrics is one route's counters.
+type routeMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	inFlight atomic.Int64
+
+	mu   sync.Mutex
+	ring [latRingSize]time.Duration
+	n    int64 // total observations; ring index = n % latRingSize
+}
+
+// observe records one finished request.
+func (m *routeMetrics) observe(d time.Duration, status int) {
+	if status >= 400 {
+		m.errors.Add(1)
+	}
+	m.mu.Lock()
+	m.ring[m.n%latRingSize] = d
+	m.n++
+	m.mu.Unlock()
+}
+
+// snapshot renders the route's counters with p50/p95/p99 over the
+// retained ring.
+func (m *routeMetrics) snapshot() RouteStats {
+	m.mu.Lock()
+	n := m.n
+	if n > latRingSize {
+		n = latRingSize
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, m.ring[:n])
+	m.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i].Nanoseconds()
+	}
+	return RouteStats{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		InFlight: m.inFlight.Load(),
+		P50NS:    q(0.50),
+		P95NS:    q(0.95),
+		P99NS:    q(0.99),
+	}
+}
+
+// RouteStats reports one route's counters in Stats.
+type RouteStats struct {
+	// Requests counts requests dispatched to the route; Errors the
+	// subset answered with status >= 400 (client-abandoned requests
+	// count as errors under the 499 convention).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// InFlight is the number of requests currently being served.
+	InFlight int64 `json:"in_flight"`
+	// P50NS, P95NS and P99NS are latency quantiles in nanoseconds over
+	// the most recent observations (a 512-entry ring).
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+// metrics is the server-wide counter set.
+type metrics struct {
+	mu       sync.Mutex
+	routes   map[string]*routeMetrics
+	rejected atomic.Int64 // admission rejections
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: map[string]*routeMetrics{}}
+}
+
+// route returns (creating on first use) the named route's counters.
+func (m *metrics) route(name string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[name]
+	if rm == nil {
+		rm = &routeMetrics{}
+		m.routes[name] = rm
+	}
+	return rm
+}
+
+// snapshot renders every route's counters.
+func (m *metrics) snapshot() map[string]RouteStats {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	rms := make([]*routeMetrics, 0, len(m.routes))
+	for name, rm := range m.routes {
+		names = append(names, name)
+		rms = append(rms, rm)
+	}
+	m.mu.Unlock()
+	out := make(map[string]RouteStats, len(names))
+	for i, name := range names {
+		out[name] = rms[i].snapshot()
+	}
+	return out
+}
+
+// opAgg aggregates the per-operator counters hsp.WithMetricsSink
+// delivers as runs close. The sink is called from run-closing
+// goroutines and must not block, so everything is atomic adds.
+type opAgg struct {
+	ops    atomic.Int64 // operator entries observed
+	rows   atomic.Int64 // rows emitted across all operators
+	wallNS atomic.Int64 // cumulative operator wall time
+}
+
+// observe is the hsp.WithMetricsSink callback.
+func (a *opAgg) observe(s hsp.OpStats) {
+	a.ops.Add(1)
+	a.rows.Add(s.Rows)
+	a.wallNS.Add(s.Wall.Nanoseconds())
+}
+
+func (a *opAgg) snapshot() OperatorStats {
+	return OperatorStats{
+		Ops:    a.ops.Load(),
+		Rows:   a.rows.Load(),
+		WallNS: a.wallNS.Load(),
+	}
+}
+
+// OperatorStats reports the aggregated per-operator execution totals
+// in Stats; all zero unless Config.OpMetrics is enabled.
+type OperatorStats struct {
+	// Ops counts operator instances observed across all finished runs;
+	// Rows the rows they emitted; WallNS their cumulative wall time.
+	Ops    int64 `json:"ops"`
+	Rows   int64 `json:"rows"`
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Stats is the /metrics document: one snapshot of every counter the
+// server keeps, plus the DB-level plan-cache and epoch state.
+type Stats struct {
+	// Epoch and Triples describe the snapshot currently served.
+	Epoch   uint64 `json:"epoch"`
+	Triples int    `json:"triples"`
+	// PlanCache is the DB's shared compiled-plan cache counters.
+	PlanCache hsp.PlanCacheStats `json:"plan_cache"`
+	// Admission is the gate's state; Routes the per-route counters;
+	// Registry the statement registry's; Operators the aggregated
+	// per-operator totals (Config.OpMetrics).
+	Admission AdmissionStats        `json:"admission"`
+	Routes    map[string]RouteStats `json:"routes"`
+	Registry  RegistryStats         `json:"registry"`
+	Operators OperatorStats         `json:"operators"`
+}

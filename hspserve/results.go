@@ -1,0 +1,316 @@
+// Result serialisation, streamed straight off the Rows pull API: the
+// encoders write the head from the projected variables, then one row
+// at a time as the run produces them — nothing is materialised, the
+// HTTP response flushes incrementally, and a failure after the head
+// has been sent (a sort-spill temp error, a worker error surfacing
+// late) is emitted as an explicit trailing error marker instead of a
+// silent truncation: JSON documents gain a top-level "error" member,
+// TSV bodies a final "# error: …" comment line. A client that sees
+// neither marker nor a clean end-of-document knows the transfer was
+// cut; a client that sees the marker knows the server failed mid-run.
+
+package hspserve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+// Format selects a result serialisation.
+type Format string
+
+// The supported result formats of the protocol endpoints.
+const (
+	// FormatJSON is the SPARQL 1.1 Query Results JSON Format
+	// (application/sparql-results+json).
+	FormatJSON Format = "json"
+	// FormatTSV is the SPARQL 1.1 Query Results TSV Format
+	// (text/tab-separated-values): N-Triples-encoded terms, one
+	// tab-separated row per solution.
+	FormatTSV Format = "tsv"
+)
+
+// contentType returns the format's media type.
+func (f Format) contentType() string {
+	if f == FormatTSV {
+		return "text/tab-separated-values; charset=utf-8"
+	}
+	return "application/sparql-results+json"
+}
+
+// RowStream is the streaming result surface the serialisers consume —
+// exactly the subset of *hsp.Rows they need, factored as an interface
+// so failure injection is testable without a failing engine run.
+type RowStream interface {
+	// Vars returns the projected variable names, without '?'.
+	Vars() []string
+	// Next advances to the next row; false at the end or on error.
+	Next() bool
+	// Row returns the current row as variable → term.
+	Row() map[string]hsp.Term
+	// Err returns the first error the stream encountered.
+	Err() error
+	// Close releases the stream's resources.
+	Close() error
+}
+
+// flushEvery is the row interval at which the encoders push buffered
+// output to the client.
+const flushEvery = 64
+
+// resultEncoder is one format's streaming writer.
+type resultEncoder interface {
+	head(vars []string) error
+	row(row map[string]hsp.Term) error
+	// trailer emits the mid-stream error marker.
+	trailer(err error) error
+	// end finishes the document and flushes everything buffered.
+	end() error
+}
+
+// newEncoder builds the encoder for a format over w, flushing through
+// f (when non-nil) as rows stream out.
+func newEncoder(format Format, w io.Writer, f http.Flusher) resultEncoder {
+	bw := bufio.NewWriterSize(w, 8<<10)
+	if format == FormatTSV {
+		return &tsvEncoder{bw: bw, f: f}
+	}
+	return &jsonEncoder{bw: bw, f: f}
+}
+
+// maybeFlush pushes buffered bytes to the client every flushEvery rows.
+func maybeFlush(bw *bufio.Writer, f http.Flusher, rows int64) error {
+	if rows%flushEvery != 0 {
+		return nil
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if f != nil {
+		f.Flush()
+	}
+	return nil
+}
+
+// jsonTerm is the SPARQL JSON results encoding of one RDF term.
+type jsonTerm struct {
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+// encodeTerm maps a public term to its JSON encoding. Literal values
+// carry any @lang/^^<datatype> suffix verbatim, matching the facade's
+// term representation.
+func encodeTerm(t hsp.Term) jsonTerm {
+	switch t.Kind {
+	case "literal":
+		return jsonTerm{Type: "literal", Value: t.Value}
+	case "blank":
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	}
+}
+
+// jsonEncoder streams the SPARQL JSON results document.
+type jsonEncoder struct {
+	bw    *bufio.Writer
+	f     http.Flusher
+	vars  []string
+	rows  int64
+	fail  error // trailing error, emitted by end
+	first bool
+}
+
+func (e *jsonEncoder) head(vars []string) error {
+	e.vars = vars
+	e.first = true
+	names, err := json.Marshal(vars)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(e.bw, `{"head":{"vars":%s},"results":{"bindings":[`, names)
+	return err
+}
+
+func (e *jsonEncoder) row(row map[string]hsp.Term) error {
+	if !e.first {
+		if err := e.bw.WriteByte(','); err != nil {
+			return err
+		}
+	}
+	e.first = false
+	if err := e.bw.WriteByte('{'); err != nil {
+		return err
+	}
+	wrote := false
+	for _, v := range e.vars {
+		t, ok := row[v]
+		if !ok {
+			continue // unbound (OPTIONAL): omitted per the JSON results format
+		}
+		if wrote {
+			if err := e.bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		wrote = true
+		name, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		val, err := json.Marshal(encodeTerm(t))
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(e.bw, "%s:%s", name, val); err != nil {
+			return err
+		}
+	}
+	if err := e.bw.WriteByte('}'); err != nil {
+		return err
+	}
+	e.rows++
+	return maybeFlush(e.bw, e.f, e.rows)
+}
+
+func (e *jsonEncoder) trailer(err error) error {
+	e.fail = err
+	return nil
+}
+
+func (e *jsonEncoder) end() error {
+	if _, err := e.bw.WriteString("]}"); err != nil {
+		return err
+	}
+	if e.fail != nil {
+		msg, err := json.Marshal(e.fail.Error())
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(e.bw, `,"error":%s`, msg); err != nil {
+			return err
+		}
+	}
+	if _, err := e.bw.WriteString("}\n"); err != nil {
+		return err
+	}
+	if err := e.bw.Flush(); err != nil {
+		return err
+	}
+	if e.f != nil {
+		e.f.Flush()
+	}
+	return nil
+}
+
+// tsvEncoder streams the SPARQL TSV results format.
+type tsvEncoder struct {
+	bw   *bufio.Writer
+	f    http.Flusher
+	vars []string
+	rows int64
+	fail error
+}
+
+func (e *tsvEncoder) head(vars []string) error {
+	e.vars = vars
+	cols := make([]string, len(vars))
+	for i, v := range vars {
+		cols[i] = "?" + v
+	}
+	_, err := e.bw.WriteString(strings.Join(cols, "\t") + "\n")
+	return err
+}
+
+func (e *tsvEncoder) row(row map[string]hsp.Term) error {
+	for i, v := range e.vars {
+		if i > 0 {
+			if err := e.bw.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		if t, ok := row[v]; ok {
+			if _, err := e.bw.WriteString(t.String()); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	e.rows++
+	return maybeFlush(e.bw, e.f, e.rows)
+}
+
+func (e *tsvEncoder) trailer(err error) error {
+	e.fail = err
+	return nil
+}
+
+func (e *tsvEncoder) end() error {
+	if e.fail != nil {
+		if _, err := fmt.Fprintf(e.bw, "# error: %s\n", strings.ReplaceAll(e.fail.Error(), "\n", " ")); err != nil {
+			return err
+		}
+	}
+	if err := e.bw.Flush(); err != nil {
+		return err
+	}
+	if e.f != nil {
+		e.f.Flush()
+	}
+	return nil
+}
+
+// encodeStream drains rows into enc: head, every row, and — when the
+// stream dies mid-way — the trailing error marker, so a truncated run
+// is never mistaken for a complete result. first carries an already
+// pulled row (the handlers prime one row before committing a 200
+// status); pass nil when nothing was primed. The stream's error is
+// returned after being encoded, write errors short-circuit, and rows
+// is always closed.
+func encodeStream(enc resultEncoder, rows RowStream, first map[string]hsp.Term) error {
+	defer rows.Close()
+	if err := enc.head(rows.Vars()); err != nil {
+		return err
+	}
+	if first != nil {
+		if err := enc.row(first); err != nil {
+			return err
+		}
+	}
+	for rows.Next() {
+		if err := enc.row(rows.Row()); err != nil {
+			return err
+		}
+	}
+	streamErr := rows.Err()
+	if streamErr != nil {
+		if err := enc.trailer(streamErr); err != nil {
+			return err
+		}
+	}
+	if err := enc.end(); err != nil {
+		return err
+	}
+	return streamErr
+}
+
+// writeBoolean emits an ASK result document: the SPARQL JSON boolean
+// form, or a bare true/false line for TSV.
+func writeBoolean(w io.Writer, format Format, b bool) error {
+	var err error
+	if format == FormatTSV {
+		_, err = fmt.Fprintf(w, "%t\n", b)
+	} else {
+		_, err = fmt.Fprintf(w, `{"head":{},"boolean":%t}`+"\n", b)
+	}
+	return err
+}

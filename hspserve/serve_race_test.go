@@ -1,0 +1,230 @@
+// Concurrency suite (run under -race): streaming HTTP readers racing a
+// committing writer must each observe a single-epoch snapshot end to
+// end; a client disconnecting mid-body must cancel the run and free its
+// admission slot; Shutdown must reject new work while draining open
+// result streams to a clean end of document.
+
+package hspserve_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/hspserve"
+)
+
+// markerQuery selects the generation-tagged marker triples the writer
+// swaps wholesale each commit: a torn (multi-epoch) read surfaces as a
+// response body mixing generations.
+const markerQuery = `SELECT ?s ?g WHERE { ?s <http://example.org/gen> ?g . }`
+
+const markerBatch = 12
+
+// commitGeneration atomically replaces generation old with generation
+// next: one transaction, so every snapshot holds exactly one complete
+// generation.
+func commitGeneration(ctx context.Context, db *hsp.DB, old, next int) error {
+	txn, err := db.Update(ctx)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < markerBatch; i++ {
+		subj := hsp.IRI(fmt.Sprintf("http://example.org/m%d", i))
+		pred := hsp.IRI("http://example.org/gen")
+		if old >= 0 {
+			if err := txn.Delete(hsp.Triple{S: subj, P: pred, O: hsp.Literal(fmt.Sprintf("g%d", old))}); err != nil {
+				txn.Rollback()
+				return err
+			}
+		}
+		if err := txn.Insert(hsp.Triple{S: subj, P: pred, O: hsp.Literal(fmt.Sprintf("g%d", next))}); err != nil {
+			txn.Rollback()
+			return err
+		}
+	}
+	_, err = txn.Commit(ctx)
+	return err
+}
+
+// TestSnapshotIsolationOverHTTP: concurrent streaming readers racing a
+// background committer each see exactly one marker generation per
+// response body, and the X-HSP-Epoch header never goes backwards on a
+// reader.
+func TestSnapshotIsolationOverHTTP(t *testing.T) {
+	db := hsp.GenerateSP2Bench(800, 3)
+	ctx := context.Background()
+	if err := commitGeneration(ctx, db, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newServer(t, hspserve.Config{DB: db})
+	u := ts.URL + "/sparql?format=tsv&query=" + url.QueryEscape(markerQuery)
+
+	const (
+		readers     = 4
+		generations = 40
+	)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := ts.Client()
+			lastEpoch := int64(-1)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := client.Get(u)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+				var epoch int64
+				if _, err := fmt.Sscan(resp.Header.Get("X-HSP-Epoch"), &epoch); err != nil {
+					errs <- fmt.Errorf("bad epoch header %q", resp.Header.Get("X-HSP-Epoch"))
+					return
+				}
+				if epoch < lastEpoch {
+					errs <- fmt.Errorf("epoch went backwards: %d after %d", epoch, lastEpoch)
+					return
+				}
+				lastEpoch = epoch
+				// Every row of one response must carry the same generation.
+				lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+				if len(lines) != 1+markerBatch {
+					errs <- fmt.Errorf("torn read: %d rows, want %d:\n%s", len(lines)-1, markerBatch, body)
+					return
+				}
+				gen := ""
+				for _, line := range lines[1:] {
+					cols := strings.Split(line, "\t")
+					if len(cols) != 2 {
+						errs <- fmt.Errorf("bad row %q", line)
+						return
+					}
+					if gen == "" {
+						gen = cols[1]
+					} else if cols[1] != gen {
+						errs <- fmt.Errorf("torn read: generations %s and %s in one body:\n%s", gen, cols[1], body)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for g := 1; g <= generations; g++ {
+		if err := commitGeneration(ctx, db, g-1, g); err != nil {
+			close(done)
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestDisconnectCancelsRun: a client closing the response body
+// mid-stream cancels the server-side run — the admission slot frees and
+// no goroutines stay behind.
+func TestDisconnectCancelsRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, ts := newServer(t, hspserve.Config{MaxInFlight: 2})
+
+	// A result far larger than any socket buffer, so the handler is
+	// still streaming when the client walks away.
+	u := ts.URL + "/sparql?format=tsv&query=" + url.QueryEscape(crossJoin)
+	resp, err := ts.Client().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatalf("reading stream prefix: %v", err)
+	}
+	resp.Body.Close()
+
+	waitFor(t, func() bool { return s.Stats().Admission.InFlight == 0 })
+	ts.Close()
+	awaitGoroutines(t, base)
+}
+
+// TestShutdownDrains: Shutdown immediately sheds new requests with
+// 503 + Retry-After but lets an open result stream run to its clean end
+// of document, then returns; nothing leaks.
+func TestShutdownDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	db := testDB(t)
+	s, ts := newServer(t, hspserve.Config{DB: db})
+
+	// Open a stream big enough to outlive socket buffering, but finite:
+	// every triple of the dataset.
+	all := `SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`
+	resp, err := ts.Client().Get(ts.URL + "/sparql?format=tsv&query=" + url.QueryEscape(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// While draining, new requests are rejected at the front door.
+	waitFor(t, func() bool {
+		st, _, r2 := get(t, ts.Client(), ts.URL+"/healthz", nil)
+		return st == http.StatusServiceUnavailable && r2.Header.Get("Retry-After") != ""
+	})
+
+	// The open stream still drains to a complete document.
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("draining open stream: %v", err)
+	}
+	if rows := strings.Count(string(body), "\n") - 1; rows != db.NumTriples() {
+		t.Errorf("drained rows = %d, want %d (the full dataset)", rows, db.NumTriples())
+	}
+	if strings.Contains(string(body), "# error") {
+		t.Errorf("drained stream carries an error marker")
+	}
+
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown = %v, want nil after drain", err)
+	}
+	ts.Close()
+	awaitGoroutines(t, base)
+}

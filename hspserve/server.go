@@ -1,0 +1,396 @@
+// Package hspserve is the SPARQL 1.1 Protocol HTTP front-end of the
+// hsp engine: a reusable http.Handler (plus the thin cmd/hsp-serve
+// main) that serves a live hsp.DB to network clients while preserving
+// the engine's cheap-replan/cheap-rerun serving economics end to end.
+//
+// The protocol surface:
+//
+//	GET  /sparql?query=…          query via GET
+//	POST /sparql                  query via form encoding or application/sparql-query
+//	POST /statements              register a prepared statement → its digest
+//	GET  /statements              list the statement registry
+//	GET|POST /statements/{digest} execute a registered statement with $name binds
+//	POST /update                  transactional N-Triples insert/delete → new epoch
+//	GET  /metrics                 counters: routes, admission, plan cache, registry
+//	GET  /healthz                 liveness + current epoch
+//
+// Results are serialised straight off the streaming Rows API — SPARQL
+// JSON results or TSV, negotiated via Accept — so a response never
+// materialises server-side, flushes incrementally, and a client
+// disconnect cancels the run through the request context. Every query
+// runs under a per-request deadline; an admission gate bounds in-flight
+// queries with a short wait queue (overflow → 503 + Retry-After);
+// Shutdown stops admitting and drains in-flight streams. Registered
+// statements are keyed by hsp.QueryDigest and re-prepared lazily when a
+// commit moves the dataset epoch, so execute-by-digest always serves
+// the current snapshot without ever re-parsing the query text. See
+// docs/SERVING.md for the full protocol reference and tuning guide.
+package hspserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+// Config parameterises a Server. The zero value of every field except
+// DB selects a production-shaped default.
+type Config struct {
+	// DB is the dataset to serve. Required.
+	DB *hsp.DB
+
+	// MaxInFlight bounds concurrently executing queries (the admission
+	// gate); further requests wait in a bounded queue. Default 64.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot; overflow
+	// is rejected immediately with 503 + Retry-After. Default:
+	// MaxInFlight.
+	MaxQueue int
+	// QueueWait bounds how long an admitted waiter may queue before it
+	// is rejected with 503. Default 100ms.
+	QueueWait time.Duration
+	// MaxQueryTime is the per-request execution deadline, and the cap
+	// for client-supplied ?timeout= values. A deadline firing before
+	// the first result row yields 504; mid-stream it yields the
+	// trailing error marker. Default 30s.
+	MaxQueryTime time.Duration
+
+	// RegistryCap bounds the server-side prepared-statement registry
+	// (LRU evicted). Default 256.
+	RegistryCap int
+	// PlanCache sizes the DB's shared compiled-plan cache used by the
+	// query endpoints; 0 keeps the default 1024. Negative disables.
+	PlanCache int
+
+	// MaxRequestBytes bounds query request bodies (default 1 MiB);
+	// MaxUpdateBytes bounds /update bodies (default 64 MiB).
+	MaxRequestBytes int64
+	MaxUpdateBytes  int64
+
+	// OpMetrics enables per-operator instrumentation on every served
+	// query (the hsp.WithMetricsSink path), aggregated into the
+	// /metrics operator counters. Costs EXPLAIN ANALYZE overhead per
+	// run; off by default.
+	OpMetrics bool
+
+	// Options are extra execution options (parallelism, sort budget,
+	// planner, engine, …) appended to every served execution.
+	Options []hsp.ExecOption
+}
+
+// withDefaults fills the zero fields of a Config.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.MaxQueryTime <= 0 {
+		c.MaxQueryTime = 30 * time.Second
+	}
+	if c.RegistryCap <= 0 {
+		c.RegistryCap = 256
+	}
+	if c.PlanCache == 0 {
+		c.PlanCache = 1024
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.MaxUpdateBytes <= 0 {
+		c.MaxUpdateBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the SPARQL protocol handler over one hsp.DB. It implements
+// http.Handler and is safe for concurrent use; construct it with New
+// and pass it to an http.Server (or mount it under a prefix).
+type Server struct {
+	cfg  Config
+	db   *hsp.DB
+	mux  *http.ServeMux
+	gate *gate
+	reg  *registry
+	met  *metrics
+	ops  *opAgg
+	opts []hsp.ExecOption // execution options applied to every query
+
+	// Shutdown coordination: closed rejects new requests, inflight
+	// counts requests being served.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server over cfg.DB. It returns an error only for a
+// missing DB; every other field defaults sanely.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("hspserve: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		db:   cfg.DB,
+		gate: newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		reg:  newRegistry(cfg.RegistryCap),
+		met:  newMetrics(),
+		ops:  &opAgg{},
+	}
+	if cfg.PlanCache > 0 {
+		s.opts = append(s.opts, hsp.WithPlanCache(cfg.PlanCache))
+	}
+	if cfg.OpMetrics {
+		s.opts = append(s.opts, hsp.WithMetricsSink(s.ops.observe))
+	}
+	s.opts = append(s.opts, cfg.Options...)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /sparql", s.route("query", true, s.handleQuery))
+	mux.HandleFunc("POST /sparql", s.route("query", true, s.handleQuery))
+	mux.HandleFunc("POST /statements", s.route("register", true, s.handleRegister))
+	mux.HandleFunc("GET /statements", s.route("register", false, s.handleList))
+	mux.HandleFunc("GET /statements/{digest}", s.route("execute", true, s.handleExecute))
+	mux.HandleFunc("POST /statements/{digest}", s.route("execute", true, s.handleExecute))
+	mux.HandleFunc("POST /update", s.route("update", false, s.handleUpdate))
+	mux.HandleFunc("GET /metrics", s.route("metrics", false, s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.route("metrics", false, s.handleHealthz))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP admits the request (503 + Retry-After once Shutdown has
+// begun), tracks it for the shutdown drain, and dispatches.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "hspserve: server is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops admitting requests (new ones get 503 + Retry-After)
+// and waits for every in-flight request — open result streams
+// included — to finish. It returns nil once drained, or ctx's error if
+// the caller's context expires first (in-flight requests keep running;
+// pair with http.Server.Close to abort them).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// route wraps a handler with per-route metrics and, for the execution
+// routes, the admission gate.
+func (s *Server) route(name string, gated bool, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.met.route(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rm.requests.Add(1)
+		rm.inFlight.Add(1)
+		defer rm.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		if gated {
+			if err := s.gate.acquire(r.Context()); err != nil {
+				if err == errOverloaded {
+					s.met.rejected.Add(1)
+					sw.Header().Set("Retry-After", "1")
+					http.Error(sw, "hspserve: server overloaded, retry later", http.StatusServiceUnavailable)
+				}
+				rm.observe(time.Since(start), sw.code())
+				return
+			}
+			defer s.gate.release()
+		}
+		h(sw, r)
+		rm.observe(time.Since(start), sw.code())
+	}
+}
+
+// statusWriter records the response status for the route metrics while
+// passing flushes through to the underlying writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it can flush, so the
+// streaming serialisers stay flush-aware through the metrics wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// code returns the recorded status (0 if nothing was written: the
+// handler bailed before responding, counted as client-closed).
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return statusClientClosed
+	}
+	return w.status
+}
+
+// statusClientClosed is the nginx-convention status recorded in the
+// route metrics when the client went away before a response could be
+// written; it is never sent on the wire.
+const statusClientClosed = 499
+
+// handleHealthz answers liveness probes with the epoch being served.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","epoch":%d}`+"\n", s.db.Epoch())
+}
+
+// handleMetrics serves the counters snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// Stats snapshots the server's observability counters: per-route
+// request/latency/in-flight numbers, admission gate state, the DB's
+// plan-cache counters, registry occupancy, and — with
+// Config.OpMetrics — aggregated per-operator execution totals.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Epoch:     s.db.Epoch(),
+		Triples:   s.db.NumTriples(),
+		PlanCache: s.db.PlanCacheStats(),
+		Admission: s.gate.stats(s.met.rejected.Load()),
+		Routes:    s.met.snapshot(),
+		Registry:  s.reg.stats(),
+		Operators: s.ops.snapshot(),
+	}
+}
+
+// handleUpdate is the transactional write endpoint: the request body
+// is an N-Triples document, inserted (default) or deleted
+// (?action=delete) in one transaction routed through db.Update → Txn →
+// Commit. The response reports the commit: the new epoch, effective
+// insert/delete counts, and the dataset size. The dataset's
+// single-writer discipline serialises concurrent updates; waiting for
+// the writer slot respects the request deadline.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	del := false
+	switch action := r.URL.Query().Get("action"); action {
+	case "", "insert":
+	case "delete":
+		del = true
+	default:
+		http.Error(w, fmt.Sprintf("hspserve: unknown action %q (want insert or delete)", action), http.StatusBadRequest)
+		return
+	}
+	triples, err := hsp.ReadNTriples(http.MaxBytesReader(w, r.Body, s.cfg.MaxUpdateBytes))
+	if err != nil {
+		http.Error(w, "hspserve: bad N-Triples body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxQueryTime)
+	defer cancel()
+	txn, err := s.db.Update(ctx)
+	if err != nil {
+		// The writer slot did not free within the deadline: the server
+		// is write-saturated, which is backpressure, not failure.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "hspserve: write slot busy: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	for _, t := range triples {
+		if del {
+			err = txn.Delete(t)
+		} else {
+			err = txn.Insert(t)
+		}
+		if err != nil {
+			txn.Rollback()
+			http.Error(w, "hspserve: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	stats, err := txn.Commit(ctx)
+	if err != nil {
+		txn.Rollback()
+		status := http.StatusInternalServerError
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, "hspserve: commit failed: "+err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(UpdateResult{
+		Epoch:    stats.Epoch,
+		Inserted: stats.Inserted,
+		Deleted:  stats.Deleted,
+		Triples:  stats.Triples,
+		WallNS:   stats.Wall.Nanoseconds(),
+	})
+}
+
+// UpdateResult is the /update response body: what the commit changed
+// and the epoch now being served.
+type UpdateResult struct {
+	// Epoch is the dataset version published by the commit (unchanged
+	// if every operation was a no-op).
+	Epoch uint64 `json:"epoch"`
+	// Inserted and Deleted count the effective operations; buffered
+	// no-ops appear in neither.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Triples is the dataset size after the commit.
+	Triples int `json:"triples"`
+	// WallNS is the merge-and-publish wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// epochHeader is the response header carrying the dataset epoch a
+// query was served from — the end-to-end MVCC observability hook the
+// race suite uses to assert single-epoch snapshots over HTTP.
+const epochHeader = "X-HSP-Epoch"
+
+func epochString(e uint64) string { return strconv.FormatUint(e, 10) }

@@ -17,7 +17,7 @@ err() { echo "docscheck: $*" >&2; fail=1; }
 # 1. Every package has a package comment: library and command packages
 #    use the canonical '// Package <name>' / '// Command <name>' form;
 #    example mains need any doc comment attached to the package clause.
-for dir in . internal/*/ cmd/*/; do
+for dir in . hspserve/ internal/*/ cmd/*/; do
     name=$(basename "$(cd "$dir" && pwd)")
     [ "$dir" = "." ] && name=hsp
     if ! grep -lq "^// Package $name\|^// Command $name" "$dir"/*.go 2>/dev/null; then
@@ -33,7 +33,9 @@ done
 # 2. Exported identifiers in the public API files carry doc comments:
 #    a top-level `func|type|const|var Exported…` must be directly
 #    preceded by a comment line.
-for f in hsp.go stream.go serve.go stmt.go txn.go; do
+for f in hsp.go stream.go serve.go stmt.go txn.go digest.go \
+         hspserve/server.go hspserve/query.go hspserve/results.go \
+         hspserve/registry.go hspserve/admission.go hspserve/metrics.go; do
     awk -v file="$f" '
         /^(func|type|const|var) [A-Z]/ || /^func \([a-z]+ \*?[A-Z][A-Za-z]*\) [A-Z]/ {
             if (prev !~ /^\/\//) {
@@ -47,7 +49,7 @@ for f in hsp.go stream.go serve.go stmt.go txn.go; do
 done
 
 # 3. The handbook exists and README links it.
-for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md docs/API.md; do
+for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md docs/API.md docs/SERVING.md; do
     [ -f "$doc" ] || err "$doc is missing"
     grep -q "$doc" README.md || err "README.md does not link $doc"
 done
@@ -77,6 +79,16 @@ for sym in 'db.Update(' 'Commit(' 'Rollback(' 'LoadNTriples(' 'Epoch()' 'QueryMa
 done
 grep -qi 'MVCC' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not explain MVCC snapshots"
 grep -q 'epoch' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not mention epochs"
+
+# 3f. The HTTP serving surface is documented: SERVING.md must cover the
+#     protocol routes, the registry lifecycle, admission tuning and the
+#     trailing error marker, and README must have the serving section.
+for sym in '/sparql' '/statements' '/update' '/metrics' QueryDigest 'Retry-After' \
+           X-HSP-Epoch MaxInFlight MaxQueryTime Shutdown 'error marker' serve-load; do
+    grep -q -- "$sym" docs/SERVING.md || err "docs/SERVING.md does not document $sym"
+done
+grep -qi 'serving over http' README.md || err "README.md lost its 'Serving over HTTP' section"
+grep -q 'hspserve' README.md || err "README.md does not mention the hspserve package"
 
 # 3b. docs/OPERATORS.md documents every physical operator kind in
 #     internal/exec/physical.go and exchange.go (the greppable

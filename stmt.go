@@ -110,6 +110,11 @@ func (s *Stmt) Epoch() uint64 { return s.state.snap.Epoch() }
 // declaration order; every one must be bound on each execution.
 func (s *Stmt) Params() []string { return append([]string(nil), s.pq.params...) }
 
+// IsAsk reports whether the prepared query is an ASK query — servers
+// route ASK statements through Ask (a boolean result document) and
+// everything else through Query/Stream (a solution sequence).
+func (s *Stmt) IsAsk() bool { return s.pq.cq.head.Ask }
+
 // Close marks the statement closed: subsequent calls return
 // ErrStmtClosed. Close is idempotent and never fails. It does not
 // interrupt executions already in flight, and streams obtained before
