@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hsp-bench [-table 2|3|4|6|7|8] [-figure 1|2|3] [-study] [-all]
-//	          [-analyze] [-parallel N]
+//	          [-analyze] [-parallel N] [-rewrite]
 //	          [-sp2scale N] [-yagoscale N] [-seed N] [-runs N]
 //
 // -analyze prints EXPLAIN ANALYZE trees (per-operator row counts, wall
@@ -41,6 +41,13 @@
 // efficiency are written as a JSON trajectory to -benchout
 // (BENCH_parallel.json) so parallel performance is tracked across
 // revisions.
+//
+// -rewrite benchmarks the algebraic rewrite pass: the FILTER-heavy
+// queries of the workload (SP3a/b/c, SP4a and derived variants) run
+// under the HSP and CDP planners with the pass enabled and disabled,
+// reporting result rows, the rows flowing through the join operators
+// (FILTER pushdown cuts them), hash build sizes and wall-time quantiles
+// as JSON to -benchout (BENCH_rewrite.json).
 //
 // -serve-load benchmarks the hspserve HTTP protocol server: -clients
 // closed-loop workers issue -requests requests twice, first as full
@@ -84,11 +91,22 @@ func main() {
 		mutate    = flag.Bool("mutate", false, "benchmark read throughput while a background writer commits transactions")
 		batch     = flag.Int("batch", 256, "triples per background commit in -mutate mode")
 		scaling   = flag.Bool("scaling", false, "benchmark parallel scaling: both suites at parallelism 1/2/4/8")
+		rewriteB  = flag.Bool("rewrite", false, "benchmark the algebraic rewrite pass: FILTER pushdown on vs off")
 		serveLoad = flag.Bool("serve-load", false, "benchmark the HTTP protocol server: cold query text vs execute-by-digest")
 		clients   = flag.Int("clients", 8, "closed-loop client workers in -serve-load mode")
 		benchout  = flag.String("benchout", "", "output file for -scaling (default BENCH_parallel.json) and -serve-load (default BENCH_serve.json) results")
 	)
 	flag.Parse()
+	if *rewriteB {
+		out := *benchout
+		if out == "" {
+			out = "BENCH_rewrite.json"
+		}
+		if err := rewriteBench(os.Stdout, out, *sp2scale, *seed, *runs); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *scaling {
 		out := *benchout
 		if out == "" {

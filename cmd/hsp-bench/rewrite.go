@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+	"github.com/sparql-hsp/hsp/internal/sp2bench"
+)
+
+// rewriteQueries is the FILTER-heavy workload of the -rewrite mode: the
+// suite's filter queries (SP3a/b/c keep their FILTER under the CDP and
+// SQL baselines, which do not fold filters into patterns) plus derived
+// variants whose filters sit above merge-join blocks under HSP, where
+// only the rewrite pass's pushdown moves them below the joins.
+var rewriteQueries = []struct{ Name, Text string }{
+	{"SP3a", sp2bench.SP3a},
+	{"SP3b", sp2bench.SP3b},
+	{"SP3c", sp2bench.SP3c},
+	{"SP4a", sp2bench.SP4a},
+	{"year-eq", `
+		PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX bench:   <http://localhost/vocabulary/bench/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?j ?yr
+		WHERE { ?j rdf:type bench:Journal .
+		        ?j dcterms:issued ?yr .
+		        FILTER (?yr = "1945") }`},
+	{"year-range", `
+		PREFIX rdf:     <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX bench:   <http://localhost/vocabulary/bench/>
+		PREFIX dcterms: <http://purl.org/dc/terms/>
+		SELECT ?a ?yr
+		WHERE { ?a rdf:type bench:Article .
+		        ?a dcterms:issued ?yr .
+		        FILTER (?yr > "1944")
+		        FILTER (?yr <= "1950") }`},
+	{"name-chain", `
+		PREFIX rdf:   <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX bench: <http://localhost/vocabulary/bench/>
+		PREFIX dc:    <http://purl.org/dc/elements/1.1/>
+		PREFIX foaf:  <http://xmlns.com/foaf/0.1/>
+		SELECT ?a ?p ?n
+		WHERE { ?a rdf:type bench:Article .
+		        ?a dc:creator ?p .
+		        ?p foaf:name ?n .
+		        FILTER (?n = "Person 3") }`},
+}
+
+// rewriteEntry is one (query, planner, mode) measurement of the
+// -rewrite sweep, serialised into BENCH_rewrite.json.
+type rewriteEntry struct {
+	Query   string `json:"query"`
+	Planner string `json:"planner"`
+	// Mode is "rewrites" (the default pass: constfold, pushdown,
+	// reorder) or "baseline" (pass disabled via WithRewrites()).
+	Mode string `json:"mode"`
+	Rows int    `json:"rows"`
+	// JoinRows sums the rows emitted by every join operator — with
+	// FILTER pushdown, filters cut rows below the joins, so the rows
+	// flowing into (and out of) the join tree shrink.
+	JoinRows int64 `json:"join_rows"`
+	// BuildRows sums the hash joins' build-side input rows.
+	BuildRows int64 `json:"build_rows"`
+	P50NS     int64 `json:"p50_ns"`
+	P95NS     int64 `json:"p95_ns"`
+}
+
+// rewriteReport is the BENCH_rewrite.json document.
+type rewriteReport struct {
+	SP2BenchScale int            `json:"sp2bench_scale"`
+	Seed          int64          `json:"seed"`
+	Runs          int            `json:"runs"`
+	Results       []rewriteEntry `json:"results"`
+}
+
+// rewriteBench measures the algebraic rewrite pass: every FILTER-heavy
+// query under the HSP and CDP planners, with the pass enabled and
+// disabled, reporting result rows, the rows flowing through the join
+// operators (the pushdown effect), hash build sizes and wall-time
+// quantiles over -runs warm runs. Results are written to path as JSON
+// (plus a table on out). Queries a planner refuses (CDP on SP4a's cross
+// product) are skipped for that planner.
+func rewriteBench(out *os.File, path string, scale int, seed int64, runs int) error {
+	fmt.Fprintf(os.Stderr, "generating sp2bench scale=%d seed=%d...\n", scale, seed)
+	db := hsp.GenerateSP2Bench(scale, seed)
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", db.NumTriples())
+	if runs < 1 {
+		runs = 1
+	}
+	rep := rewriteReport{SP2BenchScale: scale, Seed: seed, Runs: runs}
+	fmt.Fprintf(out, "%-10s %-7s %-9s %8s %10s %10s %10s %10s\n",
+		"query", "planner", "mode", "rows", "join-rows", "build", "p50", "p95")
+	for _, q := range rewriteQueries {
+		for _, pl := range []hsp.Planner{hsp.PlannerHSP, hsp.PlannerCDP} {
+			var joinRows [2]int64
+			for mi, mode := range []string{"baseline", "rewrites"} {
+				opts := []hsp.ExecOption{hsp.WithPlanner(pl)}
+				if mode == "baseline" {
+					opts = append(opts, hsp.WithRewrites())
+				}
+				e, err := timeRewrite(db, q.Text, opts, runs)
+				if err != nil {
+					fmt.Fprintf(out, "%-10s %-7s %-9s skipped: %v\n", q.Name, pl, mode, err)
+					break
+				}
+				e.Query, e.Planner, e.Mode = q.Name, string(pl), mode
+				joinRows[mi] = e.JoinRows
+				rep.Results = append(rep.Results, e)
+				fmt.Fprintf(out, "%-10s %-7s %-9s %8d %10d %10d %10s %10s\n",
+					q.Name, pl, mode, e.Rows, e.JoinRows, e.BuildRows,
+					time.Duration(e.P50NS).Round(time.Microsecond),
+					time.Duration(e.P95NS).Round(time.Microsecond))
+				if mode == "rewrites" && joinRows[1] < joinRows[0] {
+					fmt.Fprintf(out, "%-10s %-7s pushdown cut join rows %d -> %d (%.1fx)\n",
+						q.Name, pl, joinRows[0], joinRows[1], float64(joinRows[0])/float64(max64(joinRows[1], 1)))
+				}
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %d measurements to %s\n", len(rep.Results), path)
+	return nil
+}
+
+// timeRewrite runs one query mode `runs` times (after a warm-up),
+// collecting per-operator row counters through the metrics sink and
+// wall-time quantiles across runs.
+func timeRewrite(db *hsp.DB, text string, opts []hsp.ExecOption, runs int) (rewriteEntry, error) {
+	var e rewriteEntry
+	run := func(record bool) (time.Duration, error) {
+		var joins, builds int64
+		ropts := opts
+		if record {
+			ropts = append(append([]hsp.ExecOption(nil), opts...), hsp.WithMetricsSink(func(s hsp.OpStats) {
+				if strings.HasPrefix(s.Op, "⋈") {
+					joins += s.Rows
+					builds += s.Build
+				}
+			}))
+		}
+		start := time.Now()
+		res, err := db.Query(text, ropts...)
+		if err != nil {
+			return 0, err
+		}
+		if record {
+			e.Rows, e.JoinRows, e.BuildRows = res.Len(), joins, builds
+		}
+		return time.Since(start), nil
+	}
+	// Warm-up run doubles as the counter-recording run, so timed runs
+	// pay no instrumentation overhead.
+	if _, err := run(true); err != nil {
+		return e, err
+	}
+	walls := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		d, err := run(false)
+		if err != nil {
+			return e, err
+		}
+		walls = append(walls, d)
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	e.P50NS = walls[len(walls)/2].Nanoseconds()
+	p95 := len(walls) * 95 / 100
+	if p95 >= len(walls) {
+		p95 = len(walls) - 1
+	}
+	e.P95NS = walls[p95].Nanoseconds()
+	return e, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -12,6 +12,11 @@
 // statistics-based ordering, the paper's Section 7 proposal). The -engine flag selects monet
 // (uncompressed sorted orderings) or rdf3x (compressed indexes).
 //
+// The -rewrites flag selects the algebraic rewrite rules run between
+// parsing and planning: all (default), none, or a comma list of
+// constfold, pushdown, reorder. With -plan, applied rules print as
+// rewrite: lines ahead of the operator tree.
+//
 // -stream pulls rows from the running plan instead of materialising the
 // result, -parallel N lets the executor use N concurrent workers, and
 // -analyze prints an EXPLAIN ANALYZE tree (per-operator row counts,
@@ -69,6 +74,7 @@ func main() {
 		query     = flag.String("query", "", "SPARQL query text")
 		queryFile = flag.String("queryfile", "", "file holding the SPARQL query")
 		planner   = flag.String("planner", "hsp", "planner: hsp, cdp, sql or hybrid")
+		rewrites  = flag.String("rewrites", "all", "algebraic rewrite rules: all, none, or a comma list of constfold,pushdown,reorder")
 		engine    = flag.String("engine", "monet", "engine: monet or rdf3x")
 		explain   = flag.Bool("explain", false, "print the plan with observed cardinalities instead of rows")
 		analyze   = flag.Bool("analyze", false, "print EXPLAIN ANALYZE (per-operator rows, timings, build sizes) instead of rows")
@@ -141,8 +147,13 @@ func main() {
 	}
 
 	// runOpts are the execution options every path shares: worker
-	// budget, the exchange cutover and the ORDER BY spill configuration.
-	runOpts := []hsp.ExecOption{hsp.WithParallelism(*parallel)}
+	// budget, the exchange cutover, the ORDER BY spill configuration
+	// and the rewrite-pass selection.
+	rwOpts, err := rewriteOpts(*rewrites)
+	if err != nil {
+		fail(err)
+	}
+	runOpts := append([]hsp.ExecOption{hsp.WithParallelism(*parallel)}, rwOpts...)
 	if *exchRows > 0 {
 		runOpts = append(runOpts, hsp.WithExchangeThreshold(*exchRows))
 	}
@@ -167,7 +178,7 @@ func main() {
 	}
 
 	start := time.Now()
-	p, err := db.Plan(text, hsp.Planner(*planner))
+	p, err := db.Plan(text, hsp.Planner(*planner), rwOpts...)
 	if err != nil {
 		fail(err)
 	}
@@ -176,6 +187,9 @@ func main() {
 		p.Planner(), *engine, p.MergeJoins(), p.HashJoins(), p.Shape(), planTime)
 
 	if *plan {
+		for _, n := range p.RewriteNotes() {
+			fmt.Printf("rewrite: %s\n", n)
+		}
 		fmt.Print(p.String())
 		return
 	}
@@ -235,6 +249,29 @@ func (p *paramFlags) Set(s string) error {
 
 // binds returns the collected bindings.
 func (p paramFlags) binds() []hsp.Binding { return p }
+
+// rewriteOpts parses the -rewrites flag: nil for "all" (the default
+// pass runs every rule), a disabling WithRewrites() for "none", or the
+// named subset of rules.
+func rewriteOpts(s string) ([]hsp.ExecOption, error) {
+	switch s {
+	case "all", "":
+		return nil, nil
+	case "none":
+		return []hsp.ExecOption{hsp.WithRewrites()}, nil
+	}
+	var rules []hsp.RewriteRule
+	for _, raw := range strings.Split(s, ",") {
+		r := hsp.RewriteRule(strings.TrimSpace(raw))
+		switch r {
+		case hsp.RewriteConstFold, hsp.RewritePushdown, hsp.RewriteReorder:
+			rules = append(rules, r)
+		default:
+			return nil, fmt.Errorf("unknown rewrite rule %q (want constfold, pushdown or reorder)", raw)
+		}
+	}
+	return []hsp.ExecOption{hsp.WithRewrites(rules...)}, nil
+}
 
 // parseTerm interprets a -param value as an RDF term. Quoted literals
 // may carry an @lang or ^^<datatype> suffix, which — matching the

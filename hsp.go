@@ -76,6 +76,7 @@ import (
 	"github.com/sparql-hsp/hsp/internal/exec"
 	"github.com/sparql-hsp/hsp/internal/rdf"
 	"github.com/sparql-hsp/hsp/internal/rdf3x"
+	"github.com/sparql-hsp/hsp/internal/rewrite"
 	"github.com/sparql-hsp/hsp/internal/sp2bench"
 	"github.com/sparql-hsp/hsp/internal/sparql"
 	"github.com/sparql-hsp/hsp/internal/sqlopt"
@@ -363,18 +364,23 @@ func (db *DB) NumTriples() int { return db.loadState().snap.NumTriples() }
 // pinned to the snapshot current at planning time: its statistics,
 // compilation and executions all read that snapshot, even after later
 // commits.
-func (db *DB) Plan(query string, p Planner) (*Plan, error) {
+// Pass WithRewrites to control the algebraic rewrite pass (all rules
+// run by default); other execution options are ignored at planning
+// time.
+func (db *DB) Plan(query string, p Planner, opts ...ExecOption) (*Plan, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.planParsed(db.loadState(), q, p)
+	return db.planParsed(db.loadState(), q, p, configOf(opts).rewrites)
 }
 
-func (db *DB) planParsed(state *dbState, q *sparql.Query, p Planner) (*Plan, error) {
+func (db *DB) planParsed(state *dbState, q *sparql.Query, p Planner, rw rewrite.Config) (*Plan, error) {
+	var notes []string
+	q, notes = rewrite.Apply(q, rw)
 	col := state.snap.Store()
 	est := func() *stats.Estimator { return stats.NewShared(col, state.memo) }
-	out := &Plan{db: db, state: state, head: q}
+	out := &Plan{db: db, state: state, head: q, rewrites: notes}
 	for _, branch := range q.Branches() {
 		switch p {
 		case PlannerHSP, "":
@@ -411,6 +417,13 @@ func (db *DB) planParsed(state *dbState, q *sparql.Query, p Planner) (*Plan, err
 			return nil, fmt.Errorf("hsp: unknown planner %q", p)
 		}
 	}
+	if rw.Pushdown {
+		for _, pl := range out.plans {
+			root, ns := rewrite.PushFilters(pl.Root)
+			pl.Root = root
+			out.rewrites = append(out.rewrites, ns...)
+		}
+	}
 	return out, nil
 }
 
@@ -418,11 +431,21 @@ func (db *DB) planParsed(state *dbState, q *sparql.Query, p Planner) (*Plan, err
 // UNION branch (a single tree for queries without UNION). A plan is
 // pinned to the MVCC snapshot it was planned against.
 type Plan struct {
-	db    *DB
-	state *dbState        // the snapshot bundle the plan is pinned to
-	head  *sparql.Query   // the full parsed query, carrying the modifiers
-	plans []*algebra.Plan // one per UNION branch
-	hsp   *core.Result    // first branch detail, HSP/hybrid plans only
+	db       *DB
+	state    *dbState        // the snapshot bundle the plan is pinned to
+	head     *sparql.Query   // the full parsed query, carrying the modifiers
+	plans    []*algebra.Plan // one per UNION branch
+	hsp      *core.Result    // first branch detail, HSP/hybrid plans only
+	rewrites []string        // rewrite-pass notes, one per applied rule
+}
+
+// RewriteNotes returns one note per algebraic rewrite the pass applied
+// while planning (constant folds, pattern reorders, filters pushed
+// below joins), in application order — the same notes EXPLAIN ANALYZE
+// prints as rewrite: lines. Empty when nothing applied or the pass was
+// disabled with WithRewrites.
+func (p *Plan) RewriteNotes() []string {
+	return append([]string(nil), p.rewrites...)
 }
 
 // Epoch returns the dataset epoch the plan is pinned to.

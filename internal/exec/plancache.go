@@ -34,6 +34,11 @@ type CacheKey struct {
 	// pruning exchanges statically known to fall below the cutover) can
 	// arrive without invalidating callers.
 	ExchangeThreshold int
+	// Rewrites is the canonical encoding of the algebraic rewrite rules
+	// the entry was planned under. Unlike the run-time slots above it
+	// changes the compiled plan itself, so configurations with different
+	// rewrite sets must never share an entry.
+	Rewrites string
 }
 
 // CacheStats is a point-in-time snapshot of a PlanCache's counters.

@@ -1,0 +1,346 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparql-hsp/hsp/internal/algebra"
+	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/sparql"
+	"github.com/sparql-hsp/hsp/internal/store"
+)
+
+func parse(t *testing.T, text string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return q
+}
+
+// apply runs the full query-level pass and re-validates the result.
+func apply(t *testing.T, text string) (*sparql.Query, []string) {
+	t.Helper()
+	q := parse(t, text)
+	out, notes := Apply(q, All())
+	if err := out.Validate(); err != nil {
+		t.Fatalf("rewritten query invalid: %v\n%s", err, out.String())
+	}
+	if _, err := sparql.Parse(out.String()); err != nil {
+		t.Fatalf("rewritten query does not re-parse: %v\n%s", err, out.String())
+	}
+	return out, notes
+}
+
+func hasNote(notes []string, substr string) bool {
+	for _, n := range notes {
+		if strings.Contains(n, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConfigNamesAndKey(t *testing.T) {
+	if got := All().Key(); got != "constfold,pushdown,reorder" {
+		t.Errorf("All().Key() = %q", got)
+	}
+	if got := (Config{}).Key(); got != "" {
+		t.Errorf("zero Key() = %q", got)
+	}
+	if (Config{}).Any() {
+		t.Error("zero Config reports Any")
+	}
+	if got := (Config{Pushdown: true}).Key(); got != "pushdown" {
+		t.Errorf("pushdown-only Key() = %q", got)
+	}
+}
+
+func TestApplyDisabledReturnsInput(t *testing.T) {
+	q := parse(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?s = ?s) }`)
+	out, notes := Apply(q, Config{})
+	if out != q || notes != nil {
+		t.Error("disabled Apply must return the input untouched")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	out, notes := apply(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?o <= ?o) FILTER (?o = ?o) }`)
+	if len(out.Filters) != 0 {
+		t.Errorf("tautologies kept: %v", out.Filters)
+	}
+	if !hasNote(notes, "tautology") {
+		t.Errorf("no tautology note in %v", notes)
+	}
+}
+
+// A variable bound only inside an OPTIONAL may be unbound, and the
+// executor rejects unbound comparisons — so ?o = ?o is NOT removable.
+func TestOptionalBoundTautologyKept(t *testing.T) {
+	out, _ := apply(t, `SELECT ?s ?o WHERE { ?s <p> ?x . OPTIONAL { ?s <q> ?o } FILTER (?o = ?o) }`)
+	if len(out.Filters) != 1 {
+		t.Errorf("optional-bound tautology must be kept, got filters %v", out.Filters)
+	}
+}
+
+func TestContradictionMarksUnsat(t *testing.T) {
+	out, notes := apply(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?o != ?o) }`)
+	if len(out.Filters) != 1 {
+		t.Errorf("always-false filter must be kept on the head branch, got %v", out.Filters)
+	}
+	if !hasNote(notes, "always false") || !hasNote(notes, "head branch kept") {
+		t.Errorf("missing unsat notes: %v", notes)
+	}
+}
+
+func TestDuplicateFilterDropped(t *testing.T) {
+	out, notes := apply(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?o = "x") FILTER (?o = "x") }`)
+	if len(out.Filters) != 1 {
+		t.Errorf("duplicate not deduped: %v", out.Filters)
+	}
+	if !hasNote(notes, "duplicate") {
+		t.Errorf("no duplicate note in %v", notes)
+	}
+}
+
+func TestEqPinFolding(t *testing.T) {
+	// Pinned ?o = "m": "a" < "m" < "z" decides the other filters.
+	out, notes := apply(t, `SELECT ?s WHERE {
+		?s <p> ?o .
+		FILTER (?o = "m") FILTER (?o < "z") FILTER (?o != "a") }`)
+	if len(out.Filters) != 1 || out.Filters[0].Op != sparql.OpEq {
+		t.Errorf("implied filters not folded: %v", out.Filters)
+	}
+	if !hasNote(notes, "implied by") {
+		t.Errorf("no implication note in %v", notes)
+	}
+}
+
+func TestEqPinContradiction(t *testing.T) {
+	out, notes := apply(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?o = "a") FILTER (?o = "b") }`)
+	if len(out.Filters) != 2 {
+		t.Errorf("contradicting filters must both be kept on the head branch: %v", out.Filters)
+	}
+	if !hasNote(notes, "contradicts") {
+		t.Errorf("no contradiction note in %v", notes)
+	}
+}
+
+// Eq/Ne are term identity: an IRI and a literal with the same value
+// are different terms, but the ordering operators compare values only.
+func TestConstHoldsSemantics(t *testing.T) {
+	q := parse(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?o = <m>) FILTER (?o != "m") FILTER (?o <= "m") }`)
+	out, _ := Apply(q, Config{ConstFold: true})
+	// != "m" holds (literal "m" is not the IRI <m>) → dropped;
+	// <= "m" holds (value comparison "m" <= "m") → dropped.
+	if len(out.Filters) != 1 {
+		t.Errorf("kind-sensitive folding wrong: %v", out.Filters)
+	}
+}
+
+func TestParamFiltersUntouched(t *testing.T) {
+	out, _ := apply(t, `SELECT ?s WHERE { ?s <p> ?o . FILTER (?o = $a) FILTER (?o = $b) }`)
+	if len(out.Filters) != 2 {
+		t.Errorf("parameter filters must not fold: %v", out.Filters)
+	}
+}
+
+func TestUnsatUnionBranchPruned(t *testing.T) {
+	out, notes := apply(t, `SELECT ?s WHERE {
+		{ ?s <p> ?o } UNION { ?s <q> ?o . FILTER (?o < ?o) } UNION { ?s <r> ?o } }`)
+	if got := len(out.Branches()); got != 2 {
+		t.Fatalf("branches = %d, want 2 (unsat pruned): %s", got, out.String())
+	}
+	if !hasNote(notes, "pruned unsatisfiable UNION branch 1") {
+		t.Errorf("no prune note in %v", notes)
+	}
+}
+
+func TestHeadBranchNeverPruned(t *testing.T) {
+	out, _ := apply(t, `SELECT ?s WHERE {
+		{ ?s <p> ?o . FILTER (?o > ?o) } UNION { ?s <q> ?o } }`)
+	if got := len(out.Branches()); got != 2 {
+		t.Errorf("head branch pruned: %d branches", got)
+	}
+}
+
+func TestGroupFiltersFoldConservatively(t *testing.T) {
+	out, notes := apply(t, `SELECT ?s WHERE { ?s <p> ?x .
+		OPTIONAL { ?s <q> ?o . FILTER (?o = ?o) FILTER (?o != ?o) } }`)
+	g := out.Optionals[0]
+	// The tautology (group-bound ?o) drops; the contradiction stays and
+	// must not mark the branch unsatisfiable.
+	if len(g.Filters) != 1 || g.Filters[0].Op != sparql.OpNe {
+		t.Errorf("group filters = %v", g.Filters)
+	}
+	if hasNote(notes, "unsatisfiable") {
+		t.Errorf("group contradiction must not mark the branch unsat: %v", notes)
+	}
+}
+
+func TestReorderMostSelectiveFirst(t *testing.T) {
+	// (?,p,?) then (s,p,o): H1 orders the fully bound pattern first.
+	out, notes := apply(t, `SELECT ?s WHERE { ?s <p> ?o . <a> <p> <b> . ?s <p> <b> }`)
+	if out.Patterns[0].NumConstants() != 3 || out.Patterns[2].NumVarSlots() != 2 {
+		t.Errorf("patterns not H1-ordered: %v", out.Patterns)
+	}
+	if !hasNote(notes, "reorder") {
+		t.Errorf("no reorder note in %v", notes)
+	}
+	// IDs travel with their patterns.
+	if out.Patterns[0].ID != 1 {
+		t.Errorf("pattern ID lost in reorder: %+v", out.Patterns[0])
+	}
+}
+
+func TestReorderStable(t *testing.T) {
+	q := parse(t, `SELECT ?a WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?d }`)
+	out, notes := Apply(q, Config{Reorder: true})
+	for i, tp := range out.Patterns {
+		if tp.ID != i {
+			t.Errorf("equal-rank patterns must keep declaration order: %v", out.Patterns)
+		}
+	}
+	if len(notes) != 0 {
+		t.Errorf("unchanged order must produce no notes: %v", notes)
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	q := parse(t, `SELECT ?s WHERE { ?s <p> ?o . <a> <p> <b> . FILTER (?o = ?o) }`)
+	before := q.String()
+	Apply(q, All())
+	if q.String() != before {
+		t.Error("Apply mutated its input")
+	}
+}
+
+// --- pushdown over planned trees ---
+
+func scan(t *testing.T, pat string, id int) *algebra.Scan {
+	t.Helper()
+	q := parse(t, "SELECT * WHERE { "+pat+" }")
+	tp := q.Patterns[0]
+	tp.ID = id
+	// PSO puts the constant predicate of the test patterns first.
+	s, err := algebra.NewScan(tp, store.PSO)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return s
+}
+
+func filterOn(v sparql.Var, op sparql.CompareOp, rhs sparql.Node) sparql.Filter {
+	return sparql.Filter{Left: v, Op: op, Right: rhs}
+}
+
+func TestPushFiltersThroughJoin(t *testing.T) {
+	l := scan(t, "?a <p> ?b", 0)
+	r := scan(t, "?b <q> ?c", 1)
+	j, err := algebra.NewJoin(algebra.HashJoin, l, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filterOn("c", sparql.OpEq, sparql.NewVarNode("c"))
+	root := &algebra.Filter{In: j, F: f}
+	out, notes := PushFilters(root)
+	oj, ok := out.(*algebra.Join)
+	if !ok {
+		t.Fatalf("filter not pushed below join: %T", out)
+	}
+	if _, ok := oj.R.(*algebra.Filter); !ok {
+		t.Errorf("filter not on the ?c side: %s", algebra.Explain(out, nil))
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "pushdown") {
+		t.Errorf("notes = %v", notes)
+	}
+	// Original tree untouched.
+	if _, ok := root.In.(*algebra.Join); !ok {
+		t.Error("PushFilters mutated its input")
+	}
+}
+
+func TestPushFiltersJoinVarStaysCovered(t *testing.T) {
+	// Filter over the shared variable pushes into the first covering
+	// side (left first).
+	l := scan(t, "?a <p> ?b", 0)
+	r := scan(t, "?b <q> ?c", 1)
+	j, _ := algebra.NewJoin(algebra.HashJoin, l, r, nil)
+	f := filterOn("b", sparql.OpGt, sparql.NewVarNode("b"))
+	out, _ := PushFilters(&algebra.Filter{In: j, F: f})
+	oj := out.(*algebra.Join)
+	if _, ok := oj.L.(*algebra.Filter); !ok {
+		t.Errorf("shared-var filter not pushed left: %s", algebra.Explain(out, nil))
+	}
+}
+
+func TestPushFiltersCrossVarFilterStays(t *testing.T) {
+	// ?a and ?c live on different sides: the filter cannot sink.
+	l := scan(t, "?a <p> ?b", 0)
+	r := scan(t, "?b <q> ?c", 1)
+	j, _ := algebra.NewJoin(algebra.HashJoin, l, r, nil)
+	f := filterOn("a", sparql.OpNe, sparql.NewVarNode("c"))
+	out, notes := PushFilters(&algebra.Filter{In: j, F: f})
+	if _, ok := out.(*algebra.Filter); !ok {
+		t.Errorf("cross-side filter must stay above the join: %T", out)
+	}
+	if len(notes) != 0 {
+		t.Errorf("unexpected notes %v", notes)
+	}
+}
+
+func TestPushFiltersNeverIntoOptionalSide(t *testing.T) {
+	l := scan(t, "?a <p> ?b", 0)
+	r := scan(t, "?a <q> ?o", 1)
+	lj := algebra.NewLeftJoin(l, r)
+	fo := filterOn("o", sparql.OpEq, sparql.NewVarNode("o"))
+	out, notes := PushFilters(&algebra.Filter{In: lj, F: fo})
+	if _, ok := out.(*algebra.Filter); !ok {
+		t.Errorf("optional-side filter must stay above the left join: %s", algebra.Explain(out, nil))
+	}
+	if len(notes) != 0 {
+		t.Errorf("unexpected notes %v", notes)
+	}
+	// A required-side filter does push, into L only.
+	fb := filterOn("b", sparql.OpLt, sparql.NewVarNode("b"))
+	out2, notes2 := PushFilters(&algebra.Filter{In: lj, F: fb})
+	olj, ok := out2.(*algebra.LeftJoin)
+	if !ok {
+		t.Fatalf("required-side filter not pushed: %T", out2)
+	}
+	if _, ok := olj.L.(*algebra.Filter); !ok {
+		t.Errorf("filter not on required side: %s", algebra.Explain(out2, nil))
+	}
+	if len(notes2) != 1 {
+		t.Errorf("notes = %v", notes2)
+	}
+}
+
+func TestPushFiltersDepthCounting(t *testing.T) {
+	a := scan(t, "?a <p> ?b", 0)
+	b := scan(t, "?b <q> ?c", 1)
+	c := scan(t, "?c <r> ?d", 2)
+	j1, _ := algebra.NewJoin(algebra.HashJoin, a, b, nil)
+	j2, _ := algebra.NewJoin(algebra.HashJoin, j1, c, nil)
+	f := filterOn("a", sparql.OpGe, sparql.NewVarNode("a"))
+	out, notes := PushFilters(&algebra.Filter{In: j2, F: f})
+	if len(notes) != 1 || !strings.Contains(notes[0], "2 join(s)") {
+		t.Errorf("depth note wrong: %v", notes)
+	}
+	// The filter must wrap the ?a scan two joins down.
+	oj := out.(*algebra.Join)
+	inner := oj.L.(*algebra.Join)
+	if _, ok := inner.L.(*algebra.Filter); !ok {
+		t.Errorf("filter not at depth 2: %s", algebra.Explain(out, nil))
+	}
+}
+
+func TestPushFiltersPreservesSortedVar(t *testing.T) {
+	l := scan(t, "?a <p> ?b", 0)
+	f := filterOn("a", sparql.OpNe, sparql.NewTermNode(rdf.NewLiteral("x")))
+	out, _ := PushFilters(&algebra.Filter{In: l, F: f})
+	if out.SortedVar() != l.SortedVar() {
+		t.Errorf("sortedness lost: %q vs %q", out.SortedVar(), l.SortedVar())
+	}
+}

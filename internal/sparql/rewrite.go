@@ -35,6 +35,13 @@ func RewriteFilters(q *Query) (*Query, []string) {
 			notes = append(notes, fmt.Sprintf("folded %s into triple patterns", f))
 		case f.Op == OpEq && f.Right.IsVar():
 			keep, drop := f.Left, f.Right.Var
+			// A self-comparison (?x = ?x) has nothing to unify — recording
+			// an alias of a variable to itself would resurrect it as a
+			// result column it never was. Keep it for the executor.
+			if keep == drop {
+				kept = append(kept, f)
+				continue
+			}
 			if out.IsProjected(drop) && out.IsProjected(keep) {
 				kept = append(kept, f)
 				continue

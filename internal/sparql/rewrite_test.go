@@ -95,6 +95,26 @@ func TestRewriteBothProjectedKept(t *testing.T) {
 	}
 }
 
+func TestRewriteSelfComparisonKept(t *testing.T) {
+	// FILTER (?o = ?o) must not unify a variable with itself: the
+	// self-alias used to resurrect ?o as a result column of SELECT ?s
+	// (found by the rewrite pass's differential harness).
+	q := MustParse(`SELECT ?s {
+		?s <http://ex/p> ?o .
+		FILTER (?o = ?o)
+	}`)
+	rw, notes := RewriteFilters(q)
+	if len(rw.Filters) != 1 {
+		t.Fatalf("self-comparison filter must be kept, got %v", rw.Filters)
+	}
+	if len(rw.Aliases) != 0 {
+		t.Errorf("self-comparison recorded an alias: %v", rw.Aliases)
+	}
+	if len(notes) != 0 {
+		t.Errorf("self-comparison produced rewrite notes: %v", notes)
+	}
+}
+
 func TestRewriteNonEqualityKept(t *testing.T) {
 	q := MustParse(`SELECT ?s {
 		?s <http://ex/p> ?v .

@@ -49,7 +49,7 @@ for f in hsp.go stream.go serve.go stmt.go txn.go digest.go \
 done
 
 # 3. The handbook exists and README links it.
-for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md docs/API.md docs/SERVING.md; do
+for doc in docs/ARCHITECTURE.md docs/QUERY_GUIDE.md docs/OPERATORS.md docs/API.md docs/SERVING.md docs/REWRITES.md; do
     [ -f "$doc" ] || err "$doc is missing"
     grep -q "$doc" README.md || err "README.md does not link $doc"
 done
@@ -89,6 +89,19 @@ for sym in '/sparql' '/statements' '/update' '/metrics' QueryDigest 'Retry-After
 done
 grep -qi 'serving over http' README.md || err "README.md lost its 'Serving over HTTP' section"
 grep -q 'hspserve' README.md || err "README.md does not mention the hspserve package"
+
+# 3g. The rewrite pass is documented: REWRITES.md must catalogue every
+#     rule name exported by internal/rewrite, the control option and
+#     the EXPLAIN surfacing, and ARCHITECTURE.md must place the pass
+#     in the pipeline.
+for name in $(grep -o 'Name[A-Za-z]* = "[a-z]*"' internal/rewrite/rewrite.go | grep -o '"[a-z]*"' | tr -d '"'); do
+    grep -q "\`$name\`" docs/REWRITES.md || err "docs/REWRITES.md does not document rewrite rule $name"
+done
+for sym in WithRewrites 'rewrite:' RewriteNotes 'left join'; do
+    grep -q -- "$sym" docs/REWRITES.md || err "docs/REWRITES.md does not document $sym"
+done
+grep -q 'REWRITES.md' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not cross-link REWRITES.md"
+grep -qi 'rewrite pass' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not place the rewrite pass in the pipeline"
 
 # 3b. docs/OPERATORS.md documents every physical operator kind in
 #     internal/exec/physical.go and exchange.go (the greppable

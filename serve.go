@@ -30,6 +30,9 @@ type compiledQuery struct {
 	// template hits (a hit whose incoming text differs from raw was
 	// served by normalisation, not byte-exact text keying).
 	raw string
+	// rewrites carries the rewrite-pass notes of the planning run, for
+	// the rewrite: lines of EXPLAIN ANALYZE.
+	rewrites []string
 }
 
 // preparedQuery binds a compiledQuery to one caller's view of it: the
@@ -132,7 +135,7 @@ func (db *DB) compileQuery(state *dbState, query string, cfg execConfig) (*prepa
 		return nil, err
 	}
 	if c == nil {
-		p, err := db.planParsed(state, q, cfg.planner)
+		p, err := db.planParsed(state, q, cfg.planner, cfg.rewrites)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +157,7 @@ func (db *DB) compileQuery(state *dbState, query string, cfg execConfig) (*prepa
 		pq.cacheHit = true
 		return pq, nil
 	}
-	p, err := db.planParsed(state, tpl.Query, cfg.planner)
+	p, err := db.planParsed(state, tpl.Query, cfg.planner, cfg.rewrites)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +183,7 @@ func (c execConfig) cacheKey(text string) exec.CacheKey {
 		ExchangeThreshold: c.exchangeThreshold,
 		SortBudget:        c.sortBudget,
 		TempDir:           c.tempDir,
+		Rewrites:          c.rewrites.Key(),
 	}
 }
 
@@ -202,7 +206,7 @@ func compilePlan(p *Plan, engine Engine) (*compiledQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	cq := &compiledQuery{head: p.head}
+	cq := &compiledQuery{head: p.head, rewrites: p.rewrites}
 	var vars []sparql.Var
 	for i, pl := range p.plans {
 		c, err := eng.Compile(pl)

@@ -344,6 +344,8 @@ func (s *Stmt) Ask(ctx context.Context, binds ...Binding) (bool, error) {
 // bindings and per-operator instrumentation, and renders the EXPLAIN
 // ANALYZE tree(s): observed row counts, wall times, hash-join build
 // sizes, and the sort operator's spill counters for ORDER BY plans.
+// When the algebraic rewrite pass changed the query, one "rewrite:"
+// line per applied rule precedes the trees.
 func (s *Stmt) ExplainAnalyze(ctx context.Context, binds ...Binding) (string, error) {
 	if err := s.guard(ctx); err != nil {
 		return "", err
@@ -359,6 +361,9 @@ func (s *Stmt) ExplainAnalyze(ctx context.Context, binds ...Binding) (string, er
 	eopts := s.cfg.execOptions()
 	eopts.Binds = eb
 	var b strings.Builder
+	for _, n := range cq.rewrites {
+		fmt.Fprintf(&b, "rewrite: %s\n", n)
+	}
 	for i, c := range compiled {
 		tree, err := c.ExplainAnalyzeContext(ctx, eopts)
 		if err != nil {
@@ -443,7 +448,7 @@ func (db *DB) replanBound(state *dbState, head *sparql.Query, eb map[string]rdf.
 	if err != nil {
 		return nil, err
 	}
-	p, err := db.planParsed(state, bound, cfg.planner)
+	p, err := db.planParsed(state, bound, cfg.planner, cfg.rewrites)
 	if err != nil {
 		return nil, err
 	}

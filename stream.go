@@ -6,6 +6,7 @@ import (
 
 	"github.com/sparql-hsp/hsp/internal/exec"
 	"github.com/sparql-hsp/hsp/internal/rdf"
+	"github.com/sparql-hsp/hsp/internal/rewrite"
 	"github.com/sparql-hsp/hsp/internal/sparql"
 )
 
@@ -21,6 +22,11 @@ type execConfig struct {
 	planner           Planner
 	engine            Engine
 	metricsSink       func(OpStats)
+	// rewrites selects the algebraic rewrite rules planning runs;
+	// rewritesSet distinguishes "option absent" (default: all rules)
+	// from WithRewrites() (all rules off).
+	rewrites    rewrite.Config
+	rewritesSet bool
 }
 
 // OpStats carries one operator's observed execution counters — the same
@@ -151,6 +157,59 @@ func WithTempDir(dir string) ExecOption {
 	return func(c *execConfig) { c.tempDir = dir }
 }
 
+// RewriteRule names one rule of the algebraic rewrite pass that runs
+// between parsing and planning; pass rules to WithRewrites to restrict
+// the pass.
+type RewriteRule string
+
+// The rewrite rules, each individually toggleable via WithRewrites.
+const (
+	// RewriteConstFold folds constant FILTER expressions: duplicate
+	// filters are dropped, a variable compared with itself resolves to a
+	// tautology (removed) or contradiction, a constant filter decided by
+	// an equality filter on the same variable is removed, and UNION
+	// branches proven unsatisfiable are pruned.
+	RewriteConstFold RewriteRule = rewrite.NameConstFold
+	// RewritePushdown sinks FILTERs through the planned join tree toward
+	// the scans that bind their variables, so filters prune rows before
+	// joins instead of after. Filters never sink into the optional side
+	// of an OPTIONAL's left join (that would turn filtered-out matches
+	// into padded rows).
+	RewritePushdown RewriteRule = rewrite.NamePushdown
+	// RewriteReorder stable-sorts each basic graph pattern by
+	// HEURISTIC 1 rank before planning, feeding every planner its
+	// patterns most selective first.
+	RewriteReorder RewriteRule = rewrite.NameReorder
+)
+
+// WithRewrites restricts the algebraic rewrite pass to exactly the
+// given rules for the query-text entry points (Prepare, Query, Stream,
+// Ask and their Context variants) and the plan cache key. Without this
+// option every rule runs; WithRewrites() with no arguments disables
+// the whole pass — the escape hatch for comparing against un-rewritten
+// plans (see hsp-bench -rewrite) and the oracle side of the
+// differential equivalence tests. Rewrites never change results, only
+// plans: every rule is proven against the un-rewritten engine by the
+// equivalence harness. Unknown rule names are ignored. The applied
+// rewrites of a plan are observable via Plan.RewriteNotes and the
+// rewrite: lines of EXPLAIN ANALYZE.
+func WithRewrites(rules ...RewriteRule) ExecOption {
+	return func(c *execConfig) {
+		c.rewritesSet = true
+		c.rewrites = rewrite.Config{}
+		for _, r := range rules {
+			switch r {
+			case RewriteConstFold:
+				c.rewrites.ConstFold = true
+			case RewritePushdown:
+				c.rewrites.Pushdown = true
+			case RewriteReorder:
+				c.rewrites.Reorder = true
+			}
+		}
+	}
+}
+
 // WithPlanner selects the query optimiser for the query-text entry
 // points (Query, Stream, Ask and their Context variants), which default
 // to PlannerHSP. Plan-based entry points ignore this option — the plan
@@ -179,6 +238,9 @@ func configOf(opts []ExecOption) execConfig {
 	}
 	if c.engine == "" {
 		c.engine = EngineMonet
+	}
+	if !c.rewritesSet {
+		c.rewrites = rewrite.All()
 	}
 	return c
 }
