@@ -96,7 +96,7 @@ func BenchmarkTable3PlanCost(b *testing.B) {
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table3(e, io.Discard); err != nil {
+		if err := experiments.Table3(context.Background(), e, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +159,7 @@ func benchExec(b *testing.B, w *experiments.Workload) {
 		b.Run(q.Name+"/MonetDB-HSP", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := monet.Execute(hplan); err != nil {
+				if _, err := monet.Execute(context.Background(), hplan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -178,7 +178,7 @@ func benchExec(b *testing.B, w *experiments.Workload) {
 		b.Run(q.Name+"/RDF3X-CDP", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := rx.Execute(cplan); err != nil {
+				if _, err := rx.Execute(context.Background(), cplan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -200,7 +200,7 @@ func benchExec(b *testing.B, w *experiments.Workload) {
 				b.Skip("XXX: Cartesian product (the paper reports MonetDB/SQL fails to terminate)")
 			}
 			for i := 0; i < b.N; i++ {
-				if _, err := monet.Execute(splan); err != nil {
+				if _, err := monet.Execute(context.Background(), splan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -228,7 +228,7 @@ func BenchmarkFigure2(b *testing.B) {
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Figure2(e, io.Discard); err != nil {
+		if err := experiments.Figure2(context.Background(), e, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -239,7 +239,7 @@ func BenchmarkFigure3(b *testing.B) {
 	e := getEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Figure3(e, io.Discard); err != nil {
+		if err := experiments.Figure3(context.Background(), e, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -334,7 +334,7 @@ func ablationCost(b *testing.B, opts core.Options, query string) float64 {
 		b.Fatal(err)
 	}
 	eng := exec.New(exec.ColumnSource{St: e.YAGO.Col})
-	_, cards, err := eng.ExecuteWithCards(res.Plan)
+	_, cards, err := eng.ExecuteWithCards(context.Background(), res.Plan)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func ablationCostSP2(b *testing.B, opts core.Options, query string) float64 {
 		b.Fatal(err)
 	}
 	eng := exec.New(exec.ColumnSource{St: e.SP2Bench.Col})
-	_, cards, err := eng.ExecuteWithCards(res.Plan)
+	_, cards, err := eng.ExecuteWithCards(context.Background(), res.Plan)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -437,7 +437,7 @@ func BenchmarkAblationBushy(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Execute(plan); err != nil {
+				if _, err := eng.Execute(context.Background(), plan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -472,7 +472,7 @@ func BenchmarkAblationHybrid(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Execute(plan); err != nil {
+				if _, err := eng.Execute(context.Background(), plan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -509,7 +509,7 @@ func BenchmarkCharacteristicSets(b *testing.B) {
 	})
 	cs := stats.NewCharacteristicSets(w.Col)
 	truth := 0
-	if res, err := exec.New(exec.ColumnSource{St: w.Col}).Execute(mustHSP(b, star)); err == nil {
+	if res, err := exec.New(exec.ColumnSource{St: w.Col}).Execute(context.Background(), mustHSP(b, star)); err == nil {
 		truth = res.Len()
 	}
 	b.Run("estimate-star", func(b *testing.B) {
@@ -572,7 +572,7 @@ func BenchmarkAblationBlockOrder(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Execute(plan); err != nil {
+				if _, err := eng.Execute(context.Background(), plan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -608,7 +608,7 @@ func benchStream(b *testing.B, parallelism int, materialise bool) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if materialise {
-					if _, err := eng.ExecuteOpts(plan, opts); err != nil {
+					if _, err := eng.ExecuteContext(context.Background(), plan, opts); err != nil {
 						b.Fatal(err)
 					}
 					continue

@@ -175,7 +175,7 @@ func main() {
 		env.SP2Bench.Col.NumTriples(), env.YAGO.Col.NumTriples())
 
 	if *all {
-		if err := experiments.All(env, os.Stdout); err != nil {
+		if err := experiments.All(context.Background(), env, os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -185,15 +185,15 @@ func main() {
 	case 2:
 		err = experiments.Table2(env, os.Stdout)
 	case 3:
-		err = experiments.Table3(env, os.Stdout)
+		err = experiments.Table3(context.Background(), env, os.Stdout)
 	case 4:
 		err = experiments.Table4(env, os.Stdout)
 	case 6:
 		err = experiments.Table6(env, os.Stdout)
 	case 7:
-		err = experiments.Table7(env, os.Stdout)
+		err = experiments.Table7(context.Background(), env, os.Stdout)
 	case 8:
-		err = experiments.Table8(env, os.Stdout)
+		err = experiments.Table8(context.Background(), env, os.Stdout)
 	default:
 		err = fmt.Errorf("unknown table %d (the paper's result tables are 2, 3, 4, 6, 7, 8)", *table)
 	}
@@ -205,9 +205,9 @@ func main() {
 	case 1:
 		err = experiments.Figure1(os.Stdout)
 	case 2:
-		err = experiments.Figure2(env, os.Stdout)
+		err = experiments.Figure2(context.Background(), env, os.Stdout)
 	case 3:
-		err = experiments.Figure3(env, os.Stdout)
+		err = experiments.Figure3(context.Background(), env, os.Stdout)
 	default:
 		err = fmt.Errorf("unknown figure %d", *figure)
 	}
@@ -220,7 +220,7 @@ func main() {
 		}
 	}
 	if *analyze {
-		if err := experiments.ExplainAnalyzeAll(env, os.Stdout, *parallel); err != nil {
+		if err := experiments.ExplainAnalyzeAll(context.Background(), env, os.Stdout, *parallel); err != nil {
 			fail(err)
 		}
 	}

@@ -1,0 +1,96 @@
+// Command hsp-lint runs the project's custom static analyzers
+// (internal/lintcheck) — ctxflow, closecheck, atomicfield,
+// goroutinescope, errwrapcheck — which prove the engine's concurrency
+// and lifecycle invariants at compile time. See
+// docs/STATIC_ANALYSIS.md for the analyzer catalogue.
+//
+// Two modes:
+//
+//	hsp-lint ./...                      # standalone over go list patterns
+//	go vet -vettool=$(which hsp-lint) ./...   # as a vet tool (what CI runs)
+//
+// Standalone mode loads packages itself (including _test.go files
+// unless -tests=false) and prints findings; the vet mode speaks the
+// cmd/go vet tool protocol, so the go command handles package
+// enumeration, caching and test variants.
+//
+// Exit status: 0 clean, 1 usage or internal error, 2 findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sparql-hsp/hsp/internal/lintcheck"
+)
+
+func main() {
+	// The go command probes `hsp-lint -V=full` to stamp the tool into
+	// its build cache key, and `hsp-lint -flags` for the JSON list of
+	// tool flags it may forward; answer both before normal parsing.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	tests := flag.Bool("tests", true, "standalone mode: include _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hsp-lint [-list] [-tests=false] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which hsp-lint) ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lintcheck.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0]))
+	}
+	os.Exit(standalone(args, *tests))
+}
+
+// standalone loads the given patterns (default ./...) and runs the
+// whole suite over every matched package.
+func standalone(patterns []string, tests bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lintcheck.LoadPackages(lintcheck.LoadConfig{Tests: tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	seen := make(map[string]bool)
+	exit := 0
+	for _, p := range pkgs {
+		findings, err := lintcheck.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, lintcheck.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, f := range findings {
+			// Library files appear both in a package and its test
+			// variant; report each finding once.
+			key := f.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintln(os.Stderr, key)
+			exit = 2
+		}
+	}
+	return exit
+}

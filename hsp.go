@@ -563,23 +563,32 @@ func engineFor(state *dbState, e Engine) (*exec.Engine, error) {
 // materialisation entirely. ExecuteContext additionally supports
 // cancellation and deadlines.
 func (db *DB) Execute(p *Plan, e Engine, opts ...ExecOption) (*Result, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; ExecuteContext is the cancellable path
 	return db.ExecuteContext(context.Background(), p, e, opts...)
 }
 
 // Explain executes the plan and renders its operator tree(s) annotated
 // with observed per-operator cardinalities, the format of the paper's
-// plan figures.
+// plan figures. ExplainContext additionally supports cancellation and
+// deadlines.
 func (db *DB) Explain(p *Plan, e Engine) (string, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; ExplainContext is the cancellable path
+	return db.ExplainContext(context.Background(), p, e)
+}
+
+// ExplainContext is Explain under a caller context: a cancelled context
+// aborts the cardinality-gathering execution and returns its error.
+func (db *DB) ExplainContext(ctx context.Context, p *Plan, e Engine) (string, error) {
 	eng, err := engineFor(p.state, e)
 	if err != nil {
 		return "", err
 	}
 	if len(p.plans) == 1 {
-		return eng.Explain(p.plans[0])
+		return eng.Explain(ctx, p.plans[0])
 	}
 	var b strings.Builder
 	for i, pl := range p.plans {
-		tree, err := eng.Explain(pl)
+		tree, err := eng.Explain(ctx, pl)
 		if err != nil {
 			return "", err
 		}
@@ -595,6 +604,7 @@ func (db *DB) Explain(p *Plan, e Engine) (string, error) {
 // additionally report the streaming sort operator's "sort:" line with
 // its spilled-runs and spilled-bytes counters.
 func (db *DB) ExplainAnalyze(p *Plan, e Engine, opts ...ExecOption) (string, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; ExplainAnalyzeContext is the cancellable path
 	return db.ExplainAnalyzeContext(context.Background(), p, e, opts...)
 }
 
@@ -604,6 +614,7 @@ func (db *DB) ExplainAnalyze(p *Plan, e Engine, opts ...ExecOption) (string, err
 // every legacy verb it is a shim over Prepare + Stmt; prepare the query
 // yourself to execute it repeatedly without re-parsing or re-planning.
 func (db *DB) Query(query string, opts ...ExecOption) (*Result, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; QueryContext is the cancellable path
 	return db.QueryContext(context.Background(), query, opts...)
 }
 
@@ -612,6 +623,7 @@ func (db *DB) Query(query string, opts ...ExecOption) (*Result, error) {
 // supports cancellation, deadlines and the compiled-plan cache. It is a
 // shim over Prepare + Stmt.Ask.
 func (db *DB) Ask(query string, opts ...ExecOption) (bool, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; AskContext is the cancellable path
 	return db.AskContext(context.Background(), query, opts...)
 }
 

@@ -253,6 +253,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.execError(w, err, http.StatusBadRequest)
 		return
 	}
+	//hsp:lint-allow closecheck the statement is owned by the registry, which closes it on eviction and shutdown
 	st, err := e.statement(ctx, s.db, s.opts, s.reg)
 	if err != nil {
 		s.execError(w, err, http.StatusBadRequest)

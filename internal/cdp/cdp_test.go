@@ -1,6 +1,7 @@
 package cdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -202,7 +203,7 @@ func TestGreedyFallback(t *testing.T) {
 	}
 	// The greedy plan must produce the same results as the DP plan.
 	eng := exec.New(exec.ColumnSource{St: st})
-	rg, err := eng.Execute(p)
+	rg, err := eng.Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestGreedyFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := eng.Execute(dp)
+	rd, err := eng.Execute(context.Background(), dp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,12 +258,12 @@ func TestCDPAgreesWithHSP(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			rc, err := eng.Execute(cp)
+			rc, err := eng.Execute(context.Background(), cp)
 			if err != nil {
 				t.Logf("cdp exec error on %s: %v\n%s", src, err, algebra.Explain(cp.Root, nil))
 				return false
 			}
-			rh, err := eng.Execute(hp)
+			rh, err := eng.Execute(context.Background(), hp)
 			if err != nil {
 				return false
 			}

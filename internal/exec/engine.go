@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/sparql-hsp/hsp/internal/algebra"
@@ -151,15 +152,11 @@ func (r *Result) Dedup() {
 	r.Rows = r.Rows[:w]
 }
 
-// Execute runs a plan to completion with default options.
-func (e *Engine) Execute(p *algebra.Plan) (*Result, error) {
-	return e.ExecuteOpts(p, Options{})
-}
-
-// ExecuteOpts compiles a plan, runs it to completion and materialises
-// every row. Streaming consumers use Compile and Run directly.
-func (e *Engine) ExecuteOpts(p *algebra.Plan, opts Options) (*Result, error) {
-	return e.ExecuteContext(context.Background(), p, opts)
+// Execute runs a plan to completion with default options under ctx.
+// Streaming consumers use Compile and Run directly; ExecuteContext
+// takes Options.
+func (e *Engine) Execute(ctx context.Context, p *algebra.Plan) (*Result, error) {
+	return e.ExecuteContext(ctx, p, Options{})
 }
 
 // ExecuteContext compiles a plan and runs it to completion under ctx:
@@ -221,14 +218,14 @@ func (c *Compiled) runMaterialised(ctx context.Context, opts Options, countsOnly
 	return res, run.Metrics(), nil
 }
 
-// ExecuteWithCards runs a plan and returns per-operator output counts,
-// the annotations shown in the paper's plan figures.
-func (e *Engine) ExecuteWithCards(p *algebra.Plan) (*Result, algebra.Cardinalities, error) {
+// ExecuteWithCards runs a plan under ctx and returns per-operator
+// output counts, the annotations shown in the paper's plan figures.
+func (e *Engine) ExecuteWithCards(ctx context.Context, p *algebra.Plan) (*Result, algebra.Cardinalities, error) {
 	c, err := e.Compile(p)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, m, err := c.runMaterialised(context.Background(), Options{Analyze: true}, true)
+	res, m, err := c.runMaterialised(ctx, Options{Analyze: true}, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -248,25 +245,21 @@ func (e *Engine) figureCards(p *algebra.Plan, m Metrics) algebra.Cardinalities {
 	return cards
 }
 
-// Explain executes the plan and renders the operator tree annotated
-// with the observed cardinalities.
-func (e *Engine) Explain(p *algebra.Plan) (string, error) {
-	_, cards, err := e.ExecuteWithCards(p)
+// Explain executes the plan under ctx and renders the operator tree
+// annotated with the observed cardinalities.
+func (e *Engine) Explain(ctx context.Context, p *algebra.Plan) (string, error) {
+	_, cards, err := e.ExecuteWithCards(ctx, p)
 	if err != nil {
 		return "", err
 	}
 	return algebra.Explain(p.Root, cards), nil
 }
 
-// ExplainAnalyze executes the plan with per-operator instrumentation
-// and renders the operator tree annotated with observed row counts,
-// wall times and build sizes, preceded by a run summary line.
-func (e *Engine) ExplainAnalyze(p *algebra.Plan, opts Options) (string, error) {
-	return e.ExplainAnalyzeContext(context.Background(), p, opts)
-}
-
-// ExplainAnalyzeContext is ExplainAnalyze under a caller context: a
-// cancelled context aborts the instrumented run and returns its error.
+// ExplainAnalyzeContext executes the plan under ctx with per-operator
+// instrumentation and renders the operator tree annotated with
+// observed row counts, wall times and build sizes, preceded by a run
+// summary line. A cancelled context aborts the instrumented run and
+// returns its error.
 func (e *Engine) ExplainAnalyzeContext(ctx context.Context, p *algebra.Plan, opts Options) (string, error) {
 	c, err := e.Compile(p)
 	if err != nil {
@@ -330,7 +323,9 @@ func sortLine(op *sortOp, st *SortStats, m *OpMetrics) string {
 	}
 	s += fmt.Sprintf(" spilled runs: %d spilled bytes: %d", st.SpilledRuns, st.SpilledBytes)
 	if m != nil {
-		s += fmt.Sprintf(" (rows=%d time=%s)", m.Rows, fmtDuration(m.Wall))
+		// Rows is updated with atomic adds while workers run; load it
+		// the same way (caught by hsp-lint's atomicfield analyzer).
+		s += fmt.Sprintf(" (rows=%d time=%s)", atomic.LoadInt64(&m.Rows), fmtDuration(m.Wall))
 	}
 	return s + "\n"
 }

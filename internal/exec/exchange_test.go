@@ -247,7 +247,7 @@ func TestExchangeContextCancelMidStream(t *testing.T) {
 func TestExplainAnalyzeExchangeLine(t *testing.T) {
 	st, plan := probeHeavyFixture(t, 3*morselRows)
 	eng := New(ColumnSource{St: st})
-	out, err := eng.ExplainAnalyze(plan, Options{Parallelism: 4, ExchangeThreshold: 1})
+	out, err := eng.ExplainAnalyzeContext(context.Background(), plan, Options{Parallelism: 4, ExchangeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestExplainAnalyzeExchangeLine(t *testing.T) {
 		}
 	}
 	// Sequential analyze of the same plan must not claim an exchange.
-	out, err = eng.ExplainAnalyze(plan, Options{})
+	out, err = eng.ExplainAnalyzeContext(context.Background(), plan, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

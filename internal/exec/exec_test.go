@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -197,7 +198,7 @@ func TestSelectionQuery(t *testing.T) {
 	q, p := hspPlan(t, `
 		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 		SELECT ?x { ?x rdf:type <http://bench/Journal> }`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestStarJoinQuery(t *testing.T) {
 			?jrnl <http://dc/title> "Journal 1 (1940)" .
 			?jrnl <http://dcterms/issued> ?yr .
 		}`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestFilterOps(t *testing.T) {
 	} {
 		q, p := hspPlan(t, `
 			SELECT ?jrnl ?yr { ?jrnl <http://dcterms/issued> ?yr . `+tt.op+` }`)
-		res, err := New(ColumnSource{st}).Execute(p)
+		res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", tt.op, err)
 		}
@@ -272,7 +273,7 @@ func TestDistinct(t *testing.T) {
 	_, p := hspPlan(t, `
 		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 		SELECT DISTINCT ?type { ?x rdf:type ?type }`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestVarEqualityFilterAlias(t *testing.T) {
 			?p2 <http://foaf/name> ?name2 .
 			FILTER (?name = ?name2)
 		}`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestVarEqualityFilterAlias(t *testing.T) {
 func TestMissingConstantYieldsEmpty(t *testing.T) {
 	st := buildStore(t, journalDoc)
 	_, p := hspPlan(t, `SELECT ?x { ?x <http://no/such/predicate> "nope" }`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestRepeatedVariableInPattern(t *testing.T) {
 `
 	st := buildStore(t, doc)
 	q, p := hspPlan(t, `SELECT ?x { ?x <http://p/self> ?x }`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestCrossProductExecution(t *testing.T) {
 			?j rdf:type <http://bench/Journal> .
 			?a rdf:type <http://bench/Article> .
 		}`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ func TestOrderCheckDetectsUnsortedInput(t *testing.T) {
 			?j <http://dc/title> ?title .
 			?j <http://dcterms/issued> ?yr .
 		}`)
-	_, err := New(unsortedSource{ColumnSource{st}}).Execute(p)
+	_, err := New(unsortedSource{ColumnSource{st}}).Execute(context.Background(), p)
 	if err == nil || !strings.Contains(err.Error(), "not sorted") {
 		t.Errorf("expected sortedness error, got %v", err)
 	}
@@ -503,7 +504,7 @@ func TestHSPMatchesBruteForce(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			res, err := New(ColumnSource{st}).Execute(p)
+			res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 			if err != nil {
 				t.Logf("exec error on %s: %v", src, err)
 				return false
@@ -544,11 +545,11 @@ func TestSubstratesAgree(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			mres, err := New(ColumnSource{st}).Execute(p)
+			mres, err := New(ColumnSource{st}).Execute(context.Background(), p)
 			if err != nil {
 				return false
 			}
-			rres, err := New(RDF3XSource{rx}).Execute(p)
+			rres, err := New(RDF3XSource{rx}).Execute(context.Background(), p)
 			if err != nil {
 				return false
 			}
@@ -571,7 +572,7 @@ func TestExplainWithCards(t *testing.T) {
 			?jrnl rdf:type <http://bench/Journal> .
 			?jrnl <http://dcterms/issued> ?yr .
 		}`)
-	out, err := New(ColumnSource{st}).Explain(p)
+	out, err := New(ColumnSource{st}).Explain(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -600,7 +601,7 @@ func TestAggregatedScanPreservesMultiplicity(t *testing.T) {
 	}
 	scan.Aggregated = true
 	p := &algebra.Plan{Root: &algebra.Project{In: scan, Cols: q.ProjectedVars()}, Query: q, Planner: "test"}
-	res, err := New(RDF3XSource{rx}).Execute(p)
+	res, err := New(RDF3XSource{rx}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -610,7 +611,7 @@ func TestAggregatedScanPreservesMultiplicity(t *testing.T) {
 	}
 	// The column store groups the sorted range on the fly: identical
 	// results without materialised aggregated indexes.
-	cres, err := New(ColumnSource{st}).Execute(p)
+	cres, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

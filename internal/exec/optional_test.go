@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -214,7 +215,7 @@ func TestOptionalMatchesBruteForce(t *testing.T) {
 				t.Logf("plan error on %s: %v", src, err)
 				return false
 			}
-			res, err := New(ColumnSource{st}).Execute(p)
+			res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 			if err != nil {
 				t.Logf("exec error on %s: %v", src, err)
 				return false
@@ -240,7 +241,7 @@ func TestResultSortSliceAppendDedup(t *testing.T) {
 	st := buildStore(t, doc)
 	q, p := hspPlan(t, `SELECT ?s ?n { ?s <http://p/n> ?n }`)
 	_ = q
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestResultSortSliceAppendDedup(t *testing.T) {
 	}
 
 	// Append + Dedup.
-	res2, err := New(ColumnSource{st}).Execute(p)
+	res2, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestResultSortSliceAppendDedup(t *testing.T) {
 
 	// Mismatched append.
 	_, p2 := hspPlan(t, `SELECT ?s { ?s <http://p/n> ?n }`)
-	res3, err := New(ColumnSource{st}).Execute(p2)
+	res3, err := New(ColumnSource{st}).Execute(context.Background(), p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestLeftJoinDisconnectedOptional(t *testing.T) {
 `
 	st := buildStore(t, doc)
 	q, p := hspPlan(t, `SELECT * { ?s <http://p/x> ?v . OPTIONAL { ?t <http://p/y> ?w } }`)
-	res, err := New(ColumnSource{st}).Execute(p)
+	res, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,12 +336,12 @@ func TestOptionalOnBothEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mres, err := New(ColumnSource{st}).Execute(p)
+	mres, err := New(ColumnSource{st}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rx := buildRDF3X(t, st)
-	rres, err := New(RDF3XSource{rx}).Execute(p)
+	rres, err := New(RDF3XSource{rx}).Execute(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

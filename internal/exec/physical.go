@@ -1102,7 +1102,8 @@ type Run struct {
 // workers immediately; call Close to release them when abandoning the
 // run early.
 func (c *Compiled) Run(opts Options) *Run {
-	return c.run(opts, false)
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; RunContext is the cancellable path
+	return c.runCtx(context.Background(), opts, false)
 }
 
 // RunContext starts a new execution bound to ctx: when the context is
@@ -1113,10 +1114,6 @@ func (c *Compiled) Run(opts Options) *Run {
 // still be called (or the run drained) to release resources.
 func (c *Compiled) RunContext(ctx context.Context, opts Options) *Run {
 	return c.runCtx(ctx, opts, false)
-}
-
-func (c *Compiled) run(opts Options, countsOnly bool) *Run {
-	return c.runCtx(context.Background(), opts, countsOnly)
 }
 
 func (c *Compiled) runCtx(ctx context.Context, opts Options, countsOnly bool) *Run {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -93,7 +94,7 @@ func TestStreamedEqualsMaterialised(t *testing.T) {
 			for pname, plan := range planners(t, wl.st, q.Text) {
 				for ename, eng := range engines {
 					t.Run(fmt.Sprintf("%s/%s/%s/%s", wl.name, q.Name, pname, ename), func(t *testing.T) {
-						want, err := eng.Execute(plan)
+						want, err := eng.Execute(context.Background(), plan)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -183,7 +184,7 @@ func TestParallelBuildDeterministic(t *testing.T) {
 func TestParallelBuildUsed(t *testing.T) {
 	st, plan := hashJoinFixture(t, 3*morselRows)
 	eng := New(ColumnSource{St: st})
-	out, err := eng.ExplainAnalyze(plan, Options{Parallelism: 4})
+	out, err := eng.ExplainAnalyzeContext(context.Background(), plan, Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestExplainAnalyzeAllPlanners(t *testing.T) {
 	eng := New(ColumnSource{St: st})
 	text := sp2bench.Queries()[1].Text
 	for name, plan := range planners(t, st, text) {
-		out, err := eng.ExplainAnalyze(plan, Options{})
+		out, err := eng.ExplainAnalyzeContext(context.Background(), plan, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

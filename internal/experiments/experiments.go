@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -178,9 +179,9 @@ func Table2(e *Env, out io.Writer) error {
 // measuredCarder costs plans with observed cardinalities from a real
 // execution. HSP plans run on the column substrate, CDP plans on the
 // RDF-3X substrate (whose aggregated indexes their scans may use).
-func measuredCarder(w *Workload, p *algebra.Plan) (cost.Carder, error) {
+func measuredCarder(ctx context.Context, w *Workload, p *algebra.Plan) (cost.Carder, error) {
 	eng := engineFor(w, p)
-	_, cards, err := eng.ExecuteWithCards(p)
+	_, cards, err := eng.ExecuteWithCards(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +203,7 @@ func engineFor(w *Workload, p *algebra.Plan) *exec.Engine {
 // Table3 prints the CDP-cost-model cost of the HSP and CDP plans, the
 // merge-join cost and hash-join cost separately as in the paper
 // ("mj+hj"). Cardinalities are the observed ones.
-func Table3(e *Env, out io.Writer) error {
+func Table3(ctx context.Context, e *Env, out io.Writer) error {
 	fmt.Fprintln(out, "Table 3: The cost of HSP and CDP plans (CDP cost model, observed cardinalities)")
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Query\tHSP mj-cost\tHSP hj-cost\tCDP mj-cost\tCDP hj-cost")
@@ -217,7 +218,7 @@ func Table3(e *Env, out io.Writer) error {
 			if m, h := algebra.CountJoins(hres.Plan.Root); m+h == 0 {
 				continue
 			}
-			hc, err := measuredCarder(w, hres.Plan)
+			hc, err := measuredCarder(ctx, w, hres.Plan)
 			if err != nil {
 				return err
 			}
@@ -227,7 +228,7 @@ func Table3(e *Env, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			cc, err := measuredCarder(w, cp)
+			cc, err := measuredCarder(ctx, w, cp)
 			if err != nil {
 				return err
 			}
@@ -368,8 +369,8 @@ func hasCross(p *algebra.Plan) bool {
 // timePlan executes a plan cfg.Runs+1 times on the engine, discarding
 // the first (cold) run and averaging the rest — the paper's warm-run
 // protocol.
-func timePlan(eng *exec.Engine, p *algebra.Plan, runs int) (float64, int, error) {
-	res, err := eng.Execute(p) // cold run, discarded
+func timePlan(ctx context.Context, eng *exec.Engine, p *algebra.Plan, runs int) (float64, int, error) {
+	res, err := eng.Execute(ctx, p) // cold run, discarded
 	if err != nil {
 		return 0, 0, err
 	}
@@ -377,7 +378,7 @@ func timePlan(eng *exec.Engine, p *algebra.Plan, runs int) (float64, int, error)
 	var total time.Duration
 	for i := 0; i < runs; i++ {
 		start := time.Now()
-		if _, err := eng.Execute(p); err != nil {
+		if _, err := eng.Execute(ctx, p); err != nil {
 			return 0, 0, err
 		}
 		total += time.Since(start)
@@ -386,7 +387,7 @@ func timePlan(eng *exec.Engine, p *algebra.Plan, runs int) (float64, int, error)
 }
 
 // ExecTimes measures Tables 7 (SP²Bench) or 8 (YAGO) for a workload.
-func ExecTimes(e *Env, w *Workload) ([]ExecRow, error) {
+func ExecTimes(ctx context.Context, e *Env, w *Workload) ([]ExecRow, error) {
 	monet := exec.New(exec.ColumnSource{St: w.Col})
 	rx := exec.New(exec.RDF3XSource{St: w.RX})
 	var rows []ExecRow
@@ -397,7 +398,7 @@ func ExecTimes(e *Env, w *Workload) ([]ExecRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.HSPms, r.Results, err = timePlan(monet, hres.Plan, e.Cfg.Runs)
+		r.HSPms, r.Results, err = timePlan(ctx, monet, hres.Plan, e.Cfg.Runs)
 		if err != nil {
 			return nil, fmt.Errorf("%s HSP: %w", q.Name, err)
 		}
@@ -406,7 +407,7 @@ func ExecTimes(e *Env, w *Workload) ([]ExecRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cdpMS, cdpN, err := timePlan(rx, cp, e.Cfg.Runs)
+		cdpMS, cdpN, err := timePlan(ctx, rx, cp, e.Cfg.Runs)
 		if err != nil {
 			return nil, fmt.Errorf("%s CDP: %w", q.Name, err)
 		}
@@ -425,7 +426,7 @@ func ExecTimes(e *Env, w *Workload) ([]ExecRow, error) {
 			// product and thus fails to terminate".
 			r.SQLms = -1
 		} else {
-			sqlMS, sqlN, err := timePlan(monet, sp, e.Cfg.Runs)
+			sqlMS, sqlN, err := timePlan(ctx, monet, sp, e.Cfg.Runs)
 			if err != nil {
 				return nil, fmt.Errorf("%s SQL: %w", q.Name, err)
 			}
@@ -440,17 +441,17 @@ func ExecTimes(e *Env, w *Workload) ([]ExecRow, error) {
 }
 
 // Table7 prints SP²Bench execution times.
-func Table7(e *Env, out io.Writer) error {
-	return execTable(e, e.SP2Bench, "Table 7: Query Execution Time (in ms) for SP2Bench Queries (Warm Runs)", out)
+func Table7(ctx context.Context, e *Env, out io.Writer) error {
+	return execTable(ctx, e, e.SP2Bench, "Table 7: Query Execution Time (in ms) for SP2Bench Queries (Warm Runs)", out)
 }
 
 // Table8 prints YAGO execution times.
-func Table8(e *Env, out io.Writer) error {
-	return execTable(e, e.YAGO, "Table 8: Query Execution Time (in ms) for YAGO queries (Warm Runs)", out)
+func Table8(ctx context.Context, e *Env, out io.Writer) error {
+	return execTable(ctx, e, e.YAGO, "Table 8: Query Execution Time (in ms) for YAGO queries (Warm Runs)", out)
 }
 
-func execTable(e *Env, w *Workload, title string, out io.Writer) error {
-	rows, err := ExecTimes(e, w)
+func execTable(ctx context.Context, e *Env, w *Workload, title string, out io.Writer) error {
+	rows, err := ExecTimes(ctx, e, w)
 	if err != nil {
 		return err
 	}
@@ -494,13 +495,13 @@ func Figure1(out io.Writer) error {
 
 // Figure2 executes Y3's HSP plan on the YAGO store and renders the
 // operator tree with observed cardinalities (the paper's Figure 2).
-func Figure2(e *Env, out io.Writer) error {
+func Figure2(ctx context.Context, e *Env, out io.Writer) error {
 	hres, err := planHSP(yago.Y3)
 	if err != nil {
 		return err
 	}
 	eng := exec.New(exec.ColumnSource{St: e.YAGO.Col})
-	tree, err := eng.Explain(hres.Plan)
+	tree, err := eng.Explain(ctx, hres.Plan)
 	if err != nil {
 		return err
 	}
@@ -511,7 +512,7 @@ func Figure2(e *Env, out io.Writer) error {
 
 // Figure3 renders the HSP and CDP plans for Y2 side by side (the
 // paper's Figure 3).
-func Figure3(e *Env, out io.Writer) error {
+func Figure3(ctx context.Context, e *Env, out io.Writer) error {
 	hres, err := planHSP(yago.Y2)
 	if err != nil {
 		return err
@@ -520,11 +521,11 @@ func Figure3(e *Env, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ht, err := engineFor(e.YAGO, hres.Plan).Explain(hres.Plan)
+	ht, err := engineFor(e.YAGO, hres.Plan).Explain(ctx, hres.Plan)
 	if err != nil {
 		return err
 	}
-	ct, err := engineFor(e.YAGO, cp).Explain(cp)
+	ct, err := engineFor(e.YAGO, cp).Explain(ctx, cp)
 	if err != nil {
 		return err
 	}
@@ -590,7 +591,7 @@ func joinPatternCensus(st *store.Store) [sparql.NumJoinKinds]int {
 // paper substrate (CDP on the compressed indexes, HSP and SQL on the
 // column store). parallelism > 1 enables concurrent hash-join builds
 // and morsel-partitioned build scans.
-func ExplainAnalyzeAll(e *Env, out io.Writer, parallelism int) error {
+func ExplainAnalyzeAll(ctx context.Context, e *Env, out io.Writer, parallelism int) error {
 	opts := exec.Options{Parallelism: parallelism}
 	for _, w := range e.Workloads() {
 		fmt.Fprintf(out, "=== EXPLAIN ANALYZE: %s ===\n\n", w.Name)
@@ -608,7 +609,7 @@ func ExplainAnalyzeAll(e *Env, out io.Writer, parallelism int) error {
 				return err
 			}
 			for _, p := range []*algebra.Plan{hres.Plan, cplan, splan} {
-				tree, err := engineFor(w, p).ExplainAnalyze(p, opts)
+				tree, err := engineFor(w, p).ExplainAnalyzeContext(ctx, p, opts)
 				if err != nil {
 					return err
 				}
@@ -620,17 +621,17 @@ func ExplainAnalyzeAll(e *Env, out io.Writer, parallelism int) error {
 }
 
 // All runs every table and figure in paper order.
-func All(e *Env, out io.Writer) error {
+func All(ctx context.Context, e *Env, out io.Writer) error {
 	steps := []func() error{
 		func() error { return Table2(e, out) },
-		func() error { return Table3(e, out) },
+		func() error { return Table3(ctx, e, out) },
 		func() error { return Table4(e, out) },
 		func() error { return Table6(e, out) },
-		func() error { return Table7(e, out) },
-		func() error { return Table8(e, out) },
+		func() error { return Table7(ctx, e, out) },
+		func() error { return Table8(ctx, e, out) },
 		func() error { return Figure1(out) },
-		func() error { return Figure2(e, out) },
-		func() error { return Figure3(e, out) },
+		func() error { return Figure2(ctx, e, out) },
+		func() error { return Figure3(ctx, e, out) },
 		func() error { return JoinPatternStudy(e, out) },
 	}
 	for _, s := range steps {

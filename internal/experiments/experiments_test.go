@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestTable2Output(t *testing.T) {
 func TestTable3Output(t *testing.T) {
 	var b bytes.Buffer
 	e := smallEnv(t)
-	if err := Table3(e, &b); err != nil {
+	if err := Table3(context.Background(), e, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -117,7 +118,7 @@ func TestTable6Output(t *testing.T) {
 //   - MonetDB/SQL on SP4a is the Cartesian-product XXX case.
 func TestExecTimesShape(t *testing.T) {
 	e := smallEnv(t)
-	rows, err := ExecTimes(e, e.SP2Bench)
+	rows, err := ExecTimes(context.Background(), e, e.SP2Bench)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestExecTimesShape(t *testing.T) {
 		}
 	}
 
-	yrows, err := ExecTimes(e, e.YAGO)
+	yrows, err := ExecTimes(context.Background(), e, e.YAGO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,14 +158,14 @@ func TestFigures(t *testing.T) {
 		t.Errorf("Figure 1 missing the weight-4 node:\n%s", b.String())
 	}
 	b.Reset()
-	if err := Figure2(e, &b); err != nil {
+	if err := Figure2(context.Background(), e, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "⋈mj ?c1") || !strings.Contains(b.String(), "⋈hj ?p") {
 		t.Errorf("Figure 2 plan shape wrong:\n%s", b.String())
 	}
 	b.Reset()
-	if err := Figure3(e, &b); err != nil {
+	if err := Figure3(context.Background(), e, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Figure 3(a)") || !strings.Contains(b.String(), "Figure 3(b)") {
@@ -230,7 +231,7 @@ var _ = algebra.LeftDeep // silence import when build tags change
 func TestTable7And8Printers(t *testing.T) {
 	e := smallEnv(t)
 	var b bytes.Buffer
-	if err := Table7(e, &b); err != nil {
+	if err := Table7(context.Background(), e, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -240,7 +241,7 @@ func TestTable7And8Printers(t *testing.T) {
 		}
 	}
 	b.Reset()
-	if err := Table8(e, &b); err != nil {
+	if err := Table8(context.Background(), e, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Y1") || !strings.Contains(b.String(), "Y4") {
@@ -257,7 +258,7 @@ func TestAllRunsEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer
-	if err := All(e, &b); err != nil {
+	if err := All(context.Background(), e, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -281,7 +282,7 @@ func TestDefaultConfig(t *testing.T) {
 func TestExplainAnalyzeAll(t *testing.T) {
 	e := smallEnv(t)
 	var b bytes.Buffer
-	if err := ExplainAnalyzeAll(e, &b, 2); err != nil {
+	if err := ExplainAnalyzeAll(context.Background(), e, &b, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

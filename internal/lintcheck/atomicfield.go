@@ -1,0 +1,124 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces the publication invariant behind the MVCC
+// machinery: a struct field that is accessed through sync/atomic
+// anywhere in the package — the dict's published slice header, the
+// run's worker-error slot, exchange cursors, per-operator row counters
+// — may never be read or written non-atomically elsewhere. A single
+// plain access to such a field is a data race that the race detector
+// only catches when a test happens to interleave it; this analyzer
+// makes it a compile-time error.
+//
+// Fields whose address is passed to a sync/atomic function directly
+// (&s.f) are fully atomic: every other selector access is flagged.
+// Fields where an *element* is atomic (&s.f[i]) keep their header
+// accessible (len, range, make) but have element reads/writes flagged.
+// Fields of type atomic.Int64, atomic.Value, atomic.Pointer et al. are
+// type-safe by construction and not tracked.
+//
+// Deliberate plain access — e.g. reading counters after every worker
+// has provably quiesced — carries an //hsp:lint-allow atomicfield
+// annotation stating why the race cannot occur.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written non-atomically",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect fields whose address (or an element's address)
+	// is passed to a sync/atomic function anywhere in the package.
+	direct := make(map[*types.Var]bool)  // &s.f
+	element := make(map[*types.Var]bool) // &s.f[i]
+	// atomicArgs remembers the exact selector nodes used inside atomic
+	// calls so pass 2 can skip them.
+	atomicArgs := make(map[*ast.SelectorExpr]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			switch target := ast.Unparen(addr.X).(type) {
+			case *ast.SelectorExpr:
+				if fld := fieldOf(pass.Info, target); fld != nil {
+					direct[fld] = true
+					atomicArgs[target] = true
+				}
+			case *ast.IndexExpr:
+				if sel, ok := ast.Unparen(target.X).(*ast.SelectorExpr); ok {
+					if fld := fieldOf(pass.Info, sel); fld != nil {
+						element[fld] = true
+						atomicArgs[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(direct) == 0 && len(element) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every other access to those fields.
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			fld := fieldOf(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			if direct[fld] {
+				pass.Reportf(sel.Sel.Pos(), "non-atomic access to %s: field %s is accessed via sync/atomic elsewhere in this package", render(pass.Fset, sel), fld.Name())
+				return true
+			}
+			if element[fld] {
+				// The slice header itself (len, range, make, passing the
+				// slice) is fine; indexing an element non-atomically is
+				// the race.
+				if idx, ok := parents[sel].(*ast.IndexExpr); ok && idx.X == ast.Expr(sel) {
+					pass.Reportf(sel.Sel.Pos(), "non-atomic element access to %s: elements of field %s are accessed via sync/atomic elsewhere in this package", render(pass.Fset, sel), fld.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (the legacy address-taking API: AddInt64, LoadPointer, …).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector expression to the struct field it
+// denotes, or nil if it is not a field selection.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,235 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck enforces the resource-lifecycle invariant: a closeable
+// value (hsp.Rows, *hsp.Stmt, *hsp.Txn, *exec.Run, *os.File — anything
+// whose method set has Close() error) obtained from a call must be
+// closed, deferred, returned, or stored before the function ends.
+// A value that is only ever pulled from (rows.Next(), run.Err()) and
+// then dropped is exactly the goroutine/temp-file leak the run-time
+// leak tests can only catch probabilistically; this analyzer flags it
+// on every build.
+//
+// The analysis is intra-function and flow-insensitive: any Close call,
+// defer, return, or store of the value anywhere in the function counts
+// as handled, and any aliasing (passing the value to a call, taking
+// its address, storing it in a structure) hands ownership off and ends
+// the obligation. Test files are exempt (the leak-check harnesses own
+// resource hygiene there), as is package main (process exit reclaims).
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "closeable values obtained from a call must be closed, deferred, returned, or stored",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// acquisition is one closeable value bound to a local variable.
+type acquisition struct {
+	obj  types.Object
+	pos  token.Pos
+	what string // rendered callee, for the message
+}
+
+// checkBody analyzes one function body: it collects closeable
+// acquisitions, then classifies every use of each acquired variable.
+func checkBody(pass *Pass, body *ast.BlockStmt) {
+	parents := parentMap(body)
+	var acqs []acquisition
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				acqs = append(acqs, callAcquisitions(pass, n.Lhs, n.Rhs[0])...)
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 {
+				idents := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					idents[i] = id
+				}
+				acqs = append(acqs, callAcquisitions(pass, idents, n.Values[0])...)
+			}
+		case *ast.ExprStmt:
+			// A closeable result dropped on the floor outright.
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if i, t := closeableResult(pass, call); i >= 0 {
+					pass.Reportf(call.Pos(), "result %d (%s) of %s is discarded without Close", i, t, render(pass.Fset, call.Fun))
+				}
+			}
+		}
+		return true
+	})
+
+	for _, acq := range acqs {
+		closed, escaped := classifyUses(pass, body, parents, acq.obj)
+		if !closed && !escaped {
+			pass.Reportf(acq.pos, "%s returned by %s is never closed, returned, or stored", acq.obj.Name(), acq.what)
+		}
+	}
+}
+
+// callAcquisitions matches assignment targets against the closeable
+// results of a single call expression. Blank targets for closeable
+// results are reported immediately.
+func callAcquisitions(pass *Pass, targets []ast.Expr, rhs ast.Expr) []acquisition {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || isConversion(pass.Info, call) {
+		return nil
+	}
+	var results []types.Type
+	switch t := pass.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			results = append(results, t.At(i).Type())
+		}
+	case nil:
+		return nil
+	default:
+		results = []types.Type{t}
+	}
+	if len(results) != len(targets) {
+		return nil
+	}
+	var acqs []acquisition
+	for i, target := range targets {
+		if !hasCloseError(results[i]) {
+			continue
+		}
+		id, ok := target.(*ast.Ident)
+		if !ok {
+			continue // stored into a field/index: ownership handed off
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "closeable result (%s) of %s is assigned to _ without Close", results[i], render(pass.Fset, call.Fun))
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			continue // plain reassignment of an existing variable
+		}
+		acqs = append(acqs, acquisition{obj: obj, pos: id.Pos(), what: render(pass.Fset, call.Fun)})
+	}
+	return acqs
+}
+
+// closeableResult returns the index and type of the first closeable
+// result of call, or -1. Conversions never acquire.
+func closeableResult(pass *Pass, call *ast.CallExpr) (int, types.Type) {
+	if isConversion(pass.Info, call) {
+		return -1, nil
+	}
+	switch t := pass.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if hasCloseError(t.At(i).Type()) {
+				return i, t.At(i).Type()
+			}
+		}
+	case nil:
+	default:
+		if hasCloseError(t) {
+			return 0, t
+		}
+	}
+	return -1, nil
+}
+
+// classifyUses walks every use of obj in body and reports whether it
+// is ever closed and whether it ever escapes (aliased, passed,
+// returned, stored, address taken — anything that hands the close
+// obligation to someone else).
+func classifyUses(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, obj types.Object) (closed, escaped bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		switch parent := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if call, ok := parents[parent].(*ast.CallExpr); ok && call.Fun == parent {
+				if parent.Sel.Name == "Close" {
+					closed = true
+				}
+				return true // other method calls: plain use
+			}
+			// Method value (x.Close passed around) or field read:
+			// the former hands off the obligation.
+			if _, isFunc := pass.Info.Uses[parent.Sel].(*types.Func); isFunc {
+				escaped = true
+			}
+		case *ast.CallExpr:
+			escaped = true // passed as an argument
+		case *ast.ReturnStmt:
+			escaped = true
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) == ast.Expr(id) {
+					escaped = true // aliased or stored
+				}
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.TypeAssertExpr:
+			escaped = true
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				escaped = true
+			}
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.SwitchStmt, *ast.RangeStmt,
+			*ast.IndexExpr, *ast.StarExpr, *ast.TypeSwitchStmt:
+			// Plain inspection: comparison, dereference, indexing.
+		default:
+			// Unrecognised construct: assume ownership was handed off
+			// rather than risk a false positive.
+			escaped = true
+		}
+		return true
+	})
+	return closed, escaped
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// parentMap records each node's immediate parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

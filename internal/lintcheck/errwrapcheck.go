@@ -1,0 +1,83 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// ErrWrapCheck keeps error chains inspectable across the facade:
+// fmt.Errorf given an error argument must wrap it with %w, so
+// errors.Is(err, hsp.ErrStmtClosed), errors.Is(err, context.Canceled)
+// and friends keep working however many layers annotate the error on
+// the way up. Formatting an error with %v or %s flattens it to text
+// and silently breaks every caller that matches on sentinel errors.
+//
+// The check: a fmt.Errorf call with a constant format string must use
+// at least as many %w verbs as it has error-typed arguments. Calls
+// whose format string is not a literal are skipped. Deliberate
+// flattening (e.g. redacting an internal error at an API boundary)
+// carries an //hsp:lint-allow errwrapcheck annotation.
+var ErrWrapCheck = &Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "fmt.Errorf with an error argument must wrap it with %w",
+	Run:  runErrWrapCheck,
+}
+
+func runErrWrapCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			errArgs := 0
+			for _, arg := range call.Args[1:] {
+				if t := pass.Info.TypeOf(arg); t != nil && types.Implements(t, errorType) {
+					errArgs++
+				}
+			}
+			if errArgs == 0 {
+				return true
+			}
+			if wraps := countVerb(format, 'w'); wraps < errArgs {
+				pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w (%d error argument(s), %d %%w verb(s)): errors.Is/As will not see the cause", errArgs, wraps)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// countVerb counts occurrences of the given formatting verb, skipping
+// literal %% escapes and flags/width between % and the verb letter.
+func countVerb(format string, verb byte) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision and argument indexes.
+		for i < len(format) {
+			c := format[i]
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' || c == '[' || c == ']' || c == '*' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] == verb {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineScope enforces the worker-lifetime invariant of the
+// execution and serving layers: every goroutine started in package
+// exec or hspserve must be tied to a completion mechanism, so no
+// worker can outlive its run — the property the goroutine-leak tests
+// verify empirically on every Close/cancel path, checked structurally
+// here.
+//
+// A `go` statement passes when the spawned function (a literal, or a
+// same-package function/method whose body is visible) contains one of:
+//
+//   - a Done() call on a sync.WaitGroup (the runEnv/errgroup pattern:
+//     wg.Add(1); go func() { defer wg.Done(); … }());
+//   - a close(ch) or a channel send (completion signalled through a
+//     channel the spawner selects on);
+//   - a call to a function or method named noteErr (the run
+//     environment's record-first-error-and-cancel hook).
+//
+// A goroutine running a function whose body is not visible passes only
+// when the immediately preceding statement is a WaitGroup Add call.
+// Other packages are out of scope: their goroutines (dataset commit
+// fan-out, CLI signal handlers) are joined structurally by wg.Wait()
+// within one call or own the process lifetime.
+var GoroutineScope = &Analyzer{
+	Name: "goroutinescope",
+	Doc:  "goroutines in exec/hspserve must be tied to a WaitGroup/channel/noteErr completion mechanism",
+	Run:  runGoroutineScope,
+}
+
+func runGoroutineScope(pass *Pass) error {
+	if name := pass.Pkg.Name(); name != "exec" && name != "hspserve" {
+		return nil
+	}
+	// Index the package's function and method bodies by object, so
+	// `go g.worker(w)` can be checked against worker's declaration.
+	bodies := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if body := spawnedBody(pass, bodies, gs); body != nil {
+				if hasCompletion(pass, body) {
+					return true
+				}
+			} else if precededByWaitGroupAdd(pass, parents, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine is not tied to a completion mechanism (WaitGroup Done, channel close/send, or noteErr): it could outlive its run")
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnedBody resolves the body of the function a go statement spawns,
+// when it is visible in this package.
+func spawnedBody(pass *Pass, bodies map[types.Object]*ast.BlockStmt, gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		return bodies[pass.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		return bodies[pass.Info.Uses[fun.Sel]]
+	}
+	return nil
+}
+
+// hasCompletion reports whether body contains a recognised completion
+// signal: wg.Done(), close(ch), a channel send, or a noteErr call.
+func hasCompletion(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && pass.Info.Uses[fun] == types.Universe.Lookup("close") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "noteErr" {
+					found = true
+				}
+				if fun.Sel.Name == "Done" && isWaitGroup(pass.Info.TypeOf(fun.X)) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// precededByWaitGroupAdd reports whether the statement immediately
+// before the go statement (in the same block) is wg.Add(…) on a
+// sync.WaitGroup.
+func precededByWaitGroupAdd(pass *Pass, parents map[ast.Node]ast.Node, gs *ast.GoStmt) bool {
+	block, ok := parents[gs].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	var prev ast.Stmt
+	for _, st := range block.List {
+		if st == ast.Stmt(gs) {
+			break
+		}
+		prev = st
+	}
+	expr, ok := prev.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Add" && isWaitGroup(pass.Info.TypeOf(sel.X))
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

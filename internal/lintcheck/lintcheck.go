@@ -1,0 +1,220 @@
+// Package lintcheck implements hsp-lint, a suite of project-specific
+// static analyzers that prove the engine's concurrency and lifecycle
+// invariants at compile time: callers' contexts must flow through the
+// library (ctxflow), closeable values must be closed on every path
+// (closecheck), fields published through sync/atomic must never be
+// touched non-atomically (atomicfield), worker goroutines must be tied
+// to a completion mechanism (goroutinescope), and wrapped errors must
+// stay inspectable by errors.Is/As (errwrapcheck).
+//
+// The framework mirrors golang.org/x/tools/go/analysis — Analyzer,
+// Pass, Diagnostic — but is built entirely on the standard library's
+// go/ast and go/types, because this module deliberately has no
+// third-party dependencies. cmd/hsp-lint is the driver: it runs either
+// standalone over `go list` output or as a `go vet -vettool`.
+//
+// Deliberate violations are suppressed with an annotation on the
+// flagged line (or the line above):
+//
+//	//hsp:lint-allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow comment without one is itself a
+// diagnostic, so every suppression in the tree documents why the
+// invariant does not apply.
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run reports violations via
+// Pass.Reportf; returned errors abort the whole lint run (they mean
+// the analyzer itself is broken, not that the code under analysis is).
+type Analyzer struct {
+	Name string // short lowercase identifier, used in hsp:lint-allow
+	Doc  string // one-line description of the invariant
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Posn:     p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one diagnostic with its source position resolved.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Posn, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		CloseCheck,
+		AtomicField,
+		GoroutineScope,
+		ErrWrapCheck,
+	}
+}
+
+// AllowPrefix introduces a suppression comment.
+const AllowPrefix = "//hsp:lint-allow"
+
+// allowKey identifies a suppressed (file, line, analyzer) triple.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// RunAnalyzers runs the given analyzers over one type-checked package
+// and returns the surviving findings: diagnostics on a line carrying a
+// matching hsp:lint-allow annotation (on the same line or the line
+// above) are dropped, annotations with an empty reason or an unknown
+// analyzer name are reported as findings themselves, and the result is
+// sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			findings: &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lintcheck: analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	allowed := make(map[allowKey]bool)
+	var out []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, AllowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				switch {
+				case name == "":
+					out = append(out, Finding{Analyzer: "hsp-lint", Posn: posn,
+						Message: "hsp:lint-allow names no analyzer (want //hsp:lint-allow <analyzer> <reason>)"})
+				case !known[name]:
+					out = append(out, Finding{Analyzer: "hsp-lint", Posn: posn,
+						Message: fmt.Sprintf("hsp:lint-allow names unknown analyzer %q", name)})
+				case strings.TrimSpace(reason) == "":
+					out = append(out, Finding{Analyzer: name, Posn: posn,
+						Message: "hsp:lint-allow needs a non-empty reason"})
+				default:
+					// The annotation suppresses findings on its own line
+					// (trailing comment) and on the line below (comment
+					// on a line of its own).
+					allowed[allowKey{posn.Filename, posn.Line, name}] = true
+					allowed[allowKey{posn.Filename, posn.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	for _, f := range raw {
+		if allowed[allowKey{f.Posn.Filename, f.Posn.Line, f.Analyzer}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// errorObjType is the built-in error type; errorType its interface.
+var (
+	errorObjType = types.Universe.Lookup("error").Type()
+	errorType    = errorObjType.Underlying().(*types.Interface)
+)
+
+// hasCloseError reports whether t (or *t) has a Close() error method.
+func hasCloseError(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != "Close" {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				types.Identical(sig.Results().At(0).Type(), errorObjType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgFunc reports whether call is a call of the named function from
+// the package with the given import path (e.g. "context".Background).
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	return ok && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

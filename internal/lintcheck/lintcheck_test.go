@@ -1,0 +1,151 @@
+package lintcheck
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureFindings is the golden output of the full suite over the
+// fixture module in testdata/src. Everything listed is a positive
+// case; every fixture line NOT listed is a negative or suppression
+// case the analyzers must stay silent about.
+var fixtureFindings = []string{
+	`atomicfield/atomicfield.go:21: atomicfield: non-atomic access to c.n: field n is accessed via sync/atomic elsewhere in this package`,
+	`atomicfield/atomicfield.go:25: atomicfield: non-atomic access to c.n: field n is accessed via sync/atomic elsewhere in this package`,
+	`atomicfield/atomicfield.go:29: atomicfield: non-atomic element access to c.slots: elements of field slots are accessed via sync/atomic elsewhere in this package`,
+	`closecheck/closecheck.go:11: closecheck: f returned by os.Open is never closed, returned, or stored`,
+	`closecheck/closecheck.go:19: closecheck: result 0 (*os.File) of os.Open is discarded without Close`,
+	`closecheck/closecheck.go:23: closecheck: closeable result (*os.File) of os.Open is assigned to _ without Close`,
+	`ctxflow/ctxflow.go:11: ctxflow: context.Background() in library code: thread the caller's ctx through (or annotate a deliberate shim with //hsp:lint-allow ctxflow <reason>)`,
+	`ctxflow/ctxflow.go:15: ctxflow: context.TODO() in library code: thread the caller's ctx through (or annotate a deliberate shim with //hsp:lint-allow ctxflow <reason>)`,
+	`ctxflow/ctxflow.go:28: ctxflow: hsp:lint-allow needs a non-empty reason`,
+	`ctxflow/ctxflow.go:29: ctxflow: context.Background() in library code: thread the caller's ctx through (or annotate a deliberate shim with //hsp:lint-allow ctxflow <reason>)`,
+	`ctxflow/ctxflow.go:32: hsp-lint: hsp:lint-allow names unknown analyzer "nosuchanalyzer"`,
+	`ctxflow/ctxflow.go:35: hsp-lint: hsp:lint-allow names no analyzer (want //hsp:lint-allow <analyzer> <reason>)`,
+	`errwrapcheck/errwrapcheck.go:14: errwrapcheck: fmt.Errorf formats an error without %w (1 error argument(s), 0 %w verb(s)): errors.Is/As will not see the cause`,
+	`errwrapcheck/errwrapcheck.go:22: errwrapcheck: fmt.Errorf formats an error without %w (2 error argument(s), 1 %w verb(s)): errors.Is/As will not see the cause`,
+	`exec/exec.go:11: goroutinescope: goroutine is not tied to a completion mechanism (WaitGroup Done, channel close/send, or noteErr): it could outlive its run`,
+	`exec/exec.go:58: goroutinescope: goroutine is not tied to a completion mechanism (WaitGroup Done, channel close/send, or noteErr): it could outlive its run`,
+}
+
+// TestFixtures runs the whole suite over the fixture module and
+// compares against the golden finding list: report, no-report and
+// suppression cases for every analyzer in one pass.
+func TestFixtures(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runSuite(t, root)
+	want := append([]string(nil), fixtureFindings...)
+	sort.Strings(want)
+	if diff := diffLines(want, got); diff != "" {
+		t.Errorf("fixture findings mismatch:\n%s", diff)
+	}
+}
+
+// TestSuppressionScope checks the allow annotation suppresses only its
+// own analyzer: findings by other analyzers on the same line survive.
+func TestSuppressionScope(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range runSuite(t, root) {
+		if strings.Contains(f, "ctxflow/ctxflow.go:20") || strings.Contains(f, "ctxflow/ctxflow.go:24") {
+			t.Errorf("suppressed line still reported: %s", f)
+		}
+	}
+}
+
+// TestModuleClean is the smoke test of the tentpole's acceptance
+// criterion: the suite over the real module (tests included) yields
+// zero unannotated findings. This is the same gate CI runs via
+// `go vet -vettool`.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runSuite(t, root); len(got) > 0 {
+		t.Errorf("module is not lint-clean:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestListDedup ensures a finding in a library file is reported once
+// even though the file is loaded again in the package's test variant.
+func TestListDedup(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runSuite(t, root)
+	seen := make(map[string]int)
+	for _, f := range got {
+		seen[f]++
+		if seen[f] > 1 {
+			t.Errorf("finding reported twice: %s", f)
+		}
+	}
+}
+
+// runSuite loads every package under root (tests included) and returns
+// the deduplicated findings as "relpath:line: analyzer: message".
+func runSuite(t *testing.T, root string) []string {
+	t.Helper()
+	pkgs, err := LoadPackages(LoadConfig{Dir: root, Tests: true}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range pkgs {
+		findings, err := RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			rel, err := filepath.Rel(root, f.Posn.Filename)
+			if err != nil {
+				rel = f.Posn.Filename
+			}
+			line := fmt.Sprintf("%s:%d: %s: %s", filepath.ToSlash(rel), f.Posn.Line, f.Analyzer, f.Message)
+			if !seen[line] {
+				seen[line] = true
+				out = append(out, line)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diffLines renders a set difference of two sorted string slices.
+func diffLines(want, got []string) string {
+	wantSet := make(map[string]bool, len(want))
+	for _, w := range want {
+		wantSet[w] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	var b strings.Builder
+	for _, w := range want {
+		if !gotSet[w] {
+			fmt.Fprintf(&b, "missing: %s\n", w)
+		}
+	}
+	for _, g := range got {
+		if !wantSet[g] {
+			fmt.Fprintf(&b, "unexpected: %s\n", g)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package lintcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package ready for
+// analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// LoadConfig controls LoadPackages.
+type LoadConfig struct {
+	// Dir is the directory to resolve patterns from (a module root or
+	// any directory inside one). Empty means the current directory.
+	Dir string
+	// Tests includes each package's _test.go files (in-package and
+	// external test packages), matching what `go vet` analyzes.
+	Tests bool
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	Export      string
+	DepOnly     bool
+	Standard    bool
+	ForTest     string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// LoadPackages loads the packages matching the patterns, fully
+// type-checked. It shells out to `go list -export -deps -json`, so
+// export data for every dependency comes from the build cache exactly
+// as the compiler produced it — no source re-typechecking of the
+// dependency closure, and no dependency on golang.org/x/tools.
+func LoadPackages(cfg LoadConfig, patterns ...string) ([]*LoadedPackage, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintcheck: go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintcheck: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lintcheck: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		// Skip the synthesized test-binary mains ("pkg.test"): their
+		// _testmain.go lives in the build cache, not the tree.
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		targets = append(targets, &p)
+	}
+
+	// With -test, a package listed plain is listed again as its
+	// test variant "pkg [pkg.test]" containing the same library files
+	// plus the in-package test files. Analyzing both would duplicate
+	// every finding, so prefer the variant when present.
+	if cfg.Tests {
+		variants := make(map[string]bool)
+		for _, p := range targets {
+			if base, _, ok := strings.Cut(p.ImportPath, " "); ok {
+				variants[base] = true
+			}
+		}
+		kept := targets[:0]
+		for _, p := range targets {
+			if !strings.Contains(p.ImportPath, " ") && variants[p.ImportPath] {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		targets = kept
+	}
+
+	fset := token.NewFileSet()
+	var loaded []*LoadedPackage
+	for _, p := range targets {
+		lp, err := typecheck(fset, exports, p)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}
+
+// typecheck parses and type-checks one listed package. Each package
+// gets a fresh importer: an external test package ("pkg_test") must
+// resolve its import of the package under test to the test variant's
+// export data ("pkg [pkg.test]"), which would poison a shared
+// importer's cache for everyone else.
+func typecheck(fset *token.FileSet, exports map[string]string, p *listPackage) (*LoadedPackage, error) {
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if p.ForTest != "" && path == p.ForTest {
+			if file, ok := exports[path+" ["+p.ForTest+".test]"]; ok {
+				return os.Open(file)
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lintcheck: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	if len(p.CgoFiles) > 0 {
+		return nil, fmt.Errorf("lintcheck: %s: cgo packages are not supported", p.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lintcheck: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := &types.Config{Importer: imp}
+	path, _, _ := strings.Cut(p.ImportPath, " ") // "pkg [pkg.test]" -> "pkg"
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintcheck: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &LoadedPackage{
+		ImportPath: p.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,51 @@
+// Package atomicfield exercises the atomicfield analyzer: plain reads
+// and writes of atomically-updated fields, the slice-header exemption
+// for element-atomic fields, and the type-safe atomic.Int64 escape.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	n     int64
+	slots []int64
+	safe  atomic.Int64
+	plain int64
+}
+
+func (c *counters) inc(i int) {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.slots[i], 1)
+}
+
+func (c *counters) badRead() int64 {
+	return c.n // finding: non-atomic access
+}
+
+func (c *counters) badWrite() {
+	c.n = 0 // finding: non-atomic access
+}
+
+func (c *counters) badElem() int64 {
+	return c.slots[0] // finding: non-atomic element access
+}
+
+func (c *counters) okHeader() int {
+	return len(c.slots) // slice header access is fine
+}
+
+func (c *counters) okGrow(n int) {
+	c.slots = make([]int64, n) // replacing the header is fine
+}
+
+func (c *counters) okSafe() int64 {
+	return c.safe.Load() // atomic.Int64 is type-safe, untracked
+}
+
+func (c *counters) okPlain() int64 {
+	return c.plain // never touched atomically, untracked
+}
+
+func (c *counters) suppressed() int64 {
+	//hsp:lint-allow atomicfield fixture: every worker has quiesced here
+	return c.n
+}

@@ -1,0 +1,73 @@
+// Package closecheck exercises the closecheck analyzer: leaked,
+// discarded and blank-assigned closeables, plus every way of
+// discharging the obligation (Close, defer, return, store, hand-off).
+package closecheck
+
+import "os"
+
+type holder struct{ f *os.File }
+
+func leaked() string {
+	f, err := os.Open("/dev/null") // finding: never closed
+	if err != nil {
+		return ""
+	}
+	return f.Name()
+}
+
+func discarded() {
+	os.Open("/dev/null") // finding: result discarded outright
+}
+
+func blanked() {
+	_, _ = os.Open("/dev/null") // finding: assigned to _
+}
+
+func closed() error {
+	f, err := os.Open("/dev/null")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func deferred() string {
+	f, err := os.Open("/dev/null")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	return f.Name()
+}
+
+func returned() (*os.File, error) {
+	f, err := os.Open("/dev/null")
+	return f, err
+}
+
+func stored(h *holder) error {
+	f, err := os.Open("/dev/null")
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+func handedOff(take func(*os.File)) error {
+	f, err := os.Open("/dev/null")
+	if err != nil {
+		return err
+	}
+	take(f)
+	return nil
+}
+
+func suppressed() string {
+	//hsp:lint-allow closecheck fixture: process-lifetime handle, reclaimed at exit
+	f, err := os.Open("/dev/null")
+	if err != nil {
+		return ""
+	}
+	return f.Name()
+}

@@ -1,0 +1,36 @@
+// Package ctxflow exercises the ctxflow analyzer: Background and TODO
+// in library code, trailing and preceding-line suppression, and the
+// malformed-annotation diagnostics.
+package ctxflow
+
+import "context"
+
+func sink(ctx context.Context) {}
+
+func background() {
+	sink(context.Background()) // finding: Background in library code
+}
+
+func todo() {
+	sink(context.TODO()) // finding: TODO in library code
+}
+
+func suppressedAbove() {
+	//hsp:lint-allow ctxflow fixture shim: suppression on the preceding line
+	sink(context.Background())
+}
+
+func suppressedTrailing() {
+	sink(context.Background()) //hsp:lint-allow ctxflow fixture shim: trailing suppression
+}
+
+func emptyReason() {
+	//hsp:lint-allow ctxflow
+	sink(context.Background())
+}
+
+//hsp:lint-allow nosuchanalyzer the analyzer name is unknown
+func unknownAnalyzer() {}
+
+//hsp:lint-allow
+func nameless() {}

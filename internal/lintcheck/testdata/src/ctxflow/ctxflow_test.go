@@ -1,0 +1,12 @@
+package ctxflow
+
+import (
+	"context"
+	"testing"
+)
+
+// Test files are exempt from ctxflow and closecheck.
+func TestExempt(t *testing.T) {
+	sink(context.Background())
+	sink(context.TODO())
+}

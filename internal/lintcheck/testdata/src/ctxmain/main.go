@@ -1,0 +1,16 @@
+// Command ctxmain proves package main is exempt from ctxflow and
+// closecheck: binaries own their process lifetime.
+package main
+
+import (
+	"context"
+	"os"
+)
+
+func main() {
+	_ = context.Background()
+	f, err := os.Open("/dev/null")
+	if err == nil {
+		_ = f.Name()
+	}
+}

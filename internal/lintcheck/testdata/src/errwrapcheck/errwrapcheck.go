@@ -1,0 +1,44 @@
+// Package errwrapcheck exercises the errwrapcheck analyzer: flattened
+// errors, correctly wrapped ones, multiple error arguments, %% escapes
+// and non-constant format strings.
+package errwrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("boom")
+
+func flattened() error {
+	return fmt.Errorf("op failed: %v", errSentinel) // finding: %v flattens
+}
+
+func wrapped() error {
+	return fmt.Errorf("op failed: %w", errSentinel)
+}
+
+func twoErrsOneWrap(a, b error) error {
+	return fmt.Errorf("a: %w, b: %v", a, b) // finding: 2 errors, 1 %w
+}
+
+func twoErrsTwoWraps(a, b error) error {
+	return fmt.Errorf("a: %w, b: %w", a, b)
+}
+
+func percentEscape() error {
+	return fmt.Errorf("100%% wrong: %w", errSentinel)
+}
+
+func nonConstFormat(format string) error {
+	return fmt.Errorf(format, errSentinel) // skipped: format not a literal
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("count: %d", n)
+}
+
+func suppressed() error {
+	//hsp:lint-allow errwrapcheck fixture: internal error redacted at the boundary
+	return fmt.Errorf("redacted: %v", errSentinel)
+}

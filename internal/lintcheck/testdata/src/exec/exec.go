@@ -1,0 +1,64 @@
+// Package exec is named after the engine's execution package so the
+// goroutinescope analyzer is in scope: every go statement must be tied
+// to a completion mechanism.
+package exec
+
+import "sync"
+
+var pkgWG sync.WaitGroup
+
+func detached() {
+	go func() {}() // finding: no completion mechanism
+}
+
+func waited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func closes(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func sends(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+func noteErrPattern(rt *runEnv) {
+	go func() {
+		rt.noteErr(nil)
+	}()
+}
+
+type runEnv struct{}
+
+func (rt *runEnv) noteErr(err error) {}
+
+func worker() {
+	defer pkgWG.Done()
+}
+
+func namedWorker() {
+	pkgWG.Add(1)
+	go worker()
+}
+
+func opaque(f func()) {
+	pkgWG.Add(1)
+	go f() // body invisible: the preceding WaitGroup Add vouches for it
+}
+
+func opaqueDetached(f func()) {
+	go f() // finding: body invisible and no preceding Add
+}
+
+func suppressed() {
+	//hsp:lint-allow goroutinescope fixture: detached by design
+	go func() {}()
+}

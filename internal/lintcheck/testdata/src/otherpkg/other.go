@@ -1,0 +1,7 @@
+// Package otherpkg proves goroutinescope is scoped to exec/hspserve:
+// a detached goroutine here is out of the analyzer's jurisdiction.
+package otherpkg
+
+func detached() {
+	go func() {}()
+}

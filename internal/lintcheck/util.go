@@ -1,0 +1,17 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// render formats an expression back to source text, for diagnostics.
+func render(fset *token.FileSet, n ast.Node) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, n); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}

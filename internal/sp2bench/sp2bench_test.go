@@ -1,6 +1,7 @@
 package sp2bench
 
 import (
+	"context"
 	"testing"
 
 	"github.com/sparql-hsp/hsp/internal/core"
@@ -124,7 +125,7 @@ func TestWorkloadResults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: plan: %v", q.Name, err)
 		}
-		res, err := eng.Execute(plan)
+		res, err := eng.Execute(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("%s: exec: %v", q.Name, err)
 		}

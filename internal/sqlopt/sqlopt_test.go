@@ -1,6 +1,7 @@
 package sqlopt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -101,12 +102,12 @@ func TestAgreesWithHSP(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			rs, err := eng.Execute(sp)
+			rs, err := eng.Execute(context.Background(), sp)
 			if err != nil {
 				t.Logf("sql exec: %v", err)
 				return false
 			}
-			rh, err := eng.Execute(hp)
+			rh, err := eng.Execute(context.Background(), hp)
 			if err != nil {
 				return false
 			}

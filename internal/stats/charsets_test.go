@@ -1,6 +1,7 @@
 package stats_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -124,7 +125,7 @@ func TestCharSetsExactOnStars(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := exec.New(exec.ColumnSource{St: st}).Execute(plan)
+		res, err := exec.New(exec.ColumnSource{St: st}).Execute(context.Background(), plan)
 		if err != nil {
 			return false
 		}
@@ -159,7 +160,7 @@ func TestCharSetsMultiplicityUpperBoundQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exec.New(exec.ColumnSource{St: st}).Execute(plan)
+	res, err := exec.New(exec.ColumnSource{St: st}).Execute(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}

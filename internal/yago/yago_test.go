@@ -1,6 +1,7 @@
 package yago
 
 import (
+	"context"
 	"testing"
 
 	"github.com/sparql-hsp/hsp/internal/algebra"
@@ -102,7 +103,7 @@ func TestWorkloadResults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", q.Name, err)
 		}
-		res, err := eng.Execute(plan)
+		res, err := eng.Execute(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("%s: exec: %v", q.Name, err)
 		}

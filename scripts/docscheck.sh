@@ -103,6 +103,20 @@ done
 grep -q 'REWRITES.md' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not cross-link REWRITES.md"
 grep -qi 'rewrite pass' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not place the rewrite pass in the pipeline"
 
+# 3h. The static-analysis suite is documented: STATIC_ANALYSIS.md must
+#     exist, be linked from README and ARCHITECTURE.md, catalogue every
+#     analyzer hsp-lint registers, and explain the escape hatch and the
+#     vettool invocation.
+[ -f docs/STATIC_ANALYSIS.md ] || err "docs/STATIC_ANALYSIS.md is missing"
+grep -q 'STATIC_ANALYSIS.md' README.md || err "README.md does not link docs/STATIC_ANALYSIS.md"
+grep -q 'STATIC_ANALYSIS.md' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not cross-link STATIC_ANALYSIS.md"
+for name in $(grep -o 'Name: "[a-z]*"' internal/lintcheck/*.go | grep -o '"[a-z]*"' | tr -d '"' | sort -u); do
+    grep -q "$name" docs/STATIC_ANALYSIS.md || err "docs/STATIC_ANALYSIS.md does not document analyzer $name"
+done
+for sym in 'hsp:lint-allow' '-vettool' 'cmd/hsp-lint' 'internal/lintcheck'; do
+    grep -q -- "$sym" docs/STATIC_ANALYSIS.md || err "docs/STATIC_ANALYSIS.md does not document $sym"
+done
+
 # 3b. docs/OPERATORS.md documents every physical operator kind in
 #     internal/exec/physical.go and exchange.go (the greppable
 #     contract: a new physOp must be added to the operator reference).

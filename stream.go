@@ -318,6 +318,7 @@ type Rows struct {
 // column substrate, overridable with WithPlanner/WithEngine) and
 // returns its result as a row stream.
 func (db *DB) Stream(query string, opts ...ExecOption) (*Rows, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; StreamContext is the cancellable path
 	return db.StreamContext(context.Background(), query, opts...)
 }
 
@@ -345,6 +346,7 @@ func (db *DB) StreamContext(ctx context.Context, query string, opts ...ExecOptio
 // a row stream. UNION branches are streamed in sequence; DISTINCT
 // deduplicates on the fly; OFFSET and LIMIT are applied to the stream.
 func (db *DB) StreamPlan(p *Plan, e Engine, opts ...ExecOption) (*Rows, error) {
+	//hsp:lint-allow ctxflow documented context-less compatibility verb; StreamPlanContext is the cancellable path
 	return db.StreamPlanContext(context.Background(), p, e, opts...)
 }
 
