@@ -1,0 +1,201 @@
+// The -durability mode: write throughput and commit latency of the
+// WAL-backed store across the three sync policies (always, interval,
+// none), each with background compaction off and on. Every
+// configuration opens a fresh durable directory, commits -requests
+// transactions of -batch triples, records per-commit latency, and then
+// reopens the directory to verify the recovered epoch matches what was
+// acknowledged — a benchmark run that would not recover is reported as
+// an error, not a number. Results go to -benchout (default
+// BENCH_durability.json) so the durability economics are tracked as a
+// trajectory across revisions.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/sparql-hsp/hsp"
+)
+
+// durModeResult is one configuration's measurement in
+// BENCH_durability.json.
+type durModeResult struct {
+	Sync        string  `json:"sync"`       // "always", "interval:5ms" or "none"
+	Compaction  bool    `json:"compaction"` // background compactor enabled
+	Commits     int     `json:"commits"`
+	WallNS      int64   `json:"wall_ns"`
+	CommitsPS   float64 `json:"commits_per_sec"`
+	P50NS       int64   `json:"p50_ns"`
+	P95NS       int64   `json:"p95_ns"`
+	FinalEpoch  uint64  `json:"final_epoch"`
+	WALBytes    int64   `json:"wal_bytes"`
+	Segments    int     `json:"segments"`
+	Compactions int64   `json:"compactions"`
+	Syncs       int64   `json:"syncs"`
+}
+
+// durabilityReport is the BENCH_durability.json document.
+type durabilityReport struct {
+	Requests int             `json:"requests"`
+	Batch    int             `json:"batch"`
+	Modes    []durModeResult `json:"modes"`
+}
+
+// durabilityBench runs every sync-policy × compaction configuration
+// and writes the measurements to path as JSON.
+func durabilityBench(out *os.File, path string, requests, batch int) error {
+	if path == "" {
+		path = "BENCH_durability.json"
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	policies := []struct {
+		name string
+		pol  hsp.SyncPolicy
+	}{
+		{"always", hsp.SyncAlways},
+		{"interval:5ms", hsp.SyncInterval(5 * time.Millisecond)},
+		{"none", hsp.SyncNone},
+	}
+	rep := durabilityReport{Requests: requests, Batch: batch}
+	fmt.Fprintf(out, "durability: %d commits x %d triples per configuration\n", requests, batch)
+	fmt.Fprintf(out, "%-14s %-10s %12s %10s %10s %8s %6s\n",
+		"sync", "compact", "commits/s", "p50", "p95", "syncs", "folds")
+	for _, p := range policies {
+		for _, compact := range []bool{false, true} {
+			res, err := durabilityRun(p.name, p.pol, compact, requests, batch)
+			if err != nil {
+				return fmt.Errorf("sync=%s compaction=%v: %w", p.name, compact, err)
+			}
+			rep.Modes = append(rep.Modes, res)
+			fmt.Fprintf(out, "%-14s %-10v %12.0f %10s %10s %8d %6d\n",
+				res.Sync, res.Compaction, res.CommitsPS,
+				time.Duration(res.P50NS), time.Duration(res.P95NS),
+				res.Syncs, res.Compactions)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// durabilityRun measures one configuration: fresh directory, requests
+// commits of batch triples each, then a reopen that must recover the
+// acknowledged epoch exactly.
+func durabilityRun(syncName string, pol hsp.SyncPolicy, compact bool, requests, batch int) (durModeResult, error) {
+	dir, err := os.MkdirTemp("", "hsp-durability-")
+	if err != nil {
+		return durModeResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := []hsp.OpenOption{hsp.WithSyncPolicy(pol)}
+	if compact {
+		// Small segments and a low threshold so the compactor does real
+		// work within a benchmark-sized run.
+		opts = append(opts,
+			hsp.WithSegmentBytes(64<<10),
+			hsp.WithCompactionThreshold(128<<10))
+	} else {
+		opts = append(opts, hsp.WithCompactionThreshold(-1))
+	}
+	db, err := hsp.Open(dir, opts...)
+	if err != nil {
+		return durModeResult{}, err
+	}
+
+	ctx := context.Background()
+	lats := make([]time.Duration, 0, requests)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		txn, err := db.Update(ctx)
+		if err != nil {
+			db.Close()
+			return durModeResult{}, err
+		}
+		for j := 0; j < batch; j++ {
+			tr := hsp.Triple{
+				S: hsp.IRI(fmt.Sprintf("http://bench/s%d_%d", i, j)),
+				P: hsp.IRI("http://bench/p"),
+				O: hsp.Literal(fmt.Sprintf("v%d", j)),
+			}
+			if err := txn.Insert(tr); err != nil {
+				txn.Rollback()
+				db.Close()
+				return durModeResult{}, err
+			}
+		}
+		c0 := time.Now()
+		if _, err := txn.Commit(ctx); err != nil {
+			txn.Rollback()
+			db.Close()
+			return durModeResult{}, err
+		}
+		lats = append(lats, time.Since(c0))
+	}
+	wall := time.Since(start)
+
+	stats := db.DurabilityStats()
+	epoch := db.Epoch()
+	if err := db.Close(); err != nil {
+		return durModeResult{}, err
+	}
+
+	// Recovery check: a clean close makes every acknowledged commit
+	// durable under every policy, so the reopened epoch must match.
+	re, err := hsp.Open(dir)
+	if err != nil {
+		return durModeResult{}, fmt.Errorf("reopen: %w", err)
+	}
+	recovered := re.Epoch()
+	if cerr := re.Close(); cerr != nil {
+		return durModeResult{}, cerr
+	}
+	if recovered != epoch {
+		return durModeResult{}, fmt.Errorf("recovered epoch %d, committed %d", recovered, epoch)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))].Nanoseconds()
+	}
+	return durModeResult{
+		Sync:        syncName,
+		Compaction:  compact,
+		Commits:     requests,
+		WallNS:      wall.Nanoseconds(),
+		CommitsPS:   float64(requests) / wall.Seconds(),
+		P50NS:       q(0.50),
+		P95NS:       q(0.95),
+		FinalEpoch:  epoch,
+		WALBytes:    stats.WALBytes,
+		Segments:    stats.Segments,
+		Compactions: stats.Compactions,
+		Syncs:       stats.Syncs,
+	}, nil
+}

@@ -49,6 +49,13 @@
 // (FILTER pushdown cuts them), hash build sizes and wall-time quantiles
 // as JSON to -benchout (BENCH_rewrite.json).
 //
+// -durability benchmarks the WAL-backed store: -requests commits of
+// -batch triples each are applied through a durable directory under
+// every sync policy (always, a 5ms group-fsync interval, none), with
+// background compaction off and on, reporting commits/s with p50/p95
+// commit latency and verifying each run's reopened epoch, as JSON to
+// -benchout (BENCH_durability.json).
+//
 // -serve-load benchmarks the hspserve HTTP protocol server: -clients
 // closed-loop workers issue -requests requests twice, first as full
 // query text on /sparql (parsed server-side per request) and then
@@ -94,9 +101,16 @@ func main() {
 		rewriteB  = flag.Bool("rewrite", false, "benchmark the algebraic rewrite pass: FILTER pushdown on vs off")
 		serveLoad = flag.Bool("serve-load", false, "benchmark the HTTP protocol server: cold query text vs execute-by-digest")
 		clients   = flag.Int("clients", 8, "closed-loop client workers in -serve-load mode")
-		benchout  = flag.String("benchout", "", "output file for -scaling (default BENCH_parallel.json) and -serve-load (default BENCH_serve.json) results")
+		durB      = flag.Bool("durability", false, "benchmark WAL commit throughput and latency across sync policies, with and without compaction")
+		benchout  = flag.String("benchout", "", "output file for -scaling, -serve-load, -rewrite and -durability results (BENCH_*.json)")
 	)
 	flag.Parse()
+	if *durB {
+		if err := durabilityBench(os.Stdout, *benchout, *requests, *batch); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *rewriteB {
 		out := *benchout
 		if out == "" {

@@ -4,7 +4,16 @@
 // Usage:
 //
 //	hsp-cli -data file.nt        -query 'SELECT ...'
+//	hsp-cli -data ./dbdir        -update new.nt -sync always
 //	hsp-cli -gen sp2bench:100000 -queryfile q.sparql -planner cdp -engine rdf3x -explain
+//
+// -data accepts either an N-Triples file (loaded into memory) or a
+// directory, opened as a durable WAL-backed dataset via hsp.Open
+// (created empty if missing, otherwise recovered to the last durably
+// committed epoch). In directory mode -update/-delete commits are
+// logged to the write-ahead log before they are visible; -sync picks
+// the sync policy: always (default), none, or a flush interval such as
+// 100ms. See docs/DURABILITY.md.
 //
 // The -planner flag selects hsp (the paper's heuristic planner, the
 // default), cdp (the RDF-3X-style cost-based baseline), sql (the
@@ -66,7 +75,8 @@ import (
 
 func main() {
 	var (
-		data      = flag.String("data", "", "N-Triples file to load")
+		data      = flag.String("data", "", "N-Triples file to load, or a directory for a durable WAL-backed dataset (created if missing)")
+		syncMode  = flag.String("sync", "always", "WAL sync policy for a -data directory: always, none, or a flush interval like 100ms")
 		snapshot  = flag.String("snapshot", "", "binary snapshot file to load (see -writesnapshot)")
 		writeSnap = flag.String("writesnapshot", "", "write the loaded dataset to a snapshot file and exit")
 		gen       = flag.String("gen", "", "generate a dataset instead: sp2bench:N or yago:N")
@@ -98,10 +108,11 @@ func main() {
 		fail(fmt.Errorf("-plan/-explain do not execute through the serving path; drop -plancache/-repeat"))
 	}
 
-	db, err := openDB(*data, *snapshot, *gen, *seed)
+	db, err := openDB(*data, *snapshot, *gen, *seed, *syncMode)
 	if err != nil {
 		fail(err)
 	}
+	defer db.Close() // flushes the WAL on a durable (directory) dataset
 	fmt.Fprintf(os.Stderr, "dataset: %d triples\n", db.NumTriples())
 
 	// Mutations run before -writesnapshot so an updated dataset can be
@@ -505,7 +516,10 @@ func applyMutation(db *hsp.DB, updateFile, deleteFile string) error {
 	return nil
 }
 
-func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
+// openDB resolves the mutually exclusive dataset flags. A -data path
+// naming a directory (or nothing yet — it is created) opens a durable
+// WAL-backed dataset; a -data path naming a file loads N-Triples.
+func openDB(data, snapshot, gen string, seed int64, syncMode string) (*hsp.DB, error) {
 	n := 0
 	for _, s := range []string{data, snapshot, gen} {
 		if s != "" {
@@ -517,7 +531,14 @@ func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
 	}
 	switch {
 	case data != "":
-		return hsp.OpenNTriplesFile(data)
+		if fi, err := os.Stat(data); err == nil && !fi.IsDir() {
+			return hsp.OpenNTriplesFile(data)
+		}
+		pol, err := parseSyncPolicy(syncMode)
+		if err != nil {
+			return nil, err
+		}
+		return hsp.Open(data, hsp.WithSyncPolicy(pol))
 	case snapshot != "":
 		return hsp.OpenSnapshotFile(snapshot)
 	case gen != "":
@@ -540,6 +561,22 @@ func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
 	default:
 		return nil, fmt.Errorf("no dataset given (use -data or -gen)")
 	}
+}
+
+// parseSyncPolicy maps the -sync flag to a WAL sync policy: "always",
+// "none", or a positive duration for interval (group) fsync.
+func parseSyncPolicy(s string) (hsp.SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return hsp.SyncAlways, nil
+	case "none":
+		return hsp.SyncNone, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return hsp.SyncPolicy{}, fmt.Errorf("bad -sync %q (want always, none, or a positive duration like 100ms)", s)
+	}
+	return hsp.SyncInterval(d), nil
 }
 
 func fail(err error) {

@@ -7,14 +7,14 @@ import (
 )
 
 func TestOpenDBGenerate(t *testing.T) {
-	db, err := openDB("", "", "sp2bench:1000", 1)
+	db, err := openDB("", "", "sp2bench:1000", 1, "always")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if db.NumTriples() == 0 {
 		t.Error("generated empty dataset")
 	}
-	db, err = openDB("", "", "yago:1000", 1)
+	db, err = openDB("", "", "yago:1000", 1, "always")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,12 +28,62 @@ func TestOpenDBFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("<http://s> <http://p> <http://o> .\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	db, err := openDB(path, "", "", 1)
+	db, err := openDB(path, "", "", 1, "always")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if db.NumTriples() != 1 {
 		t.Errorf("NumTriples = %d", db.NumTriples())
+	}
+}
+
+// TestOpenDBDir: a -data path naming a directory (created on first
+// use) opens a durable WAL-backed dataset rather than loading a file.
+func TestOpenDBDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := openDB(dir, "", "", 1, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.DurabilityStats().Enabled {
+		t.Error("directory -data did not open a durable store")
+	}
+	if db.NumTriples() != 0 {
+		t.Errorf("fresh durable store has %d triples", db.NumTriples())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening the same directory must route to hsp.Open again.
+	db, err = openDB(dir, "", "", 1, "always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if !db.DurabilityStats().Enabled {
+		t.Error("existing directory not reopened as a durable store")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]string{
+		"":       "always",
+		"always": "always",
+		"none":   "none",
+		"250ms":  "interval:250ms",
+	} {
+		p, err := parseSyncPolicy(in)
+		if err != nil {
+			t.Fatalf("parseSyncPolicy(%q): %v", in, err)
+		}
+		if p.String() != want {
+			t.Errorf("parseSyncPolicy(%q) = %s, want %s", in, p, want)
+		}
+	}
+	for _, bad := range []string{"sometimes", "-1s", "0s"} {
+		if _, err := parseSyncPolicy(bad); err == nil {
+			t.Errorf("parseSyncPolicy(%q) accepted", bad)
+		}
 	}
 }
 
@@ -93,19 +143,23 @@ func TestOpenDBErrors(t *testing.T) {
 	cases := []struct {
 		data, snap, gen string
 	}{
-		{"", "", ""},                 // nothing given
-		{"x.nt", "", "yago:10"},      // two sources
-		{"x.nt", "y.snap", ""},       // two sources
-		{"", "", "nonsense"},         // missing colon
-		{"", "", "unknown:10"},       // unknown generator
-		{"", "", "sp2bench:zero"},    // bad number
-		{"", "", "sp2bench:-5"},      // negative
-		{"/no/such/file.nt", "", ""}, // missing file
-		{"", "/no/such.snap", ""},    // missing snapshot
+		{"", "", ""},              // nothing given
+		{"x.nt", "", "yago:10"},   // two sources
+		{"x.nt", "y.snap", ""},    // two sources
+		{"", "", "nonsense"},      // missing colon
+		{"", "", "unknown:10"},    // unknown generator
+		{"", "", "sp2bench:zero"}, // bad number
+		{"", "", "sp2bench:-5"},   // negative
+		{"", "/no/such.snap", ""}, // missing snapshot
 	}
 	for _, c := range cases {
-		if _, err := openDB(c.data, c.snap, c.gen, 1); err == nil {
+		if _, err := openDB(c.data, c.snap, c.gen, 1, "always"); err == nil {
 			t.Errorf("openDB(%q, %q, %q) succeeded, want error", c.data, c.snap, c.gen)
 		}
+	}
+	// A nonexistent -data path routes to durable-directory mode, so a
+	// bad -sync value is caught before anything is created.
+	if _, err := openDB(filepath.Join(t.TempDir(), "db"), "", "", 1, "sometimes"); err == nil {
+		t.Error("bad -sync accepted in directory mode")
 	}
 }

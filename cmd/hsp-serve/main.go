@@ -5,8 +5,17 @@
 // Usage:
 //
 //	hsp-serve -data file.nt          -listen :8080
+//	hsp-serve -data ./dbdir          -sync 100ms
 //	hsp-serve -gen sp2bench:1000000  -maxinflight 32 -maxquerytime 10s
 //	hsp-serve -snapshot data.hsp     -plancache 4096 -registrycap 512
+//
+// -data accepts either an N-Triples file (loaded read-only into memory)
+// or a directory, which is opened as a durable dataset via hsp.Open: a
+// write-ahead log plus base snapshots, recovered to the last durably
+// committed epoch on start and created empty if the directory does not
+// exist. -sync picks the WAL sync policy for directory mode — always
+// (fsync every commit, the default), none (no fsync), or a duration
+// such as 100ms (group fsync on that interval). See docs/DURABILITY.md.
 //
 // The server exposes the protocol surface documented in docs/SERVING.md:
 // /sparql (query via GET or POST, SPARQL JSON or TSV results streamed),
@@ -22,7 +31,8 @@
 // /metrics (at EXPLAIN ANALYZE overhead per run).
 //
 // On SIGINT or SIGTERM the server stops admitting requests, drains
-// in-flight result streams for up to -draintimeout, and exits.
+// in-flight result streams for up to -draintimeout, closes the durable
+// store (flushing the WAL), and exits.
 package main
 
 import (
@@ -46,7 +56,8 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", ":8080", "address to serve HTTP on")
-		data     = flag.String("data", "", "N-Triples file to load")
+		data     = flag.String("data", "", "N-Triples file to load, or a directory for a durable WAL-backed dataset (created if missing)")
+		syncMode = flag.String("sync", "always", "WAL sync policy for a -data directory: always, none, or a flush interval like 100ms")
 		snapshot = flag.String("snapshot", "", "snapshot file to restore (see hsp.OpenSnapshotFile)")
 		gen      = flag.String("gen", "", "generate a dataset instead: sp2bench:N or yago:N")
 		seed     = flag.Int64("seed", 1, "generator seed for -gen")
@@ -63,11 +74,14 @@ func main() {
 	)
 	flag.Parse()
 
-	db, err := openDB(*data, *snapshot, *gen, *seed)
+	db, err := openDB(*data, *snapshot, *gen, *seed, *syncMode)
 	if err != nil {
 		fail(err)
 	}
 	log.Printf("hsp-serve: dataset ready: %d triples, epoch %d", db.NumTriples(), db.Epoch())
+	if ds := db.DurabilityStats(); ds.Enabled {
+		log.Printf("hsp-serve: durable store %s: %d WAL segments (%d bytes), sync=%s", ds.Dir, ds.Segments, ds.WALBytes, ds.SyncPolicy)
+	}
 
 	cfg := hspserve.Config{
 		DB:           db,
@@ -115,11 +129,18 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("hsp-serve: http shutdown: %v", err)
 	}
+	// With all writers drained, close the store: stops the compactor,
+	// flushes and fsyncs the WAL tail.
+	if err := db.Close(); err != nil {
+		log.Printf("hsp-serve: store close: %v", err)
+	}
 	log.Printf("hsp-serve: bye")
 }
 
-// openDB resolves the mutually exclusive dataset flags.
-func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
+// openDB resolves the mutually exclusive dataset flags. A -data path
+// naming a directory (or nothing yet — it is created) opens a durable
+// WAL-backed dataset; a -data path naming a file loads N-Triples.
+func openDB(data, snapshot, gen string, seed int64, syncMode string) (*hsp.DB, error) {
 	n := 0
 	for _, s := range []string{data, snapshot, gen} {
 		if s != "" {
@@ -131,7 +152,14 @@ func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
 	}
 	switch {
 	case data != "":
-		return hsp.OpenNTriplesFile(data)
+		if fi, err := os.Stat(data); err == nil && !fi.IsDir() {
+			return hsp.OpenNTriplesFile(data)
+		}
+		pol, err := parseSyncPolicy(syncMode)
+		if err != nil {
+			return nil, err
+		}
+		return hsp.Open(data, hsp.WithSyncPolicy(pol))
 	case snapshot != "":
 		return hsp.OpenSnapshotFile(snapshot)
 	case gen != "":
@@ -154,6 +182,22 @@ func openDB(data, snapshot, gen string, seed int64) (*hsp.DB, error) {
 	default:
 		return nil, fmt.Errorf("no dataset given (use -data, -snapshot or -gen)")
 	}
+}
+
+// parseSyncPolicy maps the -sync flag to a WAL sync policy: "always",
+// "none", or a positive duration for interval (group) fsync.
+func parseSyncPolicy(s string) (hsp.SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return hsp.SyncAlways, nil
+	case "none":
+		return hsp.SyncNone, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return hsp.SyncPolicy{}, fmt.Errorf("bad -sync %q (want always, none, or a positive duration like 100ms)", s)
+	}
+	return hsp.SyncInterval(d), nil
 }
 
 func fail(err error) {

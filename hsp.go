@@ -69,6 +69,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"weak"
 
 	"github.com/sparql-hsp/hsp/internal/algebra"
 	"github.com/sparql-hsp/hsp/internal/cdp"
@@ -186,6 +187,16 @@ type DB struct {
 	// entries are epoch-tagged and invalidated lazily after commits.
 	pcMu sync.Mutex
 	pc   *exec.PlanCache
+
+	// dur is the durability subsystem attachment — WAL, base-snapshot
+	// coordinates, compactor — nil for purely in-memory DBs.
+	dur *durability
+
+	// snaps weakly tracks every published snapshot for StoreStats:
+	// superseded epochs stay in the list only while something still
+	// pins them.
+	snapMu sync.Mutex
+	snaps  []weak.Pointer[store.Snapshot]
 }
 
 // dbState bundles everything derived from one snapshot: the snapshot
@@ -216,6 +227,7 @@ func newDB(col *store.Store) *DB {
 func newDBAt(snap *store.Snapshot) *DB {
 	db := &DB{writer: make(chan struct{}, 1)}
 	db.state.Store(&dbState{snap: snap, memo: stats.NewMemo()})
+	db.trackSnapshot(snap)
 	return db
 }
 

@@ -176,4 +176,11 @@ type Stats struct {
 	Routes    map[string]RouteStats `json:"routes"`
 	Registry  RegistryStats         `json:"registry"`
 	Operators OperatorStats         `json:"operators"`
+	// Durability is the WAL/compaction state of a DB opened with
+	// hsp.Open: segments, bytes, syncs, last durable epoch, compactions.
+	// Zero (Enabled false) when the served DB is in-memory.
+	Durability hsp.DurabilityStats `json:"durability"`
+	// Store accounts for retained MVCC snapshots: how many published
+	// epochs are still live and the memory they pin.
+	Store hsp.StoreStats `json:"store"`
 }

@@ -294,17 +294,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // Stats snapshots the server's observability counters: per-route
 // request/latency/in-flight numbers, admission gate state, the DB's
-// plan-cache counters, registry occupancy, and — with
+// plan-cache counters, registry occupancy, WAL/compaction and
+// snapshot-retention state on durable DBs, and — with
 // Config.OpMetrics — aggregated per-operator execution totals.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Epoch:     s.db.Epoch(),
-		Triples:   s.db.NumTriples(),
-		PlanCache: s.db.PlanCacheStats(),
-		Admission: s.gate.stats(s.met.rejected.Load()),
-		Routes:    s.met.snapshot(),
-		Registry:  s.reg.stats(),
-		Operators: s.ops.snapshot(),
+		Epoch:      s.db.Epoch(),
+		Triples:    s.db.NumTriples(),
+		PlanCache:  s.db.PlanCacheStats(),
+		Admission:  s.gate.stats(s.met.rejected.Load()),
+		Routes:     s.met.snapshot(),
+		Registry:   s.reg.stats(),
+		Operators:  s.ops.snapshot(),
+		Durability: s.db.DurabilityStats(),
+		Store:      s.db.StoreStats(),
 	}
 }
 

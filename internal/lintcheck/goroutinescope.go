@@ -6,11 +6,11 @@ import (
 )
 
 // GoroutineScope enforces the worker-lifetime invariant of the
-// execution and serving layers: every goroutine started in package
-// exec or hspserve must be tied to a completion mechanism, so no
-// worker can outlive its run — the property the goroutine-leak tests
-// verify empirically on every Close/cancel path, checked structurally
-// here.
+// execution, serving and durability layers: every goroutine started in
+// package exec, hspserve or wal must be tied to a completion
+// mechanism, so no worker can outlive its run — the property the
+// goroutine-leak tests verify empirically on every Close/cancel path,
+// checked structurally here.
 //
 // A `go` statement passes when the spawned function (a literal, or a
 // same-package function/method whose body is visible) contains one of:
@@ -29,12 +29,12 @@ import (
 // within one call or own the process lifetime.
 var GoroutineScope = &Analyzer{
 	Name: "goroutinescope",
-	Doc:  "goroutines in exec/hspserve must be tied to a WaitGroup/channel/noteErr completion mechanism",
+	Doc:  "goroutines in exec/hspserve/wal must be tied to a WaitGroup/channel/noteErr completion mechanism",
 	Run:  runGoroutineScope,
 }
 
 func runGoroutineScope(pass *Pass) error {
-	if name := pass.Pkg.Name(); name != "exec" && name != "hspserve" {
+	if name := pass.Pkg.Name(); name != "exec" && name != "hspserve" && name != "wal" {
 		return nil
 	}
 	// Index the package's function and method bodies by object, so

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,6 +12,13 @@ import (
 	"github.com/sparql-hsp/hsp/internal/dict"
 	"github.com/sparql-hsp/hsp/internal/rdf"
 )
+
+// ErrCorruptSnapshot tags every validation failure LoadSnapshot can
+// diagnose — bad magic, checksum mismatch, truncated sections,
+// implausible counts, dangling term references. Callers distinguish a
+// corrupt base file (errors.Is) from plain I/O errors; the message
+// always names the section that is corrupt.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
 
 // Snapshot format: a compact binary serialisation of a Store. Loading
 // rebuilds all six orderings, so only the canonical spo relation is
@@ -144,17 +152,17 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("store: reading snapshot: %w", err)
 	}
 	if len(raw) < len(snapshotMagic)+4 {
-		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(raw))
+		return nil, fmt.Errorf("store: %w: file truncated (%d bytes, %d-byte header + checksum required)", ErrCorruptSnapshot, len(raw), len(snapshotMagic)+4)
 	}
 	payload, sum := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum) {
-		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupted file)")
+		return nil, fmt.Errorf("store: %w: checksum mismatch over %d payload bytes", ErrCorruptSnapshot, len(payload))
 	}
 	br := bytes.NewReader(payload)
 
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
+		return nil, fmt.Errorf("store: %w: reading header: %w", ErrCorruptSnapshot, err)
 	}
 	var epoch uint64
 	switch string(magic) {
@@ -162,49 +170,59 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 	case snapshotMagicV2:
 		epoch, err = binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot epoch: %w", err)
+			return nil, fmt.Errorf("store: %w: epoch field: %w", ErrCorruptSnapshot, err)
 		}
 	default:
-		return nil, fmt.Errorf("store: not a snapshot file (bad magic %q)", magic)
+		return nil, fmt.Errorf("store: %w: not a snapshot file (bad magic %q)", ErrCorruptSnapshot, magic)
 	}
 
 	dictLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("store: snapshot dictionary length: %w", err)
+		return nil, fmt.Errorf("store: %w: dictionary length: %w", ErrCorruptSnapshot, err)
+	}
+	// Every dictionary entry costs at least two bytes (kind + length),
+	// so a length beyond half the remaining payload is a corrupt field,
+	// caught before it sizes any allocation.
+	if dictLen > uint64(br.Len())/2 {
+		return nil, fmt.Errorf("store: %w: dictionary length %d exceeds %d remaining payload bytes", ErrCorruptSnapshot, dictLen, br.Len())
 	}
 	d := dict.New()
 	buf := make([]byte, 0, 256)
 	for i := uint64(0); i < dictLen; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			return nil, fmt.Errorf("store: %w: term %d kind: %w", ErrCorruptSnapshot, i, err)
 		}
 		if kind > byte(rdf.Blank) {
-			return nil, fmt.Errorf("store: snapshot term %d has invalid kind %d", i, kind)
+			return nil, fmt.Errorf("store: %w: term %d has invalid kind %d", ErrCorruptSnapshot, i, kind)
 		}
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			return nil, fmt.Errorf("store: %w: term %d length: %w", ErrCorruptSnapshot, i, err)
 		}
-		if n > 1<<24 {
-			return nil, fmt.Errorf("store: snapshot term %d is implausibly long (%d bytes)", i, n)
+		if n > 1<<24 || n > uint64(br.Len()) {
+			return nil, fmt.Errorf("store: %w: term %d is implausibly long (%d bytes, %d remain)", ErrCorruptSnapshot, i, n, br.Len())
 		}
 		if uint64(cap(buf)) < n {
 			buf = make([]byte, n)
 		}
 		buf = buf[:n]
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			return nil, fmt.Errorf("store: %w: term %d value: %w", ErrCorruptSnapshot, i, err)
 		}
 		id := d.Encode(rdf.Term{Kind: rdf.TermKind(kind), Value: string(buf)})
 		if id != dict.ID(i+1) {
-			return nil, fmt.Errorf("store: snapshot dictionary has duplicate term %q", buf)
+			return nil, fmt.Errorf("store: %w: dictionary has duplicate term %q", ErrCorruptSnapshot, buf)
 		}
 	}
 
 	numTriples, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("store: snapshot triple count: %w", err)
+		return nil, fmt.Errorf("store: %w: triple count: %w", ErrCorruptSnapshot, err)
+	}
+	// A gap-compressed triple costs at least two bytes after the first.
+	if numTriples > uint64(br.Len())/2+1 {
+		return nil, fmt.Errorf("store: %w: triple count %d exceeds %d remaining payload bytes", ErrCorruptSnapshot, numTriples, br.Len())
 	}
 	b := NewBuilder(d)
 	var prev Triple
@@ -214,36 +232,41 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 			for j := 0; j < 3; j++ {
 				v, err := binary.ReadUvarint(br)
 				if err != nil {
-					return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+					return nil, fmt.Errorf("store: %w: triple %d component %d: %w", ErrCorruptSnapshot, i, j, err)
 				}
 				t[j] = v
 			}
 		} else {
 			dfb, err := br.ReadByte()
 			if err != nil {
-				return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+				return nil, fmt.Errorf("store: %w: triple %d delta header: %w", ErrCorruptSnapshot, i, err)
 			}
 			df := int(dfb)
 			if df > 2 {
-				return nil, fmt.Errorf("store: snapshot triple %d has bad delta header %d", i, df)
+				return nil, fmt.Errorf("store: %w: triple %d has bad delta header %d", ErrCorruptSnapshot, i, df)
 			}
 			t = prev
 			delta, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+				return nil, fmt.Errorf("store: %w: triple %d gap: %w", ErrCorruptSnapshot, i, err)
+			}
+			// A gap beyond the dictionary cannot resolve to a real term;
+			// rejecting it here also rules out uint64 wraparound below.
+			if delta > dictLen {
+				return nil, fmt.Errorf("store: %w: triple %d gap %d exceeds dictionary size %d", ErrCorruptSnapshot, i, delta, dictLen)
 			}
 			t[df] = prev[df] + delta
 			for j := df + 1; j < 3; j++ {
 				v, err := binary.ReadUvarint(br)
 				if err != nil {
-					return nil, fmt.Errorf("store: snapshot triple %d: %w", i, err)
+					return nil, fmt.Errorf("store: %w: triple %d component %d: %w", ErrCorruptSnapshot, i, j, err)
 				}
 				t[j] = v
 			}
 		}
 		for _, v := range t {
 			if v == dict.Invalid || v > dictLen {
-				return nil, fmt.Errorf("store: snapshot triple %d references unknown term %d", i, v)
+				return nil, fmt.Errorf("store: %w: triple %d references unknown term %d (dictionary has %d)", ErrCorruptSnapshot, i, v, dictLen)
 			}
 		}
 		b.AddIDs(t[S], t[P], t[O])
@@ -251,7 +274,7 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 
 	if br.Len() != 0 {
-		return nil, fmt.Errorf("store: snapshot has %d trailing bytes", br.Len())
+		return nil, fmt.Errorf("store: %w: %d trailing bytes after last triple", ErrCorruptSnapshot, br.Len())
 	}
 	return NewSnapshot(b.Build(), epoch), nil
 }

@@ -37,6 +37,18 @@ func (s *Store) DistinctValues(p Pos) int { return s.distinct[p] }
 // Rel exposes the sorted slice for an ordering. Callers must not mutate it.
 func (s *Store) Rel(o Ordering) []Triple { return s.rel[o] }
 
+// ApproxBytes estimates the store's resident size: the six orderings'
+// triple slices (24 bytes each) — the dominant term; the dictionary is
+// shared across snapshots of one lineage and not counted. Used for
+// retained-memory accounting of pinned snapshots.
+func (s *Store) ApproxBytes() int64 {
+	var n int64
+	for o := range s.rel {
+		n += int64(len(s.rel[o])) * 24
+	}
+	return n
+}
+
 // less reports whether a sorts before b under ordering o.
 func less(o Ordering, a, b Triple) bool {
 	perm := orderingPerms[o]

@@ -1,0 +1,103 @@
+// Background compaction: folding the WAL prefix into a base snapshot.
+//
+// The log does not know how to materialise a base snapshot — its owner
+// does. AutoCompact therefore takes a fold callback: when the log's
+// live bytes cross the threshold, the compactor goroutine invokes the
+// fold, which is expected to write a new base covering every sealed
+// epoch, append a snapshot-note, and Retire the covered segments. The
+// log contributes the trigger, the serialisation (one fold at a time)
+// and the lifecycle (the goroutine dies with the context or Close).
+
+package wal
+
+import (
+	"context"
+	"errors"
+)
+
+// foldFunc materialises a base snapshot covering every currently
+// sealed epoch. Implementations append a snapshot-note and Retire the
+// folded segments on success.
+type foldFunc func(ctx context.Context) error
+
+// ErrNoFold is returned by CompactNow when no fold callback has been
+// registered with AutoCompact.
+var ErrNoFold = errors.New("wal: no compaction fold registered")
+
+// AutoCompact registers the fold callback and starts the background
+// compactor: whenever an append pushes the log's live bytes past
+// threshold, the fold runs. The goroutine exits when ctx is cancelled
+// or the log is closed; Close waits for it. Call at most once per Log,
+// before the first append.
+func (l *Log) AutoCompact(ctx context.Context, threshold int64, fold foldFunc) {
+	l.mu.Lock()
+	l.fold = fold
+	l.thresh = threshold
+	l.mu.Unlock()
+	l.bg.Add(1)
+	go l.compactLoop(ctx)
+}
+
+// compactLoop waits for kicks and runs folds until cancelled.
+func (l *Log) compactLoop(ctx context.Context) {
+	defer l.bg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-l.stopBg:
+			return
+		case <-l.kick:
+			// A failed fold is retried on the next kick; the error has
+			// nowhere better to go than the fold's own instrumentation.
+			l.runFold(ctx, false) //nolint:errcheck
+		}
+	}
+}
+
+// maybeKickLocked wakes the compactor when the live bytes crossed the
+// threshold. Callers hold l.mu. The kick channel is buffered(1) and
+// the send non-blocking: coalesced triggers are fine, a fold scans the
+// log's full state anyway.
+func (l *Log) maybeKickLocked() {
+	if l.fold == nil || l.thresh <= 0 || l.walBytes.Load() < l.thresh {
+		return
+	}
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// CompactNow runs one fold synchronously, regardless of the threshold.
+// It shares the compactor's serialisation: a concurrent background
+// fold finishes first.
+func (l *Log) CompactNow(ctx context.Context) error {
+	return l.runFold(ctx, true)
+}
+
+// runFold executes the fold under foldMu. Unless force is set, the
+// fold is skipped when the live bytes have dropped back under the
+// threshold (a coalesced kick after a completed fold).
+func (l *Log) runFold(ctx context.Context, force bool) error {
+	l.foldMu.Lock()
+	defer l.foldMu.Unlock()
+	l.mu.Lock()
+	fold, thresh := l.fold, l.thresh
+	closed := l.closed
+	l.mu.Unlock()
+	if fold == nil {
+		return ErrNoFold
+	}
+	if closed {
+		return ErrClosed
+	}
+	if !force && thresh > 0 && l.walBytes.Load() < thresh {
+		return nil
+	}
+	if err := fold(ctx); err != nil {
+		return err
+	}
+	l.compactions.Add(1)
+	return nil
+}

@@ -1,0 +1,297 @@
+// Record framing and payload codecs of the write-ahead log.
+//
+// Every record travels in a self-validating frame:
+//
+//	uint32 LE payload length  N  (>= 1)
+//	uint32 LE CRC-32C (Castagnoli) of the payload
+//	N payload bytes: 1 type byte, then the type's body
+//
+// A frame whose length field, checksum or body fails validation marks
+// the torn tail of a segment: recovery truncates there and everything
+// before it is trusted. The payload codecs are strict — varints must be
+// minimally encoded, counts must fit the remaining bytes, indexes must
+// resolve, and no trailing bytes are tolerated — so that every accepted
+// record re-encodes to exactly the bytes it was decoded from (the
+// FuzzWALDecode round-trip property).
+//
+// The commit body is term-level, not dictionary-ID-level: each record
+// carries a record-local term table and triples as index triplets into
+// it. Dictionary IDs are assigned at replay time by the same intern
+// path a live commit uses, so recovery is immune to dictionary drift
+// (terms interned by cancelled transactions, base snapshots carrying
+// extra terms).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// Record types, the first payload byte of every frame.
+const (
+	// TypeCommit carries one transaction's delta (term table, inserts,
+	// deletes) and the epoch it publishes.
+	TypeCommit byte = 1
+	// TypeSeal marks the immediately preceding commit durable: recovery
+	// applies a commit only when its seal follows intact.
+	TypeSeal byte = 2
+	// TypeNote records that a base snapshot file covering all epochs up
+	// to its epoch exists; compaction appends one after each fold.
+	TypeNote byte = 3
+)
+
+// Record is one framed log entry: its type byte and the body after it.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// frameHeaderLen is the fixed prefix of every frame: payload length
+// plus payload checksum, both little-endian uint32.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single record payload. Commits beyond this
+// indicate a corrupt length field, not a real transaction.
+const maxRecordBytes = 1 << 30
+
+// castagnoli is the CRC-32C table used for frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord tags every record-level validation failure, so
+// callers can distinguish torn tails from I/O errors with errors.Is.
+var ErrCorruptRecord = errors.New("corrupt record")
+
+// appendFrame appends the framed record to buf.
+func appendFrame(buf []byte, rec Record) []byte {
+	payload := len(rec.Payload) + 1
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload))
+	crc := crc32.Update(0, castagnoli, []byte{rec.Type})
+	crc = crc32.Update(crc, castagnoli, rec.Payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, rec.Type)
+	return append(buf, rec.Payload...)
+}
+
+// readFrame decodes the frame starting at p[0]. It returns the record
+// and the total frame length consumed. Every failure — short header,
+// implausible length, checksum mismatch — wraps ErrCorruptRecord: the
+// bytes at p are a torn tail, not a record.
+func readFrame(p []byte) (Record, int, error) {
+	if len(p) < frameHeaderLen {
+		return Record{}, 0, fmt.Errorf("wal: %w: %d-byte frame header truncated", ErrCorruptRecord, len(p))
+	}
+	n := binary.LittleEndian.Uint32(p[0:4])
+	if n < 1 || n > maxRecordBytes {
+		return Record{}, 0, fmt.Errorf("wal: %w: implausible payload length %d", ErrCorruptRecord, n)
+	}
+	if uint32(len(p)-frameHeaderLen) < n {
+		return Record{}, 0, fmt.Errorf("wal: %w: payload truncated (%d of %d bytes)", ErrCorruptRecord, len(p)-frameHeaderLen, n)
+	}
+	payload := p[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(p[4:8]) {
+		return Record{}, 0, fmt.Errorf("wal: %w: checksum mismatch", ErrCorruptRecord)
+	}
+	return Record{Type: payload[0], Payload: payload[1:]}, frameHeaderLen + int(n), nil
+}
+
+// Commit is the decoded body of a TypeCommit record: one transaction's
+// delta, self-contained. Terms is the record-local term table; Inserts
+// and Deletes reference it by index.
+type Commit struct {
+	// Epoch is the version this commit publishes (base epoch + 1).
+	Epoch uint64
+	// Terms is the record-local term table, in first-use order.
+	Terms []rdf.Term
+	// Inserts and Deletes hold one [s,p,o] index triplet per operation,
+	// each index pointing into Terms.
+	Inserts [][3]uint64
+	Deletes [][3]uint64
+}
+
+// maxTermKind is the highest valid rdf.TermKind byte (rdf.Blank).
+const maxTermKind = byte(rdf.Blank)
+
+// EncodeCommit renders the commit body (the payload after the type
+// byte). The encoding is canonical: DecodeCommit(EncodeCommit(c))
+// yields c, and re-encoding yields identical bytes.
+func EncodeCommit(c *Commit) []byte {
+	buf := make([]byte, 0, 64+16*len(c.Terms)+6*(len(c.Inserts)+len(c.Deletes)))
+	buf = binary.AppendUvarint(buf, c.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Terms)))
+	for _, t := range c.Terms {
+		buf = append(buf, byte(t.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Value)))
+		buf = append(buf, t.Value...)
+	}
+	for _, triples := range [2][][3]uint64{c.Inserts, c.Deletes} {
+		buf = binary.AppendUvarint(buf, uint64(len(triples)))
+		for _, tr := range triples {
+			for _, ix := range tr {
+				buf = binary.AppendUvarint(buf, ix)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeCommit parses a commit body. It never panics on arbitrary
+// input and rejects — wrapping ErrCorruptRecord — every payload that
+// would not re-encode byte-identically: non-minimal varints, counts
+// exceeding the remaining bytes, invalid term kinds, out-of-range term
+// indexes, and trailing garbage.
+func DecodeCommit(p []byte) (*Commit, error) {
+	d := strictDecoder{p: p}
+	var c Commit
+	c.Epoch = d.uvarint("epoch")
+	nTerms := d.uvarint("term count")
+	// Every term costs at least two bytes (kind + length), so a count
+	// beyond half the remaining bytes is corrupt — checked before the
+	// allocation it would otherwise size.
+	if d.err == nil && nTerms > uint64(len(d.p)-d.off)/2 {
+		d.fail("term count %d exceeds payload", nTerms)
+	}
+	if d.err == nil && nTerms > 0 {
+		c.Terms = make([]rdf.Term, 0, nTerms)
+	}
+	for i := uint64(0); i < nTerms && d.err == nil; i++ {
+		kind := d.byte("term kind")
+		if d.err == nil && kind > maxTermKind {
+			d.fail("invalid term kind %d", kind)
+		}
+		n := d.uvarint("term length")
+		val := d.bytes(n, "term value")
+		if d.err == nil {
+			c.Terms = append(c.Terms, rdf.Term{Kind: rdf.TermKind(kind), Value: string(val)})
+		}
+	}
+	for _, out := range [2]*[][3]uint64{&c.Inserts, &c.Deletes} {
+		n := d.uvarint("triple count")
+		// Three single-byte varints minimum per triple.
+		if d.err == nil && n > uint64(len(d.p)-d.off)/3 {
+			d.fail("triple count %d exceeds payload", n)
+		}
+		if d.err == nil && n > 0 {
+			*out = make([][3]uint64, 0, n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			var tr [3]uint64
+			for j := range tr {
+				tr[j] = d.uvarint("term index")
+				if d.err == nil && tr[j] >= uint64(len(c.Terms)) {
+					d.fail("term index %d out of range (table has %d)", tr[j], len(c.Terms))
+				}
+			}
+			*out = append(*out, tr)
+		}
+	}
+	d.end()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &c, nil
+}
+
+// EncodeSeal renders a seal body: the epoch it marks durable.
+func EncodeSeal(epoch uint64) []byte {
+	return binary.AppendUvarint(nil, epoch)
+}
+
+// DecodeSeal parses a seal body.
+func DecodeSeal(p []byte) (uint64, error) {
+	d := strictDecoder{p: p}
+	epoch := d.uvarint("seal epoch")
+	d.end()
+	return epoch, d.err
+}
+
+// EncodeNote renders a snapshot-note body: the epoch a base snapshot
+// file covers and its file name.
+func EncodeNote(epoch uint64, name string) []byte {
+	buf := binary.AppendUvarint(nil, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	return append(buf, name...)
+}
+
+// DecodeNote parses a snapshot-note body.
+func DecodeNote(p []byte) (epoch uint64, name string, err error) {
+	d := strictDecoder{p: p}
+	epoch = d.uvarint("note epoch")
+	n := d.uvarint("note name length")
+	name = string(d.bytes(n, "note name"))
+	d.end()
+	return epoch, name, d.err
+}
+
+// strictDecoder walks a payload left to right, recording the first
+// failure. All reads after a failure are no-ops returning zero values,
+// so decode functions read straight through and check err once.
+type strictDecoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *strictDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: %w: "+format+" at offset %d", append(append([]any{ErrCorruptRecord}, args...), d.off)...)
+	}
+}
+
+// uvarint reads a minimally encoded varint. Non-canonical encodings
+// (padded continuation bytes, >64-bit values) are corruption: they
+// would re-encode differently.
+func (d *strictDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p[d.off:])
+	if n <= 0 {
+		d.fail("%s: truncated or oversized varint", what)
+		return 0
+	}
+	if n > 1 && d.p[d.off+n-1] == 0 {
+		d.fail("%s: non-minimal varint", what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *strictDecoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.p) {
+		d.fail("%s: truncated", what)
+		return 0
+	}
+	b := d.p[d.off]
+	d.off++
+	return b
+}
+
+func (d *strictDecoder) bytes(n uint64, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.p)-d.off) {
+		d.fail("%s: %d bytes wanted, %d remain", what, n, len(d.p)-d.off)
+		return nil
+	}
+	b := d.p[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// end asserts the payload is fully consumed.
+func (d *strictDecoder) end() {
+	if d.err == nil && d.off != len(d.p) {
+		d.fail("%d trailing bytes", len(d.p)-d.off)
+	}
+}

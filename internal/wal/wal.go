@@ -1,0 +1,661 @@
+// Package wal is the durability subsystem's write-ahead log: an
+// append-only, segmented, CRC-framed record log that makes commits
+// durable before the MVCC snapshot swap publishes them.
+//
+// One Log owns a directory of segment files (wal-<seq>.seg). A single
+// writer appends framed records — a commit-delta followed by its
+// epoch-seal, or a compaction snapshot-note — rotating to a fresh
+// segment at a size threshold. The sync policy decides when appended
+// bytes are forced to stable storage: SyncAlways fsyncs every commit
+// before it is acknowledged, SyncInterval flushes and fsyncs on a
+// timer, SyncNone hands bytes to the OS and lets it decide.
+//
+// Opening a directory scans every segment in order, validates each
+// frame, and truncates the torn tail a crash mid-write leaves behind:
+// everything before the first invalid frame is trusted, everything
+// after it is discarded. Replay then streams the surviving records to
+// the caller (recovery applies sealed commits newer than its base
+// snapshot). Once the log's prefix is folded into a base snapshot,
+// Retire deletes the segments it fully covers.
+//
+// The Injector seam exists for crash-injection tests: every physical
+// segment write and fsync passes through it, so a test can fail or
+// truncate the write at byte N and prove recovery lands on the last
+// sealed epoch.
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// segment file naming: wal-<16-digit sequence>.seg, sortable
+// lexicographically in append order.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+	// segMagic opens every segment file.
+	segMagic = "HSPWAL01"
+)
+
+// DefaultSegmentBytes is the segment rotation threshold when Options
+// leaves it zero: large enough that rotation is rare, small enough
+// that retiring a folded prefix reclaims space promptly.
+const DefaultSegmentBytes = 16 << 20
+
+// syncKind discriminates the sync policies.
+type syncKind uint8
+
+const (
+	syncAlways syncKind = iota
+	syncInterval
+	syncNone
+)
+
+// SyncPolicy decides when appended records are forced to stable
+// storage. The zero value is SyncAlways, the safe default.
+type SyncPolicy struct {
+	kind     syncKind
+	interval time.Duration
+}
+
+// SyncAlways fsyncs after every commit append, before the commit is
+// acknowledged: a crash never loses an acknowledged commit.
+var SyncAlways = SyncPolicy{kind: syncAlways}
+
+// SyncNone never fsyncs explicitly: bytes are handed to the OS on
+// every append and persist whenever it flushes. Fastest, weakest — a
+// crash can lose recently acknowledged commits (never corrupt the
+// dataset: recovery truncates to the last intact seal).
+var SyncNone = SyncPolicy{kind: syncNone}
+
+// SyncInterval flushes and fsyncs on a timer: a crash loses at most
+// the last d of acknowledged commits. d must be positive.
+func SyncInterval(d time.Duration) SyncPolicy {
+	if d <= 0 {
+		return SyncAlways
+	}
+	return SyncPolicy{kind: syncInterval, interval: d}
+}
+
+// String renders the policy for logs and stats.
+func (p SyncPolicy) String() string {
+	switch p.kind {
+	case syncInterval:
+		return "interval:" + p.interval.String()
+	case syncNone:
+		return "none"
+	default:
+		return "always"
+	}
+}
+
+// Injector intercepts the log's physical file operations — the
+// crash-injection seam. Production use leaves Options.Injector nil
+// (direct writes); tests substitute an implementation that fails or
+// truncates the write at a chosen byte.
+type Injector interface {
+	// Write performs (or sabotages) one segment write.
+	Write(f *os.File, p []byte) (int, error)
+	// Sync performs (or sabotages) one segment fsync.
+	Sync(f *os.File) error
+}
+
+// Options parameterises Open.
+type Options struct {
+	// Sync is the sync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SegmentBytes rotates to a fresh segment once the active one
+	// reaches this size; 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Injector, when non-nil, intercepts physical writes and fsyncs.
+	Injector Injector
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Segments is the number of live segment files; Bytes their total
+	// size including the active segment's buffered tail.
+	Segments int
+	Bytes    int64
+	// Appends counts records appended since Open; Commits the subset
+	// that were commit records; Syncs the fsyncs issued.
+	Appends int64
+	Commits int64
+	Syncs   int64
+	// LastEpoch is the highest sealed epoch the log has seen (scanned
+	// at Open, advanced by AppendCommit).
+	LastEpoch uint64
+	// Compactions counts completed folds; Retired the segment files
+	// deleted after their epochs were folded into a base snapshot.
+	Compactions int64
+	Retired     int64
+}
+
+// segment is one live segment file's bookkeeping.
+type segment struct {
+	path  string
+	seq   uint64
+	bytes int64
+	// maxEpoch is the highest epoch of any record in the segment; a
+	// segment is retirable once a base snapshot covers it entirely.
+	maxEpoch uint64
+}
+
+// Log is the write-ahead log over one directory. Appends are
+// serialised internally; Replay must finish before the first append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File      // active segment
+	bw      *bufio.Writer // buffers frames into f
+	segs    []segment     // live segments, ascending seq; last is active
+	failed  error         // sticky: first write/sync failure poisons the log
+	closed  bool
+	closing bool // Close started: background goroutines are being stopped
+	dirty   bool // bytes appended since the last fsync
+	lastEp  uint64
+	appends atomic.Int64
+	commits atomic.Int64
+	syncs   atomic.Int64
+
+	compactions atomic.Int64
+	retired     atomic.Int64
+	walBytes    atomic.Int64 // total live-segment bytes, buffered included
+
+	// background goroutines (interval flusher, auto-compactor)
+	bg     sync.WaitGroup
+	stopBg chan struct{}
+	kick   chan struct{} // auto-compact trigger, buffered(1)
+	foldMu sync.Mutex    // serialises folds (background vs CompactNow)
+	fold   foldFunc      // compaction callback, set by AutoCompact
+	thresh int64
+}
+
+// Open opens (creating if needed) the log in dir: it scans every
+// segment in sequence order, validates frames, truncates the torn tail
+// of the last valid position, discards any segments beyond it, and
+// readies the last segment for appending. Replay the surviving records
+// with Replay before appending.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: creating directory: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, stopBg: make(chan struct{}), kick: make(chan struct{}, 1)}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	if opts.Sync.kind == syncInterval {
+		l.bg.Add(1)
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// listSegments returns the directory's segment files ascending by
+// sequence number.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%016d"+segSuffix, &seq); err != nil {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// scan validates every segment, truncating the torn tail: the first
+// invalid frame ends the trusted prefix; its segment is truncated at
+// the boundary and every later segment file is removed.
+func (l *Log) scan() error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	var sealed uint64
+	for i := range segs {
+		seg := &segs[i]
+		res, scanErr := scanSegment(seg.path, nil)
+		if scanErr != nil {
+			return scanErr
+		}
+		info, err := os.Stat(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: stat %s: %w", seg.path, err)
+		}
+		seg.bytes, seg.maxEpoch = res.valid, res.maxEpoch
+		if res.sealedMax > sealed {
+			sealed = res.sealedMax
+		}
+		if res.valid < info.Size() {
+			// Torn tail: truncate to the last intact frame and drop any
+			// segments written after the tear (none exist after a real
+			// crash, but a scan must tolerate anything).
+			if err := os.Truncate(seg.path, res.valid); err != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(later.path); err != nil {
+					return fmt.Errorf("wal: removing post-tear segment %s: %w", later.path, err)
+				}
+			}
+			segs = segs[:i+1]
+			break
+		}
+	}
+	l.segs = segs
+	l.lastEp = sealed
+	var total int64
+	for _, s := range l.segs {
+		total += s.bytes
+	}
+	l.walBytes.Store(total)
+	return nil
+}
+
+// scanResult is one segment's trusted prefix: its byte length, the
+// highest epoch of any record in it (conservative, for retirement —
+// an unsealed tail commit counts), and the highest durably sealed
+// epoch (seals and snapshot-notes only).
+type scanResult struct {
+	valid     int64
+	maxEpoch  uint64
+	sealedMax uint64
+}
+
+// scanSegment walks one segment file frame by frame, calling fn (when
+// non-nil) for each valid record, and returns the trusted prefix.
+// Frame validation failures end the prefix silently — they are the
+// torn tail Open truncates; only I/O errors and fn errors are
+// returned.
+func scanSegment(path string, fn func(Record) error) (scanResult, error) {
+	var res scanResult
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return res, fmt.Errorf("wal: reading segment %s: %w", path, err)
+	}
+	if len(raw) < len(segMagic) || string(raw[:len(segMagic)]) != segMagic {
+		// Header never fully landed: the whole file is a torn tail.
+		return res, nil
+	}
+	res.valid = int64(len(segMagic))
+	for int(res.valid) < len(raw) {
+		rec, n, ferr := readFrame(raw[res.valid:])
+		if ferr != nil {
+			break // torn tail
+		}
+		epoch, ok := recordEpoch(rec)
+		if !ok {
+			break // decodable frame with an undecodable body: tear here
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return res, err
+			}
+		}
+		if epoch > res.maxEpoch {
+			res.maxEpoch = epoch
+		}
+		if (rec.Type == TypeSeal || rec.Type == TypeNote) && epoch > res.sealedMax {
+			res.sealedMax = epoch
+		}
+		res.valid += int64(n)
+	}
+	return res, nil
+}
+
+// recordEpoch decodes the epoch a record pertains to, validating the
+// body in passing. Unknown record types are tolerated (future formats
+// must not tear the tail) and report epoch 0.
+func recordEpoch(rec Record) (uint64, bool) {
+	switch rec.Type {
+	case TypeCommit:
+		c, err := DecodeCommit(rec.Payload)
+		if err != nil {
+			return 0, false
+		}
+		return c.Epoch, true
+	case TypeSeal:
+		epoch, err := DecodeSeal(rec.Payload)
+		if err != nil {
+			return 0, false
+		}
+		return epoch, true
+	case TypeNote:
+		epoch, _, err := DecodeNote(rec.Payload)
+		if err != nil {
+			return 0, false
+		}
+		return epoch, true
+	default:
+		return 0, true
+	}
+}
+
+// openActive opens the last segment for appending, creating the first
+// segment of a fresh log.
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 {
+		return l.rotateLocked(1)
+	}
+	active := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: opening active segment: %w", err)
+	}
+	if active.bytes < int64(len(segMagic)) {
+		// The segment was truncated below its header (torn during
+		// creation): rewrite the magic.
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: rewriting segment header: %w", err)
+		}
+		active.bytes = int64(len(segMagic))
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(&injectWriter{l: l}, 1<<16)
+	return nil
+}
+
+// rotateLocked finishes the active segment (flush + fsync + close) and
+// starts segment seq. Callers hold l.mu (or are inside Open).
+func (l *Log) rotateLocked(seq uint64) error {
+	if l.f != nil {
+		if err := l.flushLocked(true); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing segment: %w", err)
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	l.f = f
+	l.segs = append(l.segs, segment{path: path, seq: seq})
+	l.bw = bufio.NewWriterSize(&injectWriter{l: l}, 1<<16)
+	if _, err := l.bw.WriteString(segMagic); err != nil {
+		return err
+	}
+	l.noteWritten(int64(len(segMagic)))
+	return nil
+}
+
+// injectWriter routes the bufio flushes through the injector seam.
+type injectWriter struct{ l *Log }
+
+func (w *injectWriter) Write(p []byte) (int, error) {
+	if inj := w.l.opts.Injector; inj != nil {
+		return inj.Write(w.l.f, p)
+	}
+	return w.l.f.Write(p)
+}
+
+// noteWritten accounts freshly appended (possibly still buffered)
+// bytes to the active segment.
+func (l *Log) noteWritten(n int64) {
+	l.segs[len(l.segs)-1].bytes += n
+	l.walBytes.Add(n)
+	l.dirty = true
+}
+
+// ErrClosed is returned by appends to a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// guardLocked reports the sticky failure or closed state, if any.
+func (l *Log) guardLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed, reopen to recover: %w", l.failed)
+	}
+	return nil
+}
+
+// AppendCommit makes one commit durable: the commit record and its
+// epoch seal are framed into a single buffered write, then synced per
+// the log's policy. It returns only after the record is as durable as
+// the policy promises — under SyncAlways, a nil return means the
+// commit survives a crash. Any write or sync failure poisons the log
+// (the segment tail is in an unknown state); recovery is reopening.
+func (l *Log) AppendCommit(c *Commit) error {
+	buf := appendFrame(nil, Record{Type: TypeCommit, Payload: EncodeCommit(c)})
+	buf = appendFrame(buf, Record{Type: TypeSeal, Payload: EncodeSeal(c.Epoch)})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(buf, c.Epoch); err != nil {
+		return err
+	}
+	l.commits.Add(1)
+	l.appends.Add(2)
+	l.lastEp = c.Epoch
+	if err := l.syncPerPolicyLocked(); err != nil {
+		return err
+	}
+	l.maybeKickLocked()
+	return nil
+}
+
+// AppendNote records that a base snapshot covering every epoch up to
+// epoch exists under the given file name.
+func (l *Log) AppendNote(epoch uint64, name string) error {
+	buf := appendFrame(nil, Record{Type: TypeNote, Payload: EncodeNote(epoch, name)})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(buf, epoch); err != nil {
+		return err
+	}
+	l.appends.Add(1)
+	return l.syncPerPolicyLocked()
+}
+
+// appendLocked rotates if the active segment is full, then buffers the
+// framed bytes.
+func (l *Log) appendLocked(frames []byte, epoch uint64) error {
+	if err := l.guardLocked(); err != nil {
+		return err
+	}
+	if active := &l.segs[len(l.segs)-1]; active.bytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(active.seq + 1); err != nil {
+			l.failed = err
+			return err
+		}
+	}
+	if _, err := l.bw.Write(frames); err != nil {
+		l.failed = err
+		return err
+	}
+	l.noteWritten(int64(len(frames)))
+	if active := &l.segs[len(l.segs)-1]; epoch > active.maxEpoch {
+		active.maxEpoch = epoch
+	}
+	return nil
+}
+
+// syncPerPolicyLocked applies the sync policy to freshly appended
+// bytes: fsync for SyncAlways, flush-to-OS for SyncNone, nothing for
+// SyncInterval (the flusher owns it).
+func (l *Log) syncPerPolicyLocked() error {
+	switch l.opts.Sync.kind {
+	case syncAlways:
+		return l.flushLocked(true)
+	case syncNone:
+		return l.flushLocked(false)
+	default:
+		return nil
+	}
+}
+
+// flushLocked drains the buffer to the OS and optionally fsyncs.
+func (l *Log) flushLocked(sync bool) error {
+	if err := l.bw.Flush(); err != nil {
+		l.failed = err
+		return err
+	}
+	if !sync || !l.dirty {
+		return nil
+	}
+	var err error
+	if inj := l.opts.Injector; inj != nil {
+		err = inj.Sync(l.f)
+	} else {
+		err = l.f.Sync()
+	}
+	if err != nil {
+		l.failed = err
+		return err
+	}
+	l.dirty = false
+	l.syncs.Add(1)
+	return nil
+}
+
+// Sync forces buffered records to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guardLocked(); err != nil {
+		return err
+	}
+	return l.flushLocked(true)
+}
+
+// flushLoop is the SyncInterval background flusher.
+func (l *Log) flushLoop() {
+	defer l.bg.Done()
+	t := time.NewTicker(l.opts.Sync.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopBg:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.closed || l.failed != nil {
+				l.mu.Unlock()
+				return
+			}
+			l.flushLocked(true) //nolint:errcheck // sticky l.failed surfaces on the next append
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Replay streams every surviving record, across all segments in
+// order, to fn. Call it once, after Open and before the first append.
+// fn errors abort the replay and are returned.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	for _, seg := range segs {
+		if _, err := scanSegment(seg.path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Retire deletes every non-active segment whose records all pertain to
+// epochs <= epoch — they are fully covered by a base snapshot and no
+// recovery will ever need them.
+func (l *Log) Retire(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segs[:0]
+	for i := range l.segs {
+		seg := l.segs[i]
+		last := i == len(l.segs)-1
+		if !last && seg.maxEpoch <= epoch {
+			if err := os.Remove(seg.path); err != nil {
+				l.segs = append(kept, l.segs[i:]...)
+				return fmt.Errorf("wal: retiring segment %s: %w", seg.path, err)
+			}
+			l.walBytes.Add(-seg.bytes)
+			l.retired.Add(1)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return nil
+}
+
+// SyncPolicy returns the policy the log was opened with.
+func (l *Log) SyncPolicy() SyncPolicy { return l.opts.Sync }
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:    len(l.segs),
+		Bytes:       l.walBytes.Load(),
+		Appends:     l.appends.Load(),
+		Commits:     l.commits.Load(),
+		Syncs:       l.syncs.Load(),
+		LastEpoch:   l.lastEp,
+		Compactions: l.compactions.Load(),
+		Retired:     l.retired.Load(),
+	}
+}
+
+// Close stops the background goroutines, flushes and fsyncs the tail,
+// and closes the active segment. The log accepts no appends afterward.
+// The log is sealed only after the background goroutines have drained,
+// so a fold in flight when Close is called still gets to append its
+// snapshot-note and retire the segments it covered.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closing = true
+	l.mu.Unlock()
+	close(l.stopBg)
+	l.bg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	var err error
+	if l.failed == nil {
+		err = l.flushLocked(true)
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: closing segment: %w", cerr)
+	}
+	return err
+}

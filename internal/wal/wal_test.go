@@ -1,0 +1,459 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/sparql-hsp/hsp/internal/rdf"
+)
+
+// testCommit builds a deterministic commit for epoch e with a few
+// terms, inserts and deletes.
+func testCommit(e uint64) *Commit {
+	return &Commit{
+		Epoch: e,
+		Terms: []rdf.Term{
+			rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", e)),
+			rdf.NewIRI("http://example.org/p"),
+			rdf.NewLiteral(fmt.Sprintf("value %d", e)),
+			rdf.NewBlank("b0"),
+		},
+		Inserts: [][3]uint64{{0, 1, 2}, {0, 1, 3}},
+		Deletes: [][3]uint64{{3, 1, 2}},
+	}
+}
+
+func TestCommitCodecRoundTrip(t *testing.T) {
+	for _, c := range []*Commit{
+		testCommit(1),
+		{Epoch: 42},
+		{Epoch: 7, Terms: []rdf.Term{rdf.NewLiteral("")}, Inserts: [][3]uint64{{0, 0, 0}}},
+	} {
+		enc := EncodeCommit(c)
+		got, err := DecodeCommit(enc)
+		if err != nil {
+			t.Fatalf("DecodeCommit(%d): %v", c.Epoch, err)
+		}
+		if got.Epoch != c.Epoch || !reflect.DeepEqual(got.Terms, c.Terms) ||
+			!reflect.DeepEqual(got.Inserts, c.Inserts) || !reflect.DeepEqual(got.Deletes, c.Deletes) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, c)
+		}
+		if re := EncodeCommit(got); !bytes.Equal(re, enc) {
+			t.Fatalf("re-encode differs for epoch %d", c.Epoch)
+		}
+	}
+}
+
+func TestCommitDecodeRejectsCorruption(t *testing.T) {
+	valid := EncodeCommit(testCommit(3))
+	cases := map[string][]byte{
+		"empty":                {},
+		"trailing bytes":       append(append([]byte{}, valid...), 0),
+		"truncated":            valid[:len(valid)-2],
+		"non-minimal varint":   {0x80, 0x00}, // epoch 0 in two bytes
+		"huge term count":      {1, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"invalid term kind":    {1, 1, 9, 0, 0, 0},
+		"index out of range":   {1, 0, 1, 5, 5, 5, 0},
+		"term length past end": {1, 1, 0, 0x20},
+	}
+	for name, p := range cases {
+		if _, err := DecodeCommit(p); !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("%s: want ErrCorruptRecord, got %v", name, err)
+		}
+	}
+}
+
+func TestSealNoteRoundTrip(t *testing.T) {
+	e, err := DecodeSeal(EncodeSeal(99))
+	if err != nil || e != 99 {
+		t.Fatalf("seal round trip: %d, %v", e, err)
+	}
+	e, name, err := DecodeNote(EncodeNote(7, "base-0000000000000007.hsp"))
+	if err != nil || e != 7 || name != "base-0000000000000007.hsp" {
+		t.Fatalf("note round trip: %d %q %v", e, name, err)
+	}
+}
+
+func TestReadFrameRejectsDamage(t *testing.T) {
+	f := appendFrame(nil, Record{Type: TypeSeal, Payload: EncodeSeal(1)})
+	for i := range f {
+		mut := append([]byte{}, f...)
+		mut[i] ^= 0x40
+		if _, _, err := readFrame(mut); err == nil {
+			// A flipped bit in the length field can still frame if the
+			// new length is plausible and... no: CRC covers the payload
+			// and the header length selects it, so every single-bit flip
+			// must fail.
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	for cut := 0; cut < len(f); cut++ {
+		if _, _, err := readFrame(f[:cut]); !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("prefix %d: want ErrCorruptRecord, got %v", cut, err)
+		}
+	}
+}
+
+// appendN opens a log in dir, appends commits for epochs 1..n under
+// SyncAlways, and returns the on-disk size after each commit.
+func appendN(t *testing.T, dir string, n int, opts Options) []int64 {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	var sizes []int64
+	for e := 1; e <= n; e++ {
+		if err := l.AppendCommit(testCommit(uint64(e))); err != nil {
+			t.Fatalf("AppendCommit(%d): %v", e, err)
+		}
+		sizes = append(sizes, l.Stats().Bytes)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return sizes
+}
+
+// sealedEpoch replays a directory and returns the last sealed epoch.
+func sealedEpoch(t *testing.T, dir string) uint64 {
+	t.Helper()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	var pendingEpoch, last uint64
+	pending := false
+	err = l.Replay(func(rec Record) error {
+		switch rec.Type {
+		case TypeCommit:
+			c, err := DecodeCommit(rec.Payload)
+			if err != nil {
+				return err
+			}
+			pendingEpoch, pending = c.Epoch, true
+		case TypeSeal:
+			e, err := DecodeSeal(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if pending && e == pendingEpoch {
+				last = e
+			}
+			pending = false
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if got := l.Stats().LastEpoch; got != last {
+		t.Fatalf("Stats().LastEpoch = %d, replay found %d", got, last)
+	}
+	return last
+}
+
+// TestEveryPrefixRecovers is the heart of the torn-tail guarantee:
+// truncating the segment file at EVERY byte offset must recover to
+// the last commit whose commit+seal frames are wholly inside the
+// prefix — never a partial commit, never an error.
+func TestEveryPrefixRecovers(t *testing.T) {
+	src := t.TempDir()
+	const n = 4
+	sizes := appendN(t, src, n, Options{})
+	segs, err := listSegments(src)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d (%v)", len(segs), err)
+	}
+	full, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Base(segs[0].path)
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, name), full[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for i, sz := range sizes {
+			if int64(cut) >= sz {
+				want = uint64(i + 1)
+			}
+		}
+		if got := sealedEpoch(t, dir); got != want {
+			t.Fatalf("prefix %d/%d bytes: recovered epoch %d, want %d", cut, len(full), got, want)
+		}
+	}
+}
+
+// TestPrefixWithFlippedTail extends the prefix test with corruption:
+// damage anywhere after a commit boundary must not affect the sealed
+// prefix before it.
+func TestPrefixWithFlippedTail(t *testing.T) {
+	src := t.TempDir()
+	sizes := appendN(t, src, 3, Options{})
+	segs, _ := listSegments(src)
+	full, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Base(segs[0].path)
+	// Flip one byte in the third commit's frames: recovery must land
+	// on epoch 2 (damage is detected, tail truncated).
+	mut := append([]byte{}, full...)
+	mut[sizes[1]+3] ^= 0xff
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), mut, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got := sealedEpoch(t, dir); got != 2 {
+		t.Fatalf("recovered epoch %d after mid-log corruption, want 2", got)
+	}
+}
+
+func TestRotationAndRetire(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 20
+	for e := 1; e <= n; e++ {
+		if err := l.AppendCommit(testCommit(uint64(e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("want >=3 segments after %d commits at 256-byte rotation, got %d", n, st.Segments)
+	}
+	if st.LastEpoch != n {
+		t.Fatalf("LastEpoch = %d, want %d", st.LastEpoch, n)
+	}
+	// Retiring everything keeps only the active segment, and replay
+	// still works on what remains.
+	if err := l.Retire(n); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got != 1 {
+		t.Fatalf("want 1 segment after full retire, got %d", got)
+	}
+	if l.Stats().Retired != int64(st.Segments-1) {
+		t.Fatalf("Retired = %d, want %d", l.Stats().Retired, st.Segments-1)
+	}
+	if err := l.AppendCommit(testCommit(n + 1)); err != nil {
+		t.Fatalf("append after retire: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sealedEpoch(t, dir); got != n+1 {
+		t.Fatalf("recovered epoch %d after retire, want %d", got, n+1)
+	}
+}
+
+func TestRetireKeepsCoveringSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := 1; e <= 20; e++ {
+		if err := l.AppendCommit(testCommit(uint64(e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats().Segments
+	if err := l.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1's segment also holds later epochs: nothing retirable.
+	if got := l.Stats().Segments; got != before {
+		t.Fatalf("Retire(1) dropped segments: %d -> %d", before, got)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for e := 1; e <= 3; e++ {
+			if err := l.AppendCommit(testCommit(uint64(e))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s := l.Stats().Syncs; s < 3 {
+			t.Fatalf("SyncAlways issued %d fsyncs for 3 commits", s)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for e := 1; e <= 3; e++ {
+			if err := l.AppendCommit(testCommit(uint64(e))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s := l.Stats().Syncs; s != 0 {
+			t.Fatalf("SyncNone issued %d fsyncs before close", s)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close flushes: everything is recoverable.
+		if got := sealedEpoch(t, dir); got != 3 {
+			t.Fatalf("recovered %d, want 3", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: SyncInterval(5 * time.Millisecond)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		if err := l.AppendCommit(testCommit(1)); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for l.Stats().Syncs == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("interval flusher never synced")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if SyncAlways.String() != "always" || SyncNone.String() != "none" {
+		t.Fatal("policy names changed")
+	}
+	if got := SyncInterval(time.Second).String(); got != "interval:1s" {
+		t.Fatalf("interval name: %q", got)
+	}
+	if got := SyncInterval(0); got != SyncAlways {
+		t.Fatalf("non-positive interval should degrade to SyncAlways, got %v", got)
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := l.AppendCommit(testCommit(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestNoteSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(testCommit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendNote(1, "base-0000000000000001.hsp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var notes int
+	if err := l2.Replay(func(rec Record) error {
+		if rec.Type == TypeNote {
+			e, name, err := DecodeNote(rec.Payload)
+			if err != nil || e != 1 || name == "" {
+				return fmt.Errorf("bad note: %d %q %w", e, name, err)
+			}
+			notes++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if notes != 1 {
+		t.Fatalf("replayed %d notes, want 1", notes)
+	}
+}
+
+func TestCompactNowWithoutFold(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.CompactNow(t.Context()); !errors.Is(err, ErrNoFold) {
+		t.Fatalf("CompactNow without fold: %v", err)
+	}
+}
+
+func TestAutoCompactTriggers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	folded := make(chan struct{}, 1)
+	l.AutoCompact(t.Context(), 64, func(ctx context.Context) error {
+		select {
+		case folded <- struct{}{}:
+		default:
+		}
+		return nil
+	})
+	for e := 1; e <= 5; e++ {
+		if err := l.AppendCommit(testCommit(uint64(e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-folded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compactor never folded past a 64-byte threshold")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compaction counter never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

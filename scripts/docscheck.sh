@@ -33,7 +33,7 @@ done
 # 2. Exported identifiers in the public API files carry doc comments:
 #    a top-level `func|type|const|var Exported…` must be directly
 #    preceded by a comment line.
-for f in hsp.go stream.go serve.go stmt.go txn.go digest.go \
+for f in hsp.go stream.go serve.go stmt.go txn.go digest.go durability.go \
          hspserve/server.go hspserve/query.go hspserve/results.go \
          hspserve/registry.go hspserve/admission.go hspserve/metrics.go; do
     awk -v file="$f" '
@@ -116,6 +116,20 @@ done
 for sym in 'hsp:lint-allow' '-vettool' 'cmd/hsp-lint' 'internal/lintcheck'; do
     grep -q -- "$sym" docs/STATIC_ANALYSIS.md || err "docs/STATIC_ANALYSIS.md does not document $sym"
 done
+
+# 3i. The durability surface is documented: DURABILITY.md must exist,
+#     be linked from README and ARCHITECTURE.md, and cover the facade
+#     symbols (Open, the sync policies, compaction, the stats), the
+#     record format and the recovery contract.
+[ -f docs/DURABILITY.md ] || err "docs/DURABILITY.md is missing"
+grep -q 'DURABILITY.md' README.md || err "README.md does not link docs/DURABILITY.md"
+grep -q 'DURABILITY.md' docs/ARCHITECTURE.md || err "docs/ARCHITECTURE.md does not cross-link DURABILITY.md"
+for sym in 'hsp.Open(' WithSyncPolicy SyncAlways SyncInterval SyncNone \
+           WithCompactionThreshold WithSegmentBytes DurabilityStats StoreStats \
+           ErrCorruptSnapshot 'seal' 'CRC-32C' '-durability'; do
+    grep -q -- "$sym" docs/DURABILITY.md || err "docs/DURABILITY.md does not document $sym"
+done
+grep -qi 'write-ahead log' README.md || err "README.md lost its durable-datasets section"
 
 # 3b. docs/OPERATORS.md documents every physical operator kind in
 #     internal/exec/physical.go and exchange.go (the greppable

@@ -21,6 +21,7 @@ import (
 
 	"github.com/sparql-hsp/hsp/internal/rdf"
 	"github.com/sparql-hsp/hsp/internal/store"
+	"github.com/sparql-hsp/hsp/internal/wal"
 )
 
 // ErrTxnDone is returned by every method of a Txn after Commit has
@@ -153,7 +154,11 @@ type CommitStats struct {
 // prepared statements keep their pinned snapshot; epoch-tagged plan
 // cache entries from older epochs are invalidated lazily. A commit
 // whose operations all reduce to no-ops publishes nothing and keeps
-// the current epoch.
+// the current epoch. On a DB opened with Open, the commit's delta is
+// appended to the write-ahead log and synced per the configured
+// policy before the snapshot is published: an acknowledged commit is
+// as durable as the sync policy promises, while a WAL failure leaves
+// the served dataset untouched and the transaction open.
 //
 // Cancelling ctx aborts the merge, leaves the served dataset untouched
 // and keeps the transaction open — Commit may be retried or the
@@ -179,11 +184,35 @@ func (t *Txn) Commit(ctx context.Context) (CommitStats, error) {
 	state := t.db.loadState()
 	d := state.snap.Store().Dict()
 
+	// On a durable DB the same loop also builds the commit's WAL
+	// record: a self-contained, term-level delta (record-local term
+	// table plus index triplets), so replay re-interns through the live
+	// dictionary instead of trusting dictionary IDs that drift with
+	// cancelled transactions and base snapshots.
+	var rec *wal.Commit
+	var termIx map[rdf.Term]uint64
+	if t.db.dur != nil {
+		rec = &wal.Commit{}
+		termIx = make(map[rdf.Term]uint64)
+	}
+	addTerm := func(tm rdf.Term) uint64 {
+		ix, ok := termIx[tm]
+		if !ok {
+			ix = uint64(len(rec.Terms))
+			termIx[tm] = ix
+			rec.Terms = append(rec.Terms, tm)
+		}
+		return ix
+	}
+
 	var delta store.Delta
 	for tr, ins := range t.pending {
 		if ins {
 			s, p, o := d.EncodeTriple(tr)
 			delta.Inserts = append(delta.Inserts, store.Triple{s, p, o})
+			if rec != nil {
+				rec.Inserts = append(rec.Inserts, [3]uint64{addTerm(tr.S), addTerm(tr.P), addTerm(tr.O)})
+			}
 			continue
 		}
 		// Deletes only look terms up: a component absent from the
@@ -193,6 +222,9 @@ func (t *Txn) Commit(ctx context.Context) (CommitStats, error) {
 		o, okO := d.Lookup(tr.O)
 		if okS && okP && okO {
 			delta.Deletes = append(delta.Deletes, store.Triple{s, p, o})
+			if rec != nil {
+				rec.Deletes = append(rec.Deletes, [3]uint64{addTerm(tr.S), addTerm(tr.P), addTerm(tr.O)})
+			}
 		}
 	}
 
@@ -200,19 +232,30 @@ func (t *Txn) Commit(ctx context.Context) (CommitStats, error) {
 	if err != nil {
 		return cs, err
 	}
+	if stats.Changed() {
+		// Durability barrier: the record must be sealed on disk (per
+		// the sync policy) before the snapshot becomes visible. A WAL
+		// failure leaves the served dataset untouched and the
+		// transaction open — retry or roll back.
+		if rec != nil {
+			rec.Epoch = next.Epoch()
+			if err := t.db.logCommit(rec); err != nil {
+				return CommitStats{}, fmt.Errorf("hsp: commit not made durable: %w", err)
+			}
+		}
+		t.db.state.Store(&dbState{
+			snap: next,
+			memo: state.memo.CarryOver(delta.Inserts, delta.Deletes),
+		})
+		t.db.trackSnapshot(next)
+	}
 	cs = CommitStats{
 		Epoch:    next.Epoch(),
 		Inserted: stats.Inserted,
 		Deleted:  stats.Deleted,
 		Triples:  next.NumTriples(),
+		Wall:     time.Since(start),
 	}
-	if stats.Changed() {
-		t.db.state.Store(&dbState{
-			snap: next,
-			memo: state.memo.CarryOver(delta.Inserts, delta.Deletes),
-		})
-	}
-	cs.Wall = time.Since(start)
 	t.finish()
 	return cs, nil
 }
